@@ -1,0 +1,131 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//!
+//! 1. implementation-derived vs traditional model evaluation cost;
+//! 2. discrete γ table vs linear-fit extrapolation;
+//! 3. simulator throughput (the substrate's own cost);
+//! 4. measurement-methodology cost (adaptive sampling convergence).
+//!
+//! Selection-*quality* ablations (per-algorithm vs shared parameters,
+//! derived vs traditional model accuracy) are measured by the
+//! integration test `tests/ablations.rs` — quality is an assertion, not
+//! a timing.
+
+use bytes::Bytes;
+use collsel::coll::{bcast, BcastAlg};
+use collsel::estim::{sample_adaptive, Precision};
+use collsel::model::{derived, traditional, GammaTable, Hockney};
+use collsel::mpi::simulate;
+use collsel_bench::quiet_cluster;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn model_eval(c: &mut Criterion) {
+    let gamma = GammaTable::from_pairs([(3, 1.08), (4, 1.17), (5, 1.25), (6, 1.34), (7, 1.42)]);
+    let hockney = Hockney::new(1.0e-5, 1.0e-9);
+    c.bench_function("ablation/model_eval_derived", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for alg in BcastAlg::ALL {
+                acc += derived::predict_bcast(
+                    black_box(alg),
+                    black_box(124),
+                    black_box(1 << 22),
+                    8192,
+                    &gamma,
+                    &hockney,
+                );
+            }
+            acc
+        })
+    });
+    c.bench_function("ablation/model_eval_traditional", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for alg in BcastAlg::ALL {
+                acc += traditional::predict_bcast(
+                    black_box(alg),
+                    black_box(124),
+                    black_box(1 << 22),
+                    8192,
+                    &hockney,
+                );
+            }
+            acc
+        })
+    });
+}
+
+fn gamma_representations(c: &mut Criterion) {
+    let table = GammaTable::from_pairs((3..=7).map(|p| (p, 1.0 + 0.09 * p as f64)));
+    c.bench_function("ablation/gamma_discrete_hits", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for p in 3..=7 {
+                acc += table.gamma(black_box(p));
+            }
+            acc
+        })
+    });
+    c.bench_function("ablation/gamma_extrapolated_queries", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for p in 8..=128 {
+                acc += table.gamma(black_box(p));
+            }
+            acc
+        })
+    });
+}
+
+fn simulator_throughput(c: &mut Criterion) {
+    let cluster = quiet_cluster();
+    c.bench_function("ablation/simulate_binomial_p32_128KB", |b| {
+        b.iter(|| {
+            let m = 128 * 1024;
+            simulate(black_box(&cluster), 32, 1, |ctx| {
+                let msg = (ctx.rank() == 0).then(|| Bytes::from(vec![1u8; m]));
+                bcast(ctx, BcastAlg::Binomial, 0, msg, m, 8 * 1024).len()
+            })
+            .unwrap()
+            .report
+            .messages
+        })
+    });
+    c.bench_function("ablation/simulate_pingpong_pair", |b| {
+        b.iter(|| {
+            simulate(black_box(&cluster), 2, 1, |ctx| {
+                if ctx.rank() == 0 {
+                    ctx.send(1, 0, Bytes::from_static(&[0u8; 64]));
+                    ctx.recv(1, 1).0.len()
+                } else {
+                    let (m, _) = ctx.recv(0, 0);
+                    ctx.send(0, 1, m);
+                    0
+                }
+            })
+            .unwrap()
+            .results[0]
+        })
+    });
+}
+
+fn measurement_methodology(c: &mut Criterion) {
+    c.bench_function("ablation/adaptive_sampling_convergence", |b| {
+        b.iter(|| {
+            let mut k = 0u64;
+            sample_adaptive(&Precision::paper(), move |_| {
+                k += 1;
+                let wobble = ((k * 2654435761) % 997) as f64 / 997.0 - 0.5;
+                vec![1.0e-4 * (1.0 + 0.02 * wobble)]
+            })
+            .n
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = model_eval, gamma_representations, simulator_throughput, measurement_methodology
+}
+criterion_main!(benches);

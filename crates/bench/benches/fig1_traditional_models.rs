@@ -1,0 +1,44 @@
+//! Bench for Fig. 1: regenerates the traditional-models-vs-experiment
+//! comparison at reduced scale, then measures the kernels: traditional
+//! model evaluation and the full Fig. 1 pipeline.
+
+use collsel::coll::BcastAlg;
+use collsel::model::{traditional, Hockney};
+use collsel_bench::bench_scenario;
+use collsel_expt::fig1::run_fig1;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn regenerate_and_bench(c: &mut Criterion) {
+    let sc = bench_scenario();
+    let fig1 = run_fig1(&sc, 16, 1);
+    println!("\n{}", fig1.to_text());
+
+    let hockney = Hockney::new(3.0e-5, 1.0e-9);
+    c.bench_function("fig1/traditional_predict_all_algs", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for alg in BcastAlg::ALL {
+                acc += traditional::predict_bcast(
+                    black_box(alg),
+                    black_box(90),
+                    black_box(1 << 20),
+                    black_box(8192),
+                    &hockney,
+                );
+            }
+            acc
+        })
+    });
+
+    c.bench_function("fig1/regenerate_reduced", |b| {
+        b.iter(|| run_fig1(black_box(&sc), 16, 1))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = regenerate_and_bench
+}
+criterion_main!(benches);

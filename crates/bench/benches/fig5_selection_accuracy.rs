@@ -1,0 +1,55 @@
+//! Bench for Fig. 5: regenerates one selection-accuracy panel at
+//! reduced scale, then measures the sweep kernels: one full measured
+//! point (all six algorithms) and the simulated broadcast itself.
+
+use bytes::Bytes;
+use collsel::coll::{bcast, BcastAlg};
+use collsel::mpi::simulate;
+use collsel::{Tuner, TunerConfig};
+use collsel_bench::{bench_scenario, quiet_cluster};
+use collsel_expt::fig5::run_fig5;
+use collsel_expt::sweep::measure_point;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn regenerate_and_bench(c: &mut Criterion) {
+    let sc = bench_scenario();
+    let tuned = vec![Tuner::new(sc.cluster.clone(), TunerConfig::quick(12)).tune()];
+    let fig5 = run_fig5(std::slice::from_ref(&sc), &tuned, 3);
+    println!("\n{}", fig5.to_text());
+
+    c.bench_function("fig5/measure_point_p16_64KB", |b| {
+        b.iter(|| {
+            measure_point(
+                black_box(&sc.cluster),
+                16,
+                64 * 1024,
+                8 * 1024,
+                &sc.precision,
+                7,
+            )
+        })
+    });
+
+    let cluster = quiet_cluster();
+    for alg in [BcastAlg::Binomial, BcastAlg::Chain, BcastAlg::SplitBinary] {
+        c.bench_function(&format!("fig5/simulated_bcast_{alg}_p24_256KB"), |b| {
+            b.iter(|| {
+                let m = 256 * 1024;
+                simulate(black_box(&cluster), 24, 1, |ctx| {
+                    let msg = (ctx.rank() == 0).then(|| Bytes::from(vec![1u8; m]));
+                    bcast(ctx, alg, 0, msg, m, 8 * 1024).len()
+                })
+                .unwrap()
+                .results[0]
+            })
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = regenerate_and_bench
+}
+criterion_main!(benches);

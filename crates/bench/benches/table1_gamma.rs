@@ -1,0 +1,57 @@
+//! Bench for Table 1: regenerates the γ(P) estimation on both clusters
+//! at reduced scale, then measures the estimation experiment and the
+//! γ-table queries the models perform at selection time.
+
+use collsel::estim::{estimate_gamma, GammaConfig, Precision};
+use collsel::model::GammaTable;
+use collsel::netsim::{ClusterModel, NoiseParams};
+use collsel_expt::table1::run_table1;
+use collsel_expt::{scenarios, Fidelity};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn regenerate_and_bench(c: &mut Criterion) {
+    let mut scs = scenarios(Fidelity::Quick);
+    for sc in &mut scs {
+        sc.cluster = sc.cluster.clone().with_noise(NoiseParams::OFF);
+    }
+    let cfg = GammaConfig {
+        max_width: 7,
+        calls_per_sample: 3,
+        precision: Precision {
+            rel_precision: 0.2,
+            min_reps: 2,
+            max_reps: 4,
+        },
+        ..GammaConfig::quick()
+    };
+    let t1 = run_table1(&scs, &cfg, 1);
+    println!("\n{}", t1.to_text());
+
+    let cluster = ClusterModel::gros().with_noise(NoiseParams::OFF);
+    c.bench_function("table1/estimate_gamma_width5", |b| {
+        let small = GammaConfig {
+            max_width: 5,
+            ..cfg
+        };
+        b.iter(|| estimate_gamma(black_box(&cluster), &small, 1))
+    });
+
+    let table = GammaTable::from_pairs([(3, 1.08), (4, 1.17), (5, 1.25), (6, 1.34), (7, 1.42)]);
+    c.bench_function("table1/gamma_lookup_and_extrapolate", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for p in 2..64 {
+                acc += table.gamma(black_box(p));
+            }
+            acc
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = regenerate_and_bench
+}
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Bench for Table 2: regenerates the per-algorithm (α, β) estimation
+//! at reduced scale, then measures its kernels: the Huber regression
+//! and one full per-algorithm estimation.
+
+use collsel::coll::BcastAlg;
+use collsel::estim::{estimate_alpha_beta, huber_default, ols, AlphaBetaConfig, Precision};
+use collsel::model::GammaTable;
+use collsel_bench::bench_scenario;
+use collsel_expt::table2::run_table2;
+use collsel_expt::{scenarios, Fidelity};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn regenerate_and_bench(c: &mut Criterion) {
+    let mut scs = scenarios(Fidelity::Quick);
+    for sc in &mut scs {
+        sc.cluster = sc
+            .cluster
+            .clone()
+            .with_noise(collsel::netsim::NoiseParams::OFF);
+        sc.tune_p = sc.tune_p.min(12);
+    }
+    let t2 = run_table2(&scs, Fidelity::Quick);
+    println!("\n{}", t2.to_text());
+
+    // Regression kernels on a Fig. 4-shaped system.
+    let xs: Vec<f64> = (0..10).map(|i| 1000.0 * (1.6f64).powi(i)).collect();
+    let ys: Vec<f64> = xs.iter().map(|x| 2.0e-5 + 4.7e-9 * x).collect();
+    c.bench_function("table2/ols_fit_10pts", |b| {
+        b.iter(|| ols(black_box(&xs), black_box(&ys)))
+    });
+    c.bench_function("table2/huber_fit_10pts", |b| {
+        b.iter(|| huber_default(black_box(&xs), black_box(&ys)))
+    });
+
+    // One full per-algorithm estimation at bench scale.
+    let sc = bench_scenario();
+    let gamma = GammaTable::from_pairs([(3, 1.08), (5, 1.25), (7, 1.42)]);
+    let cfg = AlphaBetaConfig {
+        seg_size: 8 * 1024,
+        msg_sizes: vec![8 * 1024, 64 * 1024, 256 * 1024],
+        gather_sizes: vec![2 * 1024, 8 * 1024, 32 * 1024],
+        p: 12,
+        precision: Precision {
+            rel_precision: 0.2,
+            min_reps: 2,
+            max_reps: 4,
+        },
+    };
+    c.bench_function("table2/estimate_alpha_beta_binomial_p12", |b| {
+        b.iter(|| estimate_alpha_beta(black_box(&sc.cluster), BcastAlg::Binomial, &cfg, &gamma, 1))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = regenerate_and_bench
+}
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! # collsel-bench
+//!
+//! Criterion benchmarks, one per paper table/figure plus design
+//! ablations. Each bench first regenerates a reduced-scale version of
+//! its artifact (printed to stdout), then measures the cost of the
+//! computational kernels behind it.
+//!
+//! Shared helpers for the bench targets live here.
+
+use collsel::estim::Precision;
+use collsel::netsim::{ClusterModel, NoiseParams};
+use collsel_expt::{scenarios, Fidelity, Scenario};
+
+/// A noise-free Gros-like scenario trimmed for benchmarking.
+pub fn bench_scenario() -> Scenario {
+    let mut sc = scenarios(Fidelity::Quick).remove(1);
+    sc.cluster = sc.cluster.clone().with_noise(NoiseParams::OFF);
+    sc.msg_sizes = vec![8 * 1024, 128 * 1024];
+    sc.fig5_ps = vec![16];
+    sc.table3_p = 16;
+    sc.tune_p = 12;
+    sc.precision = Precision {
+        rel_precision: 0.2,
+        min_reps: 2,
+        max_reps: 4,
+    };
+    sc
+}
+
+/// A quiet small cluster for micro-benchmarks of the runtime itself.
+pub fn quiet_cluster() -> ClusterModel {
+    ClusterModel::gros().with_noise(NoiseParams::OFF)
+}

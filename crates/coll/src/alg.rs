@@ -1,0 +1,144 @@
+//! The catalogue of broadcast algorithms, mirroring Open MPI 3.1's
+//! `MPI_Bcast` implementations.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// Default number of chains of the k-chain broadcast (Open MPI's
+/// `chains = 4` default for `bcast_intra_chain`).
+pub const DEFAULT_CHAIN_FANOUT: usize = 4;
+
+/// The six tree-based broadcast algorithms Open MPI 3.1 implements and
+/// the paper models.
+///
+/// | Variant | Open MPI routine | Topology | Segmented |
+/// |---|---|---|---|
+/// | `Linear` | `bcast_intra_basic_linear` | flat | no |
+/// | `Chain` | `bcast_intra_pipeline` | single chain | yes |
+/// | `KChain` | `bcast_intra_chain` (4 chains) | 4 chains | yes |
+/// | `SplitBinary` | `bcast_intra_split_bintree` | in-order binary | yes |
+/// | `Binary` | `bcast_intra_bintree` | heap binary | yes |
+/// | `Binomial` | `bcast_intra_binomial` | balanced binomial | yes |
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum BcastAlg {
+    /// Flat non-segmented broadcast: the root isends the whole message to
+    /// every rank and waits for all sends.
+    Linear,
+    /// Pipelined broadcast down a single chain (Open MPI "pipeline").
+    Chain,
+    /// Pipelined broadcast down [`DEFAULT_CHAIN_FANOUT`] parallel chains
+    /// (Open MPI "chain", the paper's *K-Chain tree*).
+    KChain,
+    /// The message is split in half; the halves are pipelined down the
+    /// two subtrees of an in-order binary tree and finally swapped
+    /// pairwise between the subtrees.
+    SplitBinary,
+    /// Segmented pipelined broadcast down a heap-shaped binary tree.
+    Binary,
+    /// Segmented pipelined broadcast down a balanced binomial tree
+    /// (the algorithm modelled in Sect. 3.1 of the paper).
+    Binomial,
+}
+
+impl BcastAlg {
+    /// All algorithms, in a stable display order.
+    pub const ALL: [BcastAlg; 6] = [
+        BcastAlg::Linear,
+        BcastAlg::Chain,
+        BcastAlg::KChain,
+        BcastAlg::SplitBinary,
+        BcastAlg::Binary,
+        BcastAlg::Binomial,
+    ];
+
+    /// Short snake_case identifier (used in tables and CSV output),
+    /// matching the paper's Table 3 row labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            BcastAlg::Linear => "linear",
+            BcastAlg::Chain => "chain",
+            BcastAlg::KChain => "k_chain",
+            BcastAlg::SplitBinary => "split_binary",
+            BcastAlg::Binary => "binary",
+            BcastAlg::Binomial => "binomial",
+        }
+    }
+
+    /// Whether the algorithm splits the message into pipeline segments.
+    pub fn is_segmented(self) -> bool {
+        !matches!(self, BcastAlg::Linear)
+    }
+}
+
+impl fmt::Display for BcastAlg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error returned when parsing an unknown algorithm name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseBcastAlgError {
+    input: String,
+}
+
+impl fmt::Display for ParseBcastAlgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown broadcast algorithm `{}` (expected one of: linear, chain, k_chain, \
+             split_binary, binary, binomial)",
+            self.input
+        )
+    }
+}
+
+impl std::error::Error for ParseBcastAlgError {}
+
+impl FromStr for BcastAlg {
+    type Err = ParseBcastAlgError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        BcastAlg::ALL
+            .iter()
+            .copied()
+            .find(|a| a.name() == s)
+            .ok_or_else(|| ParseBcastAlgError {
+                input: s.to_owned(),
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for alg in BcastAlg::ALL {
+            assert_eq!(alg.name().parse::<BcastAlg>().unwrap(), alg);
+            assert_eq!(alg.to_string(), alg.name());
+        }
+    }
+
+    #[test]
+    fn unknown_name_errors() {
+        let err = "bogus".parse::<BcastAlg>().unwrap_err();
+        assert!(err.to_string().contains("bogus"));
+    }
+
+    #[test]
+    fn only_linear_is_unsegmented() {
+        for alg in BcastAlg::ALL {
+            assert_eq!(alg.is_segmented(), alg != BcastAlg::Linear);
+        }
+    }
+
+    #[test]
+    fn all_contains_six_distinct() {
+        let mut names: Vec<_> = BcastAlg::ALL.iter().map(|a| a.name()).collect();
+        names.dedup();
+        assert_eq!(names.len(), 6);
+    }
+}

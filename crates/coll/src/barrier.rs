@@ -1,0 +1,124 @@
+//! Barrier algorithms.
+//!
+//! The runtime's built-in [`Ctx::barrier`] is an *ideal* synchroniser
+//! used for measurement framing. This module provides real
+//! message-passing barriers for experiments that want barrier cost on
+//! the wire, ported from Open MPI:
+//!
+//! * [`barrier_dissemination`] — the classic log₂P-round dissemination
+//!   barrier (`barrier_intra_bruck`);
+//! * [`barrier_linear`] — a flat gather-then-release barrier
+//!   (`barrier_intra_basic_linear`).
+
+use bytes::Bytes;
+use collsel_mpi::Ctx;
+
+const TAG_BARRIER: u32 = 0xD;
+
+/// Dissemination (Bruck) barrier: in round `k`, rank `r` sends to
+/// `(r + 2^k) mod P` and receives from `(r - 2^k) mod P`; after
+/// `⌈log₂ P⌉` rounds every rank has transitively heard from every other.
+pub fn barrier_dissemination(ctx: &mut Ctx) {
+    let p = ctx.size();
+    if p == 1 {
+        return;
+    }
+    let me = ctx.rank();
+    let mut dist = 1;
+    while dist < p {
+        let to = (me + dist) % p;
+        let from = (me + p - dist) % p;
+        let _ = ctx.sendrecv(to, TAG_BARRIER, Bytes::new(), from, TAG_BARRIER);
+        dist *= 2;
+    }
+}
+
+/// Flat barrier: everyone signals rank 0; rank 0 releases everyone.
+pub fn barrier_linear(ctx: &mut Ctx) {
+    let p = ctx.size();
+    if p == 1 {
+        return;
+    }
+    if ctx.rank() == 0 {
+        let reqs: Vec<_> = (1..p).map(|src| ctx.irecv(src, TAG_BARRIER)).collect();
+        let _ = ctx.wait_all_recvs(reqs);
+        let sends = (1..p)
+            .map(|dst| ctx.isend(dst, TAG_BARRIER, Bytes::new()))
+            .collect();
+        ctx.wait_all_sends(sends);
+    } else {
+        ctx.send(0, TAG_BARRIER, Bytes::new());
+        let _ = ctx.recv(0, TAG_BARRIER);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use collsel_mpi::simulate;
+    use collsel_netsim::{ClusterModel, SimTime};
+
+    /// After a correct barrier, no rank's exit time may precede any
+    /// rank's entry time.
+    fn assert_barrier_property(entries: &[SimTime], exits: &[SimTime]) {
+        let latest_entry = entries.iter().copied().fold(SimTime::ZERO, SimTime::max);
+        for (r, &exit) in exits.iter().enumerate() {
+            assert!(
+                exit >= latest_entry,
+                "rank {r} left the barrier at {exit} before the last entry {latest_entry}"
+            );
+        }
+    }
+
+    fn run_barrier(f: impl Fn(&mut collsel_mpi::Ctx) + Sync, p: usize) {
+        let cluster = ClusterModel::gros();
+        let out = simulate(&cluster, p, 0, |ctx| {
+            // Stagger the ranks by unequal prior work.
+            if ctx.rank() % 3 == 0 {
+                ctx.send(ctx.rank(), 99, Bytes::from(vec![0u8; 40_000]));
+                let _ = ctx.recv(ctx.rank(), 99);
+            }
+            let entry = ctx.wtime();
+            f(ctx);
+            (entry, ctx.wtime())
+        })
+        .unwrap();
+        let (entries, exits): (Vec<_>, Vec<_>) = out.results.into_iter().unzip();
+        assert_barrier_property(&entries, &exits);
+    }
+
+    #[test]
+    fn dissemination_barrier_synchronises() {
+        for p in [2, 3, 4, 7, 16, 33] {
+            run_barrier(barrier_dissemination, p);
+        }
+    }
+
+    #[test]
+    fn linear_barrier_synchronises() {
+        for p in [2, 3, 4, 7, 16] {
+            run_barrier(barrier_linear, p);
+        }
+    }
+
+    #[test]
+    fn single_rank_barriers_are_noops() {
+        let cluster = ClusterModel::gros();
+        let out = simulate(&cluster, 1, 0, |ctx| {
+            barrier_dissemination(ctx);
+            barrier_linear(ctx);
+            ctx.wtime()
+        })
+        .unwrap();
+        assert_eq!(out.results[0], SimTime::ZERO);
+    }
+
+    #[test]
+    fn dissemination_uses_log_rounds_of_messages() {
+        let cluster = ClusterModel::gros();
+        let p = 8;
+        let out = simulate(&cluster, p, 0, barrier_dissemination).unwrap();
+        // 3 rounds x 8 ranks, one send each.
+        assert_eq!(out.report.messages, 24);
+    }
+}

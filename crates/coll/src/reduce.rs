@@ -1,0 +1,418 @@
+//! Reduce algorithms (extension beyond the paper's broadcast focus).
+//!
+//! The paper's conclusion proposes extending the modelling approach to
+//! other collectives; reduce is the mirror image of broadcast (data
+//! flows *up* the same virtual topologies) and reuses the whole
+//! toolbox. Ports follow `coll/base/coll_base_reduce.c`:
+//!
+//! * [`reduce_linear`] — the root receives every contribution and folds
+//!   them (`reduce_intra_basic_linear`);
+//! * [`reduce_binomial`], [`reduce_chain`], [`reduce_binary`] —
+//!   segmented pipelined tree reductions via the shared engine
+//!   [`reduce_tree_segmented`] (`ompi_coll_base_reduce_generic`).
+//!
+//! Payloads are vectors of little-endian `u64` lanes; [`ReduceOp`]
+//! provides the usual commutative-associative MPI operators, so any
+//! reduction order over the tree yields the same result (as with
+//! `MPI_SUM` etc. on integer types).
+
+use crate::topology::Topology;
+use bytes::Bytes;
+use collsel_mpi::Ctx;
+
+const TAG_REDUCE: u32 = 0xF;
+
+/// The catalogue of ported reduce algorithms (used by the extension
+/// models and the dispatcher [`reduce`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ReduceAlg {
+    /// Flat reduction at the root.
+    Linear,
+    /// Segmented pipeline up a single chain.
+    Chain,
+    /// Segmented reduction up a heap binary tree.
+    Binary,
+    /// Segmented reduction up a balanced binomial tree.
+    Binomial,
+}
+
+impl ReduceAlg {
+    /// All reduce algorithms, in a stable order.
+    pub const ALL: [ReduceAlg; 4] = [
+        ReduceAlg::Linear,
+        ReduceAlg::Chain,
+        ReduceAlg::Binary,
+        ReduceAlg::Binomial,
+    ];
+
+    /// Short snake_case identifier.
+    pub fn name(self) -> &'static str {
+        match self {
+            ReduceAlg::Linear => "linear",
+            ReduceAlg::Chain => "chain",
+            ReduceAlg::Binary => "binary",
+            ReduceAlg::Binomial => "binomial",
+        }
+    }
+}
+
+impl std::fmt::Display for ReduceAlg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Dispatches to the selected reduce algorithm (segmented algorithms
+/// use `seg_size`; [`ReduceAlg::Linear`] ignores it).
+pub fn reduce(
+    ctx: &mut Ctx,
+    alg: ReduceAlg,
+    root: usize,
+    op: ReduceOp,
+    contribution: Bytes,
+    seg_size: usize,
+) -> Option<Bytes> {
+    match alg {
+        ReduceAlg::Linear => reduce_linear(ctx, root, op, contribution),
+        ReduceAlg::Chain => reduce_chain(ctx, root, op, contribution, seg_size),
+        ReduceAlg::Binary => reduce_binary(ctx, root, op, contribution, seg_size),
+        ReduceAlg::Binomial => reduce_binomial(ctx, root, op, contribution, seg_size),
+    }
+}
+
+/// A commutative, associative reduction operator over little-endian
+/// `u64` lanes (the integer subset of MPI's predefined operators).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReduceOp {
+    /// Wrapping element-wise sum (`MPI_SUM`).
+    Sum,
+    /// Element-wise maximum (`MPI_MAX`).
+    Max,
+    /// Element-wise minimum (`MPI_MIN`).
+    Min,
+    /// Element-wise bitwise xor (`MPI_BXOR`).
+    Xor,
+}
+
+impl ReduceOp {
+    fn fold_lane(self, a: u64, b: u64) -> u64 {
+        match self {
+            ReduceOp::Sum => a.wrapping_add(b),
+            ReduceOp::Max => a.max(b),
+            ReduceOp::Min => a.min(b),
+            ReduceOp::Xor => a ^ b,
+        }
+    }
+
+    /// Folds `other` into `acc`, lane by lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffers differ in length or are not a whole number
+    /// of 8-byte lanes.
+    pub fn fold(self, acc: &mut [u8], other: &[u8]) {
+        assert_eq!(acc.len(), other.len(), "reduce buffers differ in length");
+        assert!(
+            acc.len().is_multiple_of(8),
+            "reduce buffers must be u64 lanes"
+        );
+        for (a, b) in acc.chunks_exact_mut(8).zip(other.chunks_exact(8)) {
+            let lane = self.fold_lane(
+                u64::from_le_bytes(a.try_into().expect("8-byte chunk")),
+                u64::from_le_bytes(b.try_into().expect("8-byte chunk")),
+            );
+            a.copy_from_slice(&lane.to_le_bytes());
+        }
+    }
+}
+
+fn check_contribution(contribution: &Bytes) {
+    assert_eq!(
+        contribution.len() % 8,
+        0,
+        "contribution must be a whole number of u64 lanes"
+    );
+}
+
+/// Flat reduction (`reduce_intra_basic_linear`): every rank sends its
+/// contribution to the root, which folds them in ascending rank order.
+/// Returns `Some(result)` at the root, `None` elsewhere.
+///
+/// # Panics
+///
+/// Panics if `root` is out of range or the contribution is not a whole
+/// number of lanes.
+pub fn reduce_linear(
+    ctx: &mut Ctx,
+    root: usize,
+    op: ReduceOp,
+    contribution: Bytes,
+) -> Option<Bytes> {
+    assert!(root < ctx.size(), "reduce root {root} out of range");
+    check_contribution(&contribution);
+    if ctx.rank() == root {
+        let reqs: Vec<_> = (0..ctx.size())
+            .filter(|&src| src != root)
+            .map(|src| ctx.irecv(src, TAG_REDUCE))
+            .collect();
+        let mut acc = contribution.to_vec();
+        for (data, _) in ctx.wait_all_recvs(reqs) {
+            op.fold(&mut acc, &data);
+        }
+        Some(Bytes::from(acc))
+    } else {
+        ctx.send(root, TAG_REDUCE, contribution);
+        None
+    }
+}
+
+/// The shared segmented tree-reduction engine
+/// (`ompi_coll_base_reduce_generic`): data flows leaf-to-root down the
+/// given topology, one segment at a time; every interior rank receives
+/// each child's partial segment, folds it into its own, and forwards
+/// the folded segment to its parent, pipelining across segments.
+///
+/// Returns `Some(result)` at the root, `None` elsewhere.
+///
+/// # Panics
+///
+/// Panics if `seg_size` is zero or not a multiple of 8, if `root` is
+/// out of range, or if the contribution is not a whole number of lanes.
+pub fn reduce_tree_segmented(
+    ctx: &mut Ctx,
+    tree: &Topology,
+    root: usize,
+    op: ReduceOp,
+    contribution: Bytes,
+    seg_size: usize,
+) -> Option<Bytes> {
+    assert!(root < ctx.size(), "reduce root {root} out of range");
+    assert!(
+        seg_size > 0 && seg_size.is_multiple_of(8),
+        "segment size must be a positive multiple of 8"
+    );
+    check_contribution(&contribution);
+    debug_assert_eq!(tree.root(), root);
+    if ctx.size() == 1 {
+        return Some(contribution);
+    }
+
+    let len = contribution.len();
+    let ns = len.div_ceil(seg_size).max(1);
+    let children = tree.children(ctx.rank()).to_vec();
+    let mut acc = contribution.to_vec();
+
+    // Pre-post the receives for the first segment from every child.
+    let mut inflight: Vec<_> = children.iter().map(|&c| ctx.irecv(c, TAG_REDUCE)).collect();
+
+    let mut out = Vec::with_capacity(ns);
+    for i in 0..ns {
+        let lo = (i * seg_size).min(len);
+        let hi = ((i + 1) * seg_size).min(len);
+        // Collect this segment's partials, pre-posting the next round
+        // before folding (double buffering, as in the Open MPI loop).
+        let arrived = ctx.wait_all_recvs(std::mem::take(&mut inflight));
+        if i + 1 < ns {
+            inflight = children.iter().map(|&c| ctx.irecv(c, TAG_REDUCE)).collect();
+        }
+        for (data, _) in arrived {
+            op.fold(&mut acc[lo..hi], &data);
+        }
+        let folded = Bytes::copy_from_slice(&acc[lo..hi]);
+        if let Some(parent) = tree.parent(ctx.rank()) {
+            ctx.send(parent, TAG_REDUCE, folded);
+        } else {
+            out.push(folded);
+        }
+    }
+
+    tree.parent(ctx.rank()).is_none().then(|| {
+        debug_assert_eq!(out.iter().map(Bytes::len).sum::<usize>(), len);
+        Bytes::from(acc)
+    })
+}
+
+/// Segmented binomial-tree reduction (`reduce_intra_binomial`).
+pub fn reduce_binomial(
+    ctx: &mut Ctx,
+    root: usize,
+    op: ReduceOp,
+    contribution: Bytes,
+    seg_size: usize,
+) -> Option<Bytes> {
+    let tree = Topology::binomial(ctx.size(), root);
+    reduce_tree_segmented(ctx, &tree, root, op, contribution, seg_size)
+}
+
+/// Segmented chain (pipeline) reduction (`reduce_intra_pipeline`).
+pub fn reduce_chain(
+    ctx: &mut Ctx,
+    root: usize,
+    op: ReduceOp,
+    contribution: Bytes,
+    seg_size: usize,
+) -> Option<Bytes> {
+    let tree = Topology::chain(ctx.size(), root);
+    reduce_tree_segmented(ctx, &tree, root, op, contribution, seg_size)
+}
+
+/// Segmented binary-tree reduction (`reduce_intra_bintree`).
+pub fn reduce_binary(
+    ctx: &mut Ctx,
+    root: usize,
+    op: ReduceOp,
+    contribution: Bytes,
+    seg_size: usize,
+) -> Option<Bytes> {
+    let tree = Topology::binary(ctx.size(), root);
+    reduce_tree_segmented(ctx, &tree, root, op, contribution, seg_size)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use collsel_mpi::simulate;
+    use collsel_netsim::ClusterModel;
+
+    fn lanes(rank: usize, n: usize) -> Bytes {
+        let mut v = Vec::with_capacity(n * 8);
+        for lane in 0..n {
+            v.extend_from_slice(&((rank * 1000 + lane) as u64).to_le_bytes());
+        }
+        Bytes::from(v)
+    }
+
+    fn expected(op: ReduceOp, p: usize, n: usize) -> Vec<u64> {
+        (0..n)
+            .map(|lane| {
+                (0..p)
+                    .map(|rank| (rank * 1000 + lane) as u64)
+                    .reduce(|a, b| op.fold_lane(a, b))
+                    .expect("p >= 1")
+            })
+            .collect()
+    }
+
+    fn decode(b: &Bytes) -> Vec<u64> {
+        b.chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+            .collect()
+    }
+
+    fn check(
+        f: impl Fn(&mut collsel_mpi::Ctx, usize, ReduceOp, Bytes) -> Option<Bytes> + Sync,
+        op: ReduceOp,
+        p: usize,
+        root: usize,
+        n: usize,
+    ) {
+        let cluster = ClusterModel::gros();
+        let out = simulate(&cluster, p, 0, move |ctx| {
+            f(ctx, root, op, lanes(ctx.rank(), n))
+        })
+        .unwrap();
+        for (rank, res) in out.results.iter().enumerate() {
+            if rank == root {
+                assert_eq!(
+                    decode(res.as_ref().expect("root gets the result")),
+                    expected(op, p, n),
+                    "op={op:?} p={p} root={root}"
+                );
+            } else {
+                assert!(res.is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn linear_reduce_all_ops() {
+        for op in [ReduceOp::Sum, ReduceOp::Max, ReduceOp::Min, ReduceOp::Xor] {
+            check(reduce_linear, op, 7, 2, 16);
+        }
+    }
+
+    #[test]
+    fn tree_reduces_match_linear() {
+        for p in [1, 2, 3, 5, 9, 16] {
+            for root in [0, p - 1] {
+                check(
+                    |c, r, o, b| reduce_binomial(c, r, o, b, 64),
+                    ReduceOp::Sum,
+                    p,
+                    root,
+                    40,
+                );
+                check(
+                    |c, r, o, b| reduce_chain(c, r, o, b, 64),
+                    ReduceOp::Sum,
+                    p,
+                    root,
+                    40,
+                );
+                check(
+                    |c, r, o, b| reduce_binary(c, r, o, b, 64),
+                    ReduceOp::Max,
+                    p,
+                    root,
+                    40,
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn segmentation_boundaries() {
+        // 40 lanes = 320 bytes; segment sizes that divide, straddle and
+        // exceed the payload.
+        for seg in [8, 24, 320, 640] {
+            check(
+                |c, r, o, b| reduce_binomial(c, r, o, b, seg),
+                ReduceOp::Sum,
+                6,
+                0,
+                40,
+            );
+        }
+    }
+
+    #[test]
+    fn empty_contribution() {
+        check(
+            |c, r, o, b| reduce_binomial(c, r, o, b, 64),
+            ReduceOp::Sum,
+            4,
+            0,
+            0,
+        );
+    }
+
+    #[test]
+    fn fold_lane_semantics() {
+        assert_eq!(ReduceOp::Sum.fold_lane(u64::MAX, 1), 0, "wrapping");
+        assert_eq!(ReduceOp::Max.fold_lane(3, 9), 9);
+        assert_eq!(ReduceOp::Min.fold_lane(3, 9), 3);
+        assert_eq!(ReduceOp::Xor.fold_lane(0b1100, 0b1010), 0b0110);
+    }
+
+    #[test]
+    #[should_panic(expected = "differ in length")]
+    fn fold_rejects_mismatched_lengths() {
+        let mut a = vec![0u8; 16];
+        ReduceOp::Sum.fold(&mut a, &[0u8; 8]);
+    }
+
+    #[test]
+    fn tree_reduce_rejects_unaligned_segments() {
+        let cluster = ClusterModel::gros();
+        let err = simulate(&cluster, 2, 0, |ctx| {
+            reduce_binomial(ctx, 0, ReduceOp::Sum, lanes(ctx.rank(), 4), 12)
+        })
+        .unwrap_err();
+        match err {
+            collsel_mpi::SimError::RankPanic { message, .. } => {
+                assert!(message.contains("multiple of 8"), "{message}");
+            }
+            other => panic!("expected rank panic, got {other}"),
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! Estimation of γ(P) — the paper's Sect. 4.1.
+//!
+//! For each process count `P` in `2..=max_width`, the root measures the
+//! time `T1(P, N)` of `N` successive *non-blocking linear-tree*
+//! broadcasts of one segment, separated by barriers, and estimates the
+//! per-call time `T2(P) = T1(P, N) / N`. The discrete function
+//! `γ(P) = T2(P) / T2(2)` is the platform-specific, algorithm-independent
+//! factor used by every implementation-derived model.
+
+use crate::measure::linear_segment_bcast_time;
+use crate::stats::{Precision, SampleStats};
+use collsel_model::GammaTable;
+use collsel_netsim::ClusterModel;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the γ estimation experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GammaConfig {
+    /// Segment size `m_s` (the paper uses 8 KB).
+    pub seg_size: usize,
+    /// Largest linear-tree width to measure (the paper measures 2..=7,
+    /// the maximum child count of the segmented broadcast trees plus
+    /// one).
+    pub max_width: usize,
+    /// Successive calls per sample (`N`).
+    pub calls_per_sample: usize,
+    /// Stopping rule for each `T2(P)`.
+    pub precision: Precision,
+}
+
+impl GammaConfig {
+    /// The paper's configuration: 8 KB segments, widths 2..=7.
+    pub fn paper() -> Self {
+        GammaConfig {
+            seg_size: 8 * 1024,
+            max_width: 7,
+            calls_per_sample: 10,
+            precision: Precision::paper(),
+        }
+    }
+
+    /// A loose, fast configuration for tests.
+    pub fn quick() -> Self {
+        GammaConfig {
+            seg_size: 8 * 1024,
+            max_width: 5,
+            calls_per_sample: 3,
+            precision: Precision::quick(),
+        }
+    }
+}
+
+impl Default for GammaConfig {
+    fn default() -> Self {
+        GammaConfig::paper()
+    }
+}
+
+/// Result of the γ estimation: the table plus the raw measurements.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GammaEstimate {
+    /// The fitted table, ready for the models.
+    pub table: GammaTable,
+    /// Per-width measured `T2(P)` statistics.
+    pub t2: Vec<(usize, SampleStats)>,
+}
+
+/// Runs the Sect. 4.1 experiments on `cluster` and returns the γ table.
+///
+/// # Panics
+///
+/// Panics if `max_width` is below 2 or exceeds the cluster's slots.
+pub fn estimate_gamma(cluster: &ClusterModel, cfg: &GammaConfig, seed: u64) -> GammaEstimate {
+    assert!(cfg.max_width >= 2, "gamma needs widths of at least 2");
+    assert!(
+        cfg.max_width <= cluster.max_ranks(),
+        "cluster {} cannot host {} processes",
+        cluster.name(),
+        cfg.max_width
+    );
+    let mut t2 = Vec::with_capacity(cfg.max_width - 1);
+    for p in 2..=cfg.max_width {
+        let stats = linear_segment_bcast_time(
+            cluster,
+            p,
+            cfg.seg_size,
+            cfg.calls_per_sample,
+            &cfg.precision,
+            seed.wrapping_add(p as u64 * 1009),
+        );
+        t2.push((p, stats));
+    }
+    let base = t2[0].1.mean;
+    assert!(base > 0.0, "T2(2) must be positive");
+    let pairs: Vec<(usize, f64)> = t2
+        .iter()
+        .skip(1)
+        .map(|&(p, s)| (p, (s.mean / base).max(1.0)))
+        .collect();
+    GammaEstimate {
+        table: GammaTable::from_pairs(pairs),
+        t2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use collsel_netsim::NoiseParams;
+
+    #[test]
+    fn gamma_is_monotone_between_one_and_pminus1() {
+        let cluster = ClusterModel::gros().with_noise(NoiseParams::OFF);
+        let est = estimate_gamma(&cluster, &GammaConfig::quick(), 3);
+        let mut prev = 1.0;
+        for p in 2..=5 {
+            let g = est.table.gamma(p);
+            assert!(g >= prev - 1e-9, "gamma({p}) = {g} not monotone");
+            assert!(g <= (p - 1) as f64 + 1e-9, "gamma({p}) = {g} above P-1");
+            prev = g;
+        }
+    }
+
+    #[test]
+    fn calibrated_presets_land_near_paper_table_1() {
+        // Paper Table 1: Grisou 1.114..1.540, Gros 1.084..1.424 for
+        // P = 3..7. The presets are calibrated to land in that
+        // neighbourhood; allow a generous tolerance.
+        let cfg = GammaConfig {
+            max_width: 7,
+            ..GammaConfig::quick()
+        };
+        for (cluster, g3_paper, g7_paper) in [
+            (ClusterModel::grisou(), 1.114, 1.540),
+            (ClusterModel::gros(), 1.084, 1.424),
+        ] {
+            let cluster = cluster.with_noise(NoiseParams::OFF);
+            let est = estimate_gamma(&cluster, &cfg, 5);
+            let g3 = est.table.gamma(3);
+            let g7 = est.table.gamma(7);
+            assert!(
+                (g3 - g3_paper).abs() < 0.15,
+                "{}: gamma(3) = {g3} vs paper {g3_paper}",
+                cluster.name()
+            );
+            assert!(
+                (g7 - g7_paper).abs() < 0.3,
+                "{}: gamma(7) = {g7} vs paper {g7_paper}",
+                cluster.name()
+            );
+        }
+    }
+
+    #[test]
+    fn estimate_reports_raw_measurements() {
+        let cluster = ClusterModel::gros().with_noise(NoiseParams::OFF);
+        let est = estimate_gamma(&cluster, &GammaConfig::quick(), 3);
+        assert_eq!(est.t2.len(), 4); // widths 2..=5
+        assert!(est.t2.iter().all(|(_, s)| s.mean > 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "widths of at least 2")]
+    fn rejects_tiny_width() {
+        let cluster = ClusterModel::gros();
+        let cfg = GammaConfig {
+            max_width: 1,
+            ..GammaConfig::quick()
+        };
+        let _ = estimate_gamma(&cluster, &cfg, 0);
+    }
+}

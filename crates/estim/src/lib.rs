@@ -1,0 +1,42 @@
+//! # collsel-estim
+//!
+//! Model-parameter **estimation** — the second half of the paper's
+//! contribution.
+//!
+//! The paper's innovation is to estimate the Hockney parameters
+//! *separately for each collective algorithm*, from communication
+//! experiments that *contain the modelled algorithm itself*:
+//!
+//! * [`estimate_gamma`] — Sect. 4.1: γ(P) from repeated non-blocking
+//!   linear-tree broadcasts of one segment;
+//! * [`estimate_alpha_beta`] — Sect. 4.2: per-algorithm (α, β) from
+//!   broadcast + linear-gather experiments, canonicalised into the
+//!   linear system of Fig. 4 and solved with the Huber robust
+//!   regressor ([`huber_default`]);
+//! * [`estimate_network_hockney`] — the traditional point-to-point
+//!   measurement, kept for the prior-work baseline models.
+//!
+//! Measurement follows the MPIBlib methodology the paper cites: every
+//! data point is re-sampled until its mean lies within a 2.5% precision
+//! 95% confidence interval ([`sample_adaptive`]).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod alpha_beta;
+mod gamma_est;
+mod hockney_est;
+mod loggp_est;
+pub mod measure;
+mod regress;
+mod stats;
+
+pub use alpha_beta::{
+    estimate_all_alpha_beta, estimate_alpha_beta, log_spaced_sizes, AlphaBetaConfig,
+    AlphaBetaEstimate, ExperimentPoint,
+};
+pub use gamma_est::{estimate_gamma, GammaConfig, GammaEstimate};
+pub use hockney_est::{estimate_network_hockney, NetworkHockneyEstimate};
+pub use loggp_est::{estimate_loggp, LogGPEstimate};
+pub use regress::{huber, huber_default, ols, LinearFit};
+pub use stats::{sample_adaptive, t_critical_95, Precision, SampleStats, Welford};

@@ -1,0 +1,275 @@
+//! Measured (simulated) execution times of collectives, with the
+//! paper's adaptive repetition methodology.
+//!
+//! All measurements are framed the MPIBlib way: a barrier, the root's
+//! clock around the operation, and (for operations that do not
+//! naturally end on the root) a closing barrier so the root observes
+//! the completion of the slowest rank.
+
+use crate::stats::{sample_adaptive, Precision, SampleStats};
+use bytes::Bytes;
+use collsel_coll::{bcast, gather_linear, BcastAlg};
+use collsel_netsim::ClusterModel;
+
+/// Root rank used by all measurement experiments.
+pub const ROOT: usize = 0;
+
+/// A deterministic position-dependent payload of `len` bytes.
+pub fn payload(len: usize) -> Bytes {
+    Bytes::from((0..len).map(|i| (i % 251) as u8).collect::<Vec<_>>())
+}
+
+/// Runs `reps` timed repetitions of `body` inside one simulation and
+/// returns the root's per-repetition times in seconds.
+///
+/// Each repetition is `barrier; t0; body; barrier; t1` measured on the
+/// root, so the sample covers the completion of the slowest rank.
+fn timed_reps(
+    cluster: &ClusterModel,
+    p: usize,
+    seed: u64,
+    reps: usize,
+    body: impl Fn(&mut collsel_mpi::Ctx) + Sync,
+) -> Vec<f64> {
+    let out = collsel_mpi::simulate(cluster, p, seed, |ctx| {
+        let mut ts = Vec::with_capacity(reps);
+        for _ in 0..reps {
+            ctx.barrier();
+            let t0 = ctx.wtime();
+            body(ctx);
+            ctx.barrier();
+            let t1 = ctx.wtime();
+            if ctx.rank() == ROOT {
+                ts.push((t1 - t0).as_secs_f64());
+            }
+        }
+        ts
+    })
+    .expect("measurement program cannot deadlock");
+    out.results.into_iter().nth(ROOT).expect("root result")
+}
+
+/// Measures the execution time of one broadcast configuration until the
+/// paper's precision target is met.
+///
+/// # Panics
+///
+/// Panics if `p` exceeds the cluster's slots or `seg_size` is zero for
+/// a segmented algorithm.
+pub fn bcast_time(
+    cluster: &ClusterModel,
+    alg: BcastAlg,
+    p: usize,
+    m: usize,
+    seg_size: usize,
+    precision: &Precision,
+    seed: u64,
+) -> SampleStats {
+    let msg = payload(m);
+    let reps = precision.min_reps;
+    sample_adaptive(precision, |batch| {
+        timed_reps(cluster, p, seed.wrapping_add(batch as u64), reps, |ctx| {
+            let data = (ctx.rank() == ROOT).then(|| msg.clone());
+            let _ = bcast(ctx, alg, ROOT, data, m, seg_size);
+        })
+    })
+}
+
+/// Measures the paper's Sect. 4.2 communication experiment: the
+/// modelled broadcast of `m` bytes followed by a linear gather of
+/// `m_g`-byte contributions, timed on the root (the experiment starts
+/// and finishes there, so no closing barrier is needed).
+#[allow(clippy::too_many_arguments)]
+pub fn bcast_gather_experiment_time(
+    cluster: &ClusterModel,
+    alg: BcastAlg,
+    p: usize,
+    m: usize,
+    m_g: usize,
+    seg_size: usize,
+    precision: &Precision,
+    seed: u64,
+) -> SampleStats {
+    let msg = payload(m);
+    let contrib = payload(m_g);
+    let reps = precision.min_reps;
+    sample_adaptive(precision, |batch| {
+        let msg = msg.clone();
+        let contrib = contrib.clone();
+        let out = collsel_mpi::simulate(cluster, p, seed.wrapping_add(batch as u64), move |ctx| {
+            let mut ts = Vec::with_capacity(reps);
+            for _ in 0..reps {
+                ctx.barrier();
+                let t0 = ctx.wtime();
+                let data = (ctx.rank() == ROOT).then(|| msg.clone());
+                let _ = bcast(ctx, alg, ROOT, data, m, seg_size);
+                let _ = gather_linear(ctx, ROOT, contrib.clone());
+                let t1 = ctx.wtime();
+                if ctx.rank() == ROOT {
+                    ts.push((t1 - t0).as_secs_f64());
+                }
+            }
+            ts
+        })
+        .expect("measurement program cannot deadlock");
+        out.results.into_iter().nth(ROOT).expect("root result")
+    })
+}
+
+/// Measures the Sect. 4.1 experiment: `calls` successive non-blocking
+/// linear-tree broadcasts of one `seg_size`-byte segment, separated by
+/// barriers, measured on the root; the sample is the total divided by
+/// `calls` (the paper's `T2(P) = T1(P, N) / N`).
+pub fn linear_segment_bcast_time(
+    cluster: &ClusterModel,
+    p: usize,
+    seg_size: usize,
+    calls: usize,
+    precision: &Precision,
+    seed: u64,
+) -> SampleStats {
+    assert!(calls > 0, "need at least one call per sample");
+    let msg = payload(seg_size);
+    sample_adaptive(precision, |batch| {
+        let msg = msg.clone();
+        let out = collsel_mpi::simulate(cluster, p, seed.wrapping_add(batch as u64), move |ctx| {
+            ctx.barrier();
+            let t0 = ctx.wtime();
+            for _ in 0..calls {
+                let data = (ctx.rank() == ROOT).then(|| msg.clone());
+                let _ = collsel_coll::bcast_linear(ctx, ROOT, data, msg.len());
+                ctx.barrier();
+            }
+            let t1 = ctx.wtime();
+            (t1 - t0).as_secs_f64() / calls as f64
+        })
+        .expect("measurement program cannot deadlock");
+        vec![out.results[ROOT]]
+    })
+}
+
+/// Measures the one-way point-to-point time for `m` bytes via a
+/// round-trip between ranks 0 and 1 (the Hockney measurement used by
+/// the *traditional* models).
+pub fn p2p_time(cluster: &ClusterModel, m: usize, precision: &Precision, seed: u64) -> SampleStats {
+    let msg = payload(m);
+    let reps = precision.min_reps;
+    sample_adaptive(precision, |batch| {
+        let msg = msg.clone();
+        let out = collsel_mpi::simulate(cluster, 2, seed.wrapping_add(batch as u64), move |ctx| {
+            let mut ts = Vec::with_capacity(reps);
+            for _ in 0..reps {
+                ctx.barrier();
+                let t0 = ctx.wtime();
+                if ctx.rank() == 0 {
+                    ctx.send(1, 0, msg.clone());
+                    let _ = ctx.recv(1, 1);
+                } else {
+                    let (data, _) = ctx.recv(0, 0);
+                    ctx.send(0, 1, data);
+                }
+                let t1 = ctx.wtime();
+                if ctx.rank() == 0 {
+                    ts.push((t1 - t0).as_secs_f64() / 2.0);
+                }
+            }
+            ts
+        })
+        .expect("measurement program cannot deadlock");
+        out.results.into_iter().next().expect("rank 0 result")
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use collsel_netsim::NoiseParams;
+
+    fn quiet_gros() -> ClusterModel {
+        ClusterModel::gros().with_noise(NoiseParams::OFF)
+    }
+
+    #[test]
+    fn bcast_time_is_positive_and_converges_without_noise() {
+        let s = bcast_time(
+            &quiet_gros(),
+            BcastAlg::Binomial,
+            8,
+            64 * 1024,
+            8 * 1024,
+            &Precision::quick(),
+            1,
+        );
+        assert!(s.mean > 0.0);
+        assert!(s.converged);
+        assert_eq!(s.std_dev, 0.0, "deterministic runs repeat exactly");
+    }
+
+    #[test]
+    fn larger_messages_take_longer() {
+        let c = quiet_gros();
+        let p = Precision::quick();
+        let small = bcast_time(&c, BcastAlg::Chain, 8, 16 * 1024, 8 * 1024, &p, 1);
+        let large = bcast_time(&c, BcastAlg::Chain, 8, 256 * 1024, 8 * 1024, &p, 1);
+        assert!(large.mean > small.mean);
+    }
+
+    #[test]
+    fn experiment_time_exceeds_bare_bcast() {
+        let c = quiet_gros();
+        let p = Precision::quick();
+        let bare = bcast_time(&c, BcastAlg::Binomial, 8, 64 * 1024, 8 * 1024, &p, 1);
+        let with_gather = bcast_gather_experiment_time(
+            &c,
+            BcastAlg::Binomial,
+            8,
+            64 * 1024,
+            1024,
+            8 * 1024,
+            &p,
+            1,
+        );
+        assert!(with_gather.mean > bare.mean * 0.9);
+    }
+
+    #[test]
+    fn linear_segment_time_grows_with_children() {
+        let c = quiet_gros();
+        let p = Precision::quick();
+        let t2 = linear_segment_bcast_time(&c, 2, 8 * 1024, 5, &p, 1);
+        let t5 = linear_segment_bcast_time(&c, 5, 8 * 1024, 5, &p, 1);
+        let t7 = linear_segment_bcast_time(&c, 7, 8 * 1024, 5, &p, 1);
+        assert!(t5.mean > t2.mean);
+        assert!(t7.mean > t5.mean);
+        // And the ratio stays well below P-1 (non-blocking overlap).
+        assert!(t7.mean / t2.mean < 4.0);
+    }
+
+    #[test]
+    fn p2p_time_scales_affinely() {
+        let c = quiet_gros();
+        let p = Precision::quick();
+        let t1 = p2p_time(&c, 1_000, &p, 1).mean;
+        let t2 = p2p_time(&c, 2_000_000, &p, 1).mean;
+        assert!(t2 > t1);
+        // Rendezvous messages pay extra latency, still far below 2000x.
+        assert!(t2 / t1 < 100.0);
+    }
+
+    #[test]
+    fn noisy_measurements_converge_with_adaptive_reps() {
+        let c = ClusterModel::gros(); // noise on
+        let s = bcast_time(
+            &c,
+            BcastAlg::Binary,
+            6,
+            32 * 1024,
+            8 * 1024,
+            &Precision::paper(),
+            7,
+        );
+        assert!(s.converged, "{s:?}");
+        assert!(s.n >= 5);
+        assert!(s.normality(), "{s:?}");
+    }
+}

@@ -1,0 +1,213 @@
+//! Linear regression: ordinary least squares and the Huber robust
+//! regressor the paper uses to solve the α/β system (Sect. 5.2,
+//! ref. [25]).
+
+use serde::{Deserialize, Serialize};
+
+/// A fitted line `y = intercept + slope·x`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinearFit {
+    /// The intercept (α in the paper's canonical system).
+    pub intercept: f64,
+    /// The slope (β in the paper's canonical system).
+    pub slope: f64,
+}
+
+impl LinearFit {
+    /// Evaluates the fitted line at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.intercept + self.slope * x
+    }
+}
+
+fn validate(xs: &[f64], ys: &[f64]) {
+    assert_eq!(xs.len(), ys.len(), "x and y lengths differ");
+    assert!(xs.len() >= 2, "need at least two points to fit a line");
+    assert!(
+        xs.iter().chain(ys).all(|v| v.is_finite()),
+        "regression inputs must be finite"
+    );
+}
+
+/// Weighted least squares with per-point weights `w`.
+fn wls(xs: &[f64], ys: &[f64], w: &[f64]) -> LinearFit {
+    let sw: f64 = w.iter().sum();
+    let sx: f64 = xs.iter().zip(w).map(|(x, w)| x * w).sum();
+    let sy: f64 = ys.iter().zip(w).map(|(y, w)| y * w).sum();
+    let sxx: f64 = xs.iter().zip(w).map(|(x, w)| x * x * w).sum();
+    let sxy: f64 = xs.iter().zip(ys).zip(w).map(|((x, y), w)| x * y * w).sum();
+    let denom = sw * sxx - sx * sx;
+    if denom.abs() < f64::EPSILON * sxx.max(1.0) {
+        // Degenerate abscissa: fall back to a constant fit.
+        return LinearFit {
+            intercept: if sw > 0.0 { sy / sw } else { 0.0 },
+            slope: 0.0,
+        };
+    }
+    let slope = (sw * sxy - sx * sy) / denom;
+    let intercept = (sy - slope * sx) / sw;
+    LinearFit { intercept, slope }
+}
+
+/// Ordinary least-squares fit of `y = a + b·x`.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length, have fewer than two points,
+/// or contain non-finite values.
+pub fn ols(xs: &[f64], ys: &[f64]) -> LinearFit {
+    validate(xs, ys);
+    let w = vec![1.0; xs.len()];
+    wls(xs, ys, &w)
+}
+
+/// Huber robust regression via iteratively reweighted least squares.
+///
+/// Points whose standardized residual exceeds `delta` (the classic
+/// 1.345 for 95% efficiency under normal errors) are down-weighted
+/// proportionally to `delta / |r|`; the residual scale is re-estimated
+/// each iteration with the normalized median absolute deviation.
+///
+/// # Panics
+///
+/// Same conditions as [`ols`], plus a non-positive `delta`.
+pub fn huber(xs: &[f64], ys: &[f64], delta: f64) -> LinearFit {
+    validate(xs, ys);
+    assert!(delta > 0.0, "Huber delta must be positive");
+    let mut fit = ols(xs, ys);
+    let mut w = vec![1.0; xs.len()];
+    for _ in 0..50 {
+        let residuals: Vec<f64> = xs
+            .iter()
+            .zip(ys)
+            .map(|(&x, &y)| y - fit.predict(x))
+            .collect();
+        let scale = mad_scale(&residuals);
+        if scale <= 0.0 {
+            // Perfect fit (or all residuals identical): done.
+            break;
+        }
+        for (wi, r) in w.iter_mut().zip(&residuals) {
+            let z = (r / scale).abs();
+            *wi = if z <= delta { 1.0 } else { delta / z };
+        }
+        let next = wls(xs, ys, &w);
+        let moved = (next.intercept - fit.intercept).abs() + (next.slope - fit.slope).abs();
+        let size = fit.intercept.abs() + fit.slope.abs();
+        fit = next;
+        if moved <= 1e-12 * size.max(1e-300) {
+            break;
+        }
+    }
+    fit
+}
+
+/// Huber regression with the standard `delta = 1.345`.
+pub fn huber_default(xs: &[f64], ys: &[f64]) -> LinearFit {
+    huber(xs, ys, 1.345)
+}
+
+/// Normalized median absolute deviation (consistent σ estimator under
+/// normality).
+fn mad_scale(residuals: &[f64]) -> f64 {
+    let mut abs: Vec<f64> = residuals.iter().map(|r| r.abs()).collect();
+    abs.sort_by(|a, b| a.partial_cmp(b).expect("finite residuals"));
+    let mid = abs.len() / 2;
+    let median = if abs.len() % 2 == 1 {
+        abs[mid]
+    } else {
+        0.5 * (abs[mid - 1] + abs[mid])
+    };
+    1.4826 * median
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ols_recovers_exact_line() {
+        let xs: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 + 2.0 * x).collect();
+        let fit = ols(&xs, &ys);
+        assert!((fit.intercept - 3.0).abs() < 1e-10);
+        assert!((fit.slope - 2.0).abs() < 1e-10);
+        assert!((fit.predict(20.0) - 43.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn huber_matches_ols_on_clean_data() {
+        let xs: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 1.0 + 0.5 * x).collect();
+        let o = ols(&xs, &ys);
+        let h = huber_default(&xs, &ys);
+        assert!((o.intercept - h.intercept).abs() < 1e-9);
+        assert!((o.slope - h.slope).abs() < 1e-9);
+    }
+
+    #[test]
+    fn huber_resists_outliers() {
+        let xs: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let mut ys: Vec<f64> = xs.iter().map(|x| 1.0 + 0.5 * x).collect();
+        ys[3] = 500.0; // gross outlier
+        ys[15] = -300.0;
+        let o = ols(&xs, &ys);
+        let h = huber_default(&xs, &ys);
+        assert!((h.slope - 0.5).abs() < 0.05, "huber slope {}", h.slope);
+        assert!(
+            (h.intercept - 1.0).abs() < 0.5,
+            "huber intercept {}",
+            h.intercept
+        );
+        assert!(
+            (o.slope - 0.5).abs() > (h.slope - 0.5).abs(),
+            "ols should be hit harder by the outliers"
+        );
+    }
+
+    #[test]
+    fn huber_with_mild_noise_is_close() {
+        let xs: Vec<f64> = (0..50).map(|i| i as f64 / 5.0).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, x)| 2.0 + 4.0 * x + if i % 2 == 0 { 0.01 } else { -0.01 })
+            .collect();
+        let h = huber_default(&xs, &ys);
+        assert!((h.slope - 4.0).abs() < 0.01);
+        assert!((h.intercept - 2.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn degenerate_x_gives_constant_fit() {
+        let xs = vec![5.0; 4];
+        let ys = vec![1.0, 2.0, 3.0, 4.0];
+        let fit = ols(&xs, &ys);
+        assert_eq!(fit.slope, 0.0);
+        assert!((fit.intercept - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mad_scale_of_symmetric_residuals() {
+        let r = vec![-2.0, -1.0, 0.0, 1.0, 2.0];
+        assert!((mad_scale(&r) - 1.4826).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two points")]
+    fn rejects_single_point() {
+        let _ = ols(&[1.0], &[2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "lengths differ")]
+    fn rejects_mismatched_lengths() {
+        let _ = ols(&[1.0, 2.0], &[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be finite")]
+    fn rejects_nan() {
+        let _ = ols(&[1.0, f64::NAN], &[1.0, 2.0]);
+    }
+}

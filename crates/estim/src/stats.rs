@@ -1,0 +1,360 @@
+//! Measurement statistics following the paper's methodology.
+//!
+//! The paper (Sect. 5.1) measures every data point with the MPIBlib
+//! methodology: *"the sample mean is used, which is calculated by
+//! executing the application repeatedly until the sample mean lies in
+//! the 95% confidence interval and a precision of 0.025 (2.5%) has been
+//! achieved"*. [`sample_adaptive`] implements exactly that stopping
+//! rule, with Student-t confidence intervals and Welford accumulation;
+//! [`SampleStats::normality`] provides the paper's independence/
+//! normality sanity diagnostics (skewness and excess kurtosis of the
+//! sample).
+
+use serde::{Deserialize, Serialize};
+
+/// Stopping rule for adaptive measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Precision {
+    /// Target half-width of the confidence interval relative to the
+    /// mean (the paper uses 0.025).
+    pub rel_precision: f64,
+    /// Minimum number of samples before the rule may fire.
+    pub min_reps: usize,
+    /// Hard cap on samples.
+    pub max_reps: usize,
+}
+
+impl Precision {
+    /// The paper's setting: 2.5% precision at 95% confidence.
+    pub fn paper() -> Self {
+        Precision {
+            rel_precision: 0.025,
+            min_reps: 5,
+            max_reps: 200,
+        }
+    }
+
+    /// A loose, fast setting for smoke tests and benchmarks.
+    pub fn quick() -> Self {
+        Precision {
+            rel_precision: 0.10,
+            min_reps: 3,
+            max_reps: 10,
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the precision is not in `(0, 1)` or the rep bounds are
+    /// inconsistent.
+    pub fn validate(&self) {
+        assert!(
+            self.rel_precision > 0.0 && self.rel_precision < 1.0,
+            "relative precision must be in (0, 1), got {}",
+            self.rel_precision
+        );
+        assert!(self.min_reps >= 2, "need at least two samples for a CI");
+        assert!(self.max_reps >= self.min_reps, "max_reps < min_reps");
+    }
+}
+
+impl Default for Precision {
+    fn default() -> Self {
+        Precision::paper()
+    }
+}
+
+/// Welford online accumulator for mean and variance.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Welford {
+    n: usize,
+    mean: f64,
+    m2: f64,
+}
+
+impl Welford {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Welford::default()
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> usize {
+        self.n
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance (0 with fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+}
+
+/// Two-sided 95% Student-t critical value for `df` degrees of freedom.
+///
+/// Exact table for small `df`, asymptotic 1.96 beyond 30.
+pub fn t_critical_95(df: usize) -> f64 {
+    const TABLE: [f64; 30] = [
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+        2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+        2.052, 2.048, 2.045, 2.042,
+    ];
+    match df {
+        0 => f64::INFINITY,
+        1..=30 => TABLE[df - 1],
+        31..=60 => 2.00,
+        _ => 1.96,
+    }
+}
+
+/// Result of an adaptive measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SampleStats {
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation.
+    pub std_dev: f64,
+    /// Number of samples taken.
+    pub n: usize,
+    /// Half-width of the 95% confidence interval of the mean.
+    pub ci_half_width: f64,
+    /// Whether the precision target was met before `max_reps`.
+    pub converged: bool,
+    /// Sample skewness (0 for a symmetric distribution).
+    pub skewness: f64,
+    /// Sample excess kurtosis (0 for a normal distribution).
+    pub excess_kurtosis: f64,
+}
+
+impl SampleStats {
+    /// A loose normality diagnostic: moderate skewness and kurtosis.
+    /// The paper checks that observations "follow the normal
+    /// distribution"; with seeded log-normal jitter this holds for
+    /// small σ.
+    pub fn normality(&self) -> bool {
+        self.skewness.abs() < 2.0 && self.excess_kurtosis.abs() < 7.0
+    }
+}
+
+/// Draws samples from `supplier` until the sample mean lies within
+/// `precision.rel_precision` of its 95% confidence interval (or the
+/// sample budget runs out).
+///
+/// `supplier(batch_index)` returns a non-empty batch of fresh samples
+/// (letting callers amortise setup over several repetitions).
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid or a batch is empty.
+pub fn sample_adaptive(
+    precision: &Precision,
+    mut supplier: impl FnMut(usize) -> Vec<f64>,
+) -> SampleStats {
+    precision.validate();
+    let mut samples: Vec<f64> = Vec::new();
+    let mut acc = Welford::new();
+    let mut batch_index = 0;
+    let mut converged = false;
+    while samples.len() < precision.max_reps {
+        let batch = supplier(batch_index);
+        assert!(!batch.is_empty(), "sample supplier returned an empty batch");
+        batch_index += 1;
+        for x in batch {
+            assert!(x.is_finite(), "non-finite sample {x}");
+            samples.push(x);
+            acc.push(x);
+        }
+        if samples.len() >= precision.min_reps {
+            let half = t_critical_95(acc.count() - 1) * acc.std_dev() / (acc.count() as f64).sqrt();
+            let mean = acc.mean();
+            if mean == 0.0 || half / mean.abs() <= precision.rel_precision {
+                converged = true;
+                break;
+            }
+        }
+    }
+    let mean = acc.mean();
+    let std_dev = acc.std_dev();
+    let n = acc.count();
+    let ci_half_width = if n >= 2 {
+        t_critical_95(n - 1) * std_dev / (n as f64).sqrt()
+    } else {
+        f64::INFINITY
+    };
+    let (skewness, excess_kurtosis) = higher_moments(&samples, mean, std_dev);
+    SampleStats {
+        mean,
+        std_dev,
+        n,
+        ci_half_width,
+        converged,
+        skewness,
+        excess_kurtosis,
+    }
+}
+
+fn higher_moments(samples: &[f64], mean: f64, std_dev: f64) -> (f64, f64) {
+    let n = samples.len() as f64;
+    if samples.len() < 3 || std_dev == 0.0 {
+        return (0.0, 0.0);
+    }
+    let m3: f64 = samples
+        .iter()
+        .map(|x| ((x - mean) / std_dev).powi(3))
+        .sum::<f64>()
+        / n;
+    let m4: f64 = samples
+        .iter()
+        .map(|x| ((x - mean) / std_dev).powi(4))
+        .sum::<f64>()
+        / n;
+    (m3, m4 - 3.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_two_pass() {
+        let xs = [1.0, 2.0, 4.0, 8.0, 16.0];
+        let mut w = Welford::new();
+        for &x in &xs {
+            w.push(x);
+        }
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
+        assert!((w.mean() - mean).abs() < 1e-12);
+        assert!((w.variance() - var).abs() < 1e-12);
+        assert_eq!(w.count(), 5);
+    }
+
+    #[test]
+    fn t_table_spot_checks() {
+        assert!((t_critical_95(1) - 12.706).abs() < 1e-9);
+        assert!((t_critical_95(10) - 2.228).abs() < 1e-9);
+        assert_eq!(t_critical_95(1000), 1.96);
+        assert!(t_critical_95(0).is_infinite());
+    }
+
+    #[test]
+    fn constant_samples_converge_at_min_reps() {
+        let p = Precision::paper();
+        let stats = sample_adaptive(&p, |_| vec![3.5]);
+        assert_eq!(stats.n, p.min_reps);
+        assert!(stats.converged);
+        assert_eq!(stats.mean, 3.5);
+        assert_eq!(stats.ci_half_width, 0.0);
+    }
+
+    #[test]
+    fn noisy_samples_run_until_precision() {
+        // Deterministic pseudo-noise around 100 with ~5% spread.
+        let mut k = 0u64;
+        let stats = sample_adaptive(&Precision::paper(), move |_| {
+            k += 1;
+            let wobble = ((k * 2654435761) % 1000) as f64 / 1000.0 - 0.5;
+            vec![100.0 * (1.0 + 0.05 * wobble)]
+        });
+        assert!(stats.converged, "{stats:?}");
+        assert!((stats.mean - 100.0).abs() < 2.0);
+        assert!(stats.ci_half_width / stats.mean <= 0.025);
+    }
+
+    #[test]
+    fn hits_max_reps_without_convergence() {
+        // Alternating extreme values never tighten the CI to 2.5%.
+        let mut flip = false;
+        let p = Precision {
+            rel_precision: 0.025,
+            min_reps: 4,
+            max_reps: 12,
+        };
+        let stats = sample_adaptive(&p, move |_| {
+            flip = !flip;
+            vec![if flip { 1.0 } else { 100.0 }]
+        });
+        assert!(!stats.converged);
+        assert_eq!(stats.n, 12);
+    }
+
+    #[test]
+    fn batches_are_accumulated() {
+        let stats = sample_adaptive(&Precision::paper(), |_| vec![2.0, 2.0, 2.0]);
+        assert!(stats.n >= Precision::paper().min_reps);
+        assert_eq!(stats.mean, 2.0);
+    }
+
+    #[test]
+    fn zero_mean_short_circuits() {
+        let stats = sample_adaptive(&Precision::paper(), |_| vec![0.0]);
+        assert!(stats.converged);
+        assert_eq!(stats.mean, 0.0);
+    }
+
+    #[test]
+    fn moments_of_symmetric_sample_are_small() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64 - 49.5) / 10.0).collect();
+        let mean = 0.0;
+        let sd = (xs.iter().map(|x| x * x).sum::<f64>() / 99.0).sqrt();
+        let (skew, kurt) = higher_moments(&xs, mean, sd);
+        assert!(skew.abs() < 1e-9);
+        assert!(kurt < 0.0, "uniform-ish sample is platykurtic");
+    }
+
+    #[test]
+    fn normality_flag() {
+        let s = SampleStats {
+            mean: 1.0,
+            std_dev: 0.1,
+            n: 10,
+            ci_half_width: 0.01,
+            converged: true,
+            skewness: 0.2,
+            excess_kurtosis: 0.5,
+        };
+        assert!(s.normality());
+        let bad = SampleStats { skewness: 5.0, ..s };
+        assert!(!bad.normality());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty batch")]
+    fn empty_batch_panics() {
+        let _ = sample_adaptive(&Precision::paper(), |_| Vec::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "relative precision")]
+    fn invalid_precision_panics() {
+        let p = Precision {
+            rel_precision: 0.0,
+            min_reps: 2,
+            max_reps: 5,
+        };
+        let _ = sample_adaptive(&p, |_| vec![1.0]);
+    }
+}

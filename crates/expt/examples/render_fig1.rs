@@ -1,0 +1,25 @@
+//! Re-render the Fig. 1 text artifact (table + ASCII chart) from a
+//! previously saved `fig1.json`, without re-running the measurements.
+//!
+//! ```text
+//! cargo run -p collsel-expt --example render_fig1 -- results/fig1.json [out.txt]
+//! ```
+
+use collsel_expt::fig1::Fig1Result;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let input = args
+        .next()
+        .expect("usage: render_fig1 <fig1.json> [out.txt]");
+    let json = std::fs::read_to_string(&input).expect("readable fig1.json");
+    let fig1: Fig1Result = serde_json::from_str(&json).expect("valid fig1.json");
+    let text = fig1.to_text();
+    match args.next() {
+        Some(out) => {
+            std::fs::write(&out, &text).expect("writable output");
+            eprintln!("written to {out}");
+        }
+        None => println!("{text}"),
+    }
+}

@@ -1,0 +1,25 @@
+//! Re-render the Fig. 5 text artifact (tables + ASCII charts) from a
+//! previously saved `fig5.json`, without re-running the sweeps.
+//!
+//! ```text
+//! cargo run -p collsel-expt --example render_fig5 -- results/fig5.json [out.txt]
+//! ```
+
+use collsel_expt::fig5::Fig5Result;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let input = args
+        .next()
+        .expect("usage: render_fig5 <fig5.json> [out.txt]");
+    let json = std::fs::read_to_string(&input).expect("readable fig5.json");
+    let fig5: Fig5Result = serde_json::from_str(&json).expect("valid fig5.json");
+    let text = fig5.to_text();
+    match args.next() {
+        Some(out) => {
+            std::fs::write(&out, &text).expect("writable output");
+            eprintln!("written to {out}");
+        }
+        None => println!("{text}"),
+    }
+}

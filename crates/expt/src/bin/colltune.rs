@@ -1,0 +1,211 @@
+//! `colltune` — tune the model-based broadcast selector for a cluster
+//! and query it, the way a site administrator would deploy the paper's
+//! method.
+//!
+//! ```text
+//! colltune tune  [--preset grisou|gros | --nodes N --gbps G --latency-us L
+//!                 --cpus-per-node C] [--tune-p P] [--paper] [--seed N] --out model.json
+//! colltune query --model model.json --p P --m BYTES [--m BYTES]...
+//! colltune show  --model model.json
+//! ```
+//!
+//! `tune` runs the full estimation pipeline (γ then per-algorithm α/β)
+//! on the simulated platform and writes the tuned model as JSON;
+//! `query` loads a model and prints the runtime selections; `show`
+//! prints the estimated parameter tables; `export` renders an Open MPI
+//! dynamic-rules file usable with a *real* Open MPI installation via
+//! `--mca coll_tuned_use_dynamic_rules 1
+//!  --mca coll_tuned_dynamic_rules_filename <file>`.
+
+use collsel::estim::log_spaced_sizes;
+use collsel::netsim::{ClusterModel, SimSpan};
+use collsel::select::rules::DecisionTable;
+use collsel::select::Selector;
+use collsel::{TunedModel, Tuner, TunerConfig};
+use std::process::ExitCode;
+
+const USAGE: &str = "usage:
+  colltune tune   [--preset grisou|gros | --nodes N --gbps G --latency-us L --cpus-per-node C]
+                  [--tune-p P] [--paper] [--seed N] --out model.json
+  colltune query  --model model.json --p P --m BYTES [--m BYTES]...
+  colltune show   --model model.json
+  colltune export --model model.json --out rules.conf [--comm-sizes A,B,...]";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let result = match cmd.as_str() {
+        "tune" => cmd_tune(&args[1..]),
+        "query" => cmd_query(&args[1..]),
+        "show" => cmd_show(&args[1..]),
+        "export" => cmd_export(&args[1..]),
+        "--help" | "-h" => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        other => Err(format!("unknown command `{other}`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn flag_values<'a>(args: &'a [String], name: &str) -> Vec<&'a str> {
+    args.iter()
+        .enumerate()
+        .filter(|(_, a)| *a == name)
+        .filter_map(|(i, _)| args.get(i + 1))
+        .map(String::as_str)
+        .collect()
+}
+
+fn parse<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("invalid {what}: `{s}`"))
+}
+
+fn cmd_tune(args: &[String]) -> Result<(), String> {
+    let cluster = match flag_value(args, "--preset") {
+        Some("grisou") => ClusterModel::grisou(),
+        Some("gros") => ClusterModel::gros(),
+        Some(other) => return Err(format!("unknown preset `{other}`")),
+        None => {
+            let nodes: usize = parse(
+                flag_value(args, "--nodes").ok_or("--nodes or --preset required")?,
+                "node count",
+            )?;
+            let gbps: f64 = parse(flag_value(args, "--gbps").unwrap_or("10"), "bandwidth")?;
+            let lat: u64 = parse(flag_value(args, "--latency-us").unwrap_or("30"), "latency")?;
+            let cpus: usize = parse(
+                flag_value(args, "--cpus-per-node").unwrap_or("1"),
+                "cpus per node",
+            )?;
+            ClusterModel::builder("custom", nodes)
+                .cpus_per_node(cpus)
+                .bandwidth_gbps(gbps)
+                .wire_latency(SimSpan::from_micros(lat))
+                .build()
+        }
+    };
+    let default_p = (cluster.max_ranks() / 2).max(2).min(cluster.max_ranks());
+    let tune_p: usize = match flag_value(args, "--tune-p") {
+        Some(s) => parse(s, "tune-p")?,
+        None => default_p,
+    };
+    let seed: u64 = match flag_value(args, "--seed") {
+        Some(s) => parse(s, "seed")?,
+        None => 0xC0115E1,
+    };
+    let out = flag_value(args, "--out").ok_or("--out required")?;
+
+    let mut config = if args.iter().any(|a| a == "--paper") {
+        TunerConfig::paper(tune_p)
+    } else {
+        TunerConfig::quick(tune_p)
+    };
+    config.seed = seed;
+
+    eprintln!(
+        "[colltune] tuning {} ({} slots) with {} experiment processes...",
+        cluster.name(),
+        cluster.max_ranks(),
+        tune_p
+    );
+    let model = Tuner::new(cluster, config).tune();
+    let json = serde_json::to_string_pretty(&model).map_err(|e| e.to_string())?;
+    std::fs::write(out, json).map_err(|e| format!("cannot write {out}: {e}"))?;
+    eprintln!("[colltune] model written to {out}");
+    print_tables(&model);
+    Ok(())
+}
+
+fn load_model(args: &[String]) -> Result<TunedModel, String> {
+    let path = flag_value(args, "--model").ok_or("--model required")?;
+    let json = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    serde_json::from_str(&json).map_err(|e| format!("cannot parse {path}: {e}"))
+}
+
+fn cmd_query(args: &[String]) -> Result<(), String> {
+    let model = load_model(args)?;
+    let p: usize = parse(flag_value(args, "--p").ok_or("--p required")?, "p")?;
+    let sizes = flag_values(args, "--m");
+    if sizes.is_empty() {
+        return Err("at least one --m required".into());
+    }
+    let selector = model.selector();
+    println!("selections for {} at P = {p}:", model.cluster_name);
+    for s in sizes {
+        let m: usize = parse(s, "message size")?;
+        let pick = selector.select(p, m);
+        let ranking = selector.ranking(p, m);
+        println!(
+            "  m = {m:>9} B -> {:<12} (predicted {:.3} ms; next: {} at {:.3} ms)",
+            pick.alg.name(),
+            ranking[0].1 * 1e3,
+            ranking[1].0.name(),
+            ranking[1].1 * 1e3,
+        );
+    }
+    Ok(())
+}
+
+fn cmd_show(args: &[String]) -> Result<(), String> {
+    let model = load_model(args)?;
+    print_tables(&model);
+    Ok(())
+}
+
+fn cmd_export(args: &[String]) -> Result<(), String> {
+    let model = load_model(args)?;
+    let out = flag_value(args, "--out").ok_or("--out required")?;
+    let comm_sizes: Vec<usize> = match flag_value(args, "--comm-sizes") {
+        Some(list) => {
+            let mut v = Vec::new();
+            for part in list.split(',') {
+                v.push(parse(part.trim(), "communicator size")?);
+            }
+            v.sort_unstable();
+            v.dedup();
+            v
+        }
+        None => vec![2, 4, 8, 16, 32, 64, 128],
+    };
+    let msg_sizes = log_spaced_sizes(1024, 8 * 1024 * 1024, 14);
+    let selector = model.selector();
+    let table = DecisionTable::generate(&selector, &comm_sizes, &msg_sizes);
+    std::fs::write(out, table.to_ompi_rules()).map_err(|e| format!("cannot write {out}: {e}"))?;
+    eprintln!(
+        "[colltune] Open MPI dynamic rules for {} written to {out}",
+        model.cluster_name
+    );
+    eprintln!(
+        "[colltune] use with: mpirun --mca coll_tuned_use_dynamic_rules 1 \
+         --mca coll_tuned_dynamic_rules_filename {out} ..."
+    );
+    Ok(())
+}
+
+fn print_tables(model: &TunedModel) {
+    println!("cluster: {}", model.cluster_name);
+    println!("gamma(P):");
+    for (p, g) in model.gamma.table.pairs() {
+        println!("  {p}: {g:.3}");
+    }
+    println!("per-algorithm parameters:");
+    for (alg, h) in model.hockney_table() {
+        println!("  {:<12} {}", alg.name(), h);
+    }
+}

@@ -1,0 +1,177 @@
+//! Fig. 5: execution time of the Open MPI-selected, model-selected and
+//! best algorithms across message sizes — six panels (three process
+//! counts per cluster).
+
+use crate::config::Scenario;
+use crate::plot::{ascii_chart, Series};
+use crate::report::{format_csv, format_table, size_label};
+use crate::sweep::{sweep_panel, SweepPanel};
+use collsel::TunedModel;
+use serde::{Deserialize, Serialize};
+
+/// The regenerated Fig. 5: all panels of both clusters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig5Result {
+    /// One panel per (cluster, process count), in paper order.
+    pub panels: Vec<SweepPanel>,
+}
+
+impl Fig5Result {
+    /// The panel for `(cluster, p)`, if present.
+    pub fn panel(&self, cluster: &str, p: usize) -> Option<&SweepPanel> {
+        self.panels
+            .iter()
+            .find(|panel| panel.cluster == cluster && panel.p == p)
+    }
+
+    /// Renders all panels as aligned text tables.
+    pub fn to_text(&self) -> String {
+        let mut out =
+            String::from("Fig. 5 — selection accuracy: Open MPI vs model-based vs best\n");
+        for panel in &self.panels {
+            out.push_str(&format!(
+                "\n({}, P = {}; times in seconds)\n",
+                panel.cluster, panel.p
+            ));
+            let rows: Vec<Vec<String>> = panel
+                .points
+                .iter()
+                .map(|pt| {
+                    vec![
+                        size_label(pt.m),
+                        format!("{:.6}", pt.openmpi_time),
+                        format!("{:.6}", pt.model_time),
+                        format!("{:.6}", pt.best_time),
+                        pt.openmpi_pick.alg.name().to_owned(),
+                        pt.model_pick.name().to_owned(),
+                        pt.best.name().to_owned(),
+                    ]
+                })
+                .collect();
+            out.push_str(&format_table(
+                &[
+                    "m",
+                    "open-mpi(s)",
+                    "model(s)",
+                    "best(s)",
+                    "ompi pick",
+                    "model pick",
+                    "best alg",
+                ],
+                &rows,
+            ));
+            out.push('\n');
+            out.push_str(&panel_chart(panel));
+        }
+        out
+    }
+
+    /// Renders the CSV artifact (one row per panel point).
+    pub fn to_csv(&self) -> String {
+        let rows: Vec<Vec<String>> = self
+            .panels
+            .iter()
+            .flat_map(|panel| {
+                panel.points.iter().map(|pt| {
+                    vec![
+                        panel.cluster.clone(),
+                        panel.p.to_string(),
+                        pt.m.to_string(),
+                        format!("{:e}", pt.openmpi_time),
+                        format!("{:e}", pt.model_time),
+                        format!("{:e}", pt.best_time),
+                        pt.openmpi_pick.alg.name().to_owned(),
+                        pt.model_pick.name().to_owned(),
+                        pt.best.name().to_owned(),
+                    ]
+                })
+            })
+            .collect();
+        format_csv(
+            &[
+                "cluster",
+                "p",
+                "m_bytes",
+                "openmpi_s",
+                "model_s",
+                "best_s",
+                "openmpi_pick",
+                "model_pick",
+                "best_alg",
+            ],
+            &rows,
+        )
+    }
+}
+
+/// Renders one panel as the paper's log-log chart (three lines: Open
+/// MPI, model-based, best).
+fn panel_chart(panel: &SweepPanel) -> String {
+    let pick = |f: fn(&crate::sweep::SweepPoint) -> f64| -> Vec<(f64, f64)> {
+        panel
+            .points
+            .iter()
+            .map(|pt| (pt.m as f64, f(pt).max(1e-12)))
+            .collect()
+    };
+    let series = [
+        Series::new("open-mpi", '#', pick(|pt| pt.openmpi_time)),
+        Series::new("model-based", 'o', pick(|pt| pt.model_time)),
+        Series::new("best", '.', pick(|pt| pt.best_time)),
+    ];
+    ascii_chart(
+        &format!("({}, P = {})", panel.cluster, panel.p),
+        &series,
+        64,
+        16,
+    )
+}
+
+/// Regenerates Fig. 5 from tuned models (`tuned` in scenario order).
+///
+/// # Panics
+///
+/// Panics if `tuned` does not match `scenarios` in length.
+pub fn run_fig5(scenarios: &[Scenario], tuned: &[TunedModel], seed: u64) -> Fig5Result {
+    assert_eq!(scenarios.len(), tuned.len(), "one tuned model per scenario");
+    let mut panels = Vec::new();
+    for (i, (sc, model)) in scenarios.iter().zip(tuned).enumerate() {
+        for (j, &p) in sc.fig5_ps.iter().enumerate() {
+            panels.push(sweep_panel(
+                sc,
+                model,
+                p,
+                seed.wrapping_add(((i * 16 + j) as u64) << 24),
+            ));
+        }
+    }
+    Fig5Result { panels }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{scenarios, Fidelity};
+    use collsel::netsim::NoiseParams;
+    use collsel::{Tuner, TunerConfig};
+
+    #[test]
+    fn fig5_quick_round_trip() {
+        let mut scs = scenarios(Fidelity::Quick);
+        scs.truncate(1);
+        scs[0].cluster = scs[0].cluster.clone().with_noise(NoiseParams::OFF);
+        scs[0].msg_sizes = vec![8 * 1024, 256 * 1024];
+        scs[0].fig5_ps = vec![12];
+        let tuned = vec![Tuner::new(scs[0].cluster.clone(), TunerConfig::quick(12)).tune()];
+        let fig5 = run_fig5(&scs, &tuned, 3);
+        assert_eq!(fig5.panels.len(), 1);
+        let panel = fig5.panel("grisou", 12).unwrap();
+        assert_eq!(panel.points.len(), 2);
+        // Model/best lines from the same measured table: model >= best.
+        for pt in &panel.points {
+            assert!(pt.model_time >= pt.best_time);
+        }
+        assert!(fig5.to_text().contains("P = 12"));
+        assert_eq!(fig5.to_csv().lines().count(), 3);
+    }
+}

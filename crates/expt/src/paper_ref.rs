@@ -1,0 +1,211 @@
+//! The paper's published numbers, embedded for side-by-side comparison
+//! in the regenerated tables and in `EXPERIMENTS.md`.
+
+use collsel::coll::BcastAlg;
+
+/// Paper Table 1: γ(P) on Grisou and Gros for P = 3..=7.
+pub const TABLE1_GAMMA: [(usize, f64, f64); 5] = [
+    (3, 1.114, 1.084),
+    (4, 1.219, 1.170),
+    (5, 1.283, 1.254),
+    (6, 1.451, 1.339),
+    (7, 1.540, 1.424),
+];
+
+/// Paper Table 2: per-algorithm (α s, β s/B) on Grisou.
+pub const TABLE2_GRISOU: [(BcastAlg, f64, f64); 6] = [
+    (BcastAlg::Linear, 2.2e-12, 1.8e-8),
+    (BcastAlg::KChain, 5.7e-13, 4.7e-9),
+    (BcastAlg::Chain, 6.1e-13, 4.9e-9),
+    (BcastAlg::SplitBinary, 3.7e-13, 3.6e-9),
+    (BcastAlg::Binary, 5.8e-13, 4.7e-9),
+    (BcastAlg::Binomial, 5.8e-13, 4.8e-9),
+];
+
+/// Paper Table 2: per-algorithm (α s, β s/B) on Gros.
+pub const TABLE2_GROS: [(BcastAlg, f64, f64); 6] = [
+    (BcastAlg::Linear, 1.4e-12, 1.1e-8),
+    (BcastAlg::KChain, 5.4e-13, 4.5e-9),
+    (BcastAlg::Chain, 4.7e-12, 3.8e-8),
+    (BcastAlg::SplitBinary, 5.5e-13, 4.5e-9),
+    (BcastAlg::Binary, 5.8e-13, 4.7e-9),
+    (BcastAlg::Binomial, 1.2e-13, 1.0e-9),
+];
+
+/// One row of the paper's Table 3.
+#[derive(Debug, Clone, Copy)]
+pub struct Table3Ref {
+    /// Message size in KB.
+    pub m_kb: usize,
+    /// Measured best algorithm.
+    pub best: BcastAlg,
+    /// Model-based pick and its degradation (percent).
+    pub model: (BcastAlg, f64),
+    /// Open MPI pick and its degradation (percent).
+    pub openmpi: (BcastAlg, f64),
+}
+
+/// Paper Table 3, Grisou at P = 90.
+pub const TABLE3_GRISOU_P90: [Table3Ref; 10] = [
+    Table3Ref {
+        m_kb: 8,
+        best: BcastAlg::Binomial,
+        model: (BcastAlg::Binary, 3.0),
+        openmpi: (BcastAlg::SplitBinary, 160.0),
+    },
+    Table3Ref {
+        m_kb: 16,
+        best: BcastAlg::Binary,
+        model: (BcastAlg::Binary, 0.0),
+        openmpi: (BcastAlg::SplitBinary, 1.0),
+    },
+    Table3Ref {
+        m_kb: 32,
+        best: BcastAlg::Binary,
+        model: (BcastAlg::Binary, 0.0),
+        openmpi: (BcastAlg::SplitBinary, 0.0),
+    },
+    Table3Ref {
+        m_kb: 64,
+        best: BcastAlg::SplitBinary,
+        model: (BcastAlg::Binary, 1.0),
+        openmpi: (BcastAlg::SplitBinary, 0.0),
+    },
+    Table3Ref {
+        m_kb: 128,
+        best: BcastAlg::Binary,
+        model: (BcastAlg::Binary, 0.0),
+        openmpi: (BcastAlg::SplitBinary, 1.0),
+    },
+    Table3Ref {
+        m_kb: 256,
+        best: BcastAlg::SplitBinary,
+        model: (BcastAlg::Binary, 2.0),
+        openmpi: (BcastAlg::SplitBinary, 0.0),
+    },
+    Table3Ref {
+        m_kb: 512,
+        best: BcastAlg::SplitBinary,
+        model: (BcastAlg::Binary, 2.0),
+        openmpi: (BcastAlg::Chain, 111.0),
+    },
+    Table3Ref {
+        m_kb: 1024,
+        best: BcastAlg::SplitBinary,
+        model: (BcastAlg::Binary, 3.0),
+        openmpi: (BcastAlg::Chain, 88.0),
+    },
+    Table3Ref {
+        m_kb: 2048,
+        best: BcastAlg::SplitBinary,
+        model: (BcastAlg::Binary, 2.0),
+        openmpi: (BcastAlg::Chain, 55.0),
+    },
+    Table3Ref {
+        m_kb: 4096,
+        best: BcastAlg::SplitBinary,
+        model: (BcastAlg::Binary, 1.0),
+        openmpi: (BcastAlg::Chain, 20.0),
+    },
+];
+
+/// Paper Table 3, Gros at P = 100.
+pub const TABLE3_GROS_P100: [Table3Ref; 10] = [
+    Table3Ref {
+        m_kb: 8,
+        best: BcastAlg::Binary,
+        model: (BcastAlg::Binomial, 3.0),
+        openmpi: (BcastAlg::SplitBinary, 549.0),
+    },
+    Table3Ref {
+        m_kb: 16,
+        best: BcastAlg::Binomial,
+        model: (BcastAlg::Binomial, 0.0),
+        openmpi: (BcastAlg::SplitBinary, 32.0),
+    },
+    Table3Ref {
+        m_kb: 32,
+        best: BcastAlg::Binomial,
+        model: (BcastAlg::Binomial, 0.0),
+        openmpi: (BcastAlg::SplitBinary, 3.0),
+    },
+    Table3Ref {
+        m_kb: 64,
+        best: BcastAlg::SplitBinary,
+        model: (BcastAlg::Binomial, 8.0),
+        openmpi: (BcastAlg::SplitBinary, 0.0),
+    },
+    Table3Ref {
+        m_kb: 128,
+        best: BcastAlg::SplitBinary,
+        model: (BcastAlg::Binomial, 8.0),
+        openmpi: (BcastAlg::SplitBinary, 0.0),
+    },
+    Table3Ref {
+        m_kb: 256,
+        best: BcastAlg::Binary,
+        model: (BcastAlg::Binary, 0.0),
+        openmpi: (BcastAlg::SplitBinary, 6.0),
+    },
+    Table3Ref {
+        m_kb: 512,
+        best: BcastAlg::Binary,
+        model: (BcastAlg::Binary, 0.0),
+        openmpi: (BcastAlg::Chain, 7297.0),
+    },
+    Table3Ref {
+        m_kb: 1024,
+        best: BcastAlg::SplitBinary,
+        model: (BcastAlg::Binary, 7.0),
+        openmpi: (BcastAlg::Chain, 6094.0),
+    },
+    Table3Ref {
+        m_kb: 2048,
+        best: BcastAlg::SplitBinary,
+        model: (BcastAlg::Binary, 4.0),
+        openmpi: (BcastAlg::Chain, 3227.0),
+    },
+    Table3Ref {
+        m_kb: 4096,
+        best: BcastAlg::SplitBinary,
+        model: (BcastAlg::Binary, 9.0),
+        openmpi: (BcastAlg::Chain, 2568.0),
+    },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_gamma_is_monotone_in_p() {
+        for w in TABLE1_GAMMA.windows(2) {
+            assert!(w[1].1 > w[0].1);
+            assert!(w[1].2 > w[0].2);
+        }
+    }
+
+    #[test]
+    fn table2_covers_all_algorithms() {
+        for table in [&TABLE2_GRISOU, &TABLE2_GROS] {
+            let mut algs: Vec<_> = table.iter().map(|&(a, _, _)| a).collect();
+            algs.sort();
+            algs.dedup();
+            assert_eq!(algs.len(), 6);
+        }
+    }
+
+    #[test]
+    fn table3_sizes_are_the_ten_paper_sizes() {
+        let sizes: Vec<usize> = TABLE3_GRISOU_P90.iter().map(|r| r.m_kb).collect();
+        assert_eq!(sizes, vec![8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096]);
+    }
+
+    #[test]
+    fn openmpi_never_beats_best_in_table3() {
+        for row in TABLE3_GRISOU_P90.iter().chain(&TABLE3_GROS_P100) {
+            assert!(row.openmpi.1 >= 0.0);
+            assert!(row.model.1 >= 0.0);
+        }
+    }
+}

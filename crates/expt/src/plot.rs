@@ -1,0 +1,177 @@
+//! Minimal ASCII chart rendering for the figure artifacts.
+//!
+//! The paper's Fig. 1 and Fig. 5 are log-log plots of execution time vs
+//! message size. [`ascii_chart`] renders the same series as a
+//! fixed-size character grid so the text artifacts read as figures, not
+//! just tables.
+
+/// One plotted series: a label, a marker character, and (x, y) points.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// Marker drawn at each point.
+    pub marker: char,
+    /// Data points (x, y); both axes are rendered logarithmically, so
+    /// values must be positive.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates a series.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any coordinate is non-positive or non-finite.
+    pub fn new(label: impl Into<String>, marker: char, points: Vec<(f64, f64)>) -> Self {
+        assert!(
+            points
+                .iter()
+                .all(|&(x, y)| x > 0.0 && y > 0.0 && x.is_finite() && y.is_finite()),
+            "log-log chart needs positive finite coordinates"
+        );
+        Series {
+            label: label.into(),
+            marker,
+            points,
+        }
+    }
+}
+
+/// Renders series on a `width`×`height` log-log grid with a legend.
+/// Later series overwrite earlier ones where markers collide.
+///
+/// # Panics
+///
+/// Panics if no series has any points, or the grid is degenerate
+/// (`width`/`height` < 2).
+pub fn ascii_chart(title: &str, series: &[Series], width: usize, height: usize) -> String {
+    assert!(width >= 2 && height >= 2, "grid too small");
+    let all: Vec<(f64, f64)> = series.iter().flat_map(|s| s.points.clone()).collect();
+    assert!(!all.is_empty(), "nothing to plot");
+    let (mut x_lo, mut x_hi) = (f64::MAX, f64::MIN);
+    let (mut y_lo, mut y_hi) = (f64::MAX, f64::MIN);
+    for &(x, y) in &all {
+        x_lo = x_lo.min(x);
+        x_hi = x_hi.max(x);
+        y_lo = y_lo.min(y);
+        y_hi = y_hi.max(y);
+    }
+    // Avoid zero spans (single point or flat series).
+    if x_lo == x_hi {
+        x_hi *= 2.0;
+    }
+    if y_lo == y_hi {
+        y_hi *= 2.0;
+    }
+    let (lx_lo, lx_hi) = (x_lo.log10(), x_hi.log10());
+    let (ly_lo, ly_hi) = (y_lo.log10(), y_hi.log10());
+    let col = |x: f64| {
+        (((x.log10() - lx_lo) / (lx_hi - lx_lo) * (width - 1) as f64).round() as usize)
+            .min(width - 1)
+    };
+    let row = |y: f64| {
+        let r = ((y.log10() - ly_lo) / (ly_hi - ly_lo) * (height - 1) as f64).round() as usize;
+        (height - 1) - r.min(height - 1)
+    };
+
+    let mut grid = vec![vec![' '; width]; height];
+    for s in series {
+        for &(x, y) in &s.points {
+            grid[row(y)][col(x)] = s.marker;
+        }
+    }
+
+    let mut lines = Vec::with_capacity(height + 3);
+    lines.push(format!("{title}  (log-log)"));
+    for (i, grid_row) in grid.iter().enumerate() {
+        let label = if i == 0 {
+            format!("{y_hi:9.2e} |")
+        } else if i == height - 1 {
+            format!("{y_lo:9.2e} |")
+        } else {
+            format!("{:9} |", "")
+        };
+        let mut line: String = grid_row.iter().collect();
+        while line.ends_with(' ') {
+            line.pop();
+        }
+        lines.push(format!("{label}{line}"));
+    }
+    lines.push(format!("{:9} +{}", "", "-".repeat(width)));
+    lines.push(format!("{:9}  {x_lo:<12.0} ... {x_hi:>12.0} (bytes)", ""));
+    let legend: Vec<String> = series
+        .iter()
+        .map(|s| format!("{} {}", s.marker, s.label))
+        .collect();
+    lines.push(format!("{:9}  legend: {}", "", legend.join("   ")));
+    lines.join("\n") + "\n"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series() -> Vec<Series> {
+        vec![
+            Series::new(
+                "a",
+                'o',
+                (0..8)
+                    .map(|i| (1e3 * 2f64.powi(i), 1e-4 * 1.5f64.powi(i)))
+                    .collect(),
+            ),
+            Series::new(
+                "b",
+                'x',
+                (0..8)
+                    .map(|i| (1e3 * 2f64.powi(i), 2e-4 * 1.2f64.powi(i)))
+                    .collect(),
+            ),
+        ]
+    }
+
+    #[test]
+    fn chart_contains_markers_and_legend() {
+        let c = ascii_chart("Fig. X", &series(), 60, 14);
+        assert!(c.contains("Fig. X"));
+        assert!(c.matches('o').count() >= 6);
+        assert!(c.matches('x').count() >= 6);
+        assert!(c.contains("legend: o a   x b"));
+    }
+
+    #[test]
+    fn monotone_series_renders_monotone() {
+        // The highest-y point of series a must appear on an earlier
+        // line (higher on screen) than its lowest-y point.
+        let c = ascii_chart("t", &series()[..1], 40, 10);
+        let lines: Vec<&str> = c.lines().collect();
+        let first_o = lines.iter().position(|l| l.contains('o')).unwrap();
+        let last_o = lines.iter().rposition(|l| l.contains('o')).unwrap();
+        assert!(first_o < last_o);
+    }
+
+    #[test]
+    fn single_point_does_not_panic() {
+        let s = Series::new("p", '*', vec![(100.0, 1.0)]);
+        let c = ascii_chart("single", &[s], 20, 5);
+        assert!(c.contains('*'));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive finite")]
+    fn rejects_nonpositive_points() {
+        let _ = Series::new("bad", '!', vec![(0.0, 1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "nothing to plot")]
+    fn rejects_empty_chart() {
+        let s = Series {
+            label: "e".into(),
+            marker: '.',
+            points: vec![],
+        };
+        let _ = ascii_chart("t", &[s], 20, 5);
+    }
+}

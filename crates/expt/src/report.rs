@@ -1,0 +1,184 @@
+//! Rendering of experiment results: aligned text tables, CSV, and the
+//! artifact writer used by the `repro` binary.
+
+use serde::Serialize;
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Formats an aligned text table.
+///
+/// # Panics
+///
+/// Panics if any row's length differs from the header's.
+pub fn format_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    for row in rows {
+        assert_eq!(row.len(), headers.len(), "ragged table row");
+    }
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let render = |out: &mut String, cells: &[String]| {
+        for (i, (cell, w)) in cells.iter().zip(&widths).enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            let _ = write!(out, "{cell:<w$}");
+        }
+        while out.ends_with(' ') {
+            out.pop();
+        }
+        out.push('\n');
+    };
+    let header_cells: Vec<String> = headers.iter().map(|h| (*h).to_owned()).collect();
+    render(&mut out, &header_cells);
+    let rule: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+    out.push_str(&"-".repeat(rule));
+    out.push('\n');
+    for row in rows {
+        render(&mut out, row);
+    }
+    out
+}
+
+/// Formats rows as CSV (no quoting — cells are numeric or simple
+/// identifiers).
+pub fn format_csv(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = headers.join(",");
+    out.push('\n');
+    for row in rows {
+        debug_assert!(
+            row.iter().all(|c| !c.contains(',')),
+            "CSV cells must not contain commas"
+        );
+        out.push_str(&row.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// Human-friendly byte-size label (matches the paper's axis labels).
+pub fn size_label(bytes: usize) -> String {
+    if bytes >= 1024 * 1024 && bytes.is_multiple_of(1024 * 1024) {
+        format!("{}MB", bytes / (1024 * 1024))
+    } else if bytes >= 1024 {
+        format!("{}KB", bytes / 1024)
+    } else {
+        format!("{bytes}B")
+    }
+}
+
+/// Writes experiment artifacts (text, CSV, JSON) under a directory.
+#[derive(Debug, Clone)]
+pub struct ArtifactSink {
+    dir: Option<PathBuf>,
+}
+
+impl ArtifactSink {
+    /// A sink writing into `dir` (created if needed).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the directory cannot be created.
+    pub fn new(dir: impl AsRef<Path>) -> io::Result<Self> {
+        fs::create_dir_all(dir.as_ref())?;
+        Ok(ArtifactSink {
+            dir: Some(dir.as_ref().to_owned()),
+        })
+    }
+
+    /// A sink that discards artifacts (print-only runs).
+    pub fn discard() -> Self {
+        ArtifactSink { dir: None }
+    }
+
+    /// Writes a text artifact.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn write_text(&self, name: &str, content: &str) -> io::Result<()> {
+        if let Some(dir) = &self.dir {
+            fs::write(dir.join(name), content)?;
+        }
+        Ok(())
+    }
+
+    /// Serialises `value` as pretty JSON next to the text artifacts.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O and serialisation failures.
+    pub fn write_json<T: Serialize>(&self, name: &str, value: &T) -> io::Result<()> {
+        if let Some(dir) = &self.dir {
+            let json = serde_json::to_string_pretty(value)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+            fs::write(dir.join(name), json)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_is_aligned() {
+        let t = format_table(
+            &["m", "alg"],
+            &[
+                vec!["8".into(), "binomial".into()],
+                vec!["4096".into(), "chain".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("m     alg"));
+        assert!(lines[2].starts_with("8     binomial"));
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_panic() {
+        let _ = format_table(&["a", "b"], &[vec!["1".into()]]);
+    }
+
+    #[test]
+    fn csv_round_trip_shape() {
+        let c = format_csv(&["a", "b"], &[vec!["1".into(), "2".into()]]);
+        assert_eq!(c, "a,b\n1,2\n");
+    }
+
+    #[test]
+    fn size_labels() {
+        assert_eq!(size_label(512), "512B");
+        assert_eq!(size_label(8 * 1024), "8KB");
+        assert_eq!(size_label(4 * 1024 * 1024), "4MB");
+        assert_eq!(size_label(370_728), "362KB");
+    }
+
+    #[test]
+    fn sink_writes_files() {
+        let dir = std::env::temp_dir().join(format!("collsel-test-{}", std::process::id()));
+        let sink = ArtifactSink::new(&dir).unwrap();
+        sink.write_text("t.txt", "hello").unwrap();
+        sink.write_json("t.json", &vec![1, 2, 3]).unwrap();
+        assert_eq!(fs::read_to_string(dir.join("t.txt")).unwrap(), "hello");
+        assert!(fs::read_to_string(dir.join("t.json"))
+            .unwrap()
+            .contains('1'));
+        fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn discard_sink_is_silent() {
+        let sink = ArtifactSink::discard();
+        sink.write_text("x", "y").unwrap();
+    }
+}

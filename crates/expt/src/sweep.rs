@@ -1,0 +1,174 @@
+//! Shared measurement sweeps: every Fig. 5 panel and Table 3 column is
+//! built from the same per-point procedure — measure all six algorithms
+//! at the paper's fixed 8 KB segment size, ask each decision function
+//! for its pick, and measure the Open MPI pick with its own segment
+//! size.
+
+use crate::config::Scenario;
+use collsel::coll::BcastAlg;
+use collsel::estim::measure::bcast_time;
+use collsel::estim::Precision;
+use collsel::netsim::ClusterModel;
+use collsel::select::analysis::MeasuredPoint;
+use collsel::select::{OpenMpiFixedSelector, Selection, Selector};
+use collsel::TunedModel;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Everything measured and decided at one `(p, m)` point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// Process count.
+    pub p: usize,
+    /// Message size in bytes.
+    pub m: usize,
+    /// Measured mean time of every algorithm at the fixed segment size.
+    pub measured: MeasuredPoint,
+    /// The measured best algorithm at the fixed segment size.
+    pub best: BcastAlg,
+    /// Its time in seconds.
+    pub best_time: f64,
+    /// The model-based decision's pick.
+    pub model_pick: BcastAlg,
+    /// Measured time of the model-based pick.
+    pub model_time: f64,
+    /// The native Open MPI decision (algorithm + its own segment size).
+    pub openmpi_pick: Selection,
+    /// Measured time of the Open MPI pick at its own segment size.
+    pub openmpi_time: f64,
+}
+
+impl SweepPoint {
+    /// Degradation of the model-based pick vs best, percent.
+    pub fn model_degradation_pct(&self) -> f64 {
+        100.0 * (self.model_time - self.best_time) / self.best_time
+    }
+
+    /// Degradation of the Open MPI pick vs best, percent.
+    pub fn openmpi_degradation_pct(&self) -> f64 {
+        100.0 * (self.openmpi_time - self.best_time) / self.best_time
+    }
+}
+
+/// One Fig. 5 panel: a full message-size sweep at one process count.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepPanel {
+    /// Cluster name.
+    pub cluster: String,
+    /// Process count of the panel.
+    pub p: usize,
+    /// Fixed segment size of the model-based/oracle measurements.
+    pub seg_size: usize,
+    /// One point per message size, ascending.
+    pub points: Vec<SweepPoint>,
+}
+
+/// Measures all six algorithms at `(p, m)` with the fixed segment size.
+pub fn measure_point(
+    cluster: &ClusterModel,
+    p: usize,
+    m: usize,
+    seg_size: usize,
+    precision: &Precision,
+    seed: u64,
+) -> MeasuredPoint {
+    let times: BTreeMap<BcastAlg, f64> = BcastAlg::ALL
+        .iter()
+        .enumerate()
+        .map(|(i, &alg)| {
+            let stats = bcast_time(
+                cluster,
+                alg,
+                p,
+                m,
+                seg_size,
+                precision,
+                seed.wrapping_add(i as u64 * 65537),
+            );
+            (alg, stats.mean)
+        })
+        .collect();
+    MeasuredPoint::new(p, m, times)
+}
+
+/// Runs the full sweep for one panel.
+pub fn sweep_panel(scenario: &Scenario, tuned: &TunedModel, p: usize, seed: u64) -> SweepPanel {
+    let selector = tuned.selector();
+    let openmpi = OpenMpiFixedSelector;
+    let mut points = Vec::with_capacity(scenario.msg_sizes.len());
+    for (i, &m) in scenario.msg_sizes.iter().enumerate() {
+        let point_seed = seed.wrapping_add((i as u64) << 20);
+        let measured = measure_point(
+            &scenario.cluster,
+            p,
+            m,
+            scenario.seg_size,
+            &scenario.precision,
+            point_seed,
+        );
+        let (best, best_time) = measured.best();
+        let model_pick = selector.select(p, m).alg;
+        let model_time = measured.times[&model_pick];
+        let openmpi_pick = openmpi.select(p, m);
+        let openmpi_time = if openmpi_pick.effective_seg_size(m) == scenario.seg_size {
+            measured.times[&openmpi_pick.alg]
+        } else {
+            bcast_time(
+                &scenario.cluster,
+                openmpi_pick.alg,
+                p,
+                m,
+                openmpi_pick.effective_seg_size(m),
+                &scenario.precision,
+                point_seed.wrapping_add(0xE0),
+            )
+            .mean
+        };
+        points.push(SweepPoint {
+            p,
+            m,
+            measured,
+            best,
+            best_time,
+            model_pick,
+            model_time,
+            openmpi_pick,
+            openmpi_time,
+        });
+    }
+    SweepPanel {
+        cluster: scenario.cluster.name().to_owned(),
+        p,
+        seg_size: scenario.seg_size,
+        points,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{scenarios, Fidelity};
+    use collsel::netsim::NoiseParams;
+    use collsel::{Tuner, TunerConfig};
+
+    #[test]
+    fn sweep_point_invariants() {
+        // A tiny sweep on a quiet small configuration.
+        let mut sc = scenarios(Fidelity::Quick).remove(1); // gros
+        sc.cluster = sc.cluster.with_noise(NoiseParams::OFF);
+        sc.msg_sizes = vec![8 * 1024, 128 * 1024];
+        let tuned = Tuner::new(sc.cluster.clone(), TunerConfig::quick(12)).tune();
+        let panel = sweep_panel(&sc, &tuned, 16, 9);
+        assert_eq!(panel.points.len(), 2);
+        for pt in &panel.points {
+            // Best is the minimum of the measured table.
+            assert!(pt.best_time <= pt.model_time + 1e-12);
+            assert!(pt.model_degradation_pct() >= -1e-9);
+            // The model pick's time comes from the measured table.
+            assert_eq!(pt.model_time, pt.measured.times[&pt.model_pick]);
+            // Open MPI time is positive (measured separately when its
+            // segment size differs).
+            assert!(pt.openmpi_time > 0.0);
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Table 1: estimated γ(P) on both clusters, side by side with the
+//! paper's published values.
+
+use crate::config::Scenario;
+use crate::paper_ref::TABLE1_GAMMA;
+use crate::report::{format_csv, format_table};
+use collsel::estim::{estimate_gamma, GammaConfig, GammaEstimate};
+use serde::{Deserialize, Serialize};
+
+/// One cluster's γ estimation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table1Cluster {
+    /// Cluster name.
+    pub cluster: String,
+    /// The estimation result (table + raw T2 measurements).
+    pub estimate: GammaEstimate,
+}
+
+/// The regenerated Table 1.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table1Result {
+    /// One entry per cluster, in scenario order (Grisou, Gros).
+    pub clusters: Vec<Table1Cluster>,
+}
+
+impl Table1Result {
+    /// The estimated γ(P) for a cluster (by name), if measured.
+    pub fn gamma(&self, cluster: &str, p: usize) -> Option<f64> {
+        self.clusters
+            .iter()
+            .find(|c| c.cluster == cluster)
+            .map(|c| c.estimate.table.gamma(p))
+    }
+
+    fn rows(&self) -> Vec<Vec<String>> {
+        let width = self
+            .clusters
+            .iter()
+            .map(|c| c.estimate.table.max_measured())
+            .max()
+            .unwrap_or(2);
+        (3..=width)
+            .map(|p| {
+                let mut row = vec![p.to_string()];
+                for c in &self.clusters {
+                    row.push(format!("{:.3}", c.estimate.table.gamma(p)));
+                }
+                let paper = TABLE1_GAMMA.iter().find(|&&(pp, _, _)| pp == p);
+                match paper {
+                    Some(&(_, grisou, gros)) => {
+                        row.push(format!("{grisou:.3}"));
+                        row.push(format!("{gros:.3}"));
+                    }
+                    None => {
+                        row.push("-".into());
+                        row.push("-".into());
+                    }
+                }
+                row
+            })
+            .collect()
+    }
+
+    /// Renders the aligned text table.
+    pub fn to_text(&self) -> String {
+        let mut headers: Vec<String> = vec!["P".into()];
+        for c in &self.clusters {
+            headers.push(format!("{} (ours)", c.cluster));
+        }
+        headers.push("grisou (paper)".into());
+        headers.push("gros (paper)".into());
+        let headers_ref: Vec<&str> = headers.iter().map(String::as_str).collect();
+        format!(
+            "Table 1 — estimated gamma(P)\n\n{}",
+            format_table(&headers_ref, &self.rows())
+        )
+    }
+
+    /// Renders the CSV artifact.
+    pub fn to_csv(&self) -> String {
+        format_csv(
+            &[
+                "p",
+                "grisou_ours",
+                "gros_ours",
+                "grisou_paper",
+                "gros_paper",
+            ],
+            &self.rows(),
+        )
+    }
+}
+
+/// Regenerates Table 1: runs the Sect. 4.1 estimation on each scenario.
+pub fn run_table1(scenarios: &[Scenario], gamma_cfg: &GammaConfig, seed: u64) -> Table1Result {
+    let clusters = scenarios
+        .iter()
+        .enumerate()
+        .map(|(i, sc)| Table1Cluster {
+            cluster: sc.cluster.name().to_owned(),
+            estimate: estimate_gamma(&sc.cluster, gamma_cfg, seed.wrapping_add(i as u64 * 101)),
+        })
+        .collect();
+    Table1Result { clusters }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{scenarios, Fidelity};
+    use collsel::netsim::NoiseParams;
+
+    #[test]
+    fn table1_regenerates_close_to_paper() {
+        let mut scs = scenarios(Fidelity::Quick);
+        for sc in &mut scs {
+            sc.cluster = sc.cluster.clone().with_noise(NoiseParams::OFF);
+        }
+        let cfg = GammaConfig {
+            max_width: 7,
+            ..GammaConfig::quick()
+        };
+        let t1 = run_table1(&scs, &cfg, 1);
+        assert_eq!(t1.clusters.len(), 2);
+        // Shape check against the paper's Table 1 values.
+        for &(p, grisou_paper, gros_paper) in &TABLE1_GAMMA {
+            let ours_grisou = t1.gamma("grisou", p).unwrap();
+            let ours_gros = t1.gamma("gros", p).unwrap();
+            assert!(
+                (ours_grisou - grisou_paper).abs() < 0.25,
+                "grisou gamma({p}) = {ours_grisou} vs paper {grisou_paper}"
+            );
+            assert!(
+                (ours_gros - gros_paper).abs() < 0.25,
+                "gros gamma({p}) = {ours_gros} vs paper {gros_paper}"
+            );
+        }
+        let text = t1.to_text();
+        assert!(text.contains("Table 1"));
+        assert!(t1.to_csv().lines().count() >= 6);
+    }
+}

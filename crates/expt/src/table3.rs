@@ -1,0 +1,189 @@
+//! Table 3: selections of the model-based and Open MPI decision
+//! functions against the measured best algorithm, with percentage
+//! degradations — derived from the Fig. 5 sweeps at the paper's two
+//! featured process counts (Grisou P = 90, Gros P = 100).
+
+use crate::fig5::Fig5Result;
+use crate::report::{format_csv, format_table, size_label};
+use crate::sweep::SweepPanel;
+use collsel::select::analysis::{summarise, SelectorSummary};
+use serde::{Deserialize, Serialize};
+
+/// One cluster's Table 3 column set.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table3Cluster {
+    /// Cluster name.
+    pub cluster: String,
+    /// Process count of the column (90 for Grisou, 100 for Gros in the
+    /// paper).
+    pub p: usize,
+    /// The underlying sweep data.
+    pub panel: SweepPanel,
+    /// Summary of the model-based degradations.
+    pub model_summary: SelectorSummary,
+    /// Summary of the Open MPI degradations.
+    pub openmpi_summary: SelectorSummary,
+}
+
+/// The regenerated Table 3.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table3Result {
+    /// One entry per cluster.
+    pub clusters: Vec<Table3Cluster>,
+}
+
+impl Table3Result {
+    fn rows(panel: &SweepPanel) -> Vec<Vec<String>> {
+        panel
+            .points
+            .iter()
+            .map(|pt| {
+                vec![
+                    size_label(pt.m),
+                    pt.best.name().to_owned(),
+                    format!(
+                        "{} ({:.0})",
+                        pt.model_pick.name(),
+                        pt.model_degradation_pct()
+                    ),
+                    format!(
+                        "{} ({:.0})",
+                        pt.openmpi_pick.alg.name(),
+                        pt.openmpi_degradation_pct()
+                    ),
+                ]
+            })
+            .collect()
+    }
+
+    /// Renders the aligned text tables (one block per cluster).
+    pub fn to_text(&self) -> String {
+        let mut out = String::from(
+            "Table 3 — selections vs the best performing algorithm\n\
+             (degradation vs best, in percent, in parentheses)\n",
+        );
+        for c in &self.clusters {
+            out.push_str(&format!("\nP = {}, MPI_Bcast, {}\n", c.p, c.cluster));
+            out.push_str(&format_table(
+                &["m", "best", "model-based (%)", "open mpi (%)"],
+                &Self::rows(&c.panel),
+            ));
+            out.push_str(&format!(
+                "model-based: near-optimal {:.0}% of cases, worst {:.0}%; \
+                 open mpi: near-optimal {:.0}% of cases, worst {:.0}%\n",
+                100.0 * c.model_summary.near_optimal_fraction,
+                c.model_summary.max_degradation_pct,
+                100.0 * c.openmpi_summary.near_optimal_fraction,
+                c.openmpi_summary.max_degradation_pct,
+            ));
+        }
+        out
+    }
+
+    /// Renders the CSV artifact.
+    pub fn to_csv(&self) -> String {
+        let rows: Vec<Vec<String>> = self
+            .clusters
+            .iter()
+            .flat_map(|c| {
+                c.panel.points.iter().map(|pt| {
+                    vec![
+                        c.cluster.clone(),
+                        c.p.to_string(),
+                        pt.m.to_string(),
+                        pt.best.name().to_owned(),
+                        pt.model_pick.name().to_owned(),
+                        format!("{:.2}", pt.model_degradation_pct()),
+                        pt.openmpi_pick.alg.name().to_owned(),
+                        format!("{:.2}", pt.openmpi_degradation_pct()),
+                    ]
+                })
+            })
+            .collect();
+        format_csv(
+            &[
+                "cluster",
+                "p",
+                "m_bytes",
+                "best",
+                "model_pick",
+                "model_degradation_pct",
+                "openmpi_pick",
+                "openmpi_degradation_pct",
+            ],
+            &rows,
+        )
+    }
+}
+
+/// Derives Table 3 from the Fig. 5 sweeps at each cluster's featured
+/// process count.
+///
+/// # Panics
+///
+/// Panics if a featured panel is missing from the Fig. 5 data.
+pub fn table3_from_fig5(fig5: &Fig5Result, featured: &[(String, usize)]) -> Table3Result {
+    let clusters = featured
+        .iter()
+        .map(|(cluster, p)| {
+            let panel = fig5
+                .panel(cluster, *p)
+                .unwrap_or_else(|| panic!("no Fig. 5 panel for {cluster} P={p}"))
+                .clone();
+            let model_deg: Vec<f64> = panel
+                .points
+                .iter()
+                .map(|pt| pt.model_degradation_pct())
+                .collect();
+            let ompi_deg: Vec<f64> = panel
+                .points
+                .iter()
+                .map(|pt| pt.openmpi_degradation_pct())
+                .collect();
+            Table3Cluster {
+                cluster: cluster.clone(),
+                p: *p,
+                model_summary: summarise(&model_deg),
+                openmpi_summary: summarise(&ompi_deg),
+                panel,
+            }
+        })
+        .collect();
+    Table3Result { clusters }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{scenarios, Fidelity};
+    use crate::fig5::run_fig5;
+    use collsel::netsim::NoiseParams;
+    use collsel::{Tuner, TunerConfig};
+
+    #[test]
+    fn table3_derives_from_fig5() {
+        let mut scs = scenarios(Fidelity::Quick);
+        scs.truncate(1);
+        scs[0].cluster = scs[0].cluster.clone().with_noise(NoiseParams::OFF);
+        scs[0].msg_sizes = vec![8 * 1024, 512 * 1024];
+        scs[0].fig5_ps = vec![16];
+        scs[0].table3_p = 16;
+        let tuned = vec![Tuner::new(scs[0].cluster.clone(), TunerConfig::quick(12)).tune()];
+        let fig5 = run_fig5(&scs, &tuned, 5);
+        let t3 = table3_from_fig5(&fig5, &[("grisou".into(), 16)]);
+        assert_eq!(t3.clusters.len(), 1);
+        let c = &t3.clusters[0];
+        assert!(c.model_summary.max_degradation_pct >= 0.0);
+        assert!(c.openmpi_summary.max_degradation_pct >= 0.0);
+        let text = t3.to_text();
+        assert!(text.contains("P = 16, MPI_Bcast, grisou"));
+        assert_eq!(t3.to_csv().lines().count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "no Fig. 5 panel")]
+    fn missing_panel_panics() {
+        let fig5 = Fig5Result { panels: vec![] };
+        let _ = table3_from_fig5(&fig5, &[("grisou".into(), 90)]);
+    }
+}

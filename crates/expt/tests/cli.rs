@@ -1,0 +1,135 @@
+//! End-to-end tests of the `colltune` and `repro` command-line tools
+//! (run as real subprocesses).
+
+use std::process::Command;
+
+fn colltune() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_colltune"))
+}
+
+fn repro() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+}
+
+fn temp_path(name: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("collsel-cli-{}-{name}", std::process::id()))
+}
+
+#[test]
+fn colltune_tune_query_show_export_round_trip() {
+    let model = temp_path("model.json");
+    let rules = temp_path("rules.conf");
+
+    let out = colltune()
+        .args([
+            "tune",
+            "--nodes",
+            "8",
+            "--gbps",
+            "10",
+            "--tune-p",
+            "6",
+            "--out",
+            model.to_str().unwrap(),
+        ])
+        .output()
+        .expect("colltune runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("gamma(P):"), "{stdout}");
+    assert!(stdout.contains("binomial"), "{stdout}");
+
+    let out = colltune()
+        .args([
+            "query",
+            "--model",
+            model.to_str().unwrap(),
+            "--p",
+            "8",
+            "--m",
+            "8192",
+            "--m",
+            "1048576",
+        ])
+        .output()
+        .expect("query runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(stdout.matches("m = ").count(), 2, "{stdout}");
+
+    let out = colltune()
+        .args(["show", "--model", model.to_str().unwrap()])
+        .output()
+        .expect("show runs");
+    assert!(out.status.success());
+
+    let out = colltune()
+        .args([
+            "export",
+            "--model",
+            model.to_str().unwrap(),
+            "--out",
+            rules.to_str().unwrap(),
+            "--comm-sizes",
+            "4,8",
+        ])
+        .output()
+        .expect("export runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let contents = std::fs::read_to_string(&rules).expect("rules written");
+    assert!(contents.starts_with("1 # num of collectives"), "{contents}");
+    assert!(contents.contains("7 # collective id"), "{contents}");
+
+    let _ = std::fs::remove_file(model);
+    let _ = std::fs::remove_file(rules);
+}
+
+#[test]
+fn colltune_rejects_bad_usage() {
+    let out = colltune().arg("tune").output().expect("runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--nodes or --preset"), "{err}");
+
+    let out = colltune().arg("frobnicate").output().expect("runs");
+    assert!(!out.status.success());
+}
+
+#[test]
+fn repro_help_and_bad_args() {
+    let out = repro().arg("--help").output().expect("runs");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("usage:"));
+
+    let out = repro().arg("--bogus").output().expect("runs");
+    assert!(!out.status.success());
+}
+
+#[test]
+fn repro_quick_table1_writes_artifacts() {
+    let dir = temp_path("results");
+    let out = repro()
+        .args(["--quick", "--out", dir.to_str().unwrap(), "table1"])
+        .output()
+        .expect("repro runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("Table 1"), "{stdout}");
+    for ext in ["txt", "csv", "json"] {
+        let p = dir.join(format!("table1.{ext}"));
+        assert!(p.exists(), "missing {}", p.display());
+    }
+    let _ = std::fs::remove_dir_all(dir);
+}

@@ -1,0 +1,201 @@
+//! The γ(P) factor: cost ratio of a non-blocking linear broadcast to a
+//! single point-to-point transfer.
+//!
+//! The paper (Sect. 3.1, Eq. 2–3) approximates the time of the
+//! *non-blocking linear broadcast* of one segment to `P-1` children as
+//! `γ(P)·(α + m_s·β)`, where `γ(P) = T_linear(P, m_s) / T_p2p(m_s)`
+//! satisfies `1 ≤ γ(P) ≤ P-1`. It is measured once per platform
+//! (Sect. 4.1) and shared by all algorithm models.
+//!
+//! [`GammaTable`] stores the measured discrete values and answers
+//! queries outside the measured range with the linear-regression
+//! extrapolation the paper proposes for large platforms ("the discrete
+//! estimation of γ(P) is near linear").
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Platform-specific table of γ(P) values with linear extrapolation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GammaTable {
+    /// Measured values, keyed by the linear-tree process count `P`
+    /// (root plus children). γ(2) ≡ 1 by definition.
+    values: BTreeMap<usize, f64>,
+    /// Least-squares fit `γ(P) ≈ slope·P + intercept` over the table,
+    /// used outside the measured range.
+    slope: f64,
+    intercept: f64,
+}
+
+impl GammaTable {
+    /// Builds a table from measured `(P, γ(P))` pairs.
+    ///
+    /// The definitional point γ(2) = 1 is always present (added if
+    /// missing). The linear fit requires at least two distinct `P`
+    /// values; with fewer, extrapolation degenerates to the nearest
+    /// measured value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any pair has `P < 2`, or a non-finite or non-positive
+    /// γ value.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (usize, f64)>) -> Self {
+        let mut values = BTreeMap::new();
+        values.insert(2, 1.0);
+        for (p, g) in pairs {
+            assert!(p >= 2, "gamma is defined for P >= 2, got P = {p}");
+            assert!(
+                g.is_finite() && g > 0.0,
+                "gamma({p}) must be finite and positive, got {g}"
+            );
+            values.insert(p, g);
+        }
+        let (slope, intercept) = linear_fit(&values);
+        GammaTable {
+            values,
+            slope,
+            intercept,
+        }
+    }
+
+    /// The trivial table (γ ≡ 1 for all P): turns every model into its
+    /// contention-free variant. Useful for baselines and tests.
+    pub fn ones() -> Self {
+        GammaTable {
+            values: BTreeMap::from([(2, 1.0)]),
+            slope: 0.0,
+            intercept: 1.0,
+        }
+    }
+
+    /// γ(P) for an arbitrary process count.
+    ///
+    /// * `P ≤ 2` → 1 (a linear "tree" with one child *is* the
+    ///   point-to-point transfer);
+    /// * measured `P` → the measured value;
+    /// * otherwise → linear extrapolation, clamped below at 1.
+    pub fn gamma(&self, p: usize) -> f64 {
+        if p <= 2 {
+            return 1.0;
+        }
+        if let Some(&g) = self.values.get(&p) {
+            return g;
+        }
+        (self.slope * p as f64 + self.intercept).max(1.0)
+    }
+
+    /// The measured pairs, in ascending `P` order.
+    pub fn pairs(&self) -> impl Iterator<Item = (usize, f64)> + '_ {
+        self.values.iter().map(|(&p, &g)| (p, g))
+    }
+
+    /// The linear fit `(slope, intercept)` used for extrapolation.
+    pub fn fit(&self) -> (f64, f64) {
+        (self.slope, self.intercept)
+    }
+
+    /// Largest measured `P`.
+    pub fn max_measured(&self) -> usize {
+        *self
+            .values
+            .keys()
+            .next_back()
+            .expect("table is never empty")
+    }
+}
+
+/// Ordinary least squares over the table's `(P, γ)` points.
+fn linear_fit(values: &BTreeMap<usize, f64>) -> (f64, f64) {
+    let n = values.len() as f64;
+    if values.len() < 2 {
+        let g = values.values().next().copied().unwrap_or(1.0);
+        return (0.0, g);
+    }
+    let sx: f64 = values.keys().map(|&p| p as f64).sum();
+    let sy: f64 = values.values().sum();
+    let sxx: f64 = values.keys().map(|&p| (p as f64).powi(2)).sum();
+    let sxy: f64 = values.iter().map(|(&p, &g)| p as f64 * g).sum();
+    let denom = n * sxx - sx * sx;
+    if denom.abs() < f64::EPSILON {
+        return (0.0, sy / n);
+    }
+    let slope = (n * sxy - sx * sy) / denom;
+    let intercept = (sy - slope * sx) / n;
+    (slope, intercept)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Paper Table 1, Grisou column.
+    fn grisou_table() -> GammaTable {
+        GammaTable::from_pairs([(3, 1.114), (4, 1.219), (5, 1.283), (6, 1.451), (7, 1.540)])
+    }
+
+    #[test]
+    fn gamma_of_two_is_one_by_definition() {
+        assert_eq!(grisou_table().gamma(2), 1.0);
+        assert_eq!(GammaTable::from_pairs([]).gamma(2), 1.0);
+    }
+
+    #[test]
+    fn measured_values_are_returned_exactly() {
+        let t = grisou_table();
+        assert_eq!(t.gamma(5), 1.283);
+        assert_eq!(t.gamma(7), 1.540);
+    }
+
+    #[test]
+    fn extrapolation_is_monotone_beyond_table() {
+        let t = grisou_table();
+        let g8 = t.gamma(8);
+        let g12 = t.gamma(12);
+        assert!(g8 > t.gamma(7) * 0.95, "g8 = {g8}");
+        assert!(g12 > g8);
+    }
+
+    #[test]
+    fn extrapolation_clamps_at_one() {
+        // A decreasing (nonsensical) table would extrapolate below 1.
+        let t = GammaTable::from_pairs([(3, 1.0), (4, 1.0)]);
+        assert!(t.gamma(100) >= 1.0);
+    }
+
+    #[test]
+    fn ones_table_is_identity() {
+        let t = GammaTable::ones();
+        for p in 2..200 {
+            assert_eq!(t.gamma(p), 1.0);
+        }
+    }
+
+    #[test]
+    fn fit_recovers_exact_line() {
+        let t = GammaTable::from_pairs((3..10).map(|p| (p, 0.1 * p as f64 + 0.8)));
+        let (slope, intercept) = t.fit();
+        assert!((slope - 0.1).abs() < 1e-9);
+        assert!((intercept - 0.8).abs() < 1e-9);
+        assert!((t.gamma(50) - 5.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pairs_iterate_in_order() {
+        let t = grisou_table();
+        let ps: Vec<usize> = t.pairs().map(|(p, _)| p).collect();
+        assert_eq!(ps, vec![2, 3, 4, 5, 6, 7]);
+        assert_eq!(t.max_measured(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "P >= 2")]
+    fn rejects_p_below_two() {
+        let _ = GammaTable::from_pairs([(1, 1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn rejects_bad_gamma() {
+        let _ = GammaTable::from_pairs([(3, f64::NAN)]);
+    }
+}

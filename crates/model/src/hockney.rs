@@ -1,0 +1,156 @@
+//! The Hockney point-to-point model `T(m) = α + β·m`.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Hockney model parameters: latency `α` (seconds) and reciprocal
+/// bandwidth `β` (seconds per byte).
+///
+/// In this reproduction, as in the paper, a *separate* `(α, β)` pair is
+/// fitted per collective algorithm (Sect. 4.2): the pair captures the
+/// average behaviour of a point-to-point transfer *in the context of
+/// that algorithm*, not bare network characteristics.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Hockney {
+    /// Latency in seconds.
+    pub alpha: f64,
+    /// Reciprocal bandwidth in seconds per byte.
+    pub beta: f64,
+}
+
+impl Hockney {
+    /// Creates a parameter pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either parameter is non-finite or negative.
+    pub fn new(alpha: f64, beta: f64) -> Self {
+        assert!(
+            alpha.is_finite() && alpha >= 0.0,
+            "alpha must be finite and non-negative, got {alpha}"
+        );
+        assert!(
+            beta.is_finite() && beta >= 0.0,
+            "beta must be finite and non-negative, got {beta}"
+        );
+        Hockney { alpha, beta }
+    }
+
+    /// Predicted time of a single `m`-byte point-to-point transfer.
+    pub fn p2p(&self, m: f64) -> f64 {
+        self.alpha + self.beta * m
+    }
+
+    /// Evaluates a linear-in-(α, β) cost expression `a·α + b·β` — the
+    /// form every collective model in this crate reduces to.
+    pub fn eval(&self, coeff: Coefficients) -> f64 {
+        coeff.a * self.alpha + coeff.b * self.beta
+    }
+}
+
+impl fmt::Display for Hockney {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "alpha={:.3e}s beta={:.3e}s/B", self.alpha, self.beta)
+    }
+}
+
+/// A collective cost expressed as coefficients of the Hockney
+/// parameters: `T = a·α + b·β`.
+///
+/// Exposing the coefficients (rather than only the evaluated time) is
+/// what makes the paper's estimation procedure possible: each
+/// communication experiment contributes one linear equation
+/// `a_i·α + b_i·β = T_i`, canonicalised to `α + (b_i/a_i)·β = T_i/a_i`
+/// (the system of Fig. 4) and solved by robust regression.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Coefficients {
+    /// Multiplier of α (counts message startups).
+    pub a: f64,
+    /// Multiplier of β (counts bytes on the critical path).
+    pub b: f64,
+}
+
+impl Coefficients {
+    /// The zero cost (empty collective).
+    pub const ZERO: Coefficients = Coefficients { a: 0.0, b: 0.0 };
+
+    /// Creates a coefficient pair.
+    pub fn new(a: f64, b: f64) -> Self {
+        Coefficients { a, b }
+    }
+
+    /// Sum of two costs (sequential composition).
+    #[must_use]
+    pub fn plus(self, other: Coefficients) -> Coefficients {
+        Coefficients {
+            a: self.a + other.a,
+            b: self.b + other.b,
+        }
+    }
+
+    /// Canonicalises the equation `a·α + b·β = t` to the Fig. 4 form
+    /// `α + x·β = y`, returning `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is zero (no startup term to normalise by).
+    pub fn canonicalise(self, t: f64) -> (f64, f64) {
+        assert!(
+            self.a != 0.0,
+            "cannot canonicalise with zero alpha coefficient"
+        );
+        (self.b / self.a, t / self.a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn p2p_is_affine() {
+        let h = Hockney::new(1e-5, 1e-9);
+        assert!((h.p2p(0.0) - 1e-5).abs() < 1e-18);
+        assert!((h.p2p(1e6) - (1e-5 + 1e-3)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eval_matches_manual() {
+        let h = Hockney::new(2.0, 3.0);
+        let c = Coefficients::new(5.0, 7.0);
+        assert_eq!(h.eval(c), 5.0 * 2.0 + 7.0 * 3.0);
+    }
+
+    #[test]
+    fn plus_adds_componentwise() {
+        let c = Coefficients::new(1.0, 2.0).plus(Coefficients::new(3.0, 4.0));
+        assert_eq!(c, Coefficients::new(4.0, 6.0));
+    }
+
+    #[test]
+    fn canonicalise_produces_fig4_form() {
+        // 4·α + 8000·β = 0.02  =>  α + 2000·β = 0.005
+        let (x, y) = Coefficients::new(4.0, 8000.0).canonicalise(0.02);
+        assert!((x - 2000.0).abs() < 1e-12);
+        assert!((y - 0.005).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero alpha coefficient")]
+    fn canonicalise_rejects_zero_a() {
+        let _ = Coefficients::new(0.0, 1.0).canonicalise(1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be finite")]
+    fn rejects_negative_alpha() {
+        let _ = Hockney::new(-1.0, 0.0);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let s = Hockney::new(5.8e-13, 4.7e-9).to_string();
+        assert!(s.contains("5.800e-13"));
+        assert!(s.contains("4.700e-9"));
+    }
+}

@@ -1,0 +1,158 @@
+//! The LogP/LogGP point-to-point models (related-work baselines).
+//!
+//! The paper's related-work section (2.2) surveys the classical
+//! communication models and their measurement methods: Hockney's
+//! (α, β), Culler's LogP (L, o, g) and its large-message extension
+//! LogGP (adding the per-byte gap G). This module provides LogGP as a
+//! second point-to-point model so the library can express and compare
+//! the lineage; the collective models themselves stay Hockney-based as
+//! in the paper.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// LogGP parameters, all in seconds (G in seconds per byte).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LogGP {
+    /// `L`: network latency upper bound.
+    pub latency: f64,
+    /// `o_s`: CPU overhead of sending a message.
+    pub send_overhead: f64,
+    /// `o_r`: CPU overhead of receiving a message.
+    pub recv_overhead: f64,
+    /// `g`: minimum gap between consecutive message injections.
+    pub gap: f64,
+    /// `G`: gap per byte (reciprocal bandwidth for long messages).
+    pub gap_per_byte: f64,
+}
+
+impl LogGP {
+    /// Creates a parameter set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is negative or non-finite.
+    pub fn new(
+        latency: f64,
+        send_overhead: f64,
+        recv_overhead: f64,
+        gap: f64,
+        gap_per_byte: f64,
+    ) -> Self {
+        for (name, v) in [
+            ("latency", latency),
+            ("send_overhead", send_overhead),
+            ("recv_overhead", recv_overhead),
+            ("gap", gap),
+            ("gap_per_byte", gap_per_byte),
+        ] {
+            assert!(
+                v.is_finite() && v >= 0.0,
+                "LogGP {name} must be finite and non-negative, got {v}"
+            );
+        }
+        LogGP {
+            latency,
+            send_overhead,
+            recv_overhead,
+            gap,
+            gap_per_byte,
+        }
+    }
+
+    /// Predicted one-way time of an `m`-byte message:
+    /// `o_s + (m-1)·G + L + o_r` (the standard LogGP point-to-point).
+    pub fn p2p(&self, m: f64) -> f64 {
+        self.send_overhead
+            + (m - 1.0).max(0.0) * self.gap_per_byte
+            + self.latency
+            + self.recv_overhead
+    }
+
+    /// Predicted time for a sender to inject `n` back-to-back messages
+    /// of `m` bytes (`o_s + (n-1)·max(g, m·G) + (m-1)·G`): the sender
+    /// side of the non-blocking linear broadcast.
+    pub fn injection_time(&self, n: usize, m: f64) -> f64 {
+        if n == 0 {
+            return 0.0;
+        }
+        let per_msg = self.gap.max(m * self.gap_per_byte);
+        self.send_overhead + (n as f64 - 1.0) * per_msg + (m - 1.0).max(0.0) * self.gap_per_byte
+    }
+
+    /// The Hockney pair this LogGP degenerates to for long messages
+    /// (`α = o_s + L + o_r`, `β = G`).
+    pub fn as_hockney(&self) -> crate::hockney::Hockney {
+        crate::hockney::Hockney::new(
+            self.send_overhead + self.latency + self.recv_overhead,
+            self.gap_per_byte,
+        )
+    }
+}
+
+impl fmt::Display for LogGP {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "L={:.2e}s o_s={:.2e}s o_r={:.2e}s g={:.2e}s G={:.2e}s/B",
+            self.latency, self.send_overhead, self.recv_overhead, self.gap, self.gap_per_byte
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> LogGP {
+        LogGP::new(30e-6, 2e-6, 2e-6, 1e-6, 0.8e-9)
+    }
+
+    #[test]
+    fn p2p_components_add_up() {
+        let p = params();
+        let t = p.p2p(1.0);
+        assert!((t - (2e-6 + 30e-6 + 2e-6)).abs() < 1e-15);
+        let big = p.p2p(1e6);
+        assert!(big > t + 0.7e-3);
+    }
+
+    #[test]
+    fn zero_byte_message_costs_no_bandwidth() {
+        let p = params();
+        assert!((p.p2p(0.0) - p.p2p(1.0)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn injection_respects_gap_floor() {
+        let p = params();
+        // Tiny messages: the per-message cost is g, not m·G.
+        let t = p.injection_time(11, 8.0);
+        assert!((t - (2e-6 + 10.0 * 1e-6 + 7.0 * 0.8e-9)).abs() < 1e-12);
+        // Large messages: m·G dominates g.
+        let t = p.injection_time(3, 1e6);
+        assert!(t > 2.0 * 1e6 * 0.8e-9);
+        assert_eq!(p.injection_time(0, 1e6), 0.0);
+    }
+
+    #[test]
+    fn hockney_degeneration() {
+        let h = params().as_hockney();
+        assert!((h.alpha - 34e-6).abs() < 1e-12);
+        assert!((h.beta - 0.8e-9).abs() < 1e-18);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be finite")]
+    fn rejects_negative_parameters() {
+        let _ = LogGP::new(-1.0, 0.0, 0.0, 0.0, 0.0);
+    }
+
+    #[test]
+    fn display_shows_all_five() {
+        let s = params().to_string();
+        for key in ["L=", "o_s=", "o_r=", "g=", "G="] {
+            assert!(s.contains(key), "{s}");
+        }
+    }
+}

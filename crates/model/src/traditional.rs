@@ -1,0 +1,140 @@
+//! Traditional analytical models, built from the algorithms'
+//! *high-level mathematical definitions* (Thakur et al. 2005,
+//! Pjevsivac-Grbovic et al. 2007).
+//!
+//! These are the models the paper shows to be insufficient for
+//! algorithm selection (Fig. 1): they ignore the implementation details
+//! the derived models capture — the staged non-blocking linear
+//! broadcasts (γ), the actual tree shapes, and the segmentation of the
+//! binomial algorithm. They are kept here to regenerate Fig. 1 and the
+//! model-ablation benchmarks.
+//!
+//! Unlike the per-algorithm parameters of the derived models, the
+//! traditional models are evaluated with a single *network-level*
+//! Hockney pair measured by point-to-point round-trips.
+
+use crate::derived::num_segments;
+use crate::hockney::{Coefficients, Hockney};
+use collsel_coll::{BcastAlg, DEFAULT_CHAIN_FANOUT};
+
+/// `⌈log₂ p⌉` for `p ≥ 1`.
+fn ceil_log2(p: usize) -> usize {
+    if p <= 1 {
+        0
+    } else {
+        (usize::BITS - (p - 1).leading_zeros()) as usize
+    }
+}
+
+/// Cost coefficients of `alg` under its textbook definition.
+///
+/// # Panics
+///
+/// Panics if `seg_size` is zero.
+pub fn bcast_coefficients(alg: BcastAlg, p: usize, m: usize, seg_size: usize) -> Coefficients {
+    if p <= 1 {
+        return Coefficients::ZERO;
+    }
+    let ns = num_segments(m, seg_size);
+    let m_s = m as f64 / ns as f64;
+    match alg {
+        // P-1 sequential sends of the whole message.
+        BcastAlg::Linear => {
+            let n = (p - 1) as f64;
+            Coefficients::new(n, n * m as f64)
+        }
+        // Textbook pipeline: (P - 1 + ns - 1) segment steps.
+        BcastAlg::Chain => {
+            let steps = (p - 2 + ns) as f64;
+            Coefficients::new(steps, steps * m_s)
+        }
+        // K chains, root sends each segment K times (serialized sends in
+        // the definition).
+        BcastAlg::KChain => {
+            let k = DEFAULT_CHAIN_FANOUT.min(p - 1);
+            let chain_len = (p - 1).div_ceil(k);
+            let a = (ns * k + chain_len - 1) as f64;
+            Coefficients::new(a, a * m_s)
+        }
+        // Textbook binary: each level forwards each segment with two
+        // serialized sends; depth ⌈log₂(P+1)⌉ - 1.
+        BcastAlg::Binary => {
+            let depth = ceil_log2(p + 1) - 1;
+            let a = 2.0 * (depth + ns - 1) as f64;
+            Coefficients::new(a, a * m_s)
+        }
+        // Textbook split-binary: binary pipeline over half the message
+        // plus the final exchange of m/2.
+        BcastAlg::SplitBinary => {
+            let half = m.div_ceil(2);
+            let ns_h = num_segments(half, seg_size);
+            let ms_h = half as f64 / ns_h as f64;
+            let depth = ceil_log2(p + 1) - 1;
+            let a = 2.0 * (depth + ns_h - 1) as f64;
+            Coefficients::new(a + 1.0, a * ms_h + half as f64)
+        }
+        // Textbook binomial: ⌈log₂ P⌉ rounds of the whole message —
+        // the definition is unsegmented, which is exactly why it
+        // mispredicts the segmented Open MPI implementation (Fig. 1).
+        BcastAlg::Binomial => {
+            let rounds = ceil_log2(p) as f64;
+            Coefficients::new(rounds, rounds * m as f64)
+        }
+    }
+}
+
+/// Predicted execution time (seconds) under the textbook model with a
+/// network-level Hockney pair.
+pub fn predict_bcast(alg: BcastAlg, p: usize, m: usize, seg_size: usize, hockney: &Hockney) -> f64 {
+    hockney.eval(bcast_coefficients(alg, p, m, seg_size))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ceil_log2_values() {
+        assert_eq!(ceil_log2(1), 0);
+        assert_eq!(ceil_log2(2), 1);
+        assert_eq!(ceil_log2(3), 2);
+        assert_eq!(ceil_log2(8), 3);
+        assert_eq!(ceil_log2(9), 4);
+        assert_eq!(ceil_log2(90), 7);
+    }
+
+    #[test]
+    fn binomial_is_log_rounds_of_full_message() {
+        let c = bcast_coefficients(BcastAlg::Binomial, 90, 1 << 20, 8192);
+        assert_eq!(c.a, 7.0);
+        assert_eq!(c.b, 7.0 * (1 << 20) as f64);
+    }
+
+    #[test]
+    fn traditional_binomial_ignores_segmentation() {
+        let small_seg = bcast_coefficients(BcastAlg::Binomial, 16, 1 << 20, 1024);
+        let big_seg = bcast_coefficients(BcastAlg::Binomial, 16, 1 << 20, 1 << 20);
+        assert_eq!(small_seg, big_seg);
+    }
+
+    #[test]
+    fn binary_has_factor_two_per_level() {
+        // P = 7, ns = 1: depth = ⌈log₂8⌉-1 = 2, a = 2·(2+0) = 4.
+        let c = bcast_coefficients(BcastAlg::Binary, 7, 100, 8192);
+        assert_eq!(c.a, 4.0);
+    }
+
+    #[test]
+    fn single_rank_is_free() {
+        for alg in BcastAlg::ALL {
+            assert_eq!(bcast_coefficients(alg, 1, 4096, 512), Coefficients::ZERO);
+        }
+    }
+
+    #[test]
+    fn predict_evaluates_hockney() {
+        let h = Hockney::new(1e-5, 1e-9);
+        let t = predict_bcast(BcastAlg::Linear, 5, 1000, 8192, &h);
+        assert!((t - 4.0 * (1e-5 + 1e-6)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,542 @@
+//! The central scheduler of the simulated MPI runtime.
+//!
+//! One engine instance drives one simulation run. Rank threads execute
+//! real user code; every communication call becomes a message to the
+//! engine, which owns all simulation state: per-rank virtual clocks,
+//! request tables, match queues and the network [`Fabric`].
+//!
+//! # Scheduling discipline
+//!
+//! The engine is **conservative**: it only lets virtual time move forward.
+//! The loop alternates three phases:
+//!
+//! 1. *Drain* — wait until every rank thread is parked in a blocking call
+//!    (or finished). Per-rank message order equals program order, so by
+//!    the time a rank's `Block` arrives, all its earlier posts are queued.
+//! 2. *Apply* — apply the queued operations of all ranks merged in
+//!    ascending local-time order (ties broken by rank, then program
+//!    order), charging CPU overheads and booking NIC time on the fabric.
+//! 3. *Resume* — among blocked ranks whose wait condition is satisfied,
+//!    wake exactly the ones with the minimal resume time (all ties).
+//!    Every operation a woken rank subsequently issues carries a local
+//!    time ≥ that minimum, so no later operation can affect an earlier
+//!    instant: causality holds without rollback.
+//!
+//! If no rank is resumable while some are still blocked, the program has
+//! deadlocked and the engine reports which rank waits on what.
+//!
+//! # Protocol modelling
+//!
+//! Sends at or below the cluster's eager threshold are *eager*: the
+//! transfer is booked immediately and the payload waits at the receiver
+//! if no receive is posted. Larger sends use a *rendezvous*: the payload
+//! leaves the sender only after an RTS/CTS handshake with the matching
+//! receive, adding two control-message latencies. Receive completion
+//! additionally charges the receiver's CPU overhead.
+
+use crate::error::SimError;
+use crate::msg::{Peer, Tag, TagSel};
+use crate::proto::{BlockOp, Completion, PostOp, RankMsg, ReqId, Resume, WaitMode};
+use bytes::Bytes;
+use collsel_netsim::{Fabric, FabricStats, SimTime};
+use crossbeam::channel::{Receiver, Sender};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+/// Where a rank currently stands, from the engine's point of view.
+#[derive(Debug, PartialEq, Eq, Clone, Copy)]
+enum Status {
+    Running,
+    Blocked,
+    Done,
+}
+
+/// Engine-side state of one request.
+#[derive(Debug)]
+struct ReqState {
+    complete_at: Option<SimTime>,
+    payload: Option<Bytes>,
+    origin: Option<(usize, Tag)>,
+}
+
+impl ReqState {
+    fn pending() -> Self {
+        ReqState {
+            complete_at: None,
+            payload: None,
+            origin: None,
+        }
+    }
+}
+
+/// A posted but unmatched receive.
+#[derive(Debug)]
+struct PostedRecv {
+    req: ReqId,
+    src: Peer,
+    tag: TagSel,
+    posted_at: SimTime,
+}
+
+/// How an unmatched incoming send will complete once matched.
+#[derive(Debug)]
+enum Arrival {
+    /// Payload already travelling/buffered; fully delivered at this time.
+    Eager { delivered: SimTime },
+    /// Rendezvous send waiting for its matching receive.
+    Rendezvous { send_req: ReqId, posted_at: SimTime },
+}
+
+/// An incoming send with no matching posted receive yet.
+#[derive(Debug)]
+struct UnexpectedSend {
+    src: usize,
+    tag: Tag,
+    payload: Bytes,
+    arrival: Arrival,
+}
+
+/// Summary handed back to [`crate::simulate`] when the run completes.
+#[derive(Debug, Clone)]
+pub(crate) struct EngineReport {
+    pub finish_times: Vec<SimTime>,
+    pub stats: FabricStats,
+    pub trace: Vec<collsel_netsim::TransferRecord>,
+}
+
+pub(crate) struct Engine {
+    fabric: Fabric,
+    p: usize,
+    local: Vec<SimTime>,
+    status: Vec<Status>,
+    blocked_op: Vec<Option<BlockOp>>,
+    reqs: Vec<HashMap<ReqId, ReqState>>,
+    posted_recvs: Vec<VecDeque<PostedRecv>>,
+    unexpected: Vec<VecDeque<UnexpectedSend>>,
+    pending: Vec<VecDeque<RankMsg>>,
+    running: usize,
+    from_ranks: Receiver<RankMsg>,
+    resume_tx: Vec<Sender<Resume>>,
+    finish_times: Vec<SimTime>,
+}
+
+impl Engine {
+    pub(crate) fn new(
+        fabric: Fabric,
+        p: usize,
+        from_ranks: Receiver<RankMsg>,
+        resume_tx: Vec<Sender<Resume>>,
+    ) -> Self {
+        debug_assert_eq!(resume_tx.len(), p);
+        Engine {
+            fabric,
+            p,
+            local: vec![SimTime::ZERO; p],
+            status: vec![Status::Running; p],
+            blocked_op: (0..p).map(|_| None).collect(),
+            reqs: (0..p).map(|_| HashMap::new()).collect(),
+            posted_recvs: (0..p).map(|_| VecDeque::new()).collect(),
+            unexpected: (0..p).map(|_| VecDeque::new()).collect(),
+            pending: (0..p).map(|_| VecDeque::new()).collect(),
+            running: p,
+            from_ranks,
+            resume_tx,
+            finish_times: vec![SimTime::ZERO; p],
+        }
+    }
+
+    /// Runs the simulation to completion.
+    pub(crate) fn run(mut self) -> Result<EngineReport, SimError> {
+        loop {
+            if let Err(e) = self.drain() {
+                self.abort_all();
+                return Err(e);
+            }
+            self.apply_pending();
+            if self.status.iter().all(|s| *s == Status::Done) {
+                let stats = self.fabric.stats();
+                let trace = self.fabric.take_trace();
+                return Ok(EngineReport {
+                    finish_times: self.finish_times,
+                    stats,
+                    trace,
+                });
+            }
+            let resumed = self.resume_minimal();
+            if resumed == 0 {
+                let detail = self.deadlock_detail();
+                self.abort_all();
+                return Err(SimError::Deadlock { detail });
+            }
+        }
+    }
+
+    /// Phase 1: receive rank messages until no rank is running.
+    fn drain(&mut self) -> Result<(), SimError> {
+        while self.running > 0 {
+            let msg = self.from_ranks.recv().map_err(|_| SimError::Deadlock {
+                detail: "all rank threads disappeared while still marked running".to_owned(),
+            })?;
+            match &msg {
+                RankMsg::Post { .. } => {}
+                RankMsg::Block { .. } | RankMsg::Finished { .. } => self.running -= 1,
+                RankMsg::Panicked { rank, message } => {
+                    return Err(SimError::RankPanic {
+                        rank: *rank,
+                        message: message.clone(),
+                    });
+                }
+            }
+            let rank = match &msg {
+                RankMsg::Post { rank, .. }
+                | RankMsg::Block { rank, .. }
+                | RankMsg::Finished { rank } => *rank,
+                RankMsg::Panicked { .. } => unreachable!(),
+            };
+            self.pending[rank].push_back(msg);
+        }
+        Ok(())
+    }
+
+    /// Phase 2: apply queued operations merged in ascending time order.
+    fn apply_pending(&mut self) {
+        let mut heap: BinaryHeap<Reverse<(SimTime, usize)>> = (0..self.p)
+            .filter(|&r| !self.pending[r].is_empty())
+            .map(|r| Reverse((self.local[r], r)))
+            .collect();
+        while let Some(Reverse((t, r))) = heap.pop() {
+            if t != self.local[r] {
+                // Stale key: the rank's clock advanced since this entry
+                // was pushed; re-key it.
+                heap.push(Reverse((self.local[r], r)));
+                continue;
+            }
+            let Some(item) = self.pending[r].pop_front() else {
+                continue;
+            };
+            self.apply(item);
+            if !self.pending[r].is_empty() {
+                heap.push(Reverse((self.local[r], r)));
+            }
+        }
+    }
+
+    fn apply(&mut self, msg: RankMsg) {
+        match msg {
+            RankMsg::Post { rank, op } => match op {
+                PostOp::Isend {
+                    req,
+                    dst,
+                    tag,
+                    payload,
+                } => self.apply_isend(rank, req, dst, tag, payload),
+                PostOp::Irecv { req, src, tag } => self.apply_irecv(rank, req, src, tag),
+            },
+            RankMsg::Block { rank, op } => {
+                debug_assert!(
+                    self.pending[rank].is_empty(),
+                    "protocol violation: rank {rank} issued operations after blocking"
+                );
+                self.status[rank] = Status::Blocked;
+                self.blocked_op[rank] = Some(op);
+            }
+            RankMsg::Finished { rank } => {
+                self.status[rank] = Status::Done;
+                self.finish_times[rank] = self.local[rank];
+            }
+            RankMsg::Panicked { .. } => unreachable!("handled during drain"),
+        }
+    }
+
+    fn apply_isend(&mut self, src: usize, req: ReqId, dst: usize, tag: Tag, payload: Bytes) {
+        // The send call occupies the sending CPU.
+        self.local[src] += self.fabric.cluster().send_overhead();
+        let ready = self.local[src];
+        let bytes = payload.len();
+        self.reqs[src].insert(req, ReqState::pending());
+
+        if bytes <= self.fabric.cluster().eager_threshold() {
+            let plan = self.fabric.plan_transfer(src, dst, bytes, ready);
+            self.complete_req(src, req, plan.send_done, None, None);
+            if let Some(recv) = self.take_matching_recv(dst, src, tag) {
+                let done =
+                    plan.delivered.max(recv.posted_at) + self.fabric.cluster().recv_overhead();
+                self.complete_req(dst, recv.req, done, Some(payload), Some((src, tag)));
+            } else {
+                self.unexpected[dst].push_back(UnexpectedSend {
+                    src,
+                    tag,
+                    payload,
+                    arrival: Arrival::Eager {
+                        delivered: plan.delivered,
+                    },
+                });
+            }
+        } else if let Some(recv) = self.take_matching_recv(dst, src, tag) {
+            self.rendezvous(src, req, dst, recv.req, tag, payload, ready, recv.posted_at);
+        } else {
+            self.unexpected[dst].push_back(UnexpectedSend {
+                src,
+                tag,
+                payload,
+                arrival: Arrival::Rendezvous {
+                    send_req: req,
+                    posted_at: ready,
+                },
+            });
+        }
+    }
+
+    fn apply_irecv(&mut self, dst: usize, req: ReqId, src: Peer, tag: TagSel) {
+        let posted_at = self.local[dst];
+        self.reqs[dst].insert(req, ReqState::pending());
+
+        let matched = self.unexpected[dst]
+            .iter()
+            .position(|u| src.matches(u.src) && tag.matches(u.tag));
+        if let Some(idx) = matched {
+            let u = self.unexpected[dst].remove(idx).expect("index just found");
+            match u.arrival {
+                Arrival::Eager { delivered } => {
+                    let done = delivered.max(posted_at) + self.fabric.cluster().recv_overhead();
+                    self.complete_req(dst, req, done, Some(u.payload), Some((u.src, u.tag)));
+                }
+                Arrival::Rendezvous {
+                    send_req,
+                    posted_at: send_posted,
+                } => {
+                    self.rendezvous(
+                        u.src,
+                        send_req,
+                        dst,
+                        req,
+                        u.tag,
+                        u.payload,
+                        send_posted,
+                        posted_at,
+                    );
+                }
+            }
+        } else {
+            self.posted_recvs[dst].push_back(PostedRecv {
+                req,
+                src,
+                tag,
+                posted_at,
+            });
+        }
+    }
+
+    /// Books the data transfer of a rendezvous send whose receive has now
+    /// been matched, completing both requests.
+    #[allow(clippy::too_many_arguments)]
+    fn rendezvous(
+        &mut self,
+        src: usize,
+        send_req: ReqId,
+        dst: usize,
+        recv_req: ReqId,
+        tag: Tag,
+        payload: Bytes,
+        send_posted: SimTime,
+        recv_posted: SimTime,
+    ) {
+        let lc = self.fabric.control_latency();
+        // RTS reaches the receiver, CTS returns once the receive exists.
+        let ready = (send_posted + lc).max(recv_posted) + lc;
+        let bytes = payload.len();
+        let plan = self.fabric.plan_transfer(src, dst, bytes, ready);
+        self.complete_req(src, send_req, plan.send_done, None, None);
+        let done = plan.delivered + self.fabric.cluster().recv_overhead();
+        self.complete_req(dst, recv_req, done, Some(payload), Some((src, tag)));
+    }
+
+    /// Removes and returns the oldest posted receive at `dst` matching a
+    /// message from `src` with `tag`.
+    fn take_matching_recv(&mut self, dst: usize, src: usize, tag: Tag) -> Option<PostedRecv> {
+        let idx = self.posted_recvs[dst]
+            .iter()
+            .position(|r| r.src.matches(src) && r.tag.matches(tag))?;
+        self.posted_recvs[dst].remove(idx)
+    }
+
+    fn complete_req(
+        &mut self,
+        rank: usize,
+        req: ReqId,
+        at: SimTime,
+        payload: Option<Bytes>,
+        origin: Option<(usize, Tag)>,
+    ) {
+        let state = self.reqs[rank]
+            .get_mut(&req)
+            .expect("request must exist when completed");
+        debug_assert!(state.complete_at.is_none(), "request completed twice");
+        state.complete_at = Some(at);
+        state.payload = payload;
+        state.origin = origin;
+    }
+
+    /// Phase 3: wake the blocked ranks with the minimal resume time.
+    /// Returns the number of ranks resumed.
+    fn resume_minimal(&mut self) -> usize {
+        // Barrier: only complete when every non-finished rank is in it.
+        let alive: Vec<usize> = (0..self.p)
+            .filter(|&r| self.status[r] != Status::Done)
+            .collect();
+        // A barrier only completes if every rank of the world can still
+        // reach it; a rank that finished without it makes the program
+        // erroneous (caught below as a deadlock).
+        let all_in_barrier = alive.len() == self.p
+            && alive
+                .iter()
+                .all(|&r| matches!(self.blocked_op[r], Some(BlockOp::Barrier)));
+        if all_in_barrier {
+            let t = alive
+                .iter()
+                .map(|&r| self.local[r])
+                .fold(SimTime::ZERO, SimTime::max);
+            for &r in &alive {
+                self.wake(r, t, Vec::new());
+            }
+            return alive.len();
+        }
+
+        // Everything else: find each rank's earliest possible resume time.
+        let mut best: Option<SimTime> = None;
+        let mut ready: Vec<(usize, SimTime)> = Vec::new();
+        for r in 0..self.p {
+            if self.status[r] != Status::Blocked {
+                continue;
+            }
+            let at = match self.blocked_op[r].as_ref() {
+                Some(BlockOp::Wtime) => Some(self.local[r]),
+                Some(BlockOp::Wait { reqs, mode }) => self.wait_ready_at(r, reqs, *mode),
+                Some(BlockOp::Barrier) | None => None,
+            };
+            if let Some(at) = at {
+                ready.push((r, at));
+                best = Some(best.map_or(at, |b: SimTime| b.min(at)));
+            }
+        }
+        let Some(best) = best else { return 0 };
+        let winners: Vec<usize> = ready
+            .iter()
+            .filter(|&&(_, at)| at == best)
+            .map(|&(r, _)| r)
+            .collect();
+        for &r in &winners {
+            let op = self.blocked_op[r].take().expect("blocked rank has an op");
+            let completions = match op {
+                BlockOp::Wtime => Vec::new(),
+                BlockOp::Barrier => unreachable!("barrier handled above"),
+                BlockOp::Wait { reqs, mode } => self.collect_completions(r, &reqs, mode),
+            };
+            self.wake(r, best, completions);
+        }
+        winners.len()
+    }
+
+    /// The earliest time at which rank `r`'s wait can finish, if it can.
+    fn wait_ready_at(&self, r: usize, reqs: &[ReqId], mode: WaitMode) -> Option<SimTime> {
+        let times = reqs
+            .iter()
+            .map(|id| self.reqs[r].get(id).and_then(|s| s.complete_at));
+        match mode {
+            WaitMode::All => {
+                let mut at = self.local[r];
+                for t in times {
+                    at = at.max(t?);
+                }
+                Some(at)
+            }
+            WaitMode::Any => {
+                let earliest = times.flatten().min()?;
+                Some(earliest.max(self.local[r]))
+            }
+        }
+    }
+
+    /// Pops completed requests out of the table for the resume message.
+    fn collect_completions(&mut self, r: usize, reqs: &[ReqId], mode: WaitMode) -> Vec<Completion> {
+        match mode {
+            WaitMode::All => reqs
+                .iter()
+                .map(|&id| {
+                    let state = self.reqs[r].remove(&id).expect("waited request exists");
+                    Completion {
+                        req: id,
+                        payload: state.payload,
+                        origin: state.origin,
+                    }
+                })
+                .collect(),
+            WaitMode::Any => {
+                let (&winner, _) = reqs
+                    .iter()
+                    .filter_map(|id| {
+                        self.reqs[r]
+                            .get(id)
+                            .and_then(|s| s.complete_at)
+                            .map(|t| (id, t))
+                    })
+                    .min_by_key(|&(id, t)| (t, *id))
+                    .expect("wait-any resumed without a completed request");
+                let state = self.reqs[r].remove(&winner).expect("request exists");
+                vec![Completion {
+                    req: winner,
+                    payload: state.payload,
+                    origin: state.origin,
+                }]
+            }
+        }
+    }
+
+    fn wake(&mut self, rank: usize, now: SimTime, completions: Vec<Completion>) {
+        self.local[rank] = now;
+        self.status[rank] = Status::Running;
+        self.blocked_op[rank] = None;
+        self.running += 1;
+        // A send failure means the rank thread died; the subsequent drain
+        // will surface its panic message.
+        let _ = self.resume_tx[rank].send(Resume::Ready { now, completions });
+    }
+
+    fn abort_all(&mut self) {
+        for tx in &self.resume_tx {
+            let _ = tx.send(Resume::Abort);
+        }
+    }
+
+    fn deadlock_detail(&self) -> String {
+        let mut parts = Vec::new();
+        for r in 0..self.p {
+            match self.status[r] {
+                Status::Done => {}
+                Status::Running => parts.push(format!("rank {r}: running (internal error)")),
+                Status::Blocked => {
+                    let what = match self.blocked_op[r].as_ref() {
+                        Some(BlockOp::Barrier) => "barrier".to_owned(),
+                        Some(BlockOp::Wtime) => "wtime (internal error)".to_owned(),
+                        Some(BlockOp::Wait { reqs, mode }) => {
+                            let outstanding: Vec<String> = reqs
+                                .iter()
+                                .filter(|id| {
+                                    self.reqs[r].get(id).is_none_or(|s| s.complete_at.is_none())
+                                })
+                                .map(|id| format!("req {id}"))
+                                .collect();
+                            format!("wait[{mode:?}] on {}", outstanding.join(", "))
+                        }
+                        None => "unknown".to_owned(),
+                    };
+                    parts.push(format!(
+                        "rank {r}: blocked on {what} at t={}",
+                        self.local[r]
+                    ));
+                }
+            }
+        }
+        parts.join("; ")
+    }
+}

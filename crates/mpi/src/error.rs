@@ -1,0 +1,65 @@
+//! Error types of the simulated MPI runtime.
+
+use std::error::Error;
+use std::fmt;
+
+/// A fatal simulation failure.
+///
+/// The runtime validates arguments eagerly (panicking on programmer
+/// errors like out-of-range ranks), so the errors that escape to the
+/// caller are genuine runtime outcomes of the simulated program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A rank's user function panicked; the whole run is torn down.
+    RankPanic {
+        /// The rank whose function panicked.
+        rank: usize,
+        /// The panic payload, if it was a string.
+        message: String,
+    },
+    /// Every rank is blocked and none can make progress.
+    Deadlock {
+        /// Human-readable description of who waits on what.
+        detail: String,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::RankPanic { rank, message } => {
+                write!(f, "rank {rank} panicked: {message}")
+            }
+            SimError::Deadlock { detail } => write!(f, "deadlock: {detail}"),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = SimError::RankPanic {
+            rank: 3,
+            message: "boom".into(),
+        };
+        assert_eq!(e.to_string(), "rank 3 panicked: boom");
+        let d = SimError::Deadlock {
+            detail: "rank 0: blocked".into(),
+        };
+        assert!(d.to_string().starts_with("deadlock:"));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn Error + Send + Sync> = Box::new(SimError::Deadlock {
+            detail: String::new(),
+        });
+        assert!(e.source().is_none());
+    }
+}

@@ -1,0 +1,125 @@
+//! Message envelopes and matching selectors.
+//!
+//! Matching follows MPI semantics: a receive names a source and a tag,
+//! either of which may be a wildcard, and messages between a given pair
+//! of processes with the same tag are non-overtaking.
+
+use std::fmt;
+
+/// A message tag (non-negative, like MPI user tags).
+pub type Tag = u32;
+
+/// Source selector for a receive: a concrete rank or the wildcard
+/// (`MPI_ANY_SOURCE`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Peer {
+    /// Match only messages from this rank.
+    Rank(usize),
+    /// Match messages from any rank (`MPI_ANY_SOURCE`).
+    Any,
+}
+
+impl Peer {
+    /// Whether this selector accepts messages from `rank`.
+    pub fn matches(self, rank: usize) -> bool {
+        match self {
+            Peer::Rank(r) => r == rank,
+            Peer::Any => true,
+        }
+    }
+}
+
+impl From<usize> for Peer {
+    fn from(rank: usize) -> Self {
+        Peer::Rank(rank)
+    }
+}
+
+impl fmt::Display for Peer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Peer::Rank(r) => write!(f, "rank {r}"),
+            Peer::Any => write!(f, "any source"),
+        }
+    }
+}
+
+/// Tag selector for a receive: a concrete tag or the wildcard
+/// (`MPI_ANY_TAG`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TagSel {
+    /// Match only messages with this tag.
+    Exact(Tag),
+    /// Match any tag (`MPI_ANY_TAG`).
+    Any,
+}
+
+impl TagSel {
+    /// Whether this selector accepts messages with `tag`.
+    pub fn matches(self, tag: Tag) -> bool {
+        match self {
+            TagSel::Exact(t) => t == tag,
+            TagSel::Any => true,
+        }
+    }
+}
+
+impl From<Tag> for TagSel {
+    fn from(tag: Tag) -> Self {
+        TagSel::Exact(tag)
+    }
+}
+
+impl fmt::Display for TagSel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TagSel::Exact(t) => write!(f, "tag {t}"),
+            TagSel::Any => write!(f, "any tag"),
+        }
+    }
+}
+
+/// Completion metadata of a finished receive, mirroring `MPI_Status`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RecvStatus {
+    /// The rank that sent the matched message.
+    pub source: usize,
+    /// The tag of the matched message.
+    pub tag: Tag,
+    /// Payload size in bytes.
+    pub len: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peer_matching() {
+        assert!(Peer::Rank(3).matches(3));
+        assert!(!Peer::Rank(3).matches(4));
+        assert!(Peer::Any.matches(0));
+        assert!(Peer::Any.matches(99));
+    }
+
+    #[test]
+    fn tag_matching() {
+        assert!(TagSel::Exact(7).matches(7));
+        assert!(!TagSel::Exact(7).matches(8));
+        assert!(TagSel::Any.matches(0));
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Peer::from(5), Peer::Rank(5));
+        assert_eq!(TagSel::from(9), TagSel::Exact(9));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Peer::Rank(2).to_string(), "rank 2");
+        assert_eq!(Peer::Any.to_string(), "any source");
+        assert_eq!(TagSel::Exact(1).to_string(), "tag 1");
+        assert_eq!(TagSel::Any.to_string(), "any tag");
+    }
+}

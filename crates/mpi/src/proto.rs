@@ -1,0 +1,76 @@
+//! Crate-private wire protocol between rank threads and the engine.
+
+use crate::msg::{Peer, Tag, TagSel};
+use bytes::Bytes;
+use collsel_netsim::SimTime;
+
+/// Rank-local request identifier (allocated monotonically per rank).
+pub(crate) type ReqId = u32;
+
+/// A non-blocking operation posted by a rank (fire-and-forget: the engine
+/// learns about it no later than the rank's next blocking call).
+#[derive(Debug)]
+pub(crate) enum PostOp {
+    Isend {
+        req: ReqId,
+        dst: usize,
+        tag: Tag,
+        payload: Bytes,
+    },
+    Irecv {
+        req: ReqId,
+        src: Peer,
+        tag: TagSel,
+    },
+}
+
+/// How a set of requests is waited on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum WaitMode {
+    All,
+    Any,
+}
+
+/// A blocking operation: the rank parks until the engine resumes it.
+#[derive(Debug)]
+pub(crate) enum BlockOp {
+    Wait {
+        reqs: Vec<ReqId>,
+        mode: WaitMode,
+    },
+    Barrier,
+    /// Read the rank's local virtual clock (resumes immediately).
+    Wtime,
+}
+
+/// Everything a rank can tell the engine.
+#[derive(Debug)]
+pub(crate) enum RankMsg {
+    Post { rank: usize, op: PostOp },
+    Block { rank: usize, op: BlockOp },
+    Finished { rank: usize },
+    Panicked { rank: usize, message: String },
+}
+
+/// Completion report for one waited request.
+#[derive(Debug)]
+pub(crate) struct Completion {
+    pub req: ReqId,
+    /// Payload for receives; `None` for sends.
+    pub payload: Option<Bytes>,
+    /// (source, tag) of the matched message for receives.
+    pub origin: Option<(usize, Tag)>,
+}
+
+/// The engine's reply that unparks a blocked rank.
+#[derive(Debug)]
+pub(crate) enum Resume {
+    /// The blocking operation finished at `now` (the rank's new local time).
+    Ready {
+        now: SimTime,
+        completions: Vec<Completion>,
+    },
+    /// The simulation is being torn down (another rank panicked or the
+    /// engine detected an unrecoverable error); the rank thread must exit.
+    Abort,
+}

@@ -1,0 +1,212 @@
+//! Simulation entry point: spawn one thread per rank, run the engine,
+//! collect results.
+
+use crate::ctx::Ctx;
+use crate::engine::Engine;
+use crate::error::SimError;
+use crate::proto::RankMsg;
+use collsel_netsim::{ClusterModel, Fabric, SimTime, TransferRecord};
+use crossbeam::channel;
+use parking_lot::Mutex;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Marker panic payload used to unwind rank threads on engine abort.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct AbortToken;
+
+/// Summary statistics of one simulation run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Virtual time at which each rank's function returned.
+    pub finish_times: Vec<SimTime>,
+    /// The latest finish time (virtual makespan of the run).
+    pub makespan: SimTime,
+    /// Total point-to-point messages transferred.
+    pub messages: u64,
+    /// Total payload bytes transferred.
+    pub bytes: u64,
+    /// Messages that used the shared-memory (same node) path.
+    pub shm_messages: u64,
+    /// Per-transfer records (empty unless [`simulate_traced`] was used).
+    pub trace: Vec<TransferRecord>,
+}
+
+/// Result of a completed simulation: per-rank return values plus the
+/// run report.
+#[derive(Debug, Clone)]
+pub struct SimOutcome<T> {
+    /// `results[r]` is what rank `r`'s function returned.
+    pub results: Vec<T>,
+    /// Aggregate statistics of the run.
+    pub report: RunReport,
+}
+
+/// Runs `f` as an SPMD program with `ranks` processes on `cluster`.
+///
+/// Each rank executes `f(&mut ctx)` on its own OS thread while a central
+/// engine advances virtual time deterministically; `seed` drives the
+/// network noise stream (same seed, same cluster, same program ⇒
+/// identical timings).
+///
+/// ```
+/// use bytes::Bytes;
+/// use collsel_netsim::ClusterModel;
+///
+/// let cluster = ClusterModel::gros();
+/// let out = collsel_mpi::simulate(&cluster, 2, 7, |ctx| {
+///     if ctx.rank() == 0 {
+///         ctx.send(1, 0, Bytes::from_static(b"hi"));
+///         0
+///     } else {
+///         let (data, _) = ctx.recv(0, 0);
+///         data.len()
+///     }
+/// })
+/// .expect("no deadlock");
+/// assert_eq!(out.results, vec![0, 2]);
+/// ```
+///
+/// # Errors
+///
+/// Returns [`SimError::Deadlock`] if the program can make no progress and
+/// [`SimError::RankPanic`] if any rank's function panics.
+///
+/// # Panics
+///
+/// Panics if `ranks` is zero or exceeds the cluster's process slots.
+pub fn simulate<T, F>(
+    cluster: &ClusterModel,
+    ranks: usize,
+    seed: u64,
+    f: F,
+) -> Result<SimOutcome<T>, SimError>
+where
+    F: Fn(&mut Ctx) -> T + Sync,
+    T: Send,
+{
+    simulate_impl(cluster, ranks, seed, false, f)
+}
+
+/// Like [`simulate`], but records a [`TransferRecord`] for every
+/// message transfer; the trace is returned in
+/// [`RunReport::trace`] (render it with
+/// [`collsel_netsim::trace::to_chrome_trace`] or summarise with
+/// [`collsel_netsim::trace::summarize`]).
+///
+/// # Errors
+///
+/// Same as [`simulate`].
+///
+/// # Panics
+///
+/// Same as [`simulate`].
+pub fn simulate_traced<T, F>(
+    cluster: &ClusterModel,
+    ranks: usize,
+    seed: u64,
+    f: F,
+) -> Result<SimOutcome<T>, SimError>
+where
+    F: Fn(&mut Ctx) -> T + Sync,
+    T: Send,
+{
+    simulate_impl(cluster, ranks, seed, true, f)
+}
+
+fn simulate_impl<T, F>(
+    cluster: &ClusterModel,
+    ranks: usize,
+    seed: u64,
+    traced: bool,
+    f: F,
+) -> Result<SimOutcome<T>, SimError>
+where
+    F: Fn(&mut Ctx) -> T + Sync,
+    T: Send,
+{
+    assert!(ranks > 0, "need at least one rank");
+    assert!(
+        ranks <= cluster.max_ranks(),
+        "cluster {} has {} process slots, requested {ranks}",
+        cluster.name(),
+        cluster.max_ranks()
+    );
+
+    let mut fabric = Fabric::new(cluster.clone(), seed);
+    if traced {
+        fabric.enable_tracing();
+    }
+    let (to_engine, from_ranks) = channel::unbounded::<RankMsg>();
+    let mut resume_txs = Vec::with_capacity(ranks);
+    let mut resume_rxs = Vec::with_capacity(ranks);
+    for _ in 0..ranks {
+        let (tx, rx) = channel::unbounded();
+        resume_txs.push(tx);
+        resume_rxs.push(rx);
+    }
+
+    let results: Mutex<Vec<Option<T>>> = Mutex::new((0..ranks).map(|_| None).collect());
+    let engine = Engine::new(fabric, ranks, from_ranks, resume_txs);
+
+    let engine_result = std::thread::scope(|scope| {
+        for (rank, resume_rx) in resume_rxs.into_iter().enumerate() {
+            let to_engine = to_engine.clone();
+            let f = &f;
+            let results = &results;
+            scope.spawn(move || {
+                let mut ctx = Ctx::new(rank, ranks, to_engine, resume_rx);
+                let outcome = catch_unwind(AssertUnwindSafe(|| f(&mut ctx)));
+                match outcome {
+                    Ok(value) => {
+                        results.lock()[rank] = Some(value);
+                        ctx.notify_finished();
+                    }
+                    Err(payload) => {
+                        if payload.downcast_ref::<AbortToken>().is_some() {
+                            // The engine initiated the abort; stay quiet.
+                            return;
+                        }
+                        let message = panic_message(payload.as_ref());
+                        ctx.notify_panicked(message);
+                    }
+                }
+            });
+        }
+        drop(to_engine);
+        engine.run()
+    });
+
+    let report = engine_result?;
+    let results: Vec<T> = results
+        .into_inner()
+        .into_iter()
+        .enumerate()
+        .map(|(rank, v)| v.unwrap_or_else(|| panic!("rank {rank} finished without a result")))
+        .collect();
+    let makespan = report
+        .finish_times
+        .iter()
+        .copied()
+        .fold(SimTime::ZERO, SimTime::max);
+    Ok(SimOutcome {
+        results,
+        report: RunReport {
+            finish_times: report.finish_times,
+            makespan,
+            messages: report.stats.messages,
+            bytes: report.stats.bytes,
+            shm_messages: report.stats.shm_messages,
+            trace: report.trace,
+        },
+    })
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}

@@ -1,0 +1,515 @@
+//! Cluster descriptions: the static parameters of the simulated platform.
+//!
+//! A [`ClusterModel`] captures everything the network substrate needs to
+//! know about a platform: node count, CPUs (process slots) per node, NIC
+//! bandwidth, wire and switch latencies, per-message CPU overheads, the
+//! eager/rendezvous protocol threshold and the noise level.
+//!
+//! Two presets reproduce the paper's experimental platforms in shape:
+//!
+//! * [`ClusterModel::grisou`] — Grid'5000 Grisou: 51 nodes, 2 CPUs/node,
+//!   10 Gbps Ethernet;
+//! * [`ClusterModel::gros`] — Grid'5000 Gros: 124 nodes, 1 CPU/node
+//!   (one process per node in the paper's runs), 25 Gbps Ethernet.
+//!
+//! The latency/overhead values are calibrated so that the measured
+//! γ(P) table (paper Table 1) and the who-wins structure of the
+//! broadcast comparison (paper Table 3) come out close to the published
+//! numbers. They are *not* claimed to be the physical parameters of the
+//! real clusters.
+
+use crate::noise::NoiseParams;
+use crate::time::SimSpan;
+use serde::{Deserialize, Serialize};
+
+/// How consecutive MPI ranks are laid out over nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RankMapping {
+    /// Rank `r` lives on node `r % nodes` (spread ranks over nodes first,
+    /// then fill second CPUs). This mirrors `--map-by node` and is the
+    /// default because the paper's small-P calibration experiments are
+    /// inter-node experiments.
+    Cyclic,
+    /// Rank `r` lives on node `r / cpus_per_node` (fill a node's slots
+    /// before moving on). This mirrors Open MPI's default `--map-by slot`.
+    Block,
+}
+
+/// Static description of a simulated cluster.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterModel {
+    name: String,
+    nodes: usize,
+    cpus_per_node: usize,
+    mapping: RankMapping,
+    /// Sustained NIC/link bandwidth in bytes per second.
+    bandwidth: f64,
+    /// One-way wire propagation + NIC/driver latency (per message).
+    wire_latency: SimSpan,
+    /// Number of switch hops between two distinct nodes.
+    switch_hops: u32,
+    /// Added latency per switch hop.
+    hop_latency: SimSpan,
+    /// Per-message gap occupying the NIC in addition to the serialization
+    /// time (descriptor handling, interrupt moderation).
+    per_msg_gap: SimSpan,
+    /// Sender CPU overhead charged to the calling process per message.
+    send_overhead: SimSpan,
+    /// Receiver CPU overhead charged to the calling process per message.
+    recv_overhead: SimSpan,
+    /// Messages strictly larger than this use the rendezvous protocol.
+    eager_threshold: usize,
+    /// Shared-memory (same node) copy bandwidth in bytes per second.
+    shm_bandwidth: f64,
+    /// Shared-memory one-way latency.
+    shm_latency: SimSpan,
+    /// Optional rack structure: nodes per rack and the uplink
+    /// oversubscription factor (`None` = one flat non-blocking switch).
+    racks: Option<RackParams>,
+    noise: NoiseParams,
+}
+
+/// Rack-level topology: nodes are grouped into racks whose uplinks to
+/// the core switch are oversubscribed, as in real fat-tree deployments.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RackParams {
+    /// Number of nodes per rack (the last rack may be partial).
+    pub nodes_per_rack: usize,
+    /// Oversubscription factor `F >= 1`: the rack uplink carries
+    /// `nodes_per_rack / F` node-bandwidths.
+    pub oversubscription: f64,
+    /// Extra one-way latency for crossing between racks.
+    pub cross_rack_latency: SimSpan,
+}
+
+impl ClusterModel {
+    /// Starts building a custom cluster. `nodes` is the number of physical
+    /// nodes; every other parameter has a sensible commodity-Ethernet
+    /// default that can be overridden.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is zero.
+    pub fn builder(name: impl Into<String>, nodes: usize) -> ClusterModelBuilder {
+        assert!(nodes > 0, "a cluster needs at least one node");
+        ClusterModelBuilder {
+            model: ClusterModel {
+                name: name.into(),
+                nodes,
+                cpus_per_node: 1,
+                mapping: RankMapping::Cyclic,
+                bandwidth: 1.25e9, // 10 Gbps
+                wire_latency: SimSpan::from_micros(30),
+                switch_hops: 1,
+                hop_latency: SimSpan::from_micros(1),
+                per_msg_gap: SimSpan::from_nanos(500),
+                send_overhead: SimSpan::from_micros(2),
+                recv_overhead: SimSpan::from_micros(2),
+                eager_threshold: 64 * 1024,
+                shm_bandwidth: 8.0e9,
+                shm_latency: SimSpan::from_nanos(600),
+                racks: None,
+                noise: NoiseParams::default(),
+            },
+        }
+    }
+
+    /// The Grid'5000 **Grisou** cluster: 51 nodes, 2 × Intel Xeon E5-2630 v3
+    /// per node, 10 Gbps Ethernet. The paper runs one process per CPU, at
+    /// most 90 processes.
+    ///
+    /// Latency components are calibrated so the non-blocking linear-tree
+    /// γ(P) lands near paper Table 1 (γ(3)≈1.11 … γ(7)≈1.54).
+    pub fn grisou() -> ClusterModel {
+        ClusterModel::builder("grisou", 51)
+            .cpus_per_node(2)
+            .bandwidth_gbps(10.0)
+            .wire_latency(SimSpan::from_micros(52))
+            .switch_hops(2, SimSpan::from_micros(1))
+            .per_msg_gap(SimSpan::from_nanos(500))
+            .overheads(SimSpan::from_micros(2), SimSpan::from_micros(2))
+            .build()
+    }
+
+    /// The Grid'5000 **Gros** cluster: 124 nodes, 1 × Intel Xeon Gold 5220
+    /// per node, 25 Gbps Ethernet. The paper runs at most 124 processes.
+    ///
+    /// Calibrated so γ(P) lands near paper Table 1 (γ(3)≈1.08 … γ(7)≈1.42).
+    pub fn gros() -> ClusterModel {
+        ClusterModel::builder("gros", 124)
+            .cpus_per_node(1)
+            .bandwidth_gbps(25.0)
+            .wire_latency(SimSpan::from_micros(30))
+            .switch_hops(2, SimSpan::from_nanos(500))
+            .per_msg_gap(SimSpan::from_nanos(500))
+            .overheads(SimSpan::from_nanos(1_500), SimSpan::from_nanos(1_500))
+            .build()
+    }
+
+    /// The cluster's display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of physical nodes.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Process slots (CPUs) per node.
+    pub fn cpus_per_node(&self) -> usize {
+        self.cpus_per_node
+    }
+
+    /// Maximum number of processes this cluster can host
+    /// (`nodes × cpus_per_node`).
+    pub fn max_ranks(&self) -> usize {
+        self.nodes * self.cpus_per_node
+    }
+
+    /// The rank→node mapping policy.
+    pub fn mapping(&self) -> RankMapping {
+        self.mapping
+    }
+
+    /// The physical node hosting `rank`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank >= self.max_ranks()`.
+    pub fn node_of(&self, rank: usize) -> usize {
+        assert!(
+            rank < self.max_ranks(),
+            "rank {rank} out of range for cluster with {} slots",
+            self.max_ranks()
+        );
+        match self.mapping {
+            RankMapping::Cyclic => rank % self.nodes,
+            RankMapping::Block => rank / self.cpus_per_node,
+        }
+    }
+
+    /// Whether two ranks share a physical node (and hence use the
+    /// shared-memory path instead of the network).
+    pub fn same_node(&self, a: usize, b: usize) -> bool {
+        self.node_of(a) == self.node_of(b)
+    }
+
+    /// NIC bandwidth in bytes per second.
+    pub fn bandwidth(&self) -> f64 {
+        self.bandwidth
+    }
+
+    /// Messages strictly larger than this many bytes use the rendezvous
+    /// protocol (transfer starts only once the receive is posted).
+    pub fn eager_threshold(&self) -> usize {
+        self.eager_threshold
+    }
+
+    /// Sender CPU overhead per message.
+    pub fn send_overhead(&self) -> SimSpan {
+        self.send_overhead
+    }
+
+    /// Receiver CPU overhead per message.
+    pub fn recv_overhead(&self) -> SimSpan {
+        self.recv_overhead
+    }
+
+    /// Rack structure, if configured.
+    pub fn racks(&self) -> Option<RackParams> {
+        self.racks
+    }
+
+    /// The rack hosting `rank` (0 when no rack structure is set).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank` is out of range.
+    pub fn rack_of(&self, rank: usize) -> usize {
+        let node = self.node_of(rank);
+        match self.racks {
+            Some(r) => node / r.nodes_per_rack,
+            None => 0,
+        }
+    }
+
+    /// Whether `a` and `b` are in the same rack (always true without
+    /// rack structure).
+    pub fn same_rack(&self, a: usize, b: usize) -> bool {
+        self.rack_of(a) == self.rack_of(b)
+    }
+
+    /// Sustained uplink bandwidth of one rack in bytes per second
+    /// (`None` without rack structure).
+    pub fn uplink_bandwidth(&self) -> Option<f64> {
+        self.racks
+            .map(|r| self.bandwidth * r.nodes_per_rack as f64 / r.oversubscription)
+    }
+
+    /// Number of racks (1 without rack structure).
+    pub fn rack_count(&self) -> usize {
+        match self.racks {
+            Some(r) => self.nodes.div_ceil(r.nodes_per_rack),
+            None => 1,
+        }
+    }
+
+    /// Noise configuration.
+    pub fn noise(&self) -> NoiseParams {
+        self.noise
+    }
+
+    /// Time the NIC is busy serializing an `bytes`-byte message
+    /// (`bytes / bandwidth + per_msg_gap`), before noise.
+    pub fn tx_duration(&self, bytes: usize) -> SimSpan {
+        SimSpan::from_secs_f64(bytes as f64 / self.bandwidth) + self.per_msg_gap
+    }
+
+    /// One-way network latency between two distinct nodes
+    /// (wire + switch hops), excluding CPU overheads and serialization.
+    pub fn one_way_latency(&self) -> SimSpan {
+        self.wire_latency + self.hop_latency * u64::from(self.switch_hops)
+    }
+
+    /// Time to copy an `bytes`-byte message over shared memory
+    /// (same-node communication), before noise.
+    pub fn shm_duration(&self, bytes: usize) -> SimSpan {
+        SimSpan::from_secs_f64(bytes as f64 / self.shm_bandwidth) + self.shm_latency
+    }
+
+    /// A copy of this model with a different noise configuration.
+    #[must_use]
+    pub fn with_noise(mut self, noise: NoiseParams) -> ClusterModel {
+        self.noise = noise;
+        self
+    }
+
+    /// A copy of this model with a different rank mapping.
+    #[must_use]
+    pub fn with_mapping(mut self, mapping: RankMapping) -> ClusterModel {
+        self.mapping = mapping;
+        self
+    }
+}
+
+/// Builder for [`ClusterModel`]; see [`ClusterModel::builder`].
+#[derive(Debug, Clone)]
+pub struct ClusterModelBuilder {
+    model: ClusterModel,
+}
+
+impl ClusterModelBuilder {
+    /// Sets the number of process slots per node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cpus` is zero.
+    pub fn cpus_per_node(mut self, cpus: usize) -> Self {
+        assert!(cpus > 0, "a node needs at least one CPU");
+        self.model.cpus_per_node = cpus;
+        self
+    }
+
+    /// Sets the rank→node mapping policy.
+    pub fn mapping(mut self, mapping: RankMapping) -> Self {
+        self.model.mapping = mapping;
+        self
+    }
+
+    /// Sets the NIC bandwidth in gigabits per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gbps` is not strictly positive and finite.
+    pub fn bandwidth_gbps(mut self, gbps: f64) -> Self {
+        assert!(
+            gbps.is_finite() && gbps > 0.0,
+            "bandwidth must be positive, got {gbps}"
+        );
+        self.model.bandwidth = gbps * 1e9 / 8.0;
+        self
+    }
+
+    /// Sets the one-way wire latency.
+    pub fn wire_latency(mut self, latency: SimSpan) -> Self {
+        self.model.wire_latency = latency;
+        self
+    }
+
+    /// Sets the switch topology: hop count and per-hop latency.
+    pub fn switch_hops(mut self, hops: u32, hop_latency: SimSpan) -> Self {
+        self.model.switch_hops = hops;
+        self.model.hop_latency = hop_latency;
+        self
+    }
+
+    /// Sets the per-message NIC gap.
+    pub fn per_msg_gap(mut self, gap: SimSpan) -> Self {
+        self.model.per_msg_gap = gap;
+        self
+    }
+
+    /// Sets sender and receiver per-message CPU overheads.
+    pub fn overheads(mut self, send: SimSpan, recv: SimSpan) -> Self {
+        self.model.send_overhead = send;
+        self.model.recv_overhead = recv;
+        self
+    }
+
+    /// Sets the eager/rendezvous protocol threshold in bytes.
+    pub fn eager_threshold(mut self, bytes: usize) -> Self {
+        self.model.eager_threshold = bytes;
+        self
+    }
+
+    /// Sets the shared-memory copy bandwidth (bytes/s) and latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bandwidth` is not strictly positive and finite.
+    pub fn shared_memory(mut self, bandwidth: f64, latency: SimSpan) -> Self {
+        assert!(
+            bandwidth.is_finite() && bandwidth > 0.0,
+            "shared-memory bandwidth must be positive, got {bandwidth}"
+        );
+        self.model.shm_bandwidth = bandwidth;
+        self.model.shm_latency = latency;
+        self
+    }
+
+    /// Groups nodes into racks of `nodes_per_rack` whose uplinks are
+    /// oversubscribed by `oversubscription` (≥ 1) and add
+    /// `cross_rack_latency` per direction when crossing racks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes_per_rack` is zero or `oversubscription < 1`.
+    pub fn racks(
+        mut self,
+        nodes_per_rack: usize,
+        oversubscription: f64,
+        cross_rack_latency: SimSpan,
+    ) -> Self {
+        assert!(nodes_per_rack > 0, "racks need at least one node");
+        assert!(
+            oversubscription.is_finite() && oversubscription >= 1.0,
+            "oversubscription must be >= 1, got {oversubscription}"
+        );
+        self.model.racks = Some(RackParams {
+            nodes_per_rack,
+            oversubscription,
+            cross_rack_latency,
+        });
+        self
+    }
+
+    /// Sets the noise configuration.
+    pub fn noise(mut self, noise: NoiseParams) -> Self {
+        self.model.noise = noise;
+        self
+    }
+
+    /// Finishes building the cluster model.
+    pub fn build(self) -> ClusterModel {
+        self.model
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grisou_matches_paper_platform() {
+        let c = ClusterModel::grisou();
+        assert_eq!(c.nodes(), 51);
+        assert_eq!(c.cpus_per_node(), 2);
+        assert_eq!(c.max_ranks(), 102);
+        assert!(c.max_ranks() >= 90, "paper uses up to 90 processes");
+        assert!((c.bandwidth() - 1.25e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn gros_matches_paper_platform() {
+        let c = ClusterModel::gros();
+        assert_eq!(c.nodes(), 124);
+        assert_eq!(c.max_ranks(), 124);
+        assert!((c.bandwidth() - 25.0e9 / 8.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn cyclic_mapping_spreads_ranks() {
+        let c = ClusterModel::builder("t", 4).cpus_per_node(2).build();
+        assert_eq!(c.node_of(0), 0);
+        assert_eq!(c.node_of(3), 3);
+        assert_eq!(c.node_of(4), 0);
+        assert!(c.same_node(0, 4));
+        assert!(!c.same_node(0, 1));
+    }
+
+    #[test]
+    fn block_mapping_fills_nodes() {
+        let c = ClusterModel::builder("t", 4)
+            .cpus_per_node(2)
+            .mapping(RankMapping::Block)
+            .build();
+        assert_eq!(c.node_of(0), 0);
+        assert_eq!(c.node_of(1), 0);
+        assert_eq!(c.node_of(2), 1);
+        assert!(c.same_node(0, 1));
+        assert!(!c.same_node(1, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn node_of_rejects_out_of_range() {
+        let c = ClusterModel::builder("t", 2).build();
+        let _ = c.node_of(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn builder_rejects_zero_nodes() {
+        let _ = ClusterModel::builder("t", 0);
+    }
+
+    #[test]
+    fn tx_duration_scales_with_size() {
+        let c = ClusterModel::builder("t", 2)
+            .bandwidth_gbps(8.0) // 1 GB/s
+            .per_msg_gap(SimSpan::ZERO)
+            .build();
+        assert_eq!(c.tx_duration(1_000_000), SimSpan::from_millis(1));
+        assert_eq!(c.tx_duration(0), SimSpan::ZERO);
+    }
+
+    #[test]
+    fn one_way_latency_includes_hops() {
+        let c = ClusterModel::builder("t", 2)
+            .wire_latency(SimSpan::from_micros(10))
+            .switch_hops(3, SimSpan::from_micros(2))
+            .build();
+        assert_eq!(c.one_way_latency(), SimSpan::from_micros(16));
+    }
+
+    #[test]
+    fn eager_threshold_roundtrip() {
+        let c = ClusterModel::builder("t", 2).eager_threshold(4096).build();
+        assert_eq!(c.eager_threshold(), 4096);
+    }
+
+    #[test]
+    fn with_noise_overrides() {
+        let c = ClusterModel::grisou().with_noise(NoiseParams::OFF);
+        assert!(!c.noise().is_enabled());
+    }
+
+    #[test]
+    fn shm_faster_than_network_for_presets() {
+        for c in [ClusterModel::grisou(), ClusterModel::gros()] {
+            let m = 8 * 1024;
+            assert!(c.shm_duration(m) < c.tx_duration(m) + c.one_way_latency());
+        }
+    }
+}

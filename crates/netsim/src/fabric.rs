@@ -1,0 +1,499 @@
+//! The dynamic side of the network: per-NIC occupancy and transfer planning.
+//!
+//! [`Fabric`] owns the mutable state of a cluster's network during one
+//! simulation run: when each node's transmit and receive NIC side becomes
+//! free, plus the seeded noise stream. Given a source rank, destination
+//! rank, message size and the virtual time at which the payload is ready
+//! to leave the sender, [`Fabric::plan_transfer`] computes the full
+//! timeline of the transfer and updates NIC occupancy.
+//!
+//! The model is deliberately richer than the Hockney model the analytical
+//! layer fits on top of it:
+//!
+//! * each node's NIC is **full duplex**: the transmit and receive sides
+//!   serialize independently, so concurrent outgoing messages from one
+//!   node queue behind each other (this is what makes the non-blocking
+//!   linear broadcast slower than a single point-to-point transfer and
+//!   gives rise to the paper's γ(P) > 1);
+//! * co-located ranks (same physical node) bypass the network entirely and
+//!   use a shared-memory copy;
+//! * every duration is perturbed by the seeded multiplicative noise.
+//!
+//! Eager/rendezvous protocol selection is a *runtime* concern: the MPI
+//! layer decides when a transfer may start; the fabric only reports the
+//! threshold via [`ClusterModel::eager_threshold`].
+
+use crate::cluster::ClusterModel;
+use crate::noise::Noise;
+use crate::time::{SimSpan, SimTime};
+use crate::trace::TransferRecord;
+
+/// Occupancy of one node's NIC (full duplex: independent sides).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct NicState {
+    tx_free: SimTime,
+    rx_free: SimTime,
+}
+
+/// Rate-limiter state of one rack's oversubscribed uplink (cut-through:
+/// an uncontended message is not delayed; under contention messages
+/// exit one uplink-serialization apart).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct RackPipes {
+    up_exit: SimTime,
+    down_exit: SimTime,
+}
+
+/// The computed timeline of a single message transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransferPlan {
+    /// When the first byte leaves the sender NIC (after queueing).
+    pub wire_start: SimTime,
+    /// When the sender-side resources are released; a send request
+    /// (`MPI_Isend`) completes at this time.
+    pub send_done: SimTime,
+    /// When the last byte has been written into the receiver's buffer;
+    /// the matching receive completes at this time plus the receiver CPU
+    /// overhead (charged by the MPI layer).
+    pub delivered: SimTime,
+}
+
+/// Aggregate transfer counters for one run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FabricStats {
+    /// Number of planned transfers (network and shared-memory).
+    pub messages: u64,
+    /// Total payload bytes moved.
+    pub bytes: u64,
+    /// Transfers that used the shared-memory path.
+    pub shm_messages: u64,
+}
+
+/// Dynamic network state for one simulation run.
+#[derive(Debug, Clone)]
+pub struct Fabric {
+    cluster: ClusterModel,
+    nics: Vec<NicState>,
+    racks: Vec<RackPipes>,
+    noise: Noise,
+    stats: FabricStats,
+    trace: Option<Vec<TransferRecord>>,
+}
+
+impl Fabric {
+    /// Creates a fabric for `cluster`, with the noise stream seeded by
+    /// `seed`.
+    pub fn new(cluster: ClusterModel, seed: u64) -> Self {
+        let nics = vec![NicState::default(); cluster.nodes()];
+        let racks = vec![RackPipes::default(); cluster.rack_count()];
+        let noise = Noise::new(cluster.noise(), seed);
+        Fabric {
+            cluster,
+            nics,
+            racks,
+            noise,
+            stats: FabricStats::default(),
+            trace: None,
+        }
+    }
+
+    /// Starts recording a [`TransferRecord`] per planned transfer
+    /// (see [`crate::trace`]). Idempotent.
+    pub fn enable_tracing(&mut self) {
+        if self.trace.is_none() {
+            self.trace = Some(Vec::new());
+        }
+    }
+
+    /// Takes the recorded trace, leaving recording enabled with an
+    /// empty buffer. Returns an empty vector when tracing is off.
+    pub fn take_trace(&mut self) -> Vec<TransferRecord> {
+        match &mut self.trace {
+            Some(t) => std::mem::take(t),
+            None => Vec::new(),
+        }
+    }
+
+    /// The static cluster description.
+    pub fn cluster(&self) -> &ClusterModel {
+        &self.cluster
+    }
+
+    /// Counters accumulated so far.
+    pub fn stats(&self) -> FabricStats {
+        self.stats
+    }
+
+    /// One-way latency for small control messages (rendezvous
+    /// ready-to-send / clear-to-send); these do not occupy the NIC.
+    pub fn control_latency(&self) -> SimSpan {
+        self.cluster.one_way_latency()
+    }
+
+    /// Plans the transfer of `bytes` payload bytes from `src` to `dst`
+    /// (ranks), where the payload is ready to leave the sender at
+    /// `ready`, and updates NIC occupancy.
+    ///
+    /// `ready` must already include the sender's CPU overhead; the
+    /// returned [`TransferPlan::delivered`] excludes the receiver CPU
+    /// overhead. Both overheads are charged by the MPI layer because they
+    /// occupy the *process*, not the NIC.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` or `dst` is out of range for the cluster.
+    pub fn plan_transfer(
+        &mut self,
+        src: usize,
+        dst: usize,
+        bytes: usize,
+        ready: SimTime,
+    ) -> TransferPlan {
+        self.stats.messages += 1;
+        self.stats.bytes += bytes as u64;
+
+        let src_node = self.cluster.node_of(src);
+        let dst_node = self.cluster.node_of(dst);
+
+        if src_node == dst_node {
+            // Shared-memory path: a single copy, no NIC involvement.
+            self.stats.shm_messages += 1;
+            let dur = self.cluster.shm_duration(bytes).scale(self.noise.factor());
+            let delivered = ready + dur;
+            let plan = TransferPlan {
+                wire_start: ready,
+                send_done: delivered,
+                delivered,
+            };
+            self.record(src, dst, bytes, ready, plan, true);
+            return plan;
+        }
+
+        let dur = self.cluster.tx_duration(bytes).scale(self.noise.factor());
+        let mut latency = self.cluster.one_way_latency();
+
+        // Transmit side: queue behind earlier messages from this node.
+        let wire_start = ready.max(self.nics[src_node].tx_free);
+        let tx_done = wire_start + dur;
+        self.nics[src_node].tx_free = tx_done;
+
+        // Rack uplinks (cut-through rate limiters): crossing racks must
+        // pass the source rack's up pipe and the destination rack's
+        // down pipe; an uncontended message is not delayed beyond the
+        // extra cross-rack latency, but concurrent cross-rack flows
+        // share the oversubscribed uplink bandwidth.
+        let mut gate = wire_start;
+        let src_rack = self.cluster.rack_of(src);
+        let dst_rack = self.cluster.rack_of(dst);
+        if src_rack != dst_rack {
+            let racks = self
+                .cluster
+                .racks()
+                .expect("distinct racks imply rack structure");
+            let up_bw = self
+                .cluster
+                .uplink_bandwidth()
+                .expect("rack structure has an uplink bandwidth");
+            let dur_up = SimSpan::from_secs_f64(bytes as f64 / up_bw);
+            latency += racks.cross_rack_latency * 2;
+            let up = &mut self.racks[src_rack].up_exit;
+            gate = (*up + dur_up).max(gate);
+            *up = gate;
+            let down = &mut self.racks[dst_rack].down_exit;
+            gate = (*down + dur_up).max(gate);
+            *down = gate;
+        }
+
+        // Receive side: the message's head arrives after the wire latency;
+        // if the receive side is still draining an earlier message the
+        // stream is buffered upstream and serialized after it.
+        let head_arrival = gate + latency;
+        let rx_start = head_arrival.max(self.nics[dst_node].rx_free);
+        let delivered = rx_start + dur;
+        self.nics[dst_node].rx_free = delivered;
+
+        let plan = TransferPlan {
+            wire_start,
+            send_done: tx_done,
+            delivered,
+        };
+        self.record(src, dst, bytes, ready, plan, false);
+        plan
+    }
+
+    fn record(
+        &mut self,
+        src: usize,
+        dst: usize,
+        bytes: usize,
+        ready: SimTime,
+        plan: TransferPlan,
+        shm: bool,
+    ) {
+        if let Some(trace) = &mut self.trace {
+            trace.push(TransferRecord {
+                src,
+                dst,
+                bytes,
+                ready,
+                wire_start: plan.wire_start,
+                send_done: plan.send_done,
+                delivered: plan.delivered,
+                shm,
+            });
+        }
+    }
+
+    /// Resets NIC occupancy and counters, keeping the noise stream
+    /// position (so repeated experiments in one run see fresh queues but
+    /// independent jitter).
+    pub fn reset_occupancy(&mut self) {
+        for nic in &mut self.nics {
+            *nic = NicState::default();
+        }
+        for rack in &mut self.racks {
+            *rack = RackPipes::default();
+        }
+        self.stats = FabricStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::ClusterModel;
+    use crate::noise::NoiseParams;
+    use crate::time::{SimSpan, SimTime};
+
+    fn quiet_cluster() -> ClusterModel {
+        ClusterModel::builder("t", 8)
+            .bandwidth_gbps(8.0) // 1 GB/s => 1 ns/byte
+            .wire_latency(SimSpan::from_micros(10))
+            .switch_hops(0, SimSpan::ZERO)
+            .per_msg_gap(SimSpan::ZERO)
+            .overheads(SimSpan::ZERO, SimSpan::ZERO)
+            .noise(NoiseParams::OFF)
+            .build()
+    }
+
+    #[test]
+    fn single_transfer_is_latency_plus_serialization() {
+        let mut f = Fabric::new(quiet_cluster(), 0);
+        let plan = f.plan_transfer(0, 1, 1000, SimTime::ZERO);
+        assert_eq!(plan.wire_start, SimTime::ZERO);
+        assert_eq!(plan.send_done, SimTime::from_nanos(1_000));
+        assert_eq!(plan.delivered, SimTime::from_nanos(11_000));
+    }
+
+    #[test]
+    fn concurrent_sends_serialize_on_tx_nic() {
+        let mut f = Fabric::new(quiet_cluster(), 0);
+        let a = f.plan_transfer(0, 1, 1000, SimTime::ZERO);
+        let b = f.plan_transfer(0, 2, 1000, SimTime::ZERO);
+        assert_eq!(a.send_done, SimTime::from_nanos(1_000));
+        assert_eq!(b.wire_start, a.send_done, "second message queues");
+        assert_eq!(b.delivered, SimTime::from_nanos(12_000));
+    }
+
+    #[test]
+    fn concurrent_receives_serialize_on_rx_nic() {
+        let mut f = Fabric::new(quiet_cluster(), 0);
+        let a = f.plan_transfer(1, 0, 1000, SimTime::ZERO);
+        let b = f.plan_transfer(2, 0, 1000, SimTime::ZERO);
+        assert_eq!(a.delivered, SimTime::from_nanos(11_000));
+        // Both heads arrive at 10us; the second stream drains after the first.
+        assert_eq!(b.delivered, SimTime::from_nanos(12_000));
+    }
+
+    #[test]
+    fn duplex_tx_and_rx_do_not_interfere() {
+        let mut f = Fabric::new(quiet_cluster(), 0);
+        let out = f.plan_transfer(0, 1, 1000, SimTime::ZERO);
+        let inc = f.plan_transfer(2, 0, 1000, SimTime::ZERO);
+        assert_eq!(out.delivered, SimTime::from_nanos(11_000));
+        assert_eq!(inc.delivered, SimTime::from_nanos(11_000));
+    }
+
+    #[test]
+    fn same_node_uses_shared_memory() {
+        let cluster = ClusterModel::builder("t", 2)
+            .cpus_per_node(2)
+            .noise(NoiseParams::OFF)
+            .shared_memory(1e9, SimSpan::from_nanos(100))
+            .build();
+        let mut f = Fabric::new(cluster, 0);
+        // Ranks 0 and 2 share node 0 under cyclic mapping.
+        let plan = f.plan_transfer(0, 2, 1000, SimTime::ZERO);
+        assert_eq!(plan.delivered, SimTime::from_nanos(1_100));
+        assert_eq!(f.stats().shm_messages, 1);
+        // NIC stays free.
+        let net = f.plan_transfer(0, 1, 1000, SimTime::ZERO);
+        assert_eq!(net.wire_start, SimTime::ZERO);
+    }
+
+    #[test]
+    fn later_ready_time_delays_wire_start() {
+        let mut f = Fabric::new(quiet_cluster(), 0);
+        let t = SimTime::from_nanos(5_000);
+        let plan = f.plan_transfer(0, 1, 1000, t);
+        assert_eq!(plan.wire_start, t);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut f = Fabric::new(quiet_cluster(), 0);
+        f.plan_transfer(0, 1, 100, SimTime::ZERO);
+        f.plan_transfer(1, 2, 200, SimTime::ZERO);
+        let s = f.stats();
+        assert_eq!(s.messages, 2);
+        assert_eq!(s.bytes, 300);
+    }
+
+    #[test]
+    fn reset_occupancy_clears_queues_and_stats() {
+        let mut f = Fabric::new(quiet_cluster(), 0);
+        f.plan_transfer(0, 1, 1_000_000, SimTime::ZERO);
+        f.reset_occupancy();
+        assert_eq!(f.stats(), FabricStats::default());
+        let plan = f.plan_transfer(0, 2, 1000, SimTime::ZERO);
+        assert_eq!(plan.wire_start, SimTime::ZERO);
+    }
+
+    #[test]
+    fn noise_perturbs_but_same_seed_reproduces() {
+        let cluster = quiet_cluster().with_noise(NoiseParams::new(0.05));
+        let mut f1 = Fabric::new(cluster.clone(), 9);
+        let mut f2 = Fabric::new(cluster, 9);
+        let a = f1.plan_transfer(0, 1, 100_000, SimTime::ZERO);
+        let b = f2.plan_transfer(0, 1, 100_000, SimTime::ZERO);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn gamma_emerges_from_tx_serialization() {
+        // The ratio T_linear(P)/T_p2p for an 8 KB segment should sit
+        // strictly between 1 and P-1 on the calibrated presets.
+        for cluster in [ClusterModel::grisou(), ClusterModel::gros()] {
+            let cluster = cluster.with_noise(NoiseParams::OFF);
+            let seg = 8 * 1024;
+            let mut f = Fabric::new(cluster, 0);
+            let p2p = f.plan_transfer(0, 1, seg, SimTime::ZERO).delivered;
+            f.reset_occupancy();
+            let mut last = SimTime::ZERO;
+            let p = 7;
+            for child in 1..p {
+                last = last.max(f.plan_transfer(0, child, seg, SimTime::ZERO).delivered);
+            }
+            let gamma = last.as_secs_f64() / p2p.as_secs_f64();
+            assert!(gamma > 1.2 && gamma < 2.0, "gamma(7) = {gamma}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod rack_tests {
+    use super::*;
+    use crate::cluster::ClusterModel;
+    use crate::noise::NoiseParams;
+    use crate::time::{SimSpan, SimTime};
+
+    /// 8 nodes in 2 racks of 4, 4x oversubscribed uplinks, no noise.
+    fn racked() -> ClusterModel {
+        ClusterModel::builder("racked", 8)
+            .bandwidth_gbps(8.0) // 1 GB/s
+            .wire_latency(SimSpan::from_micros(10))
+            .switch_hops(0, SimSpan::ZERO)
+            .per_msg_gap(SimSpan::ZERO)
+            .overheads(SimSpan::ZERO, SimSpan::ZERO)
+            .racks(4, 4.0, SimSpan::from_micros(5))
+            .noise(NoiseParams::OFF)
+            .build()
+    }
+
+    #[test]
+    fn rack_accessors() {
+        let c = racked();
+        assert_eq!(c.rack_count(), 2);
+        assert_eq!(c.rack_of(0), 0);
+        assert_eq!(c.rack_of(3), 0);
+        assert_eq!(c.rack_of(4), 1);
+        assert!(c.same_rack(0, 3));
+        assert!(!c.same_rack(3, 4));
+        // Uplink: 1 GB/s * 4 nodes / 4 oversubscription = 1 GB/s.
+        assert!((c.uplink_bandwidth().unwrap() - 1e9).abs() < 1.0);
+        assert_eq!(ClusterModel::gros().rack_count(), 1);
+        assert!(ClusterModel::gros().same_rack(0, 123));
+    }
+
+    #[test]
+    fn intra_rack_transfers_are_unaffected() {
+        let mut f = Fabric::new(racked(), 0);
+        let plan = f.plan_transfer(0, 1, 1000, SimTime::ZERO);
+        // 1 us serialization + 10 us latency, no cross-rack penalty.
+        assert_eq!(plan.delivered, SimTime::from_nanos(11_000));
+    }
+
+    #[test]
+    fn single_cross_rack_transfer_pays_only_latency() {
+        let mut f = Fabric::new(racked(), 0);
+        let plan = f.plan_transfer(0, 4, 1000, SimTime::ZERO);
+        // Uplink is as fast as the NIC here (4 nodes / 4x), so the only
+        // extra cost is 2 x 5 us cross-rack latency... plus the uplink
+        // rate-limiter seeds at dur_up for the first message.
+        let base = SimTime::from_nanos(11_000 + 10_000);
+        assert!(plan.delivered >= SimTime::from_nanos(21_000));
+        assert!(
+            plan.delivered <= base + SimSpan::from_micros(3),
+            "{:?}",
+            plan
+        );
+    }
+
+    #[test]
+    fn concurrent_cross_rack_flows_share_the_uplink() {
+        // 4 concurrent flows, one per node of rack 0, to distinct nodes
+        // of rack 1: with 4x oversubscription the last delivery is
+        // roughly 4x a single flow's serialization later.
+        let big = 1_000_000; // 1 ms at node speed, 1 ms at uplink speed
+        let mut f = Fabric::new(racked(), 0);
+        let mut last = SimTime::ZERO;
+        for i in 0..4 {
+            let plan = f.plan_transfer(i, 4 + i, big, SimTime::ZERO);
+            last = last.max(plan.delivered);
+        }
+        // Serial uplink drain: ~4 ms; a flat switch would finish in ~2 ms.
+        assert!(
+            last > SimTime::from_nanos(3_500_000),
+            "uplink contention missing: {last}"
+        );
+        // Same pattern within one rack (0..4 to each other? use flat
+        // comparison cluster): no uplink involved.
+        let flat = ClusterModel::builder("flat", 8)
+            .bandwidth_gbps(8.0)
+            .wire_latency(SimSpan::from_micros(10))
+            .switch_hops(0, SimSpan::ZERO)
+            .per_msg_gap(SimSpan::ZERO)
+            .overheads(SimSpan::ZERO, SimSpan::ZERO)
+            .noise(NoiseParams::OFF)
+            .build();
+        let mut f = Fabric::new(flat, 0);
+        let mut flat_last = SimTime::ZERO;
+        for i in 0..4 {
+            let plan = f.plan_transfer(i, 4 + i, big, SimTime::ZERO);
+            flat_last = flat_last.max(plan.delivered);
+        }
+        assert!(flat_last < SimTime::from_nanos(2_500_000));
+        assert!(last > flat_last + SimSpan::from_millis(1));
+    }
+
+    #[test]
+    fn reset_clears_rack_pipes() {
+        let mut f = Fabric::new(racked(), 0);
+        for i in 0..4 {
+            let _ = f.plan_transfer(i, 4 + i, 1_000_000, SimTime::ZERO);
+        }
+        f.reset_occupancy();
+        let plan = f.plan_transfer(0, 4, 1000, SimTime::ZERO);
+        assert!(plan.delivered <= SimTime::from_nanos(25_000), "{:?}", plan);
+    }
+}

@@ -1,0 +1,43 @@
+//! # collsel-netsim
+//!
+//! Deterministic discrete-event **cluster/network substrate** for the
+//! `collsel` reproduction of Nuriyev & Lastovetsky, *"A New Model-Based
+//! Approach to Performance Comparison of MPI Collective Algorithms"*
+//! (PaCT 2021).
+//!
+//! The paper's experiments run Open MPI on two Grid'5000 clusters. This
+//! crate provides the synthetic stand-in: a parameterised cluster model
+//! ([`ClusterModel`], with calibrated [`ClusterModel::grisou`] and
+//! [`ClusterModel::gros`] presets) and the dynamic network state
+//! ([`Fabric`]) that turns (source, destination, bytes, ready-time)
+//! into a transfer timeline with full-duplex per-NIC serialization,
+//! shared-memory short-cuts for co-located ranks, and seeded noise.
+//!
+//! Crucially the substrate is **richer than the Hockney model** the
+//! analytical layer fits on top of it (CPU overheads, NIC contention,
+//! per-message gaps, protocol thresholds, jitter), so the paper's
+//! estimation procedure has a genuine modelling gap to close — exactly as
+//! on real hardware.
+//!
+//! ```
+//! use collsel_netsim::{ClusterModel, Fabric, SimTime};
+//!
+//! let mut fabric = Fabric::new(ClusterModel::gros(), 42);
+//! let plan = fabric.plan_transfer(0, 1, 8 * 1024, SimTime::ZERO);
+//! assert!(plan.delivered > plan.wire_start);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod cluster;
+mod fabric;
+mod noise;
+mod time;
+pub mod trace;
+
+pub use cluster::{ClusterModel, ClusterModelBuilder, RackParams, RankMapping};
+pub use fabric::{Fabric, FabricStats, TransferPlan};
+pub use noise::{Noise, NoiseParams};
+pub use time::{SimSpan, SimTime};
+pub use trace::TransferRecord;

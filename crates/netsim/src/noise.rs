@@ -1,0 +1,168 @@
+//! Stochastic noise injected into simulated communication times.
+//!
+//! Real clusters never produce perfectly repeatable timings: OS jitter,
+//! adaptive interrupt coalescing and switch buffering perturb every
+//! transfer. The paper's measurement methodology (repeat until the sample
+//! mean lies in a 95% confidence interval with 2.5% precision) only makes
+//! sense against such noise, so the simulator injects a controlled,
+//! *seeded* multiplicative jitter on every modelled delay.
+//!
+//! The jitter factor is log-normal with median 1, i.e. `exp(σ·Z)` for a
+//! standard normal `Z`. A log-normal keeps factors positive and produces
+//! the mild right skew typical of communication benchmarks.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the noise model.
+///
+/// `sigma` is the standard deviation of the underlying normal in log
+/// space; `sigma == 0.0` disables noise entirely and makes every run
+/// exactly repeatable regardless of seed.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NoiseParams {
+    /// Log-space standard deviation of the multiplicative jitter.
+    pub sigma: f64,
+}
+
+impl NoiseParams {
+    /// No noise at all; the simulation becomes fully analytic.
+    pub const OFF: NoiseParams = NoiseParams { sigma: 0.0 };
+
+    /// Creates a noise configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma` is negative or not finite.
+    pub fn new(sigma: f64) -> Self {
+        assert!(
+            sigma.is_finite() && sigma >= 0.0,
+            "noise sigma must be finite and non-negative, got {sigma}"
+        );
+        NoiseParams { sigma }
+    }
+
+    /// Whether this configuration produces any jitter.
+    pub fn is_enabled(&self) -> bool {
+        self.sigma > 0.0
+    }
+}
+
+impl Default for NoiseParams {
+    /// A realistic mild default: about 2% jitter.
+    fn default() -> Self {
+        NoiseParams { sigma: 0.02 }
+    }
+}
+
+/// A seeded noise source producing multiplicative jitter factors.
+///
+/// ```
+/// use collsel_netsim::{Noise, NoiseParams};
+///
+/// let mut a = Noise::new(NoiseParams::new(0.05), 42);
+/// let mut b = Noise::new(NoiseParams::new(0.05), 42);
+/// assert_eq!(a.factor(), b.factor()); // same seed, same stream
+/// ```
+#[derive(Debug, Clone)]
+pub struct Noise {
+    params: NoiseParams,
+    rng: StdRng,
+}
+
+impl Noise {
+    /// Creates a noise source from a configuration and a seed.
+    pub fn new(params: NoiseParams, seed: u64) -> Self {
+        Noise {
+            params,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// A noise source that always returns factor 1.0.
+    pub fn off() -> Self {
+        Noise::new(NoiseParams::OFF, 0)
+    }
+
+    /// The configuration this source was built with.
+    pub fn params(&self) -> NoiseParams {
+        self.params
+    }
+
+    /// Draws the next jitter factor (always `> 0`, median 1.0).
+    pub fn factor(&mut self) -> f64 {
+        if !self.params.is_enabled() {
+            return 1.0;
+        }
+        // Box-Muller transform; rand's small-footprint alternative to
+        // depending on rand_distr for a single distribution.
+        let u1: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = self.rng.gen_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        (self.params.sigma * z).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_noise_is_exactly_one() {
+        let mut n = Noise::off();
+        for _ in 0..100 {
+            assert_eq!(n.factor(), 1.0);
+        }
+    }
+
+    #[test]
+    fn zero_sigma_ignores_seed() {
+        let mut a = Noise::new(NoiseParams::OFF, 1);
+        let mut b = Noise::new(NoiseParams::OFF, 2);
+        assert_eq!(a.factor(), b.factor());
+    }
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = Noise::new(NoiseParams::new(0.1), 7);
+        let mut b = Noise::new(NoiseParams::new(0.1), 7);
+        for _ in 0..50 {
+            assert_eq!(a.factor(), b.factor());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Noise::new(NoiseParams::new(0.1), 7);
+        let mut b = Noise::new(NoiseParams::new(0.1), 8);
+        let same = (0..20).filter(|_| a.factor() == b.factor()).count();
+        assert!(same < 20, "independent seeds should produce distinct draws");
+    }
+
+    #[test]
+    fn factors_positive_and_centered() {
+        let mut n = Noise::new(NoiseParams::new(0.05), 123);
+        let draws: Vec<f64> = (0..10_000).map(|_| n.factor()).collect();
+        assert!(draws.iter().all(|&f| f > 0.0));
+        let mean = draws.iter().sum::<f64>() / draws.len() as f64;
+        // E[lognormal(0, 0.05)] = exp(0.05^2 / 2) ~ 1.00125
+        assert!(
+            (mean - 1.0).abs() < 0.01,
+            "mean jitter should be close to 1, got {mean}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "sigma must be finite")]
+    fn rejects_negative_sigma() {
+        let _ = NoiseParams::new(-0.1);
+    }
+
+    #[test]
+    fn default_is_mild_and_enabled() {
+        let p = NoiseParams::default();
+        assert!(p.is_enabled());
+        assert!(p.sigma <= 0.05);
+    }
+}

@@ -1,0 +1,327 @@
+//! Virtual time for the discrete-event simulation.
+//!
+//! The simulator keeps time as an integer number of **nanoseconds** so that
+//! event ordering is exact and runs are bit-for-bit reproducible. Two
+//! newtypes keep instants and durations apart:
+//!
+//! * [`SimTime`] — an absolute instant on the virtual clock,
+//! * [`SimSpan`] — a length of virtual time.
+//!
+//! ```
+//! use collsel_netsim::{SimSpan, SimTime};
+//!
+//! let t = SimTime::ZERO + SimSpan::from_micros(3);
+//! assert_eq!(t.as_nanos(), 3_000);
+//! assert_eq!(t - SimTime::ZERO, SimSpan::from_micros(3));
+//! ```
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// An absolute instant of virtual time, in nanoseconds since the start of
+/// the simulation.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(u64);
+
+/// A non-negative span of virtual time, in nanoseconds.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimSpan(u64);
+
+impl SimTime {
+    /// The start of the simulation.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Creates an instant from raw nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
+    /// Raw nanoseconds since the start of the simulation.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// The instant expressed in seconds as a floating-point number.
+    ///
+    /// Use this only at the measurement boundary (statistics, reports);
+    /// all internal arithmetic stays in integer nanoseconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 * 1e-9
+    }
+
+    /// The later of `self` and `other`.
+    #[must_use]
+    pub fn max(self, other: SimTime) -> SimTime {
+        SimTime(self.0.max(other.0))
+    }
+
+    /// The earlier of `self` and `other`.
+    #[must_use]
+    pub fn min(self, other: SimTime) -> SimTime {
+        SimTime(self.0.min(other.0))
+    }
+
+    /// Span from `earlier` to `self`, saturating to zero if `earlier` is
+    /// actually later.
+    #[must_use]
+    pub fn saturating_since(self, earlier: SimTime) -> SimSpan {
+        SimSpan(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl SimSpan {
+    /// The empty span.
+    pub const ZERO: SimSpan = SimSpan(0);
+
+    /// Creates a span from raw nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimSpan(ns)
+    }
+
+    /// Creates a span from microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimSpan(us * 1_000)
+    }
+
+    /// Creates a span from milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimSpan(ms * 1_000_000)
+    }
+
+    /// Creates a span from seconds expressed as a floating-point number,
+    /// rounding to the nearest nanosecond.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is negative or not finite.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        assert!(
+            secs.is_finite() && secs >= 0.0,
+            "span must be finite and non-negative, got {secs}"
+        );
+        SimSpan((secs * 1e9).round() as u64)
+    }
+
+    /// Raw nanoseconds.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// The span expressed in seconds as a floating-point number.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 * 1e-9
+    }
+
+    /// Multiplies the span by a non-negative floating-point factor,
+    /// rounding to the nearest nanosecond.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is negative or not finite.
+    #[must_use]
+    pub fn scale(self, factor: f64) -> SimSpan {
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "scale factor must be finite and non-negative, got {factor}"
+        );
+        SimSpan((self.0 as f64 * factor).round() as u64)
+    }
+
+    /// The larger of `self` and `other`.
+    #[must_use]
+    pub fn max(self, other: SimSpan) -> SimSpan {
+        SimSpan(self.0.max(other.0))
+    }
+}
+
+impl Add<SimSpan> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimSpan) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimSpan> for SimTime {
+    fn add_assign(&mut self, rhs: SimSpan) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimSpan;
+    /// # Panics
+    ///
+    /// Panics in debug builds if `rhs` is later than `self`.
+    fn sub(self, rhs: SimTime) -> SimSpan {
+        debug_assert!(self.0 >= rhs.0, "negative span: {self:?} - {rhs:?}");
+        SimSpan(self.0 - rhs.0)
+    }
+}
+
+impl Add for SimSpan {
+    type Output = SimSpan;
+    fn add(self, rhs: SimSpan) -> SimSpan {
+        SimSpan(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimSpan {
+    fn add_assign(&mut self, rhs: SimSpan) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimSpan {
+    type Output = SimSpan;
+    /// # Panics
+    ///
+    /// Panics in debug builds on underflow.
+    fn sub(self, rhs: SimSpan) -> SimSpan {
+        debug_assert!(self.0 >= rhs.0, "negative span: {self:?} - {rhs:?}");
+        SimSpan(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for SimSpan {
+    fn sub_assign(&mut self, rhs: SimSpan) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for SimSpan {
+    type Output = SimSpan;
+    fn mul(self, rhs: u64) -> SimSpan {
+        SimSpan(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for SimSpan {
+    type Output = SimSpan;
+    /// # Panics
+    ///
+    /// Panics if `rhs` is zero.
+    fn div(self, rhs: u64) -> SimSpan {
+        SimSpan(self.0 / rhs)
+    }
+}
+
+impl Sum for SimSpan {
+    fn sum<I: Iterator<Item = SimSpan>>(iter: I) -> SimSpan {
+        iter.fold(SimSpan::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimSpan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 < 1_000 {
+            write!(f, "{}ns", self.0)
+        } else if self.0 < 1_000_000 {
+            write!(f, "{:.3}us", self.0 as f64 / 1e3)
+        } else if self.0 < 1_000_000_000 {
+            write!(f, "{:.3}ms", self.0 as f64 / 1e6)
+        } else {
+            write!(f, "{:.6}s", self.as_secs_f64())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_is_default() {
+        assert_eq!(SimTime::default(), SimTime::ZERO);
+        assert_eq!(SimSpan::default(), SimSpan::ZERO);
+    }
+
+    #[test]
+    fn instant_plus_span() {
+        let t = SimTime::from_nanos(10) + SimSpan::from_nanos(5);
+        assert_eq!(t, SimTime::from_nanos(15));
+    }
+
+    #[test]
+    fn instant_difference_is_span() {
+        let a = SimTime::from_nanos(100);
+        let b = SimTime::from_nanos(40);
+        assert_eq!(a - b, SimSpan::from_nanos(60));
+    }
+
+    #[test]
+    fn saturating_since_clamps() {
+        let a = SimTime::from_nanos(5);
+        let b = SimTime::from_nanos(9);
+        assert_eq!(a.saturating_since(b), SimSpan::ZERO);
+        assert_eq!(b.saturating_since(a), SimSpan::from_nanos(4));
+    }
+
+    #[test]
+    fn span_conversions() {
+        assert_eq!(SimSpan::from_micros(1).as_nanos(), 1_000);
+        assert_eq!(SimSpan::from_millis(2).as_nanos(), 2_000_000);
+        assert_eq!(SimSpan::from_secs_f64(1.5).as_nanos(), 1_500_000_000);
+        assert!((SimSpan::from_nanos(500).as_secs_f64() - 5e-7).abs() < 1e-18);
+    }
+
+    #[test]
+    fn span_scale_rounds() {
+        assert_eq!(SimSpan::from_nanos(10).scale(1.26).as_nanos(), 13);
+        assert_eq!(SimSpan::from_nanos(10).scale(0.0), SimSpan::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn span_scale_rejects_negative() {
+        let _ = SimSpan::from_nanos(1).scale(-1.0);
+    }
+
+    #[test]
+    fn span_arithmetic() {
+        let s = SimSpan::from_nanos(6) + SimSpan::from_nanos(4);
+        assert_eq!(s, SimSpan::from_nanos(10));
+        assert_eq!(s - SimSpan::from_nanos(3), SimSpan::from_nanos(7));
+        assert_eq!(s * 3, SimSpan::from_nanos(30));
+        assert_eq!(s / 4, SimSpan::from_nanos(2));
+    }
+
+    #[test]
+    fn span_sum() {
+        let spans = [1u64, 2, 3].map(SimSpan::from_nanos);
+        let total: SimSpan = spans.into_iter().sum();
+        assert_eq!(total, SimSpan::from_nanos(6));
+    }
+
+    #[test]
+    fn min_max() {
+        let a = SimTime::from_nanos(3);
+        let b = SimTime::from_nanos(7);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+        assert_eq!(
+            SimSpan::from_nanos(3).max(SimSpan::from_nanos(7)),
+            SimSpan::from_nanos(7)
+        );
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(SimSpan::from_nanos(12).to_string(), "12ns");
+        assert_eq!(SimSpan::from_nanos(1_500).to_string(), "1.500us");
+        assert_eq!(SimSpan::from_millis(2).to_string(), "2.000ms");
+        assert_eq!(SimSpan::from_secs_f64(1.25).to_string(), "1.250000s");
+        assert_eq!(SimTime::from_nanos(1_000).to_string(), "0.000001s");
+    }
+}

@@ -1,0 +1,167 @@
+//! Transfer tracing: optional per-message records and exporters.
+//!
+//! When enabled on a [`crate::Fabric`], every planned transfer is
+//! recorded with its full timeline. Traces can be rendered as
+//! `chrome://tracing` / Perfetto JSON ([`to_chrome_trace`]) or as a
+//! plain-text summary ([`summarize`]) — indispensable when debugging
+//! why a collective schedule underperforms.
+
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// One recorded transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TransferRecord {
+    /// Sending rank.
+    pub src: usize,
+    /// Receiving rank.
+    pub dst: usize,
+    /// Payload bytes.
+    pub bytes: usize,
+    /// When the payload was ready to leave the sender.
+    pub ready: SimTime,
+    /// When the first byte left the sender NIC.
+    pub wire_start: SimTime,
+    /// When the sender-side resources were released.
+    pub send_done: SimTime,
+    /// When the last byte arrived at the receiver.
+    pub delivered: SimTime,
+    /// Whether the shared-memory path was used.
+    pub shm: bool,
+}
+
+impl TransferRecord {
+    /// Time spent queueing behind earlier transfers on the sender NIC.
+    pub fn queueing(&self) -> f64 {
+        (self.wire_start - self.ready).as_secs_f64()
+    }
+
+    /// End-to-end duration from ready to delivered.
+    pub fn duration(&self) -> f64 {
+        (self.delivered - self.ready).as_secs_f64()
+    }
+}
+
+/// Renders records as a Chrome-tracing (Perfetto-compatible) JSON
+/// array: one complete event per transfer, grouped by sender rank
+/// (`pid`) with the receiver as `tid`.
+pub fn to_chrome_trace(records: &[TransferRecord]) -> String {
+    let mut out = String::from("[");
+    for (i, r) in records.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let ts_us = r.wire_start.as_nanos() as f64 / 1e3;
+        let dur_us = (r.delivered - r.wire_start).as_secs_f64() * 1e6;
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}->{} {}B{}\",\"ph\":\"X\",\"ts\":{:.3},\"dur\":{:.3},\
+             \"pid\":{},\"tid\":{}}}",
+            r.src,
+            r.dst,
+            r.bytes,
+            if r.shm { " shm" } else { "" },
+            ts_us,
+            dur_us,
+            r.src,
+            r.dst
+        );
+    }
+    out.push(']');
+    out
+}
+
+/// Aggregate statistics of a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceSummary {
+    /// Number of transfers.
+    pub transfers: usize,
+    /// Total payload bytes.
+    pub bytes: u64,
+    /// Mean sender-side queueing delay in seconds (NIC contention).
+    pub mean_queueing: f64,
+    /// Maximum sender-side queueing delay in seconds.
+    pub max_queueing: f64,
+    /// Virtual time of the last delivery.
+    pub last_delivery: SimTime,
+}
+
+/// Summarises a trace (zeroed summary for an empty trace).
+pub fn summarize(records: &[TransferRecord]) -> TraceSummary {
+    if records.is_empty() {
+        return TraceSummary {
+            transfers: 0,
+            bytes: 0,
+            mean_queueing: 0.0,
+            max_queueing: 0.0,
+            last_delivery: SimTime::ZERO,
+        };
+    }
+    let total_queue: f64 = records.iter().map(TransferRecord::queueing).sum();
+    TraceSummary {
+        transfers: records.len(),
+        bytes: records.iter().map(|r| r.bytes as u64).sum(),
+        mean_queueing: total_queue / records.len() as f64,
+        max_queueing: records
+            .iter()
+            .map(TransferRecord::queueing)
+            .fold(0.0, f64::max),
+        last_delivery: records
+            .iter()
+            .map(|r| r.delivered)
+            .fold(SimTime::ZERO, SimTime::max),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(src: usize, dst: usize, start_ns: u64) -> TransferRecord {
+        TransferRecord {
+            src,
+            dst,
+            bytes: 100,
+            ready: SimTime::from_nanos(start_ns.saturating_sub(50)),
+            wire_start: SimTime::from_nanos(start_ns),
+            send_done: SimTime::from_nanos(start_ns + 100),
+            delivered: SimTime::from_nanos(start_ns + 1_000),
+            shm: false,
+        }
+    }
+
+    #[test]
+    fn chrome_trace_is_json_shaped() {
+        let trace = to_chrome_trace(&[record(0, 1, 100), record(1, 2, 200)]);
+        assert!(trace.starts_with('['));
+        assert!(trace.ends_with(']'));
+        assert_eq!(trace.matches("\"ph\":\"X\"").count(), 2);
+        assert!(trace.contains("\"name\":\"0->1 100B\""));
+    }
+
+    #[test]
+    fn empty_trace_renders() {
+        assert_eq!(to_chrome_trace(&[]), "[]");
+        let s = summarize(&[]);
+        assert_eq!(s.transfers, 0);
+        assert_eq!(s.last_delivery, SimTime::ZERO);
+    }
+
+    #[test]
+    fn summary_aggregates() {
+        let s = summarize(&[record(0, 1, 100), record(0, 2, 500)]);
+        assert_eq!(s.transfers, 2);
+        assert_eq!(s.bytes, 200);
+        assert_eq!(s.last_delivery, SimTime::from_nanos(1_500));
+        assert!(s.mean_queueing > 0.0);
+        assert!(s.max_queueing >= s.mean_queueing);
+    }
+
+    #[test]
+    fn queueing_measures_nic_wait() {
+        let r = record(0, 1, 100);
+        assert!((r.queueing() - 50e-9).abs() < 1e-15);
+        assert!((r.duration() - 1050e-9).abs() < 1e-15);
+    }
+}

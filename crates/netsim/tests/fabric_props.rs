@@ -1,0 +1,116 @@
+//! Property tests of the network fabric's physical invariants.
+
+use collsel_netsim::{ClusterModel, Fabric, NoiseParams, SimSpan, SimTime};
+use proptest::prelude::*;
+
+fn arb_cluster() -> impl Strategy<Value = ClusterModel> {
+    (2usize..32, 1u64..101, 1u64..300, 1usize..3).prop_map(|(nodes, gbps, lat, cpus)| {
+        ClusterModel::builder("prop", nodes)
+            .cpus_per_node(cpus)
+            .bandwidth_gbps(gbps as f64)
+            .wire_latency(SimSpan::from_micros(lat))
+            .noise(NoiseParams::OFF)
+            .build()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A transfer never starts before its payload is ready, never
+    /// finishes before it starts, and inter-node deliveries respect the
+    /// wire latency.
+    #[test]
+    fn transfer_causality(
+        cluster in arb_cluster(),
+        src_frac in 0.0f64..1.0,
+        dst_frac in 0.0f64..1.0,
+        bytes in 0usize..(1 << 22),
+        ready_ns in 0u64..1_000_000,
+    ) {
+        let max = cluster.max_ranks();
+        let src = (src_frac * (max - 1) as f64).round() as usize;
+        let dst = (dst_frac * (max - 1) as f64).round() as usize;
+        let mut fabric = Fabric::new(cluster.clone(), 0);
+        let ready = SimTime::from_nanos(ready_ns);
+        let plan = fabric.plan_transfer(src, dst, bytes, ready);
+        prop_assert!(plan.wire_start >= ready);
+        prop_assert!(plan.send_done >= plan.wire_start);
+        prop_assert!(plan.delivered >= plan.wire_start);
+        if !cluster.same_node(src, dst) {
+            prop_assert!(
+                plan.delivered >= plan.wire_start + cluster.one_way_latency()
+            );
+        }
+    }
+
+    /// Deliveries from one sender to one receiver are FIFO in plan
+    /// order, whatever the ready times do.
+    #[test]
+    fn same_pair_transfers_fifo(
+        cluster in arb_cluster(),
+        sizes in prop::collection::vec(1usize..100_000, 1..20),
+    ) {
+        let mut fabric = Fabric::new(cluster, 0);
+        let mut last = SimTime::ZERO;
+        for (i, &bytes) in sizes.iter().enumerate() {
+            let ready = SimTime::from_nanos((i as u64) * 10);
+            let plan = fabric.plan_transfer(0, 1, bytes, ready);
+            prop_assert!(plan.delivered >= last, "delivery overtook");
+            last = plan.delivered;
+        }
+    }
+
+    /// The transmit side serializes: n equal messages from one node
+    /// leave no earlier than n serialization times.
+    #[test]
+    fn tx_side_serializes(
+        cluster in arb_cluster(),
+        n in 1usize..16,
+        bytes in 1usize..100_000,
+    ) {
+        prop_assume!(cluster.max_ranks() >= 3);
+        let mut fabric = Fabric::new(cluster.clone(), 0);
+        // Send from rank 0 to a rank on a different node each time.
+        let dst = (1..cluster.max_ranks())
+            .find(|&r| !cluster.same_node(0, r));
+        prop_assume!(dst.is_some());
+        let dst = dst.unwrap();
+        let mut last_done = SimTime::ZERO;
+        for _ in 0..n {
+            let plan = fabric.plan_transfer(0, dst, bytes, SimTime::ZERO);
+            last_done = last_done.max(plan.send_done);
+        }
+        let serial = cluster.tx_duration(bytes) * n as u64;
+        prop_assert!(
+            last_done.as_nanos() >= serial.as_nanos(),
+            "{} < {}", last_done.as_nanos(), serial.as_nanos()
+        );
+    }
+
+    /// Noise never produces non-positive factors or unordered plans.
+    #[test]
+    fn noisy_plans_remain_causal(seed in any::<u64>(), bytes in 1usize..1_000_000) {
+        let cluster = ClusterModel::grisou(); // default noise
+        let mut fabric = Fabric::new(cluster, seed);
+        let plan = fabric.plan_transfer(0, 1, bytes, SimTime::ZERO);
+        prop_assert!(plan.send_done > SimTime::ZERO);
+        prop_assert!(plan.delivered >= plan.send_done);
+    }
+
+    /// Bigger messages never deliver sooner on a fresh fabric.
+    #[test]
+    fn delivery_monotone_in_size(
+        cluster in arb_cluster(),
+        small in 0usize..500_000,
+        extra in 1usize..500_000,
+    ) {
+        let a = Fabric::new(cluster.clone(), 0)
+            .plan_transfer(0, 1, small, SimTime::ZERO)
+            .delivered;
+        let b = Fabric::new(cluster, 0)
+            .plan_transfer(0, 1, small + extra, SimTime::ZERO)
+            .delivered;
+        prop_assert!(b >= a);
+    }
+}

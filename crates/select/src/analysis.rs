@@ -1,0 +1,204 @@
+//! Selection-accuracy analysis: the machinery behind the paper's
+//! Table 3 and Fig. 5 comparisons.
+//!
+//! Given measured execution times of every algorithm at a `(p, m)`
+//! point, [`ComparisonPoint`] records who actually won, what each
+//! decision function picked, and the percentage degradation of each
+//! pick against the best — exactly the quantities reported in Table 3.
+
+use collsel_coll::BcastAlg;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Measured times of every candidate algorithm at one `(p, m)` point,
+/// in seconds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MeasuredPoint {
+    /// Process count.
+    pub p: usize,
+    /// Message size in bytes.
+    pub m: usize,
+    /// Measured mean time per algorithm.
+    pub times: BTreeMap<BcastAlg, f64>,
+}
+
+impl MeasuredPoint {
+    /// Creates a point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `times` is empty or contains non-positive values.
+    pub fn new(p: usize, m: usize, times: BTreeMap<BcastAlg, f64>) -> Self {
+        assert!(!times.is_empty(), "need at least one measured algorithm");
+        assert!(
+            times.values().all(|&t| t.is_finite() && t > 0.0),
+            "measured times must be positive"
+        );
+        MeasuredPoint { p, m, times }
+    }
+
+    /// The measured best algorithm and its time.
+    pub fn best(&self) -> (BcastAlg, f64) {
+        let (&alg, &t) = self
+            .times
+            .iter()
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite times"))
+            .expect("non-empty");
+        (alg, t)
+    }
+
+    /// Percentage degradation of `alg` versus the best (0 for the best
+    /// itself), i.e. `100·(T_alg − T_best)/T_best` — the bracketed
+    /// numbers of Table 3.
+    ///
+    /// Returns `None` if `alg` was not measured at this point.
+    pub fn degradation_pct(&self, alg: BcastAlg) -> Option<f64> {
+        let t = *self.times.get(&alg)?;
+        let (_, best) = self.best();
+        Some(100.0 * (t - best) / best)
+    }
+}
+
+/// One row of a Table 3-style comparison.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ComparisonPoint {
+    /// Process count.
+    pub p: usize,
+    /// Message size in bytes.
+    pub m: usize,
+    /// The measured best algorithm.
+    pub best: BcastAlg,
+    /// The measured best time in seconds.
+    pub best_time: f64,
+    /// What the model-based decision picked.
+    pub model_pick: BcastAlg,
+    /// Degradation of the model-based pick vs best, in percent.
+    pub model_degradation_pct: f64,
+    /// What the native Open MPI decision picked.
+    pub openmpi_pick: BcastAlg,
+    /// Degradation of the Open MPI pick vs best, in percent.
+    pub openmpi_degradation_pct: f64,
+    /// Measured time of the model-based pick.
+    pub model_time: f64,
+    /// Measured time of the Open MPI pick (with its own segment size).
+    pub openmpi_time: f64,
+}
+
+impl ComparisonPoint {
+    /// Assembles a comparison row.
+    ///
+    /// `point` holds the per-algorithm times at the paper's fixed 8 KB
+    /// segment size; `openmpi_time` is measured separately because Open
+    /// MPI's decision function also chooses its own segment size.
+    pub fn build(
+        point: &MeasuredPoint,
+        model_pick: BcastAlg,
+        openmpi_pick: BcastAlg,
+        openmpi_time: f64,
+    ) -> Self {
+        let (best, best_time) = point.best();
+        let model_time = point
+            .times
+            .get(&model_pick)
+            .copied()
+            .expect("model pick was measured");
+        ComparisonPoint {
+            p: point.p,
+            m: point.m,
+            best,
+            best_time,
+            model_pick,
+            model_degradation_pct: 100.0 * (model_time - best_time) / best_time,
+            openmpi_pick,
+            openmpi_degradation_pct: 100.0 * (openmpi_time - best_time) / best_time,
+            model_time,
+            openmpi_time,
+        }
+    }
+}
+
+/// Summary statistics over a set of comparison rows (used in the
+/// paper's prose: "near optimal in 50% cases, up to 160% degradation in
+/// the remaining").
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SelectorSummary {
+    /// Fraction of points within 10% of the best (the paper's "near
+    /// optimal" yardstick).
+    pub near_optimal_fraction: f64,
+    /// Worst-case degradation in percent.
+    pub max_degradation_pct: f64,
+    /// Mean degradation in percent.
+    pub mean_degradation_pct: f64,
+}
+
+/// Summarises degradations (percent values).
+///
+/// # Panics
+///
+/// Panics if `degradations` is empty.
+pub fn summarise(degradations: &[f64]) -> SelectorSummary {
+    assert!(!degradations.is_empty(), "no comparison points");
+    let n = degradations.len() as f64;
+    let near = degradations.iter().filter(|&&d| d <= 10.0).count() as f64;
+    SelectorSummary {
+        near_optimal_fraction: near / n,
+        max_degradation_pct: degradations.iter().copied().fold(f64::MIN, f64::max),
+        mean_degradation_pct: degradations.iter().sum::<f64>() / n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point() -> MeasuredPoint {
+        let mut times = BTreeMap::new();
+        times.insert(BcastAlg::Binomial, 1.0e-3);
+        times.insert(BcastAlg::Binary, 1.1e-3);
+        times.insert(BcastAlg::Chain, 2.0e-3);
+        MeasuredPoint::new(90, 8192, times)
+    }
+
+    #[test]
+    fn best_is_minimum() {
+        let (alg, t) = point().best();
+        assert_eq!(alg, BcastAlg::Binomial);
+        assert_eq!(t, 1.0e-3);
+    }
+
+    #[test]
+    fn degradation_percentages() {
+        let p = point();
+        assert_eq!(p.degradation_pct(BcastAlg::Binomial), Some(0.0));
+        let d = p.degradation_pct(BcastAlg::Binary).unwrap();
+        assert!((d - 10.0).abs() < 1e-9);
+        let d = p.degradation_pct(BcastAlg::Chain).unwrap();
+        assert!((d - 100.0).abs() < 1e-9);
+        assert_eq!(p.degradation_pct(BcastAlg::Linear), None);
+    }
+
+    #[test]
+    fn comparison_point_computes_both_sides() {
+        let p = point();
+        let row = ComparisonPoint::build(&p, BcastAlg::Binary, BcastAlg::Chain, 2.6e-3);
+        assert_eq!(row.best, BcastAlg::Binomial);
+        assert!((row.model_degradation_pct - 10.0).abs() < 1e-9);
+        assert!((row.openmpi_degradation_pct - 160.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summary_counts_near_optimal() {
+        let s = summarise(&[0.0, 3.0, 10.0, 55.0]);
+        assert!((s.near_optimal_fraction - 0.75).abs() < 1e-9);
+        assert_eq!(s.max_degradation_pct, 55.0);
+        assert!((s.mean_degradation_pct - 17.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn rejects_nonpositive_times() {
+        let mut times = BTreeMap::new();
+        times.insert(BcastAlg::Binomial, 0.0);
+        let _ = MeasuredPoint::new(2, 2, times);
+    }
+}

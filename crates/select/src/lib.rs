@@ -1,0 +1,32 @@
+//! # collsel-select
+//!
+//! Runtime **decision functions** for MPI broadcast algorithm selection
+//! and the analysis tooling that compares them — the paper's Sect. 5.3.
+//!
+//! * [`ModelBasedSelector`] — the paper's contribution: argmin over the
+//!   implementation-derived models with per-algorithm parameters;
+//! * [`OpenMpiFixedSelector`] — faithful port of the native Open MPI 3.1
+//!   fixed decision function (the baseline whose mis-selections reach
+//!   7297% degradation in the paper);
+//! * [`MeasuredTableSelector`] — the measured-best oracle;
+//! * [`analysis`] — Table 3-style degradation accounting.
+//!
+//! ```
+//! use collsel_select::{OpenMpiFixedSelector, Selector};
+//!
+//! let sel = OpenMpiFixedSelector;
+//! let s = sel.select(90, 1 << 20); // 1 MB on 90 processes
+//! assert_eq!(s.alg.name(), "chain"); // the native choice the paper criticises
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod analysis;
+pub mod rules;
+mod selector;
+
+pub use selector::{
+    MeasuredTableSelector, ModelBasedSelector, OpenMpiFixedSelector, Selection, Selector,
+    TraditionalModelSelector,
+};

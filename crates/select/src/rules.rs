@@ -1,0 +1,248 @@
+//! Decision tables and Open MPI dynamic-rules export.
+//!
+//! Open MPI's `tuned` collective component can load selection rules
+//! from a file (`coll_tuned_dynamic_rules_filename`), overriding its
+//! built-in fixed decision function. That is the natural deployment
+//! path for the paper's method on a real cluster: tune offline, emit a
+//! rules file, point Open MPI at it.
+//!
+//! [`DecisionTable`] materialises any [`Selector`] over a grid of
+//! communicator and message sizes; [`DecisionTable::to_ompi_rules`]
+//! renders the grid in the dynamic-rules file format, using Open MPI
+//! 3.1's broadcast algorithm numbering:
+//!
+//! | id | algorithm |
+//! |----|-----------|
+//! | 1 | basic linear |
+//! | 2 | chain (our k-chain, fanout 4) |
+//! | 3 | pipeline (our chain) |
+//! | 4 | split binary tree |
+//! | 5 | binary tree |
+//! | 6 | binomial tree |
+
+use crate::selector::{Selection, Selector};
+use collsel_coll::BcastAlg;
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// Open MPI `COLL_TUNED` collective id for broadcast.
+pub const OMPI_COLL_ID_BCAST: u32 = 7;
+
+/// Open MPI 3.1 `coll_tuned_bcast_algorithm` number for an algorithm.
+pub fn ompi_bcast_algorithm_id(alg: BcastAlg) -> u32 {
+    match alg {
+        BcastAlg::Linear => 1,
+        BcastAlg::KChain => 2,
+        BcastAlg::Chain => 3,
+        BcastAlg::SplitBinary => 4,
+        BcastAlg::Binary => 5,
+        BcastAlg::Binomial => 6,
+    }
+}
+
+/// One rule: for messages of at least `min_msg_size` bytes, run
+/// `selection`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Rule {
+    /// Threshold message size in bytes (rules apply from this size up
+    /// to the next rule's threshold).
+    pub min_msg_size: usize,
+    /// The algorithm (and segment size) to run.
+    pub selection: Selection,
+}
+
+/// All rules for one communicator size.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CommRules {
+    /// Communicator size the rules apply to (Open MPI applies a comm
+    /// block to all sizes from this value up to the next block's).
+    pub comm_size: usize,
+    /// Message-size thresholds in ascending order.
+    pub rules: Vec<Rule>,
+}
+
+/// A materialised decision table for `MPI_Bcast`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DecisionTable {
+    /// Per-communicator-size rule blocks, ascending.
+    pub comms: Vec<CommRules>,
+}
+
+impl DecisionTable {
+    /// Materialises `selector` over the given grids. Consecutive
+    /// message sizes that select identically are merged into one rule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either grid is empty or unsorted.
+    pub fn generate(selector: &dyn Selector, comm_sizes: &[usize], msg_sizes: &[usize]) -> Self {
+        assert!(
+            !comm_sizes.is_empty(),
+            "need at least one communicator size"
+        );
+        assert!(!msg_sizes.is_empty(), "need at least one message size");
+        assert!(
+            comm_sizes.windows(2).all(|w| w[0] < w[1]),
+            "communicator sizes must be ascending"
+        );
+        assert!(
+            msg_sizes.windows(2).all(|w| w[0] < w[1]),
+            "message sizes must be ascending"
+        );
+        let comms = comm_sizes
+            .iter()
+            .map(|&p| {
+                let mut rules: Vec<Rule> = Vec::new();
+                for &m in msg_sizes {
+                    let selection = selector.select(p, m);
+                    match rules.last() {
+                        Some(last) if last.selection == selection => {}
+                        _ => rules.push(Rule {
+                            min_msg_size: m,
+                            selection,
+                        }),
+                    }
+                }
+                // Open MPI rule blocks conventionally start at size 0.
+                if let Some(first) = rules.first_mut() {
+                    first.min_msg_size = 0;
+                }
+                CommRules {
+                    comm_size: p,
+                    rules,
+                }
+            })
+            .collect();
+        DecisionTable { comms }
+    }
+
+    /// Looks up the rule for `(p, m)`: the highest comm block not above
+    /// `p`, then the highest threshold not above `m`.
+    pub fn lookup(&self, p: usize, m: usize) -> Option<Selection> {
+        let block = self
+            .comms
+            .iter()
+            .rfind(|c| c.comm_size <= p)
+            .or_else(|| self.comms.first())?;
+        let rule = block
+            .rules
+            .iter()
+            .rfind(|r| r.min_msg_size <= m)
+            .or_else(|| block.rules.first())?;
+        Some(rule.selection)
+    }
+
+    /// Renders the table in Open MPI's dynamic-rules file format.
+    ///
+    /// The emitted file can be fed to a real Open MPI via
+    /// `--mca coll_tuned_use_dynamic_rules 1
+    ///  --mca coll_tuned_dynamic_rules_filename <file>`.
+    pub fn to_ompi_rules(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "1 # num of collectives");
+        let _ = writeln!(out, "{OMPI_COLL_ID_BCAST} # collective id (broadcast)");
+        let _ = writeln!(out, "{} # number of com sizes", self.comms.len());
+        for block in &self.comms {
+            let _ = writeln!(out, "{} # comm size", block.comm_size);
+            let _ = writeln!(out, "{} # number of msg sizes", block.rules.len());
+            for rule in &block.rules {
+                // message_size algorithm_id topo_faninout segsize
+                let seg = rule.selection.seg_size.unwrap_or(0);
+                let _ = writeln!(
+                    out,
+                    "{} {} 0 {}",
+                    rule.min_msg_size,
+                    ompi_bcast_algorithm_id(rule.selection.alg),
+                    seg
+                );
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::selector::OpenMpiFixedSelector;
+
+    fn table() -> DecisionTable {
+        DecisionTable::generate(
+            &OpenMpiFixedSelector,
+            &[16, 64, 128],
+            &[1024, 8 * 1024, 64 * 1024, 512 * 1024, 4 << 20],
+        )
+    }
+
+    #[test]
+    fn algorithm_ids_match_open_mpi_numbering() {
+        assert_eq!(ompi_bcast_algorithm_id(BcastAlg::Linear), 1);
+        assert_eq!(ompi_bcast_algorithm_id(BcastAlg::KChain), 2);
+        assert_eq!(ompi_bcast_algorithm_id(BcastAlg::Chain), 3);
+        assert_eq!(ompi_bcast_algorithm_id(BcastAlg::SplitBinary), 4);
+        assert_eq!(ompi_bcast_algorithm_id(BcastAlg::Binary), 5);
+        assert_eq!(ompi_bcast_algorithm_id(BcastAlg::Binomial), 6);
+    }
+
+    #[test]
+    fn generate_merges_identical_consecutive_rules() {
+        let t = table();
+        for block in &t.comms {
+            for w in block.rules.windows(2) {
+                assert_ne!(w[0].selection, w[1].selection, "unmerged duplicate");
+                assert!(w[0].min_msg_size < w[1].min_msg_size);
+            }
+            assert_eq!(block.rules[0].min_msg_size, 0);
+        }
+    }
+
+    #[test]
+    fn lookup_matches_source_selector() {
+        let t = table();
+        let sel = OpenMpiFixedSelector;
+        for &p in &[16usize, 64, 128] {
+            for &m in &[1024usize, 8 * 1024, 512 * 1024, 4 << 20] {
+                assert_eq!(t.lookup(p, m), Some(sel.select(p, m)), "p={p} m={m}");
+            }
+        }
+    }
+
+    #[test]
+    fn lookup_between_grid_points_uses_floor() {
+        let t = table();
+        // p = 100 falls back to the 64-block; m = 9000 to the rule
+        // starting at or below 9000.
+        let direct = t.lookup(64, 9000);
+        assert_eq!(t.lookup(100, 9000), direct);
+        // Below the smallest block, clamp to the first.
+        assert_eq!(t.lookup(2, 1024), t.lookup(16, 1024));
+    }
+
+    #[test]
+    fn ompi_rules_format_shape() {
+        let t = table();
+        let s = t.to_ompi_rules();
+        let mut lines = s.lines();
+        assert_eq!(lines.next().unwrap(), "1 # num of collectives");
+        assert_eq!(lines.next().unwrap(), "7 # collective id (broadcast)");
+        assert_eq!(lines.next().unwrap(), "3 # number of com sizes");
+        // Every rule line has 4 numeric fields.
+        for line in s.lines().skip(3) {
+            let data = line.split('#').next().unwrap().trim();
+            let fields: Vec<&str> = data.split_whitespace().collect();
+            assert!(
+                fields.len() == 1 || fields.len() == 4,
+                "unexpected line: {line}"
+            );
+            for f in fields {
+                f.parse::<u64>().expect("numeric field");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn generate_rejects_unsorted_grid() {
+        let _ = DecisionTable::generate(&OpenMpiFixedSelector, &[64, 16], &[1024]);
+    }
+}

@@ -1,0 +1,482 @@
+//! Decision functions: map `(process count, message size)` to a
+//! broadcast algorithm (and segment size).
+//!
+//! Three selectors are provided, matching the three curves of the
+//! paper's Fig. 5:
+//!
+//! * [`ModelBasedSelector`] — the paper's contribution: evaluate every
+//!   implementation-derived model with its per-algorithm parameters and
+//!   pick the fastest;
+//! * [`OpenMpiFixedSelector`] — the native Open MPI 3.1 decision
+//!   function (`ompi_coll_tuned_bcast_intra_dec_fixed`), the paper's
+//!   baseline;
+//! * [`MeasuredTableSelector`] — the oracle "best" line, built from
+//!   exhaustive measurements.
+
+use collsel_coll::BcastAlg;
+use collsel_model::{derived, GammaTable, Hockney};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt::Debug;
+
+/// The outcome of a selection: an algorithm plus the segment size it
+/// should run with (`None` means unsegmented — the whole message is one
+/// segment).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Selection {
+    /// The selected broadcast algorithm.
+    pub alg: BcastAlg,
+    /// Pipeline segment size in bytes; `None` for unsegmented.
+    pub seg_size: Option<usize>,
+}
+
+impl Selection {
+    /// Creates a segmented selection.
+    pub fn segmented(alg: BcastAlg, seg_size: usize) -> Self {
+        Selection {
+            alg,
+            seg_size: Some(seg_size),
+        }
+    }
+
+    /// Creates an unsegmented selection.
+    pub fn unsegmented(alg: BcastAlg) -> Self {
+        Selection {
+            alg,
+            seg_size: None,
+        }
+    }
+
+    /// The segment size to actually run with for an `m`-byte message
+    /// (unsegmented ⇒ one segment spanning the message).
+    pub fn effective_seg_size(&self, m: usize) -> usize {
+        self.seg_size.unwrap_or_else(|| m.max(1))
+    }
+}
+
+/// A runtime decision function for `MPI_Bcast`.
+pub trait Selector: Debug {
+    /// Selects the algorithm for broadcasting `m` bytes among `p`
+    /// processes.
+    fn select(&self, p: usize, m: usize) -> Selection;
+
+    /// A short name for reports.
+    fn name(&self) -> &str;
+}
+
+/// The paper's model-based runtime selection: evaluates the
+/// implementation-derived model of every algorithm with its own fitted
+/// `(α, β)` and the shared γ table, returning the predicted-fastest.
+///
+/// The paper fixes the segment size of all segmented algorithms to
+/// 8 KB; the selector is parameterised on it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelBasedSelector {
+    gamma: GammaTable,
+    params: BTreeMap<BcastAlg, Hockney>,
+    seg_size: usize,
+}
+
+impl ModelBasedSelector {
+    /// Builds the selector from estimated parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` is empty or `seg_size` is zero.
+    pub fn new(gamma: GammaTable, params: BTreeMap<BcastAlg, Hockney>, seg_size: usize) -> Self {
+        assert!(
+            !params.is_empty(),
+            "need at least one algorithm's parameters"
+        );
+        assert!(seg_size > 0, "segment size must be positive");
+        ModelBasedSelector {
+            gamma,
+            params,
+            seg_size,
+        }
+    }
+
+    /// The γ table in use.
+    pub fn gamma(&self) -> &GammaTable {
+        &self.gamma
+    }
+
+    /// The per-algorithm Hockney parameters.
+    pub fn params(&self) -> &BTreeMap<BcastAlg, Hockney> {
+        &self.params
+    }
+
+    /// Predicted times of every modelled algorithm, ascending.
+    pub fn ranking(&self, p: usize, m: usize) -> Vec<(BcastAlg, f64)> {
+        let mut v: Vec<(BcastAlg, f64)> = self
+            .params
+            .iter()
+            .map(|(&alg, h)| {
+                (
+                    alg,
+                    derived::predict_bcast(alg, p, m, self.seg_size, &self.gamma, h),
+                )
+            })
+            .collect();
+        v.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite predictions"));
+        v
+    }
+
+    /// Joint algorithm **and segment size** selection — the extension
+    /// the paper marks out of scope ("Selection of optimal segment size
+    /// is out of the scope of this paper"): since the derived models
+    /// are parameterised on the segment size, minimising over a
+    /// candidate segment grid comes for free.
+    ///
+    /// Returns the predicted-fastest `(algorithm, segment size)` pair
+    /// over `seg_candidates` (the tuned default is always included, so
+    /// this never does worse than [`Selector::select`] in model terms).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any candidate is zero.
+    pub fn select_with_segment_sweep(
+        &self,
+        p: usize,
+        m: usize,
+        seg_candidates: &[usize],
+    ) -> Selection {
+        let mut best: Option<(f64, Selection)> = None;
+        for &seg in seg_candidates.iter().chain(std::iter::once(&self.seg_size)) {
+            assert!(seg > 0, "segment size candidates must be positive");
+            for (&alg, h) in &self.params {
+                let t = derived::predict_bcast(alg, p, m, seg, &self.gamma, h);
+                if best.as_ref().is_none_or(|(bt, _)| t < *bt) {
+                    best = Some((t, Selection::segmented(alg, seg)));
+                }
+            }
+        }
+        best.expect("at least one candidate").1
+    }
+}
+
+impl Selector for ModelBasedSelector {
+    fn select(&self, p: usize, m: usize) -> Selection {
+        let (alg, _) = self.ranking(p, m)[0];
+        Selection::segmented(alg, self.seg_size)
+    }
+
+    fn name(&self) -> &str {
+        "model-based"
+    }
+}
+
+/// Ablation selector: ranks algorithms with the **traditional**
+/// (textbook) models and a single *network-level* Hockney pair — i.e.
+/// the prior-work approach the paper improves on (both innovations
+/// removed). Kept for the model-ablation experiments.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraditionalModelSelector {
+    hockney: Hockney,
+    seg_size: usize,
+}
+
+impl TraditionalModelSelector {
+    /// Builds the selector from a network-level Hockney pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seg_size` is zero.
+    pub fn new(hockney: Hockney, seg_size: usize) -> Self {
+        assert!(seg_size > 0, "segment size must be positive");
+        TraditionalModelSelector { hockney, seg_size }
+    }
+
+    /// Predicted times of every algorithm under the textbook models,
+    /// ascending.
+    pub fn ranking(&self, p: usize, m: usize) -> Vec<(BcastAlg, f64)> {
+        let mut v: Vec<(BcastAlg, f64)> = BcastAlg::ALL
+            .iter()
+            .map(|&alg| {
+                (
+                    alg,
+                    collsel_model::traditional::predict_bcast(
+                        alg,
+                        p,
+                        m,
+                        self.seg_size,
+                        &self.hockney,
+                    ),
+                )
+            })
+            .collect();
+        v.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite predictions"));
+        v
+    }
+}
+
+impl Selector for TraditionalModelSelector {
+    fn select(&self, p: usize, m: usize) -> Selection {
+        let (alg, _) = self.ranking(p, m)[0];
+        Selection::segmented(alg, self.seg_size)
+    }
+
+    fn name(&self) -> &str {
+        "traditional-models"
+    }
+}
+
+/// Port of Open MPI 3.1's fixed decision function for `MPI_Bcast`
+/// (`ompi_coll_tuned_bcast_intra_dec_fixed` in
+/// `coll/tuned/coll_tuned_decision_fixed.c`), including its empirical
+/// constants and per-choice segment sizes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpenMpiFixedSelector;
+
+impl OpenMpiFixedSelector {
+    /// Messages below this use the unsegmented binomial tree.
+    pub const SMALL_MESSAGE_SIZE: usize = 2048;
+    /// Messages below this (and above small) use split-binary with 1 KB
+    /// segments.
+    pub const INTERMEDIATE_MESSAGE_SIZE: usize = 370_728;
+
+    const A_P16: f64 = 3.2118e-6;
+    const B_P16: f64 = 8.7936;
+    const A_P64: f64 = 2.3679e-6;
+    const B_P64: f64 = 1.1787;
+    const A_P128: f64 = 1.6134e-6;
+    const B_P128: f64 = 2.1102;
+}
+
+impl Selector for OpenMpiFixedSelector {
+    fn select(&self, p: usize, m: usize) -> Selection {
+        let comm = p as f64;
+        let msg = m as f64;
+        if m < Self::SMALL_MESSAGE_SIZE {
+            Selection::unsegmented(BcastAlg::Binomial)
+        } else if m < Self::INTERMEDIATE_MESSAGE_SIZE {
+            Selection::segmented(BcastAlg::SplitBinary, 1024)
+        } else if comm < Self::A_P128 * msg + Self::B_P128 {
+            Selection::segmented(BcastAlg::Chain, 128 * 1024)
+        } else if p < 13 {
+            Selection::segmented(BcastAlg::SplitBinary, 64 * 1024)
+        } else if comm < Self::A_P64 * msg + Self::B_P64 {
+            Selection::segmented(BcastAlg::Chain, 64 * 1024)
+        } else if comm < Self::A_P16 * msg + Self::B_P16 {
+            Selection::segmented(BcastAlg::Chain, 16 * 1024)
+        } else {
+            Selection::segmented(BcastAlg::Chain, 8 * 1024)
+        }
+    }
+
+    fn name(&self) -> &str {
+        "open-mpi-fixed"
+    }
+}
+
+/// Oracle selector backed by a table of measured best algorithms (the
+/// green "best" line of Fig. 5). Queries between measured message sizes
+/// snap to the nearest measured size in log space; `p` must match a
+/// measured process count exactly.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MeasuredTableSelector {
+    /// `(p, m) -> selection` measured winners.
+    table: BTreeMap<(usize, usize), Selection>,
+    seg_size: usize,
+}
+
+impl MeasuredTableSelector {
+    /// Builds the oracle from measured winners (all entries use
+    /// `seg_size` segments).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table is empty.
+    pub fn new(table: BTreeMap<(usize, usize), BcastAlg>, seg_size: usize) -> Self {
+        assert!(!table.is_empty(), "oracle needs at least one measurement");
+        MeasuredTableSelector {
+            table: table
+                .into_iter()
+                .map(|(k, alg)| (k, Selection::segmented(alg, seg_size)))
+                .collect(),
+            seg_size,
+        }
+    }
+
+    /// The measured `(p, m)` grid.
+    pub fn keys(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.table.keys().copied()
+    }
+}
+
+impl Selector for MeasuredTableSelector {
+    fn select(&self, p: usize, m: usize) -> Selection {
+        if let Some(&sel) = self.table.get(&(p, m)) {
+            return sel;
+        }
+        // Snap to the nearest measured message size (log distance) for
+        // this process count.
+        let best = self.table.iter().filter(|((tp, _), _)| *tp == p).min_by(
+            |((_, m1), _), ((_, m2), _)| {
+                let d1 = ((*m1 as f64).ln() - (m as f64).max(1.0).ln()).abs();
+                let d2 = ((*m2 as f64).ln() - (m as f64).max(1.0).ln()).abs();
+                d1.partial_cmp(&d2).expect("finite distances")
+            },
+        );
+        match best {
+            Some((_, &sel)) => sel,
+            None => Selection::segmented(BcastAlg::Binomial, self.seg_size),
+        }
+    }
+
+    fn name(&self) -> &str {
+        "best-measured"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gamma() -> GammaTable {
+        GammaTable::from_pairs([(3, 1.11), (4, 1.22), (5, 1.28), (6, 1.45), (7, 1.54)])
+    }
+
+    fn uniform_params(alpha: f64, beta: f64) -> BTreeMap<BcastAlg, Hockney> {
+        BcastAlg::ALL
+            .iter()
+            .map(|&a| (a, Hockney::new(alpha, beta)))
+            .collect()
+    }
+
+    #[test]
+    fn model_based_picks_argmin_of_ranking() {
+        let sel = ModelBasedSelector::new(gamma(), uniform_params(1e-6, 1e-9), 8192);
+        for &(p, m) in &[(16usize, 1024usize), (90, 1 << 20), (124, 8192)] {
+            let ranking = sel.ranking(p, m);
+            assert_eq!(sel.select(p, m).alg, ranking[0].0);
+            for w in ranking.windows(2) {
+                assert!(w[0].1 <= w[1].1);
+            }
+        }
+    }
+
+    #[test]
+    fn model_based_prefers_shallow_trees_for_small_messages() {
+        let sel = ModelBasedSelector::new(gamma(), uniform_params(1e-5, 1e-9), 8192);
+        let pick = sel.select(90, 256).alg;
+        assert!(
+            matches!(
+                pick,
+                BcastAlg::Binomial | BcastAlg::Binary | BcastAlg::SplitBinary
+            ),
+            "small messages should avoid deep chains, got {pick}"
+        );
+    }
+
+    #[test]
+    fn model_based_avoids_linear_for_large_messages_many_ranks() {
+        let sel = ModelBasedSelector::new(gamma(), uniform_params(1e-6, 1e-9), 8192);
+        let pick = sel.select(90, 4 << 20).alg;
+        assert_ne!(pick, BcastAlg::Linear);
+    }
+
+    #[test]
+    fn open_mpi_matches_published_thresholds() {
+        let sel = OpenMpiFixedSelector;
+        // < 2 KB: unsegmented binomial.
+        assert_eq!(
+            sel.select(90, 1024),
+            Selection::unsegmented(BcastAlg::Binomial)
+        );
+        // 8 KB..256 KB: split-binary with 1 KB segments.
+        for m in [8 * 1024, 64 * 1024, 256 * 1024] {
+            assert_eq!(
+                sel.select(90, m),
+                Selection::segmented(BcastAlg::SplitBinary, 1024),
+                "m = {m}"
+            );
+        }
+        // >= 512 KB at 90 or 100 ranks: chain (pipeline), 8 KB segments.
+        for (p, m) in [(90usize, 512 * 1024usize), (100, 4 << 20), (90, 1 << 20)] {
+            let s = sel.select(p, m);
+            assert_eq!(s.alg, BcastAlg::Chain, "p={p} m={m}");
+            assert_eq!(s.seg_size, Some(8 * 1024), "p={p} m={m}");
+        }
+    }
+
+    #[test]
+    fn open_mpi_large_message_small_world_uses_bigger_segments() {
+        let sel = OpenMpiFixedSelector;
+        // Few processes, huge message: the P-vs-size laws pick larger
+        // segment pipelines or split-binary.
+        let s = sel.select(4, 4 << 20);
+        assert_eq!(s.alg, BcastAlg::Chain);
+        assert_eq!(s.seg_size, Some(128 * 1024));
+        let s = sel.select(12, 1 << 20);
+        assert_eq!(s.alg, BcastAlg::SplitBinary);
+        assert_eq!(s.seg_size, Some(64 * 1024));
+    }
+
+    #[test]
+    fn selection_effective_seg_size() {
+        assert_eq!(
+            Selection::unsegmented(BcastAlg::Binomial).effective_seg_size(500),
+            500
+        );
+        assert_eq!(
+            Selection::segmented(BcastAlg::Chain, 8192).effective_seg_size(500),
+            8192
+        );
+        assert_eq!(
+            Selection::unsegmented(BcastAlg::Linear).effective_seg_size(0),
+            1
+        );
+    }
+
+    #[test]
+    fn oracle_returns_exact_and_nearest() {
+        let mut t = BTreeMap::new();
+        t.insert((90, 8192), BcastAlg::Binomial);
+        t.insert((90, 1 << 20), BcastAlg::SplitBinary);
+        let sel = MeasuredTableSelector::new(t, 8192);
+        assert_eq!(sel.select(90, 8192).alg, BcastAlg::Binomial);
+        assert_eq!(sel.select(90, 9000).alg, BcastAlg::Binomial);
+        assert_eq!(sel.select(90, 900_000).alg, BcastAlg::SplitBinary);
+        // Unknown p: falls back to a sane default.
+        assert_eq!(sel.select(64, 8192).alg, BcastAlg::Binomial);
+    }
+
+    #[test]
+    fn segment_sweep_never_worse_than_fixed_in_model_terms() {
+        let sel = ModelBasedSelector::new(gamma(), uniform_params(1e-5, 1e-9), 8192);
+        let candidates = [1024, 4096, 8192, 16 * 1024, 64 * 1024];
+        for &(p, m) in &[(24usize, 8192usize), (90, 1 << 20), (124, 4 << 20)] {
+            let fixed = sel.ranking(p, m)[0].1;
+            let swept = sel.select_with_segment_sweep(p, m, &candidates);
+            let swept_t = collsel_model::derived::predict_bcast(
+                swept.alg,
+                p,
+                m,
+                swept.seg_size.expect("sweep always segments"),
+                sel.gamma(),
+                &sel.params()[&swept.alg],
+            );
+            assert!(swept_t <= fixed + 1e-15, "p={p} m={m}");
+        }
+    }
+
+    #[test]
+    fn segment_sweep_avoids_extremes_for_large_messages() {
+        // With a startup cost per segment, tiny segments lose; with no
+        // pipelining, huge segments lose. The optimum is interior.
+        let sel = ModelBasedSelector::new(gamma(), uniform_params(2e-5, 1e-9), 8192);
+        let candidates: Vec<usize> = (0..12).map(|i| 256 << i).collect(); // 256 B .. 512 KB
+        let pick = sel.select_with_segment_sweep(64, 4 << 20, &candidates);
+        let seg = pick.seg_size.unwrap();
+        assert!(seg > 256, "tiny segments pay too many startups: {seg}");
+        assert!(seg < 4 << 20, "one giant segment kills pipelining: {seg}");
+    }
+
+    #[test]
+    fn selector_names() {
+        assert_eq!(OpenMpiFixedSelector.name(), "open-mpi-fixed");
+        let m = ModelBasedSelector::new(gamma(), uniform_params(1e-6, 1e-9), 8192);
+        assert_eq!(m.name(), "model-based");
+    }
+}

@@ -1,0 +1,1 @@
+//! Workspace-level examples/tests package (see crates/core for the library facade).

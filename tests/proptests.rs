@@ -1,0 +1,169 @@
+//! Property-based tests over the whole stack: random platforms, random
+//! collective configurations, random measurement data.
+
+use bytes::Bytes;
+use collsel::coll::{bcast, gather_linear, scatter_binomial, BcastAlg, Topology};
+use collsel::estim::{huber_default, ols};
+use collsel::model::{derived, GammaTable, Hockney};
+use collsel::mpi::simulate;
+use collsel::netsim::{ClusterModel, NoiseParams, SimSpan};
+use proptest::prelude::*;
+
+/// A random small-but-plausible cluster.
+fn arb_cluster() -> impl Strategy<Value = ClusterModel> {
+    (
+        2usize..24, // nodes
+        1usize..3,  // cpus per node
+        1u64..100,  // bandwidth (Gbps * 10 is too wide; use 1..100 Gbps)
+        1u64..200,  // wire latency us
+        0usize..2,  // mapping choice
+    )
+        .prop_map(|(nodes, cpus, gbps, lat_us, mapping)| {
+            let b = ClusterModel::builder("prop", nodes)
+                .cpus_per_node(cpus)
+                .bandwidth_gbps(gbps as f64)
+                .wire_latency(SimSpan::from_micros(lat_us))
+                .noise(NoiseParams::OFF);
+            let c = b.build();
+            if mapping == 0 {
+                c
+            } else {
+                c.with_mapping(collsel::netsim::RankMapping::Block)
+            }
+        })
+}
+
+fn arb_alg() -> impl Strategy<Value = BcastAlg> {
+    prop::sample::select(BcastAlg::ALL.to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every broadcast algorithm delivers the exact payload on every
+    /// rank, on arbitrary platforms, roots, sizes and segment sizes.
+    #[test]
+    fn broadcast_always_delivers(
+        cluster in arb_cluster(),
+        alg in arb_alg(),
+        ranks_frac in 0.0f64..1.0,
+        root_frac in 0.0f64..1.0,
+        len in 0usize..20_000,
+        seg in 1usize..4096,
+    ) {
+        let max = cluster.max_ranks();
+        let p = 1 + (ranks_frac * (max.min(16) - 1) as f64).round() as usize;
+        let root = (root_frac * (p - 1) as f64).round() as usize;
+        let payload = Bytes::from((0..len).map(|i| (i % 253) as u8).collect::<Vec<_>>());
+        let expected = payload.clone();
+        let out = simulate(&cluster, p, 0, move |ctx| {
+            let msg = (ctx.rank() == root).then(|| payload.clone());
+            bcast(ctx, alg, root, msg, len, seg)
+        }).unwrap();
+        for got in &out.results {
+            prop_assert_eq!(got, &expected);
+        }
+    }
+
+    /// Gather then scatter round-trips every rank's contribution.
+    #[test]
+    fn gather_scatter_round_trip(
+        cluster in arb_cluster(),
+        root_frac in 0.0f64..1.0,
+        item_len in 1usize..256,
+    ) {
+        let p = cluster.max_ranks().min(12);
+        let root = (root_frac * (p - 1) as f64).round() as usize;
+        let out = simulate(&cluster, p, 0, move |ctx| {
+            let mine = Bytes::from(vec![ctx.rank() as u8; item_len]);
+            let gathered = gather_linear(ctx, root, mine);
+            let blocks = gathered.map(|g| g.to_vec());
+            scatter_binomial(ctx, root, blocks)
+        }).unwrap();
+        for (rank, got) in out.results.iter().enumerate() {
+            let expected = vec![rank as u8; item_len];
+            prop_assert_eq!(got.as_ref(), expected.as_slice());
+        }
+    }
+
+    /// Same seed, same program => identical virtual timings, even with
+    /// noise enabled.
+    #[test]
+    fn simulation_is_deterministic(
+        seed in any::<u64>(),
+        len in 1usize..50_000,
+    ) {
+        let cluster = ClusterModel::grisou(); // noise on
+        let run = || {
+            simulate(&cluster, 8, seed, |ctx| {
+                let msg = (ctx.rank() == 0).then(|| Bytes::from(vec![7u8; len]));
+                let _ = bcast(ctx, BcastAlg::Binary, 0, msg, len, 2048);
+                ctx.wtime()
+            }).unwrap().results
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// Every topology builder yields a spanning tree for any (p, root).
+    #[test]
+    fn topologies_are_spanning_trees(p in 1usize..200, root_frac in 0.0f64..1.0, k in 1usize..8) {
+        let root = (root_frac * (p - 1) as f64).round() as usize;
+        for t in [
+            Topology::linear(p, root),
+            Topology::chain(p, root),
+            Topology::k_chain(k, p, root),
+            Topology::binary(p, root),
+            Topology::in_order_binary(p, root),
+            Topology::binomial(p, root),
+        ] {
+            let mut seen = 0usize;
+            for r in 0..p {
+                let mut cur = r;
+                let mut hops = 0;
+                while let Some(parent) = t.parent(cur) {
+                    prop_assert!(t.children(parent).contains(&cur));
+                    cur = parent;
+                    hops += 1;
+                    prop_assert!(hops <= p, "cycle at rank {}", r);
+                }
+                prop_assert_eq!(cur, root);
+                seen += 1;
+            }
+            prop_assert_eq!(seen, p);
+        }
+    }
+
+    /// Model coefficients are finite, non-negative, and monotone in
+    /// message size for fixed (p, seg).
+    #[test]
+    fn model_costs_monotone_in_message_size(
+        alg in arb_alg(),
+        p in 2usize..160,
+        m in 1usize..(1 << 22),
+    ) {
+        let gamma = GammaTable::from_pairs([(3, 1.1), (5, 1.3), (7, 1.5)]);
+        let h = Hockney::new(1e-5, 1e-9);
+        let seg = 8192;
+        let t1 = derived::predict_bcast(alg, p, m, seg, &gamma, &h);
+        let t2 = derived::predict_bcast(alg, p, m * 2, seg, &gamma, &h);
+        prop_assert!(t1.is_finite() && t1 >= 0.0);
+        prop_assert!(t2 >= t1 * 0.999, "{} vs {}", t1, t2);
+    }
+
+    /// OLS and Huber agree on outlier-free affine data.
+    #[test]
+    fn regressions_recover_clean_lines(
+        intercept in -1.0f64..1.0,
+        slope in -2.0f64..2.0,
+        n in 4usize..40,
+    ) {
+        let xs: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| intercept + slope * x).collect();
+        let o = ols(&xs, &ys);
+        let h = huber_default(&xs, &ys);
+        prop_assert!((o.intercept - intercept).abs() < 1e-6);
+        prop_assert!((o.slope - slope).abs() < 1e-7);
+        prop_assert!((h.intercept - intercept).abs() < 1e-6);
+        prop_assert!((h.slope - slope).abs() < 1e-7);
+    }
+}

@@ -1,0 +1,18 @@
+#!/usr/bin/env sh
+# Hermetic CI gate: build, test, and lint the workspace with no network
+# access. The workspace has zero external crate dependencies (see
+# DESIGN.md), so --offline must always succeed from a clean checkout.
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "==> cargo build --release (offline)"
+cargo build --offline --release --workspace
+
+echo "==> cargo test (offline)"
+cargo test --offline --workspace -q
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "ci.sh: all green"

@@ -10,13 +10,13 @@
 //! integration test `tests/ablations.rs` — quality is an assertion, not
 //! a timing.
 
-use bytes::Bytes;
 use collsel::coll::{bcast, BcastAlg};
 use collsel::estim::{sample_adaptive, Precision};
 use collsel::model::{derived, traditional, GammaTable, Hockney};
 use collsel::mpi::simulate;
 use collsel_bench::quiet_cluster;
-use criterion::{criterion_group, criterion_main, Criterion};
+use collsel_support::bench::{criterion_group, criterion_main, Criterion};
+use collsel_support::Bytes;
 use std::hint::black_box;
 
 fn model_eval(c: &mut Criterion) {

@@ -6,7 +6,7 @@ use collsel::coll::BcastAlg;
 use collsel::model::{traditional, Hockney};
 use collsel_bench::bench_scenario;
 use collsel_expt::fig1::run_fig1;
-use criterion::{criterion_group, criterion_main, Criterion};
+use collsel_support::bench::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 fn regenerate_and_bench(c: &mut Criterion) {

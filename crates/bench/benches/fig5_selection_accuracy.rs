@@ -2,14 +2,14 @@
 //! reduced scale, then measures the sweep kernels: one full measured
 //! point (all six algorithms) and the simulated broadcast itself.
 
-use bytes::Bytes;
 use collsel::coll::{bcast, BcastAlg};
 use collsel::mpi::simulate;
 use collsel::{Tuner, TunerConfig};
 use collsel_bench::{bench_scenario, quiet_cluster};
 use collsel_expt::fig5::run_fig5;
 use collsel_expt::sweep::measure_point;
-use criterion::{criterion_group, criterion_main, Criterion};
+use collsel_support::bench::{criterion_group, criterion_main, Criterion};
+use collsel_support::Bytes;
 use std::hint::black_box;
 
 fn regenerate_and_bench(c: &mut Criterion) {

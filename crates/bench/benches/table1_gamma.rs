@@ -7,7 +7,7 @@ use collsel::model::GammaTable;
 use collsel::netsim::{ClusterModel, NoiseParams};
 use collsel_expt::table1::run_table1;
 use collsel_expt::{scenarios, Fidelity};
-use criterion::{criterion_group, criterion_main, Criterion};
+use collsel_support::bench::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 fn regenerate_and_bench(c: &mut Criterion) {

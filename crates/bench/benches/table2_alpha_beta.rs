@@ -8,7 +8,7 @@ use collsel::model::GammaTable;
 use collsel_bench::bench_scenario;
 use collsel_expt::table2::run_table2;
 use collsel_expt::{scenarios, Fidelity};
-use criterion::{criterion_group, criterion_main, Criterion};
+use collsel_support::bench::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 fn regenerate_and_bench(c: &mut Criterion) {

@@ -9,7 +9,7 @@ use collsel::{Tuner, TunerConfig};
 use collsel_bench::bench_scenario;
 use collsel_expt::fig5::run_fig5;
 use collsel_expt::table3::table3_from_fig5;
-use criterion::{criterion_group, criterion_main, Criterion};
+use collsel_support::bench::{criterion_group, criterion_main, Criterion};
 use std::collections::BTreeMap;
 use std::hint::black_box;
 

@@ -1,7 +1,6 @@
 //! The catalogue of broadcast algorithms, mirroring Open MPI 3.1's
 //! `MPI_Bcast` implementations.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::str::FromStr;
 
@@ -20,7 +19,7 @@ pub const DEFAULT_CHAIN_FANOUT: usize = 4;
 /// | `SplitBinary` | `bcast_intra_split_bintree` | in-order binary | yes |
 /// | `Binary` | `bcast_intra_bintree` | heap binary | yes |
 /// | `Binomial` | `bcast_intra_binomial` | balanced binomial | yes |
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum BcastAlg {
     /// Flat non-segmented broadcast: the root isends the whole message to
     /// every rank and waits for all sends.
@@ -109,6 +108,16 @@ impl FromStr for BcastAlg {
             })
     }
 }
+
+// JSON persistence (layout-compatible with the former serde derives).
+collsel_support::json_enum!(BcastAlg {
+    Linear,
+    Chain,
+    KChain,
+    SplitBinary,
+    Binary,
+    Binomial
+});
 
 #[cfg(test)]
 mod tests {

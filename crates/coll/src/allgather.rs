@@ -12,8 +12,8 @@
 
 use crate::bcast::bcast_binomial;
 use crate::gather::gather_linear;
-use bytes::Bytes;
 use collsel_mpi::Ctx;
+use collsel_support::Bytes;
 
 const TAG_ALLGATHER: u32 = 0x1A;
 

@@ -11,8 +11,8 @@
 
 use crate::bcast::bcast_binomial;
 use crate::reduce::{reduce_binomial, ReduceOp};
-use bytes::Bytes;
 use collsel_mpi::Ctx;
+use collsel_support::Bytes;
 
 const TAG_ALLREDUCE: u32 = 0x3A;
 

@@ -8,8 +8,8 @@
 //! * [`alltoall_pairwise`] — P-1 balanced sendrecv rounds with partner
 //!   `(r + round) mod P` (`alltoall_intra_pairwise`).
 
-use bytes::Bytes;
 use collsel_mpi::Ctx;
+use collsel_support::Bytes;
 
 const TAG_ALLTOALL: u32 = 0x2A;
 

@@ -10,8 +10,8 @@
 //! * [`barrier_linear`] — a flat gather-then-release barrier
 //!   (`barrier_intra_basic_linear`).
 
-use bytes::Bytes;
 use collsel_mpi::Ctx;
+use collsel_support::Bytes;
 
 const TAG_BARRIER: u32 = 0xD;
 

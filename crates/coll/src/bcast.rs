@@ -19,8 +19,8 @@
 
 use crate::alg::{BcastAlg, DEFAULT_CHAIN_FANOUT};
 use crate::topology::Topology;
-use bytes::{Bytes, BytesMut};
 use collsel_mpi::Ctx;
+use collsel_support::{Bytes, BytesMut};
 
 /// Internal tag for broadcast pipeline traffic.
 const TAG_BCAST: u32 = 0xB;

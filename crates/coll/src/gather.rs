@@ -11,8 +11,8 @@
 //! algorithm), used by the extension experiments.
 
 use crate::topology::Topology;
-use bytes::{Bytes, BytesMut};
 use collsel_mpi::Ctx;
+use collsel_support::{Bytes, BytesMut};
 
 const TAG_GATHER: u32 = 0xC;
 

@@ -17,7 +17,7 @@
 //! than from textbook definitions of the algorithms.
 //!
 //! ```
-//! use bytes::Bytes;
+//! use collsel_support::Bytes;
 //! use collsel_coll::{bcast, BcastAlg};
 //! use collsel_netsim::ClusterModel;
 //!

@@ -17,8 +17,8 @@
 //! `MPI_SUM` etc. on integer types).
 
 use crate::topology::Topology;
-use bytes::Bytes;
 use collsel_mpi::Ctx;
+use collsel_support::Bytes;
 
 const TAG_REDUCE: u32 = 0xF;
 

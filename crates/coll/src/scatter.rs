@@ -12,8 +12,8 @@
 //!   forwarding its children's sub-blocks.
 
 use crate::topology::Topology;
-use bytes::Bytes;
 use collsel_mpi::Ctx;
+use collsel_support::Bytes;
 
 const TAG_SCATTER: u32 = 0xE;
 

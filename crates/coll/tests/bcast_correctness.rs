@@ -2,10 +2,10 @@
 //! exactly the root's message, for a grid of process counts, roots,
 //! message sizes and segment sizes.
 
-use bytes::Bytes;
 use collsel_coll::{bcast, bcast_k_chain, BcastAlg};
 use collsel_mpi::simulate;
 use collsel_netsim::{ClusterModel, NoiseParams, SimSpan};
+use collsel_support::Bytes;
 
 /// A fast cluster so the exhaustive grid stays cheap in real time.
 fn test_cluster(nodes: usize) -> ClusterModel {

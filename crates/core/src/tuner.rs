@@ -18,11 +18,10 @@ use collsel_estim::{
 use collsel_model::Hockney;
 use collsel_netsim::ClusterModel;
 use collsel_select::ModelBasedSelector;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Configuration of a full tuning run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TunerConfig {
     /// γ estimation settings (Sect. 4.1).
     pub gamma: GammaConfig,
@@ -61,7 +60,7 @@ impl TunerConfig {
 
 /// The output of a tuning run: everything needed to select algorithms
 /// at runtime, plus the raw estimates for inspection.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TunedModel {
     /// Name of the cluster the model was tuned for.
     pub cluster_name: String,
@@ -148,6 +147,14 @@ impl Tuner {
     }
 }
 
+// JSON persistence (layout-compatible with the former serde derives).
+collsel_support::json_struct!(TunedModel {
+    cluster_name,
+    gamma,
+    params,
+    seg_size
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -196,8 +203,9 @@ mod persistence_tests {
         // must survive the round trip bit-for-bit.
         let cluster = ClusterModel::gros().with_noise(NoiseParams::OFF);
         let model = Tuner::new(cluster, TunerConfig::quick(12)).tune();
-        let json = serde_json::to_string(&model).expect("serialises");
-        let back: TunedModel = serde_json::from_str(&json).expect("parses");
+        let json = collsel_support::ToJson::to_json(&model).to_string_pretty();
+        let value = collsel_support::Json::parse(&json).expect("parses");
+        let back: TunedModel = collsel_support::FromJson::from_json(&value).expect("decodes");
         // Floats may lose the last ulp through the JSON text form, so
         // compare behaviourally: same structure, same parameters to
         // high precision, identical runtime selections.

@@ -26,11 +26,10 @@ use crate::stats::{Precision, SampleStats};
 use collsel_coll::BcastAlg;
 use collsel_model::{derived, GammaTable, Hockney};
 use collsel_netsim::ClusterModel;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Configuration of the α/β estimation experiments.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AlphaBetaConfig {
     /// Pipeline segment size `m_s` (the paper uses 8 KB).
     pub seg_size: usize,
@@ -111,7 +110,7 @@ impl AlphaBetaConfig {
 }
 
 /// One experiment's canonicalised equation and measurement.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ExperimentPoint {
     /// Broadcast message size `m_i`.
     pub msg_size: usize,
@@ -126,7 +125,7 @@ pub struct ExperimentPoint {
 }
 
 /// Result of the α/β estimation for one algorithm.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AlphaBetaEstimate {
     /// The fitted per-algorithm Hockney pair.
     pub hockney: Hockney,
@@ -204,6 +203,16 @@ pub fn estimate_all_alpha_beta(
         })
         .collect()
 }
+
+// JSON persistence (layout-compatible with the former serde derives).
+collsel_support::json_struct!(ExperimentPoint {
+    msg_size,
+    gather_size,
+    x,
+    y,
+    measured
+});
+collsel_support::json_struct!(AlphaBetaEstimate { hockney, points });
 
 #[cfg(test)]
 mod tests {

@@ -11,10 +11,9 @@ use crate::measure::linear_segment_bcast_time;
 use crate::stats::{Precision, SampleStats};
 use collsel_model::GammaTable;
 use collsel_netsim::ClusterModel;
-use serde::{Deserialize, Serialize};
 
 /// Configuration of the γ estimation experiments.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GammaConfig {
     /// Segment size `m_s` (the paper uses 8 KB).
     pub seg_size: usize,
@@ -57,7 +56,7 @@ impl Default for GammaConfig {
 }
 
 /// Result of the γ estimation: the table plus the raw measurements.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GammaEstimate {
     /// The fitted table, ready for the models.
     pub table: GammaTable,
@@ -102,6 +101,9 @@ pub fn estimate_gamma(cluster: &ClusterModel, cfg: &GammaConfig, seed: u64) -> G
         t2,
     }
 }
+
+// JSON persistence (layout-compatible with the former serde derives).
+collsel_support::json_struct!(GammaEstimate { table, t2 });
 
 #[cfg(test)]
 mod tests {

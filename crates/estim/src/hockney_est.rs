@@ -12,10 +12,9 @@ use crate::regress::ols;
 use crate::stats::{Precision, SampleStats};
 use collsel_model::Hockney;
 use collsel_netsim::ClusterModel;
-use serde::{Deserialize, Serialize};
 
 /// Result of the network-level Hockney measurement.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NetworkHockneyEstimate {
     /// The fitted network-level pair.
     pub hockney: Hockney,

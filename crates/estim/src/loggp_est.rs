@@ -14,13 +14,12 @@
 //!   overheads and the byte term.
 
 use crate::stats::{sample_adaptive, Precision};
-use bytes::Bytes;
 use collsel_model::LogGP;
 use collsel_netsim::ClusterModel;
-use serde::{Deserialize, Serialize};
+use collsel_support::Bytes;
 
 /// Result of the LogGP measurement.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LogGPEstimate {
     /// The measured parameters.
     pub params: LogGP,

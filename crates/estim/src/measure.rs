@@ -7,9 +7,9 @@
 //! the completion of the slowest rank.
 
 use crate::stats::{sample_adaptive, Precision, SampleStats};
-use bytes::Bytes;
 use collsel_coll::{bcast, gather_linear, BcastAlg};
 use collsel_netsim::ClusterModel;
+use collsel_support::Bytes;
 
 /// Root rank used by all measurement experiments.
 pub const ROOT: usize = 0;

@@ -2,10 +2,8 @@
 //! regressor the paper uses to solve the α/β system (Sect. 5.2,
 //! ref. [25]).
 
-use serde::{Deserialize, Serialize};
-
 /// A fitted line `y = intercept + slope·x`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LinearFit {
     /// The intercept (α in the paper's canonical system).
     pub intercept: f64,

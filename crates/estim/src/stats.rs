@@ -10,10 +10,8 @@
 //! normality sanity diagnostics (skewness and excess kurtosis of the
 //! sample).
 
-use serde::{Deserialize, Serialize};
-
 /// Stopping rule for adaptive measurement.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Precision {
     /// Target half-width of the confidence interval relative to the
     /// mean (the paper uses 0.025).
@@ -131,7 +129,7 @@ pub fn t_critical_95(df: usize) -> f64 {
 }
 
 /// Result of an adaptive measurement.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SampleStats {
     /// Sample mean.
     pub mean: f64,
@@ -233,6 +231,17 @@ fn higher_moments(samples: &[f64], mean: f64, std_dev: f64) -> (f64, f64) {
         / n;
     (m3, m4 - 3.0)
 }
+
+// JSON persistence (layout-compatible with the former serde derives).
+collsel_support::json_struct!(SampleStats {
+    mean,
+    std_dev,
+    n,
+    ci_half_width,
+    converged,
+    skewness,
+    excess_kurtosis
+});
 
 #[cfg(test)]
 mod tests {

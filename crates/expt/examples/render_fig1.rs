@@ -13,7 +13,10 @@ fn main() {
         .next()
         .expect("usage: render_fig1 <fig1.json> [out.txt]");
     let json = std::fs::read_to_string(&input).expect("readable fig1.json");
-    let fig1: Fig1Result = serde_json::from_str(&json).expect("valid fig1.json");
+    let fig1: Fig1Result = collsel_support::FromJson::from_json(
+        &collsel_support::Json::parse(&json).expect("valid JSON in fig1.json"),
+    )
+    .expect("valid fig1.json");
     let text = fig1.to_text();
     match args.next() {
         Some(out) => {

@@ -13,7 +13,10 @@ fn main() {
         .next()
         .expect("usage: render_fig5 <fig5.json> [out.txt]");
     let json = std::fs::read_to_string(&input).expect("readable fig5.json");
-    let fig5: Fig5Result = serde_json::from_str(&json).expect("valid fig5.json");
+    let fig5: Fig5Result = collsel_support::FromJson::from_json(
+        &collsel_support::Json::parse(&json).expect("valid JSON in fig5.json"),
+    )
+    .expect("valid fig5.json");
     let text = fig5.to_text();
     match args.next() {
         Some(out) => {

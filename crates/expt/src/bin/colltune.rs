@@ -125,7 +125,7 @@ fn cmd_tune(args: &[String]) -> Result<(), String> {
         tune_p
     );
     let model = Tuner::new(cluster, config).tune();
-    let json = serde_json::to_string_pretty(&model).map_err(|e| e.to_string())?;
+    let json = collsel_support::ToJson::to_json(&model).to_string_pretty();
     std::fs::write(out, json).map_err(|e| format!("cannot write {out}: {e}"))?;
     eprintln!("[colltune] model written to {out}");
     print_tables(&model);
@@ -135,7 +135,9 @@ fn cmd_tune(args: &[String]) -> Result<(), String> {
 fn load_model(args: &[String]) -> Result<TunedModel, String> {
     let path = flag_value(args, "--model").ok_or("--model required")?;
     let json = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    serde_json::from_str(&json).map_err(|e| format!("cannot parse {path}: {e}"))
+    let value =
+        collsel_support::Json::parse(&json).map_err(|e| format!("cannot parse {path}: {e}"))?;
+    collsel_support::FromJson::from_json(&value).map_err(|e| format!("cannot parse {path}: {e}"))
 }
 
 fn cmd_query(args: &[String]) -> Result<(), String> {

@@ -133,14 +133,14 @@ fn main() -> ExitCode {
 /// Tiny object-safe serialisation shim so `emit` can take any result.
 mod erased {
     use collsel_expt::report::ArtifactSink;
-    use serde::Serialize;
+    use collsel_support::ToJson;
     use std::io;
 
     pub trait Json {
         fn write(&self, sink: &ArtifactSink, name: &str) -> io::Result<()>;
     }
 
-    impl<T: Serialize> Json for T {
+    impl<T: ToJson> Json for T {
         fn write(&self, sink: &ArtifactSink, name: &str) -> io::Result<()> {
             sink.write_json(name, self)
         }

@@ -4,10 +4,9 @@
 use collsel::estim::{log_spaced_sizes, AlphaBetaConfig, GammaConfig, Precision};
 use collsel::netsim::ClusterModel;
 use collsel::TunerConfig;
-use serde::{Deserialize, Serialize};
 
 /// How faithfully to reproduce the paper's experiment scales.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Fidelity {
     /// The paper's scales: 10 log-spaced sizes 8 KB–4 MB, Grisou runs
     /// at 50/80/90 processes, Gros at 80/100/124, MPIBlib precision.

@@ -14,10 +14,9 @@ use collsel::coll::BcastAlg;
 use collsel::estim::measure::bcast_time;
 use collsel::estim::{estimate_network_hockney, NetworkHockneyEstimate};
 use collsel::model::traditional;
-use serde::{Deserialize, Serialize};
 
 /// One message size of Fig. 1.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Fig1Point {
     /// Message size in bytes.
     pub m: usize,
@@ -32,7 +31,7 @@ pub struct Fig1Point {
 }
 
 /// The regenerated Fig. 1 data.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fig1Result {
     /// Cluster the experiment ran on.
     pub cluster: String,
@@ -236,6 +235,22 @@ pub fn run_fig1(scenario: &Scenario, p: usize, seed: u64) -> Fig1Result {
         points,
     }
 }
+
+// JSON persistence (layout-compatible with the former serde derives).
+collsel_support::json_struct!(Fig1Point {
+    m,
+    measured_binary,
+    predicted_binary,
+    measured_binomial,
+    predicted_binomial
+});
+collsel_support::json_struct!(Fig1Result {
+    cluster,
+    p,
+    network_alpha,
+    network_beta,
+    points
+});
 
 #[cfg(test)]
 mod tests {

@@ -7,10 +7,9 @@ use crate::plot::{ascii_chart, Series};
 use crate::report::{format_csv, format_table, size_label};
 use crate::sweep::{sweep_panel, SweepPanel};
 use collsel::TunedModel;
-use serde::{Deserialize, Serialize};
 
 /// The regenerated Fig. 5: all panels of both clusters.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fig5Result {
     /// One panel per (cluster, process count), in paper order.
     pub panels: Vec<SweepPanel>,
@@ -147,6 +146,9 @@ pub fn run_fig5(scenarios: &[Scenario], tuned: &[TunedModel], seed: u64) -> Fig5
     }
     Fig5Result { panels }
 }
+
+// JSON persistence (layout-compatible with the former serde derives).
+collsel_support::json_struct!(Fig5Result { panels });
 
 #[cfg(test)]
 mod tests {

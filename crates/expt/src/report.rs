@@ -1,7 +1,7 @@
 //! Rendering of experiment results: aligned text tables, CSV, and the
 //! artifact writer used by the `repro` binary.
 
-use serde::Serialize;
+use collsel_support::ToJson;
 use std::fmt::Write as _;
 use std::fs;
 use std::io;
@@ -113,12 +113,10 @@ impl ArtifactSink {
     ///
     /// # Errors
     ///
-    /// Propagates I/O and serialisation failures.
-    pub fn write_json<T: Serialize>(&self, name: &str, value: &T) -> io::Result<()> {
+    /// Propagates I/O failures.
+    pub fn write_json<T: ToJson>(&self, name: &str, value: &T) -> io::Result<()> {
         if let Some(dir) = &self.dir {
-            let json = serde_json::to_string_pretty(value)
-                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
-            fs::write(dir.join(name), json)?;
+            fs::write(dir.join(name), value.to_json().to_string_pretty())?;
         }
         Ok(())
     }

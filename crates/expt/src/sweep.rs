@@ -12,11 +12,10 @@ use collsel::netsim::ClusterModel;
 use collsel::select::analysis::MeasuredPoint;
 use collsel::select::{OpenMpiFixedSelector, Selection, Selector};
 use collsel::TunedModel;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Everything measured and decided at one `(p, m)` point.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SweepPoint {
     /// Process count.
     pub p: usize,
@@ -51,7 +50,7 @@ impl SweepPoint {
 }
 
 /// One Fig. 5 panel: a full message-size sweep at one process count.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SweepPanel {
     /// Cluster name.
     pub cluster: String,
@@ -143,6 +142,25 @@ pub fn sweep_panel(scenario: &Scenario, tuned: &TunedModel, p: usize, seed: u64)
         points,
     }
 }
+
+// JSON persistence (layout-compatible with the former serde derives).
+collsel_support::json_struct!(SweepPoint {
+    p,
+    m,
+    measured,
+    best,
+    best_time,
+    model_pick,
+    model_time,
+    openmpi_pick,
+    openmpi_time
+});
+collsel_support::json_struct!(SweepPanel {
+    cluster,
+    p,
+    seg_size,
+    points
+});
 
 #[cfg(test)]
 mod tests {

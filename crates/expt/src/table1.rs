@@ -5,10 +5,9 @@ use crate::config::Scenario;
 use crate::paper_ref::TABLE1_GAMMA;
 use crate::report::{format_csv, format_table};
 use collsel::estim::{estimate_gamma, GammaConfig, GammaEstimate};
-use serde::{Deserialize, Serialize};
 
 /// One cluster's γ estimation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Table1Cluster {
     /// Cluster name.
     pub cluster: String,
@@ -17,7 +16,7 @@ pub struct Table1Cluster {
 }
 
 /// The regenerated Table 1.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Table1Result {
     /// One entry per cluster, in scenario order (Grisou, Gros).
     pub clusters: Vec<Table1Cluster>,
@@ -103,6 +102,10 @@ pub fn run_table1(scenarios: &[Scenario], gamma_cfg: &GammaConfig, seed: u64) ->
         .collect();
     Table1Result { clusters }
 }
+
+// JSON persistence (layout-compatible with the former serde derives).
+collsel_support::json_struct!(Table1Cluster { cluster, estimate });
+collsel_support::json_struct!(Table1Result { clusters });
 
 #[cfg(test)]
 mod tests {

@@ -12,10 +12,9 @@ use crate::paper_ref::{TABLE2_GRISOU, TABLE2_GROS};
 use crate::report::{format_csv, format_table};
 use collsel::coll::BcastAlg;
 use collsel::{TunedModel, Tuner};
-use serde::{Deserialize, Serialize};
 
 /// The regenerated Table 2: one tuned model per cluster.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Table2Result {
     /// Tuned models, in scenario order (Grisou, Gros).
     pub models: Vec<TunedModel>,
@@ -102,6 +101,9 @@ pub fn run_table2(scenarios: &[Scenario], fidelity: Fidelity) -> Table2Result {
         .collect();
     Table2Result { models }
 }
+
+// JSON persistence (layout-compatible with the former serde derives).
+collsel_support::json_struct!(Table2Result { models });
 
 #[cfg(test)]
 mod tests {

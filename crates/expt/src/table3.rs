@@ -7,10 +7,9 @@ use crate::fig5::Fig5Result;
 use crate::report::{format_csv, format_table, size_label};
 use crate::sweep::SweepPanel;
 use collsel::select::analysis::{summarise, SelectorSummary};
-use serde::{Deserialize, Serialize};
 
 /// One cluster's Table 3 column set.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Table3Cluster {
     /// Cluster name.
     pub cluster: String,
@@ -26,7 +25,7 @@ pub struct Table3Cluster {
 }
 
 /// The regenerated Table 3.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Table3Result {
     /// One entry per cluster.
     pub clusters: Vec<Table3Cluster>,
@@ -151,6 +150,16 @@ pub fn table3_from_fig5(fig5: &Fig5Result, featured: &[(String, usize)]) -> Tabl
         .collect();
     Table3Result { clusters }
 }
+
+// JSON persistence (layout-compatible with the former serde derives).
+collsel_support::json_struct!(Table3Cluster {
+    cluster,
+    p,
+    panel,
+    model_summary,
+    openmpi_summary
+});
+collsel_support::json_struct!(Table3Result { clusters });
 
 #[cfg(test)]
 mod tests {

@@ -12,11 +12,10 @@
 //! extrapolation the paper proposes for large platforms ("the discrete
 //! estimation of γ(P) is near linear").
 
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Platform-specific table of γ(P) values with linear extrapolation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GammaTable {
     /// Measured values, keyed by the linear-tree process count `P`
     /// (root plus children). γ(2) ≡ 1 by definition.
@@ -123,6 +122,13 @@ fn linear_fit(values: &BTreeMap<usize, f64>) -> (f64, f64) {
     let intercept = (sy - slope * sx) / n;
     (slope, intercept)
 }
+
+// JSON persistence (layout-compatible with the former serde derives).
+collsel_support::json_struct!(GammaTable {
+    values,
+    slope,
+    intercept
+});
 
 #[cfg(test)]
 mod tests {

@@ -1,6 +1,5 @@
 //! The Hockney point-to-point model `T(m) = α + β·m`.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Hockney model parameters: latency `α` (seconds) and reciprocal
@@ -10,7 +9,7 @@ use std::fmt;
 /// fitted per collective algorithm (Sect. 4.2): the pair captures the
 /// average behaviour of a point-to-point transfer *in the context of
 /// that algorithm*, not bare network characteristics.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Hockney {
     /// Latency in seconds.
     pub alpha: f64,
@@ -62,7 +61,7 @@ impl fmt::Display for Hockney {
 /// communication experiment contributes one linear equation
 /// `a_i·α + b_i·β = T_i`, canonicalised to `α + (b_i/a_i)·β = T_i/a_i`
 /// (the system of Fig. 4) and solved by robust regression.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Coefficients {
     /// Multiplier of α (counts message startups).
     pub a: f64,
@@ -102,6 +101,9 @@ impl Coefficients {
         (self.b / self.a, t / self.a)
     }
 }
+
+// JSON persistence (layout-compatible with the former serde derives).
+collsel_support::json_struct!(Hockney { alpha, beta });
 
 #[cfg(test)]
 mod tests {

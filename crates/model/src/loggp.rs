@@ -8,11 +8,10 @@
 //! the lineage; the collective models themselves stay Hockney-based as
 //! in the paper.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// LogGP parameters, all in seconds (G in seconds per byte).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LogGP {
     /// `L`: network latency upper bound.
     pub latency: f64,

@@ -14,9 +14,9 @@
 
 use crate::msg::{Peer, RecvStatus, Tag, TagSel};
 use crate::proto::{BlockOp, Completion, PostOp, RankMsg, ReqId, Resume, WaitMode};
-use bytes::Bytes;
 use collsel_netsim::SimTime;
-use crossbeam::channel::{Receiver, Sender};
+use collsel_support::Bytes;
+use std::sync::mpsc::{Receiver, Sender};
 
 /// Handle to an in-flight non-blocking send.
 ///

@@ -37,11 +37,11 @@
 use crate::error::SimError;
 use crate::msg::{Peer, Tag, TagSel};
 use crate::proto::{BlockOp, Completion, PostOp, RankMsg, ReqId, Resume, WaitMode};
-use bytes::Bytes;
 use collsel_netsim::{Fabric, FabricStats, SimTime};
-use crossbeam::channel::{Receiver, Sender};
+use collsel_support::Bytes;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::sync::mpsc::{Receiver, Sender};
 
 /// Where a rank currently stands, from the engine's point of view.
 #[derive(Debug, PartialEq, Eq, Clone, Copy)]

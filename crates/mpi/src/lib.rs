@@ -14,7 +14,7 @@
 //! Entry point: [`simulate`]. Per-rank API: [`Ctx`].
 //!
 //! ```
-//! use bytes::Bytes;
+//! use collsel_support::Bytes;
 //! use collsel_netsim::ClusterModel;
 //!
 //! // Ping-pong between two ranks, measured on rank 0's virtual clock.

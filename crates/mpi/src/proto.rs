@@ -1,8 +1,8 @@
 //! Crate-private wire protocol between rank threads and the engine.
 
 use crate::msg::{Peer, Tag, TagSel};
-use bytes::Bytes;
 use collsel_netsim::SimTime;
+use collsel_support::Bytes;
 
 /// Rank-local request identifier (allocated monotonically per rank).
 pub(crate) type ReqId = u32;

@@ -6,9 +6,9 @@ use crate::engine::Engine;
 use crate::error::SimError;
 use crate::proto::RankMsg;
 use collsel_netsim::{ClusterModel, Fabric, SimTime, TransferRecord};
-use crossbeam::channel;
-use parking_lot::Mutex;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::sync::Mutex;
 
 /// Marker panic payload used to unwind rank threads on engine abort.
 #[derive(Debug, Clone, Copy)]
@@ -49,7 +49,7 @@ pub struct SimOutcome<T> {
 /// identical timings).
 ///
 /// ```
-/// use bytes::Bytes;
+/// use collsel_support::Bytes;
 /// use collsel_netsim::ClusterModel;
 ///
 /// let cluster = ClusterModel::gros();
@@ -136,11 +136,11 @@ where
     if traced {
         fabric.enable_tracing();
     }
-    let (to_engine, from_ranks) = channel::unbounded::<RankMsg>();
+    let (to_engine, from_ranks) = mpsc::channel::<RankMsg>();
     let mut resume_txs = Vec::with_capacity(ranks);
     let mut resume_rxs = Vec::with_capacity(ranks);
     for _ in 0..ranks {
-        let (tx, rx) = channel::unbounded();
+        let (tx, rx) = mpsc::channel();
         resume_txs.push(tx);
         resume_rxs.push(rx);
     }
@@ -158,7 +158,7 @@ where
                 let outcome = catch_unwind(AssertUnwindSafe(|| f(&mut ctx)));
                 match outcome {
                     Ok(value) => {
-                        results.lock()[rank] = Some(value);
+                        results.lock().unwrap()[rank] = Some(value);
                         ctx.notify_finished();
                     }
                     Err(payload) => {
@@ -179,6 +179,7 @@ where
     let report = engine_result?;
     let results: Vec<T> = results
         .into_inner()
+        .expect("a rank panicked while holding the results lock")
         .into_iter()
         .enumerate()
         .map(|(rank, v)| v.unwrap_or_else(|| panic!("rank {rank} finished without a result")))

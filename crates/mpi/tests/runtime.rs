@@ -1,8 +1,8 @@
 //! Behavioural tests of the simulated MPI runtime.
 
-use bytes::Bytes;
 use collsel_mpi::{simulate, Peer, SimError, TagSel};
 use collsel_netsim::{ClusterModel, NoiseParams, SimSpan, SimTime};
+use collsel_support::Bytes;
 
 /// A small quiet cluster for exact-time assertions: 1 GB/s, 10 us wire
 /// latency, no hops/gaps/overheads/noise.

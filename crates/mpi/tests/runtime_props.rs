@@ -1,10 +1,10 @@
 //! Property tests of the MPI runtime: random communication patterns
 //! must complete, route correctly, and keep virtual time coherent.
 
-use bytes::Bytes;
 use collsel_mpi::simulate;
 use collsel_netsim::{ClusterModel, NoiseParams, SimSpan, SimTime};
-use proptest::prelude::*;
+use collsel_support::prelude::*;
+use collsel_support::Bytes;
 
 fn cluster(nodes: usize) -> ClusterModel {
     ClusterModel::builder("prop", nodes)

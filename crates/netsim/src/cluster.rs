@@ -20,10 +20,9 @@
 
 use crate::noise::NoiseParams;
 use crate::time::SimSpan;
-use serde::{Deserialize, Serialize};
 
 /// How consecutive MPI ranks are laid out over nodes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RankMapping {
     /// Rank `r` lives on node `r % nodes` (spread ranks over nodes first,
     /// then fill second CPUs). This mirrors `--map-by node` and is the
@@ -36,7 +35,7 @@ pub enum RankMapping {
 }
 
 /// Static description of a simulated cluster.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ClusterModel {
     name: String,
     nodes: usize,
@@ -71,7 +70,7 @@ pub struct ClusterModel {
 
 /// Rack-level topology: nodes are grouped into racks whose uplinks to
 /// the core switch are oversubscribed, as in real fat-tree deployments.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RackParams {
     /// Number of nodes per rack (the last rack may be partial).
     pub nodes_per_rack: usize,

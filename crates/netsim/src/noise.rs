@@ -11,16 +11,14 @@
 //! standard normal `Z`. A log-normal keeps factors positive and produces
 //! the mild right skew typical of communication benchmarks.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use collsel_support::rng::StdRng;
 
 /// Configuration of the noise model.
 ///
 /// `sigma` is the standard deviation of the underlying normal in log
 /// space; `sigma == 0.0` disables noise entirely and makes every run
 /// exactly repeatable regardless of seed.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NoiseParams {
     /// Log-space standard deviation of the multiplicative jitter.
     pub sigma: f64,
@@ -95,8 +93,8 @@ impl Noise {
         if !self.params.is_enabled() {
             return 1.0;
         }
-        // Box-Muller transform; rand's small-footprint alternative to
-        // depending on rand_distr for a single distribution.
+        // Box-Muller transform: two uniform draws give one normal
+        // deviate without needing a dedicated distributions library.
         let u1: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
         let u2: f64 = self.rng.gen_range(0.0..1.0);
         let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();

@@ -7,11 +7,10 @@
 //! why a collective schedule underperforms.
 
 use crate::time::SimTime;
-use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
 
 /// One recorded transfer.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TransferRecord {
     /// Sending rank.
     pub src: usize,
@@ -73,7 +72,7 @@ pub fn to_chrome_trace(records: &[TransferRecord]) -> String {
 }
 
 /// Aggregate statistics of a trace.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TraceSummary {
     /// Number of transfers.
     pub transfers: usize,

@@ -1,7 +1,7 @@
 //! Property tests of the network fabric's physical invariants.
 
 use collsel_netsim::{ClusterModel, Fabric, NoiseParams, SimSpan, SimTime};
-use proptest::prelude::*;
+use collsel_support::prelude::*;
 
 fn arb_cluster() -> impl Strategy<Value = ClusterModel> {
     (2usize..32, 1u64..101, 1u64..300, 1usize..3).prop_map(|(nodes, gbps, lat, cpus)| {

@@ -7,12 +7,11 @@
 //! pick against the best — exactly the quantities reported in Table 3.
 
 use collsel_coll::BcastAlg;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Measured times of every candidate algorithm at one `(p, m)` point,
 /// in seconds.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MeasuredPoint {
     /// Process count.
     pub p: usize,
@@ -60,7 +59,7 @@ impl MeasuredPoint {
 }
 
 /// One row of a Table 3-style comparison.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ComparisonPoint {
     /// Process count.
     pub p: usize,
@@ -120,7 +119,7 @@ impl ComparisonPoint {
 /// Summary statistics over a set of comparison rows (used in the
 /// paper's prose: "near optimal in 50% cases, up to 160% degradation in
 /// the remaining").
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SelectorSummary {
     /// Fraction of points within 10% of the best (the paper's "near
     /// optimal" yardstick).
@@ -146,6 +145,14 @@ pub fn summarise(degradations: &[f64]) -> SelectorSummary {
         mean_degradation_pct: degradations.iter().sum::<f64>() / n,
     }
 }
+
+// JSON persistence (layout-compatible with the former serde derives).
+collsel_support::json_struct!(MeasuredPoint { p, m, times });
+collsel_support::json_struct!(SelectorSummary {
+    near_optimal_fraction,
+    max_degradation_pct,
+    mean_degradation_pct
+});
 
 #[cfg(test)]
 mod tests {

@@ -22,7 +22,6 @@
 
 use crate::selector::{Selection, Selector};
 use collsel_coll::BcastAlg;
-use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
 
 /// Open MPI `COLL_TUNED` collective id for broadcast.
@@ -42,7 +41,7 @@ pub fn ompi_bcast_algorithm_id(alg: BcastAlg) -> u32 {
 
 /// One rule: for messages of at least `min_msg_size` bytes, run
 /// `selection`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Rule {
     /// Threshold message size in bytes (rules apply from this size up
     /// to the next rule's threshold).
@@ -52,7 +51,7 @@ pub struct Rule {
 }
 
 /// All rules for one communicator size.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CommRules {
     /// Communicator size the rules apply to (Open MPI applies a comm
     /// block to all sizes from this value up to the next block's).
@@ -62,7 +61,7 @@ pub struct CommRules {
 }
 
 /// A materialised decision table for `MPI_Bcast`.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DecisionTable {
     /// Per-communicator-size rule blocks, ascending.
     pub comms: Vec<CommRules>,

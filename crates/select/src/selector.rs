@@ -15,14 +15,13 @@
 
 use collsel_coll::BcastAlg;
 use collsel_model::{derived, GammaTable, Hockney};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt::Debug;
 
 /// The outcome of a selection: an algorithm plus the segment size it
 /// should run with (`None` means unsegmented — the whole message is one
 /// segment).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Selection {
     /// The selected broadcast algorithm.
     pub alg: BcastAlg,
@@ -70,7 +69,7 @@ pub trait Selector: Debug {
 ///
 /// The paper fixes the segment size of all segmented algorithms to
 /// 8 KB; the selector is parameterised on it.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ModelBasedSelector {
     gamma: GammaTable,
     params: BTreeMap<BcastAlg, Hockney>,
@@ -170,7 +169,7 @@ impl Selector for ModelBasedSelector {
 /// (textbook) models and a single *network-level* Hockney pair — i.e.
 /// the prior-work approach the paper improves on (both innovations
 /// removed). Kept for the model-ablation experiments.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TraditionalModelSelector {
     hockney: Hockney,
     seg_size: usize,
@@ -273,7 +272,7 @@ impl Selector for OpenMpiFixedSelector {
 /// green "best" line of Fig. 5). Queries between measured message sizes
 /// snap to the nearest measured size in log space; `p` must match a
 /// measured process count exactly.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MeasuredTableSelector {
     /// `(p, m) -> selection` measured winners.
     table: BTreeMap<(usize, usize), Selection>,
@@ -328,6 +327,9 @@ impl Selector for MeasuredTableSelector {
         "best-measured"
     }
 }
+
+// JSON persistence (layout-compatible with the former serde derives).
+collsel_support::json_struct!(Selection { alg, seg_size });
 
 #[cfg(test)]
 mod tests {

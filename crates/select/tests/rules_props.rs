@@ -3,7 +3,7 @@
 
 use collsel_select::rules::DecisionTable;
 use collsel_select::{OpenMpiFixedSelector, Selector};
-use proptest::prelude::*;
+use collsel_support::prelude::*;
 
 fn grids() -> impl Strategy<Value = (Vec<usize>, Vec<usize>)> {
     (

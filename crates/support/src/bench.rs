@@ -1,0 +1,238 @@
+//! A small wall-clock benchmarking harness, replacing `criterion` for
+//! the workspace's benches.
+//!
+//! The API mirrors the subset of criterion the benches use —
+//! [`Criterion::bench_function`], `b.iter(..)`, and the
+//! [`criterion_group!`]/[`criterion_main!`] macros — and each bench
+//! binary writes a JSON report next to the other experiment artifacts
+//! (`target/collsel-bench/<binary>_<group>.json`), in the same
+//! pretty-printed object style as the files under `results/`.
+//!
+//! ```no_run
+//! use collsel_support::bench::{criterion_group, criterion_main, Criterion};
+//!
+//! fn fast(c: &mut Criterion) {
+//!     c.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+//! }
+//!
+//! criterion_group! {
+//!     name = benches;
+//!     config = Criterion::default().sample_size(10);
+//!     targets = fast
+//! }
+//! criterion_main!(benches);
+//! ```
+
+use crate::json::{Json, ToJson};
+use std::time::{Duration, Instant};
+
+pub use crate::{criterion_group, criterion_main};
+
+/// Target wall-clock duration of one timing sample; iterations per
+/// sample are chosen so a sample takes at least roughly this long.
+const TARGET_SAMPLE: Duration = Duration::from_millis(25);
+
+/// Measures one routine: the closure passed to
+/// [`Criterion::bench_function`] receives this and must call [`iter`].
+///
+/// [`iter`]: Bencher::iter
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` back-to-back calls of `routine`.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+#[derive(Debug)]
+struct BenchResult {
+    name: String,
+    mean_s: f64,
+    std_dev_s: f64,
+    samples: usize,
+    iters_per_sample: u64,
+}
+
+impl ToJson for BenchResult {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("name", self.name.to_json()),
+            ("mean_s", self.mean_s.to_json()),
+            ("std_dev_s", self.std_dev_s.to_json()),
+            ("samples", self.samples.to_json()),
+            ("iters_per_sample", self.iters_per_sample.to_json()),
+        ])
+    }
+}
+
+/// The benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    results: Vec<BenchResult>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            results: Vec::new(),
+        }
+    }
+}
+
+fn format_time(seconds: f64) -> String {
+    if seconds < 1e-6 {
+        format!("{:.2} ns", seconds * 1e9)
+    } else if seconds < 1e-3 {
+        format!("{:.2} us", seconds * 1e6)
+    } else if seconds < 1.0 {
+        format!("{:.2} ms", seconds * 1e3)
+    } else {
+        format!("{seconds:.3} s")
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timing samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "need at least two samples");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark and records/prints its timing.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) {
+        // Calibration pass: one iteration, to size the real samples.
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let per_iter = b.elapsed.max(Duration::from_nanos(1));
+        let iters = (TARGET_SAMPLE.as_nanos() / per_iter.as_nanos()).clamp(1, 10_000) as u64;
+
+        let mut times_s = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            times_s.push(b.elapsed.as_secs_f64() / iters as f64);
+        }
+        let n = times_s.len() as f64;
+        let mean = times_s.iter().sum::<f64>() / n;
+        let var = times_s.iter().map(|t| (t - mean).powi(2)).sum::<f64>() / (n - 1.0);
+        let std_dev = var.sqrt();
+        println!(
+            "{name:<40} time: {} ± {} ({} samples × {} iters)",
+            format_time(mean),
+            format_time(std_dev),
+            self.sample_size,
+            iters
+        );
+        self.results.push(BenchResult {
+            name: name.to_string(),
+            mean_s: mean,
+            std_dev_s: std_dev,
+            samples: self.sample_size,
+            iters_per_sample: iters,
+        });
+    }
+
+    /// Writes the group's JSON report under `target/collsel-bench/`.
+    /// Called by [`criterion_main!`]; failures to write are reported
+    /// but do not fail the bench run.
+    pub fn write_report(&self, group: &str) {
+        let binary = std::env::args()
+            .next()
+            .as_deref()
+            .and_then(|p| {
+                std::path::Path::new(p)
+                    .file_stem()
+                    .map(|s| s.to_string_lossy().into_owned())
+            })
+            .unwrap_or_else(|| "bench".to_string());
+        // Strip the disambiguation hash cargo appends to bench binaries.
+        let binary = match binary.rsplit_once('-') {
+            Some((stem, hash)) if hash.chars().all(|c| c.is_ascii_hexdigit()) => stem.to_string(),
+            _ => binary,
+        };
+        let report = Json::obj(vec![
+            ("group", group.to_json()),
+            ("benchmarks", self.results.to_json()),
+        ]);
+        let dir = std::path::Path::new("target").join("collsel-bench");
+        let path = dir.join(format!("{binary}_{group}.json"));
+        let write = || -> std::io::Result<()> {
+            std::fs::create_dir_all(&dir)?;
+            std::fs::write(&path, report.to_string_pretty())
+        };
+        match write() {
+            Ok(()) => println!("report written to {}", path.display()),
+            Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+        }
+    }
+}
+
+/// Declares a benchmark group, mirroring `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c: $crate::bench::Criterion = $config;
+            $( $target(&mut c); )+
+            c.write_report(stringify!($name));
+        }
+    };
+}
+
+/// Declares the bench `main`, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_a_cheap_routine() {
+        let mut c = Criterion::default().sample_size(3);
+        c.bench_function("noop_sum", |b| b.iter(|| (0..64u64).sum::<u64>()));
+        assert_eq!(c.results.len(), 1);
+        let r = &c.results[0];
+        assert!(r.mean_s > 0.0 && r.mean_s.is_finite());
+        assert_eq!(r.samples, 3);
+    }
+
+    #[test]
+    fn report_shape_is_stable() {
+        let r = BenchResult {
+            name: "x".into(),
+            mean_s: 1.5e-3,
+            std_dev_s: 1e-5,
+            samples: 10,
+            iters_per_sample: 4,
+        };
+        let j = r.to_json();
+        assert_eq!(j.field("name").unwrap().as_str().unwrap(), "x");
+        assert_eq!(j.field("samples").unwrap().as_f64().unwrap(), 10.0);
+    }
+}

@@ -1,0 +1,293 @@
+//! Cheap-to-clone byte buffers, mirroring the subset of the `bytes`
+//! crate used by the runtime and the collective algorithms.
+//!
+//! [`Bytes`] is an immutable view into a reference-counted `Arc<[u8]>`
+//! allocation: cloning or slicing never copies the payload, which is
+//! what lets a simulated broadcast of a multi-megabyte buffer to a
+//! hundred ranks stay cheap. [`BytesMut`] is a plain growable buffer
+//! that can be frozen into a [`Bytes`].
+//!
+//! ```
+//! use collsel_support::{Bytes, BytesMut};
+//!
+//! let b = Bytes::from(vec![1u8, 2, 3, 4]);
+//! let tail = b.slice(2..);
+//! assert_eq!(tail.as_ref(), &[3, 4]);
+//!
+//! let mut m = BytesMut::with_capacity(8);
+//! m.extend_from_slice(&b);
+//! assert_eq!(m.freeze(), b);
+//! ```
+
+use std::fmt;
+use std::ops::{Bound, Deref, RangeBounds};
+use std::sync::Arc;
+
+/// An immutable, cheaply cloneable slice of bytes.
+///
+/// Internally a `(Arc<[u8]>, start, end)` triple; `clone`, [`slice`]
+/// and [`split_to`] are O(1) and share the underlying allocation.
+///
+/// [`slice`]: Bytes::slice
+/// [`split_to`]: Bytes::split_to
+#[derive(Clone)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// An empty buffer. Does not allocate a payload.
+    pub fn new() -> Self {
+        Bytes::from_static(&[])
+    }
+
+    /// Wraps a static byte slice. (Copies it once into the shared
+    /// allocation; the name is kept for `bytes` API compatibility.)
+    pub fn from_static(bytes: &'static [u8]) -> Self {
+        Bytes {
+            data: Arc::from(bytes),
+            start: 0,
+            end: bytes.len(),
+        }
+    }
+
+    /// Copies `data` into a fresh shared allocation.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes::from(data.to_vec())
+    }
+
+    /// Number of bytes in the view.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Returns a sub-view of `self` without copying.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds or decreasing.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let len = self.len();
+        let lo = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let hi = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => len,
+        };
+        assert!(
+            lo <= hi && hi <= len,
+            "slice {lo}..{hi} out of bounds of {len}-byte buffer"
+        );
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + lo,
+            end: self.start + hi,
+        }
+    }
+
+    /// Splits the view at `at`, returning the first `at` bytes and
+    /// leaving `self` with the rest. O(1), no copy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at > self.len()`.
+    pub fn split_to(&mut self, at: usize) -> Bytes {
+        let head = self.slice(..at);
+        self.start += at;
+        head
+    }
+
+    /// Copies the viewed bytes into a fresh `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_ref().to_vec()
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes::new()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        let end = v.len();
+        Bytes {
+            data: Arc::from(v),
+            start: 0,
+            end,
+        }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(s: &[u8]) -> Self {
+        Bytes::from(s.to_vec())
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_ref() == other.as_ref()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_ref() == other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_ref() == other.as_slice()
+    }
+}
+
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_ref().hash(state);
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Bytes({} B)", self.len())
+    }
+}
+
+/// A growable byte buffer that can be frozen into a [`Bytes`].
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    buf: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer with at least `cap` bytes of capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Appends `src` to the buffer.
+    pub fn extend_from_slice(&mut self, src: &[u8]) {
+        self.buf.extend_from_slice(src);
+    }
+
+    /// Number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Converts the buffer into an immutable [`Bytes`] without copying.
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.buf)
+    }
+}
+
+impl From<&[u8]> for BytesMut {
+    fn from(s: &[u8]) -> Self {
+        BytesMut { buf: s.to_vec() }
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+impl fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BytesMut({} B)", self.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slice_and_clone_share_payload() {
+        let b = Bytes::from((0u8..64).collect::<Vec<_>>());
+        let s = b.slice(10..20);
+        assert_eq!(s.len(), 10);
+        assert_eq!(s[0], 10);
+        assert_eq!(b.slice(..4).as_ref(), &[0, 1, 2, 3]);
+        assert_eq!(b.slice(60..).as_ref(), &[60, 61, 62, 63]);
+        // Nested slices index relative to the view, not the allocation.
+        assert_eq!(s.slice(2..4).as_ref(), &[12, 13]);
+    }
+
+    #[test]
+    fn split_to_advances_the_view() {
+        let mut b = Bytes::from(vec![1, 2, 3, 4, 5]);
+        let head = b.split_to(2);
+        assert_eq!(head.as_ref(), &[1, 2]);
+        assert_eq!(b.as_ref(), &[3, 4, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn slice_out_of_bounds_panics() {
+        let b = Bytes::from(vec![1, 2, 3]);
+        let _ = b.slice(1..9);
+    }
+
+    #[test]
+    fn bytes_mut_round_trip() {
+        let mut m = BytesMut::with_capacity(4);
+        m.extend_from_slice(&[9, 8]);
+        m.extend_from_slice(&[7]);
+        let b = m.freeze();
+        assert_eq!(b, Bytes::from(vec![9, 8, 7]));
+        assert_eq!(b.to_vec(), vec![9, 8, 7]);
+    }
+
+    #[test]
+    fn equality_is_by_content() {
+        let a = Bytes::from(vec![1, 2, 3, 4]).slice(1..3);
+        let b = Bytes::from(vec![2, 3]);
+        assert_eq!(a, b);
+        assert_eq!(a, vec![2u8, 3]);
+    }
+}

@@ -1,0 +1,37 @@
+//! # collsel-support
+//!
+//! The workspace's **zero-dependency support library**. Every external
+//! crate the project used to pull from crates.io is replaced here by a
+//! small, purpose-built implementation, so the whole workspace builds
+//! and tests **offline** with nothing but the Rust toolchain:
+//!
+//! | Module | Replaces | Surface |
+//! |---|---|---|
+//! | [`bytes`] | `bytes` | [`Bytes`] (cheap-clone `Arc<[u8]>` slice view), [`BytesMut`] |
+//! | [`rng`] | `rand` | splitmix64 seeding + xoshiro256\*\* [`StdRng`] with `gen_range` |
+//! | [`json`] | `serde`/`serde_json` | [`Json`] tree, parser, pretty writer, [`ToJson`]/[`FromJson`] |
+//! | [`prop`] | `proptest` | [`proptest!`] macro, strategies, shrinking, seeded replay |
+//! | [`bench`] | `criterion` | [`bench::Criterion`] timing harness with JSON reports |
+//!
+//! The implementations cover exactly the subset of the upstream APIs the
+//! workspace uses — they are not general-purpose replacements.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod bench;
+pub mod bytes;
+pub mod json;
+pub mod prop;
+pub mod rng;
+
+pub use bytes::{Bytes, BytesMut};
+pub use json::{FromJson, Json, JsonError, ToJson};
+pub use rng::{SeedableRng, StdRng};
+
+/// Prelude for property-based tests, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::prop::{any, ProptestConfig, Strategy, TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+}

@@ -6,11 +6,11 @@
 //! cargo run --release --example trace_broadcast [linear|chain|k_chain|split_binary|binary|binomial]
 //! ```
 
-use bytes::Bytes;
 use collsel::coll::{bcast, BcastAlg};
 use collsel::mpi::simulate_traced;
 use collsel::netsim::trace::{summarize, to_chrome_trace};
 use collsel::netsim::{ClusterModel, NoiseParams};
+use collsel_support::Bytes;
 
 fn main() {
     let alg: BcastAlg = std::env::args()

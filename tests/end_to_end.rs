@@ -1,7 +1,6 @@
 //! Cross-crate integration: the full pipeline from cluster description
 //! to runtime selection, exercised through the `collsel` facade.
 
-use bytes::Bytes;
 use collsel::coll::{bcast, BcastAlg};
 use collsel::estim::measure::bcast_time;
 use collsel::estim::Precision;
@@ -9,6 +8,7 @@ use collsel::mpi::simulate;
 use collsel::netsim::{ClusterModel, NoiseParams};
 use collsel::select::{OpenMpiFixedSelector, Selector};
 use collsel::{Tuner, TunerConfig};
+use collsel_support::Bytes;
 
 fn quiet_gros() -> ClusterModel {
     ClusterModel::gros().with_noise(NoiseParams::OFF)

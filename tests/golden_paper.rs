@@ -1,0 +1,150 @@
+//! Golden regression tests pinning the estimation pipeline against the
+//! paper's published numbers (`collsel_expt::paper_ref`) and against the
+//! committed paper-fidelity artifact `results/table2.json`.
+//!
+//! What each layer can honestly pin:
+//!
+//! * γ(P) is a dimensionless ratio of measured times, so the simulator
+//!   reproduces the paper's Table 1 closely — we hold it to 5%.
+//! * The fitted (α, β) depend on absolute hardware timings. The paper's
+//!   α values (~1e-12 s) come from real-cluster fits whose intercepts
+//!   collapse to numerical zero; the simulator's virtual clock yields
+//!   α in the microsecond range instead. β (per-byte cost) is
+//!   comparable in magnitude, so we hold nonzero β to an
+//!   order-of-magnitude band of Table 2 and sanity-bound α.
+//! * Exact current behaviour is pinned against `results/table2.json`,
+//!   which was produced by a paper-fidelity run of the `repro` binary —
+//!   parsing it also exercises the internal JSON reader on an artifact
+//!   originally written by `serde_json`.
+
+use collsel::estim::{estimate_all_alpha_beta, estimate_gamma, AlphaBetaConfig, GammaConfig};
+use collsel::netsim::ClusterModel;
+use collsel::TunedModel;
+use collsel_expt::paper_ref::{TABLE1_GAMMA, TABLE2_GRISOU, TABLE2_GROS};
+use collsel_support::{FromJson, Json};
+
+const GAMMA_SEED: u64 = 42;
+const AB_SEED: u64 = 7;
+
+#[test]
+fn gamma_matches_paper_table1_within_5_percent() {
+    let clusters = [
+        (ClusterModel::grisou(), 1usize),
+        (ClusterModel::gros(), 2usize),
+    ];
+    for (cluster, col) in clusters {
+        let est = estimate_gamma(&cluster, &GammaConfig::paper(), GAMMA_SEED);
+        for &row in &TABLE1_GAMMA {
+            let (p, paper) = (row.0, if col == 1 { row.1 } else { row.2 });
+            let ours = est.table.gamma(p);
+            let rel = (ours - paper).abs() / paper;
+            assert!(
+                rel <= 0.05,
+                "{} gamma({p}) = {ours:.3}, paper {paper:.3}, off by {:.1}%",
+                cluster.name(),
+                100.0 * rel
+            );
+        }
+    }
+}
+
+#[test]
+fn alpha_beta_within_paper_band() {
+    let cases = [
+        (ClusterModel::grisou(), 40usize, &TABLE2_GRISOU),
+        (ClusterModel::gros(), 124, &TABLE2_GROS),
+    ];
+    for (cluster, p, paper) in cases {
+        let gamma = estimate_gamma(&cluster, &GammaConfig::paper(), GAMMA_SEED).table;
+        let fits = estimate_all_alpha_beta(&cluster, &AlphaBetaConfig::quick(p), &gamma, AB_SEED);
+        for &(alg, _paper_alpha, paper_beta) in paper.iter() {
+            let h = fits[&alg].hockney;
+            assert!(
+                h.alpha.is_finite() && h.alpha >= 0.0 && h.alpha < 1e-4,
+                "{} {alg:?}: implausible alpha {:.3e}",
+                cluster.name(),
+                h.alpha
+            );
+            assert!(h.beta.is_finite() && h.beta >= 0.0);
+            if h.beta > 0.0 {
+                let ratio = h.beta / paper_beta;
+                assert!(
+                    (0.02..=50.0).contains(&ratio),
+                    "{} {alg:?}: beta {:.3e} vs paper {paper_beta:.3e} (x{ratio:.3})",
+                    cluster.name(),
+                    h.beta
+                );
+            } else {
+                // A zero β means the Huber fit pushed the whole cost
+                // into the intercept (the Chain fit does this); the
+                // startup term must then be carrying the cost.
+                assert!(
+                    h.alpha > 0.0,
+                    "{} {alg:?}: degenerate fit with alpha = beta = 0",
+                    cluster.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn estimates_track_the_committed_table2_artifact() {
+    let text = std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/results/table2.json"))
+        .expect("committed results/table2.json");
+    let value = Json::parse(&text).expect("artifact parses with the internal reader");
+    let models: Vec<TunedModel> = FromJson::from_json(value.field("models").expect("models field"))
+        .expect("artifact decodes into TunedModel");
+    assert_eq!(models.len(), 2);
+    assert_eq!(models[0].cluster_name, "grisou");
+    assert_eq!(models[1].cluster_name, "gros");
+
+    for model in &models {
+        let cluster = match model.cluster_name.as_str() {
+            "grisou" => ClusterModel::grisou(),
+            _ => ClusterModel::gros(),
+        };
+        // γ: the artifact's paper-fidelity estimate and a fresh one must
+        // agree closely — the measurement is a ratio, robust to config.
+        let fresh = estimate_gamma(&cluster, &GammaConfig::paper(), GAMMA_SEED).table;
+        for p in 3..=7 {
+            let (a, b) = (model.gamma.table.gamma(p), fresh.gamma(p));
+            assert!(
+                (a - b).abs() / b < 0.05,
+                "{} gamma({p}) drifted: artifact {a:.3} vs fresh {b:.3}",
+                model.cluster_name
+            );
+        }
+        // (α, β): a quick-config fit must stay within an order of
+        // magnitude of the committed paper-fidelity fit wherever both
+        // are nonzero. (The configs measure different sizes, so the
+        // intercepts genuinely move by a few x; 10x catches structural
+        // regressions without chasing config noise.)
+        let p = if model.cluster_name == "grisou" {
+            40
+        } else {
+            124
+        };
+        let fits = estimate_all_alpha_beta(&cluster, &AlphaBetaConfig::quick(p), &fresh, AB_SEED);
+        for (alg, committed) in &model.params {
+            let (hc, hf) = (committed.hockney, fits[alg].hockney);
+            for (name, c, f) in [("alpha", hc.alpha, hf.alpha), ("beta", hc.beta, hf.beta)] {
+                if c > 0.0 && f > 0.0 {
+                    let ratio = f / c;
+                    assert!(
+                        (0.1..=10.0).contains(&ratio),
+                        "{} {alg:?} {name}: fresh {f:.3e} vs artifact {c:.3e} (x{ratio:.2})",
+                        model.cluster_name
+                    );
+                } else {
+                    assert_eq!(
+                        c == 0.0,
+                        f == 0.0,
+                        "{} {alg:?} {name}: zero/nonzero disagreement ({c:.3e} vs {f:.3e})",
+                        model.cluster_name
+                    );
+                }
+            }
+        }
+    }
+}

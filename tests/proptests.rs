@@ -1,13 +1,13 @@
 //! Property-based tests over the whole stack: random platforms, random
 //! collective configurations, random measurement data.
 
-use bytes::Bytes;
 use collsel::coll::{bcast, gather_linear, scatter_binomial, BcastAlg, Topology};
 use collsel::estim::{huber_default, ols};
 use collsel::model::{derived, GammaTable, Hockney};
 use collsel::mpi::simulate;
 use collsel::netsim::{ClusterModel, NoiseParams, SimSpan};
-use proptest::prelude::*;
+use collsel_support::prelude::*;
+use collsel_support::Bytes;
 
 /// A random small-but-plausible cluster.
 fn arb_cluster() -> impl Strategy<Value = ClusterModel> {

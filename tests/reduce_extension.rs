@@ -3,13 +3,13 @@
 //! simulated measurements, after the same tuning treatment the
 //! broadcast models get.
 
-use bytes::Bytes;
 use collsel::coll::{reduce, ReduceAlg, ReduceOp};
 use collsel::estim::{estimate_gamma, huber_default, GammaConfig, Precision};
 use collsel::model::reduce_ext::{predict_reduce, reduce_coefficients};
 use collsel::model::{GammaTable, Hockney};
 use collsel::mpi::simulate;
 use collsel::netsim::{ClusterModel, NoiseParams};
+use collsel_support::Bytes;
 
 const SEG: usize = 8 * 1024;
 

@@ -6,13 +6,35 @@ set -eu
 
 cd "$(dirname "$0")"
 
-echo "==> cargo build --release (offline)"
-cargo build --offline --release --workspace
+echo "==> cargo build --release (offline, warnings are errors)"
+RUSTFLAGS='-D warnings' cargo build --offline --release --workspace
 
-echo "==> cargo test (offline)"
-cargo test --offline --workspace -q
+echo "==> cargo test (offline, warnings are errors)"
+RUSTFLAGS='-D warnings' cargo test --offline --workspace -q
 
 echo "==> cargo fmt --check"
 cargo fmt --check
+
+echo "==> unwrap/expect ratchet (estim + expt)"
+# Fallible library paths must propagate errors or carry a documented
+# invariant comment. This ratchet only ever goes DOWN: if you add an
+# unwrap()/expect() to these crates, justify it as an invariant and
+# bump consciously; if you removed some, lower the ceiling.
+UNWRAP_CEILING=40
+count=$(grep -rc 'unwrap()\|\.expect(' crates/estim/src crates/expt/src \
+    --include='*.rs' | awk -F: '{s+=$2} END {print s}')
+if [ "$count" -gt "$UNWRAP_CEILING" ]; then
+    echo "ci.sh: unwrap/expect count $count exceeds ceiling $UNWRAP_CEILING" >&2
+    exit 1
+fi
+echo "    $count occurrences (ceiling $UNWRAP_CEILING)"
+
+echo "==> colltune fault-injection smoke run"
+smoke_dir=$(mktemp -d)
+trap 'rm -rf "$smoke_dir"' EXIT
+./target/release/colltune tune --preset gros --tune-p 8 \
+    --faults chaos:7 --out "$smoke_dir/model.json"
+./target/release/colltune query --model "$smoke_dir/model.json" \
+    --p 64 --m 8192 --m 1048576 --degraded
 
 echo "ci.sh: all green"

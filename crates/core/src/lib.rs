@@ -39,7 +39,7 @@
 
 mod tuner;
 
-pub use tuner::{TunedModel, Tuner, TunerConfig};
+pub use tuner::{TuneReport, TunedModel, Tuner, TunerConfig};
 
 /// The cluster/network simulation substrate.
 pub use collsel_netsim as netsim;

@@ -12,12 +12,13 @@
 
 use collsel_coll::BcastAlg;
 use collsel_estim::{
-    estimate_all_alpha_beta, estimate_gamma, AlphaBetaConfig, AlphaBetaEstimate, GammaConfig,
-    GammaEstimate,
+    estimate_all_alpha_beta, estimate_gamma, try_estimate_all_alpha_beta, try_estimate_gamma,
+    AlphaBetaConfig, AlphaBetaEstimate, GammaConfig, GammaEstimate, RetryPolicy,
 };
-use collsel_model::Hockney;
+use collsel_model::{FitValidity, Hockney};
+use collsel_mpi::SimError;
 use collsel_netsim::ClusterModel;
-use collsel_select::ModelBasedSelector;
+use collsel_select::{GracefulSelector, ModelBasedSelector};
 use std::collections::BTreeMap;
 
 /// Configuration of a full tuning run.
@@ -89,6 +90,45 @@ impl TunedModel {
             self.seg_size,
         )
     }
+
+    /// Judges every stored fit (computed from the stored data, never
+    /// persisted — older model files gain verdicts for free).
+    pub fn validity(&self) -> BTreeMap<BcastAlg, FitValidity> {
+        self.params
+            .iter()
+            .map(|(&alg, est)| (alg, est.validity()))
+            .collect()
+    }
+
+    /// Builds the graceful runtime decision function: algorithms whose
+    /// fits fail validation are excluded from the model ranking, and
+    /// queries no valid model can decide fall back to the Open MPI
+    /// fixed rules with the reason reported per decision.
+    pub fn degraded_selector(&self) -> GracefulSelector {
+        GracefulSelector::new(
+            self.gamma.table.clone(),
+            self.hockney_table(),
+            self.validity(),
+            self.seg_size,
+        )
+    }
+}
+
+/// The output of a fault-tolerant tuning run: the model assembled from
+/// whatever fits survived, plus the per-algorithm failures.
+#[derive(Debug)]
+pub struct TuneReport {
+    /// The tuned model over the algorithms that fitted.
+    pub model: TunedModel,
+    /// Algorithms whose estimation failed, with the typed reason.
+    pub skipped: BTreeMap<BcastAlg, SimError>,
+}
+
+impl TuneReport {
+    /// Whether every algorithm fitted (nothing was skipped).
+    pub fn is_complete(&self) -> bool {
+        self.skipped.is_empty()
+    }
 }
 
 /// Runs the paper's estimation pipeline on a cluster.
@@ -145,6 +185,57 @@ impl Tuner {
             seg_size: self.config.seg_size,
         }
     }
+
+    /// Fault-tolerant pipeline for clusters running under an injected
+    /// [`collsel_netsim::FaultPlan`]: every measurement runs under
+    /// `policy`'s virtual-time watchdog with retry-and-backoff.
+    ///
+    /// Failure is graded, not binary:
+    ///
+    /// * a γ estimation failure is **fatal** (`Err`) — every derived
+    ///   model shares the γ table, so nothing useful can be built;
+    /// * a per-algorithm (α, β) failure **skips that algorithm** — the
+    ///   report records the typed reason and
+    ///   [`TunedModel::degraded_selector`] falls back to the Open MPI
+    ///   rules wherever the surviving models cannot decide.
+    ///
+    /// # Errors
+    ///
+    /// Returns the γ estimation's [`SimError`] (timeout, precision not
+    /// reached, deadlock, rank panic) when the foundation cannot be
+    /// measured.
+    pub fn try_tune(&self, policy: &RetryPolicy) -> Result<TuneReport, SimError> {
+        let gamma =
+            try_estimate_gamma(&self.cluster, &self.config.gamma, self.config.seed, policy)?;
+        let outcomes = try_estimate_all_alpha_beta(
+            &self.cluster,
+            &self.config.alpha_beta,
+            &gamma.table,
+            self.config.seed.wrapping_add(1),
+            policy,
+        );
+        let mut params = BTreeMap::new();
+        let mut skipped = BTreeMap::new();
+        for (alg, outcome) in outcomes {
+            match outcome {
+                Ok(est) => {
+                    params.insert(alg, est);
+                }
+                Err(e) => {
+                    skipped.insert(alg, e);
+                }
+            }
+        }
+        Ok(TuneReport {
+            model: TunedModel {
+                cluster_name: self.cluster.name().to_owned(),
+                gamma,
+                params,
+                seg_size: self.config.seg_size,
+            },
+            skipped,
+        })
+    }
 }
 
 // JSON persistence (layout-compatible with the former serde derives).
@@ -188,6 +279,58 @@ mod tests {
     fn rejects_oversized_experiments() {
         let cluster = ClusterModel::builder("tiny", 4).build();
         let _ = Tuner::new(cluster, TunerConfig::quick(16));
+    }
+
+    #[test]
+    fn try_tune_matches_tune_on_a_healthy_cluster() {
+        let cluster = ClusterModel::gros().with_noise(NoiseParams::OFF);
+        let tuner = Tuner::new(cluster, TunerConfig::quick(12));
+        let plain = tuner.tune();
+        let report = tuner
+            .try_tune(&RetryPolicy::no_deadline())
+            .expect("healthy cluster tunes");
+        assert!(report.is_complete());
+        assert_eq!(report.model, plain, "fault-tolerant path is bit-identical");
+        for v in tuner.tune().validity().values() {
+            assert!(v.is_valid(), "{v}");
+        }
+    }
+
+    #[test]
+    fn try_tune_fails_fast_when_gamma_cannot_be_measured() {
+        use collsel_netsim::SimSpan;
+        let cluster = ClusterModel::gros().with_noise(NoiseParams::OFF);
+        let tuner = Tuner::new(cluster, TunerConfig::quick(12));
+        let policy = RetryPolicy {
+            max_attempts: 1,
+            budget: Some(SimSpan::from_nanos(1)),
+            backoff: 1,
+        };
+        let err = tuner.try_tune(&policy).unwrap_err();
+        assert!(matches!(err, SimError::Timeout { .. }), "{err}");
+    }
+
+    #[test]
+    fn degraded_selector_survives_missing_algorithms() {
+        let cluster = ClusterModel::gros().with_noise(NoiseParams::OFF);
+        let mut model = Tuner::new(cluster, TunerConfig::quick(12)).tune();
+        // Pretend half the algorithms were skipped under faults.
+        model.params.remove(&BcastAlg::Linear);
+        model.params.remove(&BcastAlg::Chain);
+        model.params.remove(&BcastAlg::KChain);
+        let sel = model.degraded_selector();
+        assert_eq!(sel.modelled_algorithms().len(), 3);
+        for &(p, m) in &[(4usize, 512usize), (16, 64 * 1024), (100, 1 << 20)] {
+            let d = sel.decide(p, m);
+            assert!(d.source.is_model(), "three valid models remain: {d:?}");
+            assert!(
+                matches!(
+                    d.selection.alg,
+                    BcastAlg::SplitBinary | BcastAlg::Binary | BcastAlg::Binomial
+                ),
+                "the model path must only pick surviving algorithms: {d:?}"
+            );
+        }
     }
 }
 

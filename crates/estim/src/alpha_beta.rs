@@ -20,11 +20,12 @@
 //! contention, protocol and pipelining effects the Hockney abstraction
 //! cannot express.
 
-use crate::measure::bcast_gather_experiment_time;
+use crate::measure::{bcast_gather_experiment_time, try_bcast_gather_experiment_time, RetryPolicy};
 use crate::regress::huber_default;
 use crate::stats::{Precision, SampleStats};
 use collsel_coll::BcastAlg;
-use collsel_model::{derived, GammaTable, Hockney};
+use collsel_model::{derived, FitValidity, GammaTable, Hockney};
+use collsel_mpi::SimError;
 use collsel_netsim::ClusterModel;
 use std::collections::BTreeMap;
 
@@ -133,6 +134,39 @@ pub struct AlphaBetaEstimate {
     pub points: Vec<ExperimentPoint>,
 }
 
+impl AlphaBetaEstimate {
+    /// Judges whether this fit may be trusted for ranking algorithms.
+    ///
+    /// Derived from the stored data, never persisted: the fit is valid
+    /// when both parameters are finite and non-negative, not jointly
+    /// zero, and every underlying experiment's measurement converged to
+    /// the precision target. A non-valid verdict carries the reason
+    /// (and, for unconverged fits, the worst achieved relative CI
+    /// half-width), which the selection layer reports when it falls
+    /// back to the Open MPI rules.
+    pub fn validity(&self) -> FitValidity {
+        let mut all_converged = true;
+        let mut worst_ci = 0.0f64;
+        for pt in &self.points {
+            if !pt.measured.converged {
+                all_converged = false;
+                let rel = if pt.measured.mean == 0.0 {
+                    f64::INFINITY
+                } else {
+                    pt.measured.ci_half_width / pt.measured.mean.abs()
+                };
+                worst_ci = worst_ci.max(rel);
+            }
+        }
+        FitValidity::judge(
+            self.hockney.alpha,
+            self.hockney.beta,
+            all_converged,
+            worst_ci,
+        )
+    }
+}
+
 /// Runs the Sect. 4.2 experiments for `alg` and fits (α, β) with the
 /// Huber regressor. Negative fitted values (possible when the model's
 /// startup count overestimates reality) are clamped to zero, as the
@@ -198,6 +232,91 @@ pub fn estimate_all_alpha_beta(
                 cfg,
                 gamma,
                 seed.wrapping_add((i as u64) << 32),
+            );
+            (alg, est)
+        })
+        .collect()
+}
+
+/// Fallible twin of [`estimate_alpha_beta`]: each experiment runs under
+/// `policy`'s virtual-time watchdog, and a point whose measurement
+/// stalls past every retry or cannot reach the precision target aborts
+/// this algorithm's estimation with a typed error — the caller decides
+/// whether to skip the algorithm or give up (see
+/// [`try_estimate_all_alpha_beta`]).
+///
+/// # Errors
+///
+/// Propagates the first [`SimError`] from any experiment.
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid or `p` exceeds the cluster.
+pub fn try_estimate_alpha_beta(
+    cluster: &ClusterModel,
+    alg: BcastAlg,
+    cfg: &AlphaBetaConfig,
+    gamma: &GammaTable,
+    seed: u64,
+    policy: &RetryPolicy,
+) -> Result<AlphaBetaEstimate, SimError> {
+    cfg.validate();
+    let mut points = Vec::with_capacity(cfg.msg_sizes.len());
+    for (idx, (&m, &m_g)) in cfg.msg_sizes.iter().zip(&cfg.gather_sizes).enumerate() {
+        let measured = try_bcast_gather_experiment_time(
+            cluster,
+            alg,
+            cfg.p,
+            m,
+            m_g,
+            cfg.seg_size,
+            &cfg.precision,
+            seed.wrapping_add(idx as u64 * 7919),
+            policy,
+        )?;
+        let coeff = derived::bcast_coefficients(alg, cfg.p, m, cfg.seg_size, gamma)
+            .plus(derived::gather_linear_coefficients(cfg.p, m_g));
+        let (x, y) = coeff.canonicalise(measured.mean);
+        points.push(ExperimentPoint {
+            msg_size: m,
+            gather_size: m_g,
+            x,
+            y,
+            measured,
+        });
+    }
+    let xs: Vec<f64> = points.iter().map(|p| p.x).collect();
+    let ys: Vec<f64> = points.iter().map(|p| p.y).collect();
+    let fit = huber_default(&xs, &ys);
+    Ok(AlphaBetaEstimate {
+        hockney: Hockney::new(fit.intercept.max(0.0), fit.slope.max(0.0)),
+        points,
+    })
+}
+
+/// Runs the fallible estimation for all six broadcast algorithms,
+/// keeping per-algorithm outcomes separate: one algorithm timing out
+/// under a fault plan must not discard the five fits that succeeded.
+/// The tuner turns `Err` entries into skipped algorithms and the
+/// selector falls back to the Open MPI rules for them.
+pub fn try_estimate_all_alpha_beta(
+    cluster: &ClusterModel,
+    cfg: &AlphaBetaConfig,
+    gamma: &GammaTable,
+    seed: u64,
+    policy: &RetryPolicy,
+) -> BTreeMap<BcastAlg, Result<AlphaBetaEstimate, SimError>> {
+    BcastAlg::ALL
+        .iter()
+        .enumerate()
+        .map(|(i, &alg)| {
+            let est = try_estimate_alpha_beta(
+                cluster,
+                alg,
+                cfg,
+                gamma,
+                seed.wrapping_add((i as u64) << 32),
+                policy,
             );
             (alg, est)
         })
@@ -291,6 +410,85 @@ mod tests {
             (a.beta - b.beta).abs() / a.beta.max(b.beta) > 0.01,
             "context-dependence should separate the fits: {a} vs {b}"
         );
+    }
+
+    #[test]
+    fn try_estimate_matches_infallible_without_deadline() {
+        let cluster = ClusterModel::gros().with_noise(NoiseParams::OFF);
+        let gamma = GammaTable::from_pairs([(3, 1.08), (5, 1.25), (7, 1.42)]);
+        let cfg = AlphaBetaConfig::quick(8);
+        let plain = estimate_alpha_beta(&cluster, BcastAlg::Binomial, &cfg, &gamma, 1);
+        let tried = try_estimate_alpha_beta(
+            &cluster,
+            BcastAlg::Binomial,
+            &cfg,
+            &gamma,
+            1,
+            &RetryPolicy::no_deadline(),
+        )
+        .expect("fault-free estimation succeeds");
+        assert_eq!(plain, tried);
+        assert!(tried.validity().is_valid(), "{}", tried.validity());
+    }
+
+    #[test]
+    fn try_estimate_all_keeps_per_algorithm_outcomes() {
+        use collsel_netsim::SimSpan;
+        let cluster = ClusterModel::gros().with_noise(NoiseParams::OFF);
+        let gamma = GammaTable::from_pairs([(3, 1.08), (5, 1.25), (7, 1.42)]);
+        let cfg = AlphaBetaConfig::quick(8);
+        let policy = RetryPolicy {
+            max_attempts: 1,
+            budget: Some(SimSpan::from_nanos(1)),
+            backoff: 1,
+        };
+        let all = try_estimate_all_alpha_beta(&cluster, &cfg, &gamma, 1, &policy);
+        assert_eq!(all.len(), BcastAlg::ALL.len());
+        for (alg, outcome) in &all {
+            let err = outcome.as_ref().expect_err("1 ns budget cannot fit a run");
+            assert!(matches!(err, SimError::Timeout { .. }), "{alg:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn validity_flags_unconverged_points() {
+        use crate::stats::SampleStats;
+        let good = SampleStats {
+            mean: 1.0,
+            std_dev: 0.0,
+            n: 5,
+            ci_half_width: 0.0,
+            converged: true,
+            skewness: 0.0,
+            excess_kurtosis: 0.0,
+        };
+        let bad = SampleStats {
+            ci_half_width: 0.2,
+            converged: false,
+            ..good
+        };
+        let mk_point = |s: SampleStats| ExperimentPoint {
+            msg_size: 1024,
+            gather_size: 512,
+            x: 1.0,
+            y: 1.0,
+            measured: s,
+        };
+        let est = AlphaBetaEstimate {
+            hockney: Hockney::new(1e-5, 1e-9),
+            points: vec![mk_point(good), mk_point(bad)],
+        };
+        assert_eq!(est.validity(), FitValidity::Unconverged { achieved: 0.2 });
+        let nonfinite = AlphaBetaEstimate {
+            // Bypass Hockney::new's asserts: validity() is the defence
+            // layer for parameters that arrive via deserialisation.
+            hockney: Hockney {
+                alpha: f64::NAN,
+                beta: 1e-9,
+            },
+            points: vec![mk_point(good)],
+        };
+        assert_eq!(nonfinite.validity(), FitValidity::NonFinite);
     }
 
     #[test]

@@ -7,9 +7,10 @@
 //! `γ(P) = T2(P) / T2(2)` is the platform-specific, algorithm-independent
 //! factor used by every implementation-derived model.
 
-use crate::measure::linear_segment_bcast_time;
+use crate::measure::{linear_segment_bcast_time, try_linear_segment_bcast_time, RetryPolicy};
 use crate::stats::{Precision, SampleStats};
 use collsel_model::GammaTable;
+use collsel_mpi::SimError;
 use collsel_netsim::ClusterModel;
 
 /// Configuration of the γ estimation experiments.
@@ -102,6 +103,63 @@ pub fn estimate_gamma(cluster: &ClusterModel, cfg: &GammaConfig, seed: u64) -> G
     }
 }
 
+/// Fallible twin of [`estimate_gamma`] for clusters running under an
+/// injected fault plan: each `T2(P)` measurement runs under `policy`'s
+/// virtual-time watchdog, and a width whose sample cannot reach the
+/// precision target (or whose run stalls past every retry) aborts the
+/// whole estimation — γ(P) is the foundation every derived model shares,
+/// so a partial table is not a usable table.
+///
+/// # Errors
+///
+/// Propagates the first [`SimError`] from any width's measurement
+/// (typically [`SimError::Timeout`] or
+/// [`SimError::PrecisionNotReached`]).
+///
+/// # Panics
+///
+/// Panics if `max_width` is below 2 or exceeds the cluster's slots, and
+/// if a completed estimation yields a non-positive `T2(2)` (impossible
+/// on a causally consistent fabric).
+pub fn try_estimate_gamma(
+    cluster: &ClusterModel,
+    cfg: &GammaConfig,
+    seed: u64,
+    policy: &RetryPolicy,
+) -> Result<GammaEstimate, SimError> {
+    assert!(cfg.max_width >= 2, "gamma needs widths of at least 2");
+    assert!(
+        cfg.max_width <= cluster.max_ranks(),
+        "cluster {} cannot host {} processes",
+        cluster.name(),
+        cfg.max_width
+    );
+    let mut t2 = Vec::with_capacity(cfg.max_width - 1);
+    for p in 2..=cfg.max_width {
+        let stats = try_linear_segment_bcast_time(
+            cluster,
+            p,
+            cfg.seg_size,
+            cfg.calls_per_sample,
+            &cfg.precision,
+            seed.wrapping_add(p as u64 * 1009),
+            policy,
+        )?;
+        t2.push((p, stats));
+    }
+    let base = t2[0].1.mean;
+    assert!(base > 0.0, "T2(2) must be positive");
+    let pairs: Vec<(usize, f64)> = t2
+        .iter()
+        .skip(1)
+        .map(|&(p, s)| (p, (s.mean / base).max(1.0)))
+        .collect();
+    Ok(GammaEstimate {
+        table: GammaTable::from_pairs(pairs),
+        t2,
+    })
+}
+
 // JSON persistence (layout-compatible with the former serde derives).
 collsel_support::json_struct!(GammaEstimate { table, t2 });
 
@@ -159,6 +217,29 @@ mod tests {
         let est = estimate_gamma(&cluster, &GammaConfig::quick(), 3);
         assert_eq!(est.t2.len(), 4); // widths 2..=5
         assert!(est.t2.iter().all(|(_, s)| s.mean > 0.0));
+    }
+
+    #[test]
+    fn try_estimate_matches_infallible_without_deadline() {
+        let cluster = ClusterModel::gros().with_noise(NoiseParams::OFF);
+        let cfg = GammaConfig::quick();
+        let plain = estimate_gamma(&cluster, &cfg, 3);
+        let tried = try_estimate_gamma(&cluster, &cfg, 3, &RetryPolicy::no_deadline())
+            .expect("fault-free estimation succeeds");
+        assert_eq!(plain, tried);
+    }
+
+    #[test]
+    fn try_estimate_times_out_under_hopeless_deadline() {
+        use collsel_netsim::SimSpan;
+        let cluster = ClusterModel::gros().with_noise(NoiseParams::OFF);
+        let policy = RetryPolicy {
+            max_attempts: 2,
+            budget: Some(SimSpan::from_nanos(1)),
+            backoff: 1,
+        };
+        let err = try_estimate_gamma(&cluster, &GammaConfig::quick(), 3, &policy).unwrap_err();
+        assert!(matches!(err, SimError::Timeout { .. }), "{err}");
     }
 
     #[test]

@@ -32,11 +32,18 @@ mod regress;
 mod stats;
 
 pub use alpha_beta::{
-    estimate_all_alpha_beta, estimate_alpha_beta, log_spaced_sizes, AlphaBetaConfig,
-    AlphaBetaEstimate, ExperimentPoint,
+    estimate_all_alpha_beta, estimate_alpha_beta, log_spaced_sizes, try_estimate_all_alpha_beta,
+    try_estimate_alpha_beta, AlphaBetaConfig, AlphaBetaEstimate, ExperimentPoint,
 };
-pub use gamma_est::{estimate_gamma, GammaConfig, GammaEstimate};
+pub use gamma_est::{estimate_gamma, try_estimate_gamma, GammaConfig, GammaEstimate};
 pub use hockney_est::{estimate_network_hockney, NetworkHockneyEstimate};
 pub use loggp_est::{estimate_loggp, LogGPEstimate};
+pub use measure::{
+    try_bcast_gather_experiment_time, try_bcast_time, try_linear_segment_bcast_time, try_p2p_time,
+    RetryPolicy,
+};
 pub use regress::{huber, huber_default, ols, LinearFit};
-pub use stats::{sample_adaptive, t_critical_95, Precision, SampleStats, Welford};
+pub use stats::{
+    mad, mad_filter, median, sample_adaptive, sample_adaptive_fallible, t_critical_95,
+    trimmed_mean, Precision, SampleStats, Welford,
+};

@@ -5,11 +5,122 @@
 //! clock around the operation, and (for operations that do not
 //! naturally end on the root) a closing barrier so the root observes
 //! the completion of the slowest rank.
+//!
+//! Two API tiers live here:
+//!
+//! * the original infallible functions ([`bcast_time`] etc.) — used by
+//!   the golden regression path; they run without a watchdog and panic
+//!   only on programming errors (a barrier/broadcast measurement
+//!   program cannot deadlock by construction);
+//! * fallible `try_*` twins — for measurement on a *faulted* cluster
+//!   ([`collsel_netsim::FaultPlan`]). They arm the virtual-time
+//!   watchdog, retry timed-out batches under a [`RetryPolicy`] with a
+//!   grown budget and a perturbed seed, and report
+//!   [`SimError::PrecisionNotReached`] instead of silently returning a
+//!   non-converged sample.
 
-use crate::stats::{sample_adaptive, Precision, SampleStats};
+use crate::stats::{sample_adaptive, sample_adaptive_fallible, Precision, SampleStats};
 use collsel_coll::{bcast, gather_linear, BcastAlg};
-use collsel_netsim::ClusterModel;
+use collsel_mpi::{Ctx, SimError, SimOptions};
+use collsel_netsim::{ClusterModel, SimSpan};
 use collsel_support::Bytes;
+
+/// Retry policy for measurements on a cluster that may stall.
+///
+/// Each batch of repetitions runs under a virtual-time watchdog
+/// [`budget`](RetryPolicy::budget); a batch that times out is retried
+/// up to [`max_attempts`](RetryPolicy::max_attempts) times with the
+/// budget multiplied by [`backoff`](RetryPolicy::backoff) each attempt
+/// and a deterministically perturbed seed (attempt 0 uses the caller's
+/// seed unchanged). Non-timeout errors are never retried — a deadlock
+/// or rank panic is a bug, not bad luck.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts per batch (first try included).
+    pub max_attempts: usize,
+    /// Virtual-time budget of the first attempt; `None` disables the
+    /// watchdog (and makes retries pointless).
+    pub budget: Option<SimSpan>,
+    /// Multiplier applied to the budget on every retry.
+    pub backoff: u64,
+}
+
+impl Default for RetryPolicy {
+    /// Three attempts starting from a 10-second virtual budget,
+    /// quadrupling on each retry (10 s → 40 s → 160 s of virtual time —
+    /// generous against real collective runtimes of micro- to
+    /// milliseconds, tight against a genuine stall).
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            budget: Some(SimSpan::from_secs_f64(10.0)),
+            backoff: 4,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy with no watchdog and no retries: batches behave exactly
+    /// like the infallible measurement tier.
+    pub fn no_deadline() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 1,
+            budget: None,
+            backoff: 1,
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero attempts or a zero backoff with several attempts.
+    pub fn validate(&self) {
+        assert!(self.max_attempts >= 1, "need at least one attempt");
+        assert!(self.backoff >= 1, "backoff multiplier must be at least 1");
+    }
+
+    /// Simulation options for the given (0-based) attempt.
+    fn options_for(&self, attempt: usize) -> SimOptions {
+        match self.budget {
+            Some(budget) => SimOptions::with_deadline(budget * self.backoff.pow(attempt as u32)),
+            None => SimOptions::default(),
+        }
+    }
+}
+
+/// Mixes the retry attempt into the seed; attempt 0 leaves it unchanged
+/// so the first try reproduces the infallible tier bit-for-bit.
+fn mix_attempt(seed: u64, attempt: usize) -> u64 {
+    seed.wrapping_add((attempt as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Runs `program` as a `p`-rank simulation under `policy`, retrying
+/// watchdog timeouts, and returns the root rank's samples.
+fn try_root_samples(
+    cluster: &ClusterModel,
+    p: usize,
+    seed: u64,
+    policy: &RetryPolicy,
+    program: impl Fn(&mut Ctx) -> Vec<f64> + Sync,
+) -> Result<Vec<f64>, SimError> {
+    policy.validate();
+    let mut last_timeout: Option<SimError> = None;
+    for attempt in 0..policy.max_attempts {
+        let opts = policy.options_for(attempt);
+        match collsel_mpi::simulate_with(cluster, p, mix_attempt(seed, attempt), opts, &program) {
+            Ok(out) => {
+                // Invariant: the root always returns a value once the
+                // simulation completes.
+                return Ok(out.results.into_iter().nth(ROOT).expect("root result"));
+            }
+            Err(e @ SimError::Timeout { .. }) => last_timeout = Some(e),
+            Err(e) => return Err(e),
+        }
+    }
+    // Invariant: max_attempts >= 1, so at least one timeout was seen.
+    Err(last_timeout.expect("at least one attempt ran"))
+}
 
 /// Root rank used by all measurement experiments.
 pub const ROOT: usize = 0;
@@ -24,6 +135,13 @@ pub fn payload(len: usize) -> Bytes {
 ///
 /// Each repetition is `barrier; t0; body; barrier; t1` measured on the
 /// root, so the sample covers the completion of the slowest rank.
+///
+/// The `expect`s below are documented invariants, not error handling:
+/// barrier-synchronised collective programs cannot deadlock on a
+/// causally consistent fabric with no watchdog armed, and a completed
+/// simulation always yields the root's result. Measurement paths that
+/// CAN fail (watchdog deadlines, fault plans) go through
+/// [`try_root_samples`] instead and propagate typed errors.
 fn timed_reps(
     cluster: &ClusterModel,
     p: usize,
@@ -180,6 +298,161 @@ pub fn p2p_time(cluster: &ClusterModel, m: usize, precision: &Precision, seed: u
     })
 }
 
+/// Fallible twin of [`bcast_time`] for clusters that may stall under an
+/// injected fault plan: batches run under `policy`'s virtual-time
+/// watchdog and non-convergence becomes a typed error.
+///
+/// With [`RetryPolicy::no_deadline`] on a fault-free cluster and a
+/// converging sample, the result is bit-identical to [`bcast_time`].
+///
+/// # Errors
+///
+/// [`SimError::Timeout`] when every retry exhausts its budget;
+/// [`SimError::PrecisionNotReached`] when the sample budget runs out
+/// before the precision target (even after the MAD-outlier rescue);
+/// any other [`SimError`] from the simulation, unretried.
+#[allow(clippy::too_many_arguments)]
+pub fn try_bcast_time(
+    cluster: &ClusterModel,
+    alg: BcastAlg,
+    p: usize,
+    m: usize,
+    seg_size: usize,
+    precision: &Precision,
+    seed: u64,
+    policy: &RetryPolicy,
+) -> Result<SampleStats, SimError> {
+    let msg = payload(m);
+    let reps = precision.min_reps;
+    sample_adaptive_fallible(precision, |batch| {
+        try_root_samples(cluster, p, seed.wrapping_add(batch as u64), policy, |ctx| {
+            let mut ts = Vec::with_capacity(reps);
+            for _ in 0..reps {
+                ctx.barrier();
+                let t0 = ctx.wtime();
+                let data = (ctx.rank() == ROOT).then(|| msg.clone());
+                let _ = bcast(ctx, alg, ROOT, data, m, seg_size);
+                ctx.barrier();
+                let t1 = ctx.wtime();
+                if ctx.rank() == ROOT {
+                    ts.push((t1 - t0).as_secs_f64());
+                }
+            }
+            ts
+        })
+    })
+}
+
+/// Fallible twin of [`bcast_gather_experiment_time`]; see
+/// [`try_bcast_time`] for the error contract.
+///
+/// # Errors
+///
+/// Same contract as [`try_bcast_time`].
+#[allow(clippy::too_many_arguments)]
+pub fn try_bcast_gather_experiment_time(
+    cluster: &ClusterModel,
+    alg: BcastAlg,
+    p: usize,
+    m: usize,
+    m_g: usize,
+    seg_size: usize,
+    precision: &Precision,
+    seed: u64,
+    policy: &RetryPolicy,
+) -> Result<SampleStats, SimError> {
+    let msg = payload(m);
+    let contrib = payload(m_g);
+    let reps = precision.min_reps;
+    sample_adaptive_fallible(precision, |batch| {
+        try_root_samples(cluster, p, seed.wrapping_add(batch as u64), policy, |ctx| {
+            let mut ts = Vec::with_capacity(reps);
+            for _ in 0..reps {
+                ctx.barrier();
+                let t0 = ctx.wtime();
+                let data = (ctx.rank() == ROOT).then(|| msg.clone());
+                let _ = bcast(ctx, alg, ROOT, data, m, seg_size);
+                let _ = gather_linear(ctx, ROOT, contrib.clone());
+                let t1 = ctx.wtime();
+                if ctx.rank() == ROOT {
+                    ts.push((t1 - t0).as_secs_f64());
+                }
+            }
+            ts
+        })
+    })
+}
+
+/// Fallible twin of [`linear_segment_bcast_time`]; see
+/// [`try_bcast_time`] for the error contract.
+///
+/// # Errors
+///
+/// Same contract as [`try_bcast_time`].
+pub fn try_linear_segment_bcast_time(
+    cluster: &ClusterModel,
+    p: usize,
+    seg_size: usize,
+    calls: usize,
+    precision: &Precision,
+    seed: u64,
+    policy: &RetryPolicy,
+) -> Result<SampleStats, SimError> {
+    assert!(calls > 0, "need at least one call per sample");
+    let msg = payload(seg_size);
+    sample_adaptive_fallible(precision, |batch| {
+        try_root_samples(cluster, p, seed.wrapping_add(batch as u64), policy, |ctx| {
+            ctx.barrier();
+            let t0 = ctx.wtime();
+            for _ in 0..calls {
+                let data = (ctx.rank() == ROOT).then(|| msg.clone());
+                let _ = collsel_coll::bcast_linear(ctx, ROOT, data, msg.len());
+                ctx.barrier();
+            }
+            let t1 = ctx.wtime();
+            vec![(t1 - t0).as_secs_f64() / calls as f64]
+        })
+    })
+}
+
+/// Fallible twin of [`p2p_time`]; see [`try_bcast_time`] for the error
+/// contract.
+///
+/// # Errors
+///
+/// Same contract as [`try_bcast_time`].
+pub fn try_p2p_time(
+    cluster: &ClusterModel,
+    m: usize,
+    precision: &Precision,
+    seed: u64,
+    policy: &RetryPolicy,
+) -> Result<SampleStats, SimError> {
+    let msg = payload(m);
+    let reps = precision.min_reps;
+    sample_adaptive_fallible(precision, |batch| {
+        try_root_samples(cluster, 2, seed.wrapping_add(batch as u64), policy, |ctx| {
+            let mut ts = Vec::with_capacity(reps);
+            for _ in 0..reps {
+                ctx.barrier();
+                let t0 = ctx.wtime();
+                if ctx.rank() == 0 {
+                    ctx.send(1, 0, msg.clone());
+                    let _ = ctx.recv(1, 1);
+                } else {
+                    let (data, _) = ctx.recv(0, 0);
+                    ctx.send(0, 1, data);
+                }
+                let t1 = ctx.wtime();
+                if ctx.rank() == 0 {
+                    ts.push((t1 - t0).as_secs_f64() / 2.0);
+                }
+            }
+            ts
+        })
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -254,6 +527,95 @@ mod tests {
         assert!(t2 > t1);
         // Rendezvous messages pay extra latency, still far below 2000x.
         assert!(t2 / t1 < 100.0);
+    }
+
+    #[test]
+    fn try_bcast_time_matches_infallible_without_deadline() {
+        let c = quiet_gros();
+        let p = Precision::quick();
+        let infallible = bcast_time(&c, BcastAlg::Binomial, 8, 64 * 1024, 8 * 1024, &p, 1);
+        let fallible = try_bcast_time(
+            &c,
+            BcastAlg::Binomial,
+            8,
+            64 * 1024,
+            8 * 1024,
+            &p,
+            1,
+            &RetryPolicy::no_deadline(),
+        )
+        .expect("fault-free run converges");
+        assert_eq!(infallible, fallible, "try tier must be bit-identical");
+    }
+
+    #[test]
+    fn tiny_deadline_times_out_after_retries() {
+        let c = quiet_gros();
+        let policy = RetryPolicy {
+            max_attempts: 2,
+            budget: Some(SimSpan::from_nanos(1)),
+            backoff: 1,
+        };
+        let err = try_bcast_time(
+            &c,
+            BcastAlg::Binomial,
+            8,
+            64 * 1024,
+            8 * 1024,
+            &Precision::quick(),
+            1,
+            &policy,
+        )
+        .unwrap_err();
+        assert!(matches!(err, SimError::Timeout { .. }), "{err}");
+    }
+
+    #[test]
+    fn backoff_grows_the_budget_until_success() {
+        // 1 µs is hopeless for this run; two ×1_000_000 backoffs later
+        // the budget reaches 10^6 s of virtual time and the run fits.
+        let c = quiet_gros();
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            budget: Some(SimSpan::from_micros(1)),
+            backoff: 1_000_000,
+        };
+        let s = try_bcast_time(
+            &c,
+            BcastAlg::Binomial,
+            8,
+            64 * 1024,
+            8 * 1024,
+            &Precision::quick(),
+            1,
+            &policy,
+        )
+        .expect("third attempt has ample budget");
+        assert!(s.mean > 0.0);
+        assert!(s.converged);
+    }
+
+    #[test]
+    fn straggler_fault_slows_the_measurement() {
+        use collsel_netsim::FaultPlan;
+        let quiet = quiet_gros();
+        let slowed = quiet
+            .clone()
+            .with_faults(FaultPlan::none().with_straggler(3, 20.0));
+        let p = Precision::quick();
+        let base = bcast_time(&quiet, BcastAlg::Binomial, 8, 64 * 1024, 8 * 1024, &p, 1);
+        let hurt = try_bcast_time(
+            &slowed,
+            BcastAlg::Binomial,
+            8,
+            64 * 1024,
+            8 * 1024,
+            &p,
+            1,
+            &RetryPolicy::default(),
+        )
+        .expect("straggler slows but does not stall");
+        assert!(hurt.mean > base.mean, "{} vs {}", hurt.mean, base.mean);
     }
 
     #[test]

@@ -9,6 +9,15 @@
 //! [`SampleStats::normality`] provides the paper's independence/
 //! normality sanity diagnostics (skewness and excess kurtosis of the
 //! sample).
+//!
+//! For measurements that may *fail* (watchdog timeouts on a faulted
+//! cluster) or never converge (heavy-tailed jitter), the fallible
+//! sibling [`sample_adaptive_fallible`] propagates [`SimError`]s from
+//! the supplier and escalates through an outlier-robust rescue
+//! ([`mad_filter`]) before giving up with
+//! [`SimError::PrecisionNotReached`] carrying the achieved CI width.
+
+use collsel_mpi::SimError;
 
 /// Stopping rule for adaptive measurement.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -214,6 +223,176 @@ pub fn sample_adaptive(
     }
 }
 
+/// Draws samples from a fallible `supplier` under the same stopping rule
+/// as [`sample_adaptive`], but with two escalation steps when things go
+/// wrong:
+///
+/// 1. any [`SimError`] from the supplier (e.g. a watchdog
+///    [`SimError::Timeout`] on a faulted cluster) is propagated;
+/// 2. if the sample budget runs out without convergence, an
+///    outlier-robust rescue is attempted: samples outside `k = 3` MADs
+///    of the median ([`mad_filter`]) are dropped and the CI recomputed.
+///    If the filtered sample converges (and still holds at least
+///    `min_reps` points), its statistics are returned with a note that
+///    outliers were discarded; otherwise
+///    [`SimError::PrecisionNotReached`] is returned carrying the
+///    achieved relative CI half-width.
+///
+/// The happy path (every batch `Ok`, convergence before `max_reps`) is
+/// numerically identical to [`sample_adaptive`].
+///
+/// # Errors
+///
+/// Propagates supplier errors; returns [`SimError::PrecisionNotReached`]
+/// when neither the raw nor the MAD-filtered sample meets the target.
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid or a batch is empty.
+pub fn sample_adaptive_fallible(
+    precision: &Precision,
+    mut supplier: impl FnMut(usize) -> Result<Vec<f64>, SimError>,
+) -> Result<SampleStats, SimError> {
+    precision.validate();
+    let mut samples: Vec<f64> = Vec::new();
+    let mut acc = Welford::new();
+    let mut batch_index = 0;
+    while samples.len() < precision.max_reps {
+        let batch = supplier(batch_index)?;
+        assert!(!batch.is_empty(), "sample supplier returned an empty batch");
+        batch_index += 1;
+        for x in batch {
+            assert!(x.is_finite(), "non-finite sample {x}");
+            samples.push(x);
+            acc.push(x);
+        }
+        if samples.len() >= precision.min_reps {
+            let half = t_critical_95(acc.count() - 1) * acc.std_dev() / (acc.count() as f64).sqrt();
+            let mean = acc.mean();
+            if mean == 0.0 || half / mean.abs() <= precision.rel_precision {
+                return Ok(stats_from(&samples, true));
+            }
+        }
+    }
+    // Budget exhausted without convergence: MAD-filter rescue.
+    let filtered = mad_filter(&samples, 3.0);
+    if filtered.len() >= precision.min_reps && filtered.len() < samples.len() {
+        let rescued = stats_from(&filtered, false);
+        let rel = if rescued.mean == 0.0 {
+            0.0
+        } else {
+            rescued.ci_half_width / rescued.mean.abs()
+        };
+        if rel <= precision.rel_precision {
+            return Ok(SampleStats {
+                converged: true,
+                ..rescued
+            });
+        }
+    }
+    let raw = stats_from(&samples, false);
+    let achieved = if raw.mean == 0.0 {
+        0.0
+    } else {
+        raw.ci_half_width / raw.mean.abs()
+    };
+    Err(SimError::PrecisionNotReached {
+        target: precision.rel_precision,
+        achieved,
+        samples: raw.n,
+    })
+}
+
+/// Builds [`SampleStats`] from a complete sample.
+fn stats_from(samples: &[f64], converged: bool) -> SampleStats {
+    let mut acc = Welford::new();
+    for &x in samples {
+        acc.push(x);
+    }
+    let mean = acc.mean();
+    let std_dev = acc.std_dev();
+    let n = acc.count();
+    let ci_half_width = if n >= 2 {
+        t_critical_95(n - 1) * std_dev / (n as f64).sqrt()
+    } else {
+        f64::INFINITY
+    };
+    let (skewness, excess_kurtosis) = higher_moments(samples, mean, std_dev);
+    SampleStats {
+        mean,
+        std_dev,
+        n,
+        ci_half_width,
+        converged,
+        skewness,
+        excess_kurtosis,
+    }
+}
+
+/// Sample median (average of the central pair for even lengths).
+///
+/// # Panics
+///
+/// Panics on an empty slice.
+pub fn median(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty(), "median of an empty sample");
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("samples are finite"));
+    let mid = sorted.len() / 2;
+    if sorted.len() % 2 == 1 {
+        sorted[mid]
+    } else {
+        0.5 * (sorted[mid - 1] + sorted[mid])
+    }
+}
+
+/// Median absolute deviation from the median (unscaled).
+///
+/// # Panics
+///
+/// Panics on an empty slice.
+pub fn mad(xs: &[f64]) -> f64 {
+    let m = median(xs);
+    let deviations: Vec<f64> = xs.iter().map(|x| (x - m).abs()).collect();
+    median(&deviations)
+}
+
+/// Mean of the sample after dropping the `trim_frac` fraction of
+/// smallest and largest observations (each side).
+///
+/// # Panics
+///
+/// Panics on an empty slice, or if `trim_frac` is not in `[0, 0.5)`.
+pub fn trimmed_mean(xs: &[f64], trim_frac: f64) -> f64 {
+    assert!(!xs.is_empty(), "trimmed mean of an empty sample");
+    assert!(
+        (0.0..0.5).contains(&trim_frac),
+        "trim fraction must be in [0, 0.5), got {trim_frac}"
+    );
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("samples are finite"));
+    let cut = (sorted.len() as f64 * trim_frac).floor() as usize;
+    let kept = &sorted[cut..sorted.len() - cut];
+    kept.iter().sum::<f64>() / kept.len() as f64
+}
+
+/// Keeps the observations within `k` MADs of the sample median.
+///
+/// With a zero MAD (at least half the sample identical) only exact
+/// ties with the median survive — which is the right call for a
+/// measurement stream polluted by a few straggler spikes.
+pub fn mad_filter(xs: &[f64], k: f64) -> Vec<f64> {
+    if xs.is_empty() {
+        return Vec::new();
+    }
+    let m = median(xs);
+    let spread = mad(xs);
+    xs.iter()
+        .copied()
+        .filter(|x| (x - m).abs() <= k * spread)
+        .collect()
+}
+
 fn higher_moments(samples: &[f64], mean: f64, std_dev: f64) -> (f64, f64) {
     let n = samples.len() as f64;
     if samples.len() < 3 || std_dev == 0.0 {
@@ -354,6 +533,119 @@ mod tests {
     #[should_panic(expected = "empty batch")]
     fn empty_batch_panics() {
         let _ = sample_adaptive(&Precision::paper(), |_| Vec::new());
+    }
+
+    #[test]
+    fn median_and_mad_basics() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert_eq!(mad(&[1.0, 2.0, 3.0, 4.0, 100.0]), 1.0);
+    }
+
+    #[test]
+    fn trimmed_mean_drops_extremes() {
+        let xs = [1.0, 10.0, 10.0, 10.0, 10.0, 10.0, 10.0, 10.0, 10.0, 1000.0];
+        assert_eq!(trimmed_mean(&xs, 0.1), 10.0);
+        // No trimming: plain mean.
+        let plain = trimmed_mean(&xs, 0.0);
+        assert!((plain - xs.iter().sum::<f64>() / 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mad_filter_removes_spikes() {
+        let xs = [10.0, 10.2, 9.8, 10.1, 9.9, 500.0];
+        let kept = mad_filter(&xs, 3.0);
+        assert_eq!(kept.len(), 5);
+        assert!(kept.iter().all(|&x| x < 11.0));
+    }
+
+    #[test]
+    fn fallible_happy_path_matches_infallible() {
+        let mk = || {
+            let mut k = 0u64;
+            move |_: usize| {
+                k += 1;
+                let wobble = ((k * 2654435761) % 1000) as f64 / 1000.0 - 0.5;
+                vec![100.0 * (1.0 + 0.05 * wobble)]
+            }
+        };
+        let p = Precision::paper();
+        let infallible = sample_adaptive(&p, mk());
+        let mut sup = mk();
+        let fallible = sample_adaptive_fallible(&p, |b| Ok(sup(b))).expect("converges");
+        assert_eq!(infallible, fallible);
+    }
+
+    #[test]
+    fn fallible_propagates_supplier_error() {
+        let p = Precision::quick();
+        let err = sample_adaptive_fallible(&p, |b| {
+            if b == 0 {
+                Ok(vec![1.0])
+            } else {
+                Err(SimError::Timeout {
+                    deadline: collsel_netsim::SimSpan::from_micros(10),
+                    detail: "test".into(),
+                })
+            }
+        })
+        .unwrap_err();
+        assert!(matches!(err, SimError::Timeout { .. }));
+    }
+
+    #[test]
+    fn fallible_rescues_with_mad_filter() {
+        // Tight cluster around 10 with periodic huge spikes: the raw CI
+        // never reaches 2.5%, the filtered one trivially does.
+        let mut k = 0usize;
+        let p = Precision {
+            rel_precision: 0.025,
+            min_reps: 5,
+            max_reps: 20,
+        };
+        let stats = sample_adaptive_fallible(&p, |_| {
+            k += 1;
+            Ok(vec![if k % 4 == 0 { 500.0 } else { 10.0 }])
+        })
+        .expect("MAD rescue should save this");
+        assert!(stats.converged);
+        assert!((stats.mean - 10.0).abs() < 1e-9, "{stats:?}");
+        assert!(stats.n < 20, "outliers were dropped");
+    }
+
+    #[test]
+    fn fallible_reports_precision_not_reached() {
+        // Alternating extremes: median-based filtering cannot rescue a
+        // bimodal sample, so the typed error must carry the CI width.
+        let mut flip = false;
+        let p = Precision {
+            rel_precision: 0.025,
+            min_reps: 4,
+            max_reps: 12,
+        };
+        let err = sample_adaptive_fallible(&p, |_| {
+            flip = !flip;
+            Ok(vec![if flip { 1.0 } else { 100.0 }])
+        })
+        .unwrap_err();
+        match err {
+            SimError::PrecisionNotReached {
+                target,
+                achieved,
+                samples,
+            } => {
+                assert_eq!(target, 0.025);
+                assert!(achieved > 0.025);
+                assert_eq!(samples, 12);
+            }
+            other => panic!("expected PrecisionNotReached, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn median_of_empty_panics() {
+        let _ = median(&[]);
     }
 
     #[test]

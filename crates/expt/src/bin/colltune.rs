@@ -17,19 +17,21 @@
 //! `--mca coll_tuned_use_dynamic_rules 1
 //!  --mca coll_tuned_dynamic_rules_filename <file>`.
 
-use collsel::estim::log_spaced_sizes;
-use collsel::netsim::{ClusterModel, SimSpan};
+use collsel::estim::{log_spaced_sizes, RetryPolicy};
+use collsel::netsim::{ClusterModel, FaultPlan, SimSpan};
 use collsel::select::rules::DecisionTable;
-use collsel::select::Selector;
+use collsel::select::{DecisionSource, Selector};
 use collsel::{TunedModel, Tuner, TunerConfig};
 use std::process::ExitCode;
 
 const USAGE: &str = "usage:
   colltune tune   [--preset grisou|gros | --nodes N --gbps G --latency-us L --cpus-per-node C]
-                  [--tune-p P] [--paper] [--seed N] --out model.json
-  colltune query  --model model.json --p P --m BYTES [--m BYTES]...
+                  [--tune-p P] [--paper] [--seed N] [--faults SPEC] --out model.json
+  colltune query  --model model.json --p P --m BYTES [--m BYTES]... [--degraded]
   colltune show   --model model.json
-  colltune export --model model.json --out rules.conf [--comm-sizes A,B,...]";
+  colltune export --model model.json --out rules.conf [--comm-sizes A,B,...]
+
+fault specs (NAME or NAME:SEED): none, degraded-link, straggler, brownout, spike, chaos";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -118,13 +120,39 @@ fn cmd_tune(args: &[String]) -> Result<(), String> {
     };
     config.seed = seed;
 
+    let faults = match flag_value(args, "--faults") {
+        Some(spec) => Some(FaultPlan::parse(spec, cluster.nodes())?),
+        None => None,
+    };
+
     eprintln!(
         "[colltune] tuning {} ({} slots) with {} experiment processes...",
         cluster.name(),
         cluster.max_ranks(),
         tune_p
     );
-    let model = Tuner::new(cluster, config).tune();
+    let model = match faults {
+        Some(plan) if !plan.is_none() => {
+            eprintln!("[colltune] injecting faults: {plan}");
+            let cluster = cluster.with_faults(plan);
+            let report = Tuner::new(cluster, config)
+                .try_tune(&RetryPolicy::default())
+                .map_err(|e| format!("tuning failed under the fault plan: {e}"))?;
+            for (alg, why) in &report.skipped {
+                eprintln!("[colltune] skipped {:<12} {why}", alg.name());
+            }
+            for (alg, verdict) in report.model.validity() {
+                if !verdict.is_valid() {
+                    eprintln!("[colltune] suspect {:<12} fit is {verdict}", alg.name());
+                }
+            }
+            if report.is_complete() {
+                eprintln!("[colltune] all algorithms fitted despite the faults");
+            }
+            report.model
+        }
+        _ => Tuner::new(cluster, config).tune(),
+    };
     let json = collsel_support::ToJson::to_json(&model).to_string_pretty();
     std::fs::write(out, json).map_err(|e| format!("cannot write {out}: {e}"))?;
     eprintln!("[colltune] model written to {out}");
@@ -146,6 +174,33 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
     let sizes = flag_values(args, "--m");
     if sizes.is_empty() {
         return Err("at least one --m required".into());
+    }
+    if args.iter().any(|a| a == "--degraded") {
+        // Graceful path: works on partial/suspect models and reports
+        // which path (model or Open MPI rules) decided each query.
+        let selector = model.degraded_selector();
+        println!(
+            "graceful selections for {} at P = {p} ({} of {} algorithms modelled):",
+            model.cluster_name,
+            selector.modelled_algorithms().len(),
+            collsel::coll::BcastAlg::ALL.len(),
+        );
+        for s in sizes {
+            let m: usize = parse(s, "message size")?;
+            let d = selector.decide(p, m);
+            match &d.source {
+                DecisionSource::Model { predicted } => println!(
+                    "  m = {m:>9} B -> {:<12} (model, predicted {:.3} ms)",
+                    d.selection.alg.name(),
+                    predicted * 1e3,
+                ),
+                DecisionSource::Fallback { reason } => println!(
+                    "  m = {m:>9} B -> {:<12} (open-mpi rules fallback: {reason})",
+                    d.selection.alg.name(),
+                ),
+            }
+        }
+        return Ok(());
     }
     let selector = model.selector();
     println!("selections for {} at P = {p}:", model.cluster_name);

@@ -84,6 +84,8 @@ fn main() -> ExitCode {
     if targets.contains("fig1") {
         eprintln!("[repro] running fig1...");
         let grisou = &scs[0];
+        // Invariant: scenarios() always populates fig5_ps for both
+        // fidelities; an empty panel list is a bug in `scenarios`.
         let p = *grisou.fig5_ps.last().expect("non-empty panel list");
         let f1 = fig1::run_fig1(grisou, p, seed);
         emit("fig1", &f1.to_text(), &f1.to_csv(), &f1);
@@ -111,6 +113,8 @@ fn main() -> ExitCode {
     let need_fig5 = targets.contains("fig5") || targets.contains("table3");
     if need_fig5 {
         eprintln!("[repro] running fig5 sweeps...");
+        // Invariant: need_fig5 implies need_tuned above, so the tuned
+        // models were computed on this path.
         let t2 = t2.as_ref().expect("tuned models exist");
         let f5 = fig5::run_fig5(&scs, &t2.models, seed.wrapping_add(55));
         if targets.contains("fig5") {

@@ -37,7 +37,9 @@ mod hockney;
 mod loggp;
 pub mod reduce_ext;
 pub mod traditional;
+mod validity;
 
 pub use gamma::GammaTable;
 pub use hockney::{Coefficients, Hockney};
 pub use loggp::LogGP;
+pub use validity::FitValidity;

@@ -1,0 +1,109 @@
+//! Fit-validity verdicts for per-algorithm model parameters.
+//!
+//! A tuned model's per-algorithm `(α, β)` fit may be unusable for
+//! several distinct reasons — the regression produced non-finite
+//! values, the fit is degenerate (both parameters zero), or the
+//! underlying measurements never reached the precision target. The
+//! selection layer uses this verdict to decide, per algorithm, whether
+//! the model may be trusted or the Open MPI fallback rules must decide
+//! instead.
+
+use std::fmt;
+
+/// Verdict on one per-algorithm `(α, β)` fit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FitValidity {
+    /// The fit is finite, non-degenerate and every underlying
+    /// measurement converged.
+    Valid,
+    /// At least one underlying measurement missed the precision target;
+    /// carries the worst achieved relative CI half-width.
+    Unconverged {
+        /// Worst relative 95% CI half-width among the fit's points.
+        achieved: f64,
+    },
+    /// α or β is non-finite or negative — the regression failed.
+    NonFinite,
+    /// Both α and β collapsed to zero: the model predicts zero cost for
+    /// everything and must not be used for ranking.
+    Degenerate,
+}
+
+impl FitValidity {
+    /// Whether predictions from this fit may be trusted.
+    pub fn is_valid(&self) -> bool {
+        matches!(self, FitValidity::Valid)
+    }
+
+    /// Judges a Hockney pair together with the convergence record of
+    /// the measurements behind it. `worst_ci` is the worst relative CI
+    /// half-width among non-converged points (ignored when
+    /// `all_converged`).
+    pub fn judge(alpha: f64, beta: f64, all_converged: bool, worst_ci: f64) -> FitValidity {
+        if !alpha.is_finite() || !beta.is_finite() || alpha < 0.0 || beta < 0.0 {
+            FitValidity::NonFinite
+        } else if alpha == 0.0 && beta == 0.0 {
+            FitValidity::Degenerate
+        } else if !all_converged {
+            FitValidity::Unconverged { achieved: worst_ci }
+        } else {
+            FitValidity::Valid
+        }
+    }
+}
+
+impl fmt::Display for FitValidity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FitValidity::Valid => write!(f, "valid"),
+            FitValidity::Unconverged { achieved } => {
+                write!(f, "unconverged (CI {:.1}% of mean)", 100.0 * achieved)
+            }
+            FitValidity::NonFinite => write!(f, "non-finite"),
+            FitValidity::Degenerate => write!(f, "degenerate (alpha = beta = 0)"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn judge_covers_the_ladder() {
+        assert_eq!(
+            FitValidity::judge(1e-5, 1e-9, true, 0.0),
+            FitValidity::Valid
+        );
+        assert_eq!(
+            FitValidity::judge(f64::NAN, 1e-9, true, 0.0),
+            FitValidity::NonFinite
+        );
+        assert_eq!(
+            FitValidity::judge(1e-5, f64::INFINITY, true, 0.0),
+            FitValidity::NonFinite
+        );
+        assert_eq!(
+            FitValidity::judge(-1.0, 1e-9, true, 0.0),
+            FitValidity::NonFinite
+        );
+        assert_eq!(
+            FitValidity::judge(0.0, 0.0, true, 0.0),
+            FitValidity::Degenerate
+        );
+        assert_eq!(
+            FitValidity::judge(1e-5, 1e-9, false, 0.08),
+            FitValidity::Unconverged { achieved: 0.08 }
+        );
+        assert!(FitValidity::Valid.is_valid());
+        assert!(!FitValidity::Degenerate.is_valid());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        assert_eq!(FitValidity::Valid.to_string(), "valid");
+        let u = FitValidity::Unconverged { achieved: 0.125 };
+        assert!(u.to_string().contains("12.5%"));
+        assert!(FitValidity::Degenerate.to_string().contains("degenerate"));
+    }
+}

@@ -118,6 +118,9 @@ pub(crate) struct Engine {
     from_ranks: Receiver<RankMsg>,
     resume_tx: Vec<Sender<Resume>>,
     finish_times: Vec<SimTime>,
+    /// Virtual-time watchdog: if the next possible resume time lies past
+    /// this instant, the run is aborted with [`SimError::Timeout`].
+    deadline: Option<SimTime>,
 }
 
 impl Engine {
@@ -126,6 +129,7 @@ impl Engine {
         p: usize,
         from_ranks: Receiver<RankMsg>,
         resume_tx: Vec<Sender<Resume>>,
+        deadline: Option<SimTime>,
     ) -> Self {
         debug_assert_eq!(resume_tx.len(), p);
         Engine {
@@ -142,6 +146,7 @@ impl Engine {
             from_ranks,
             resume_tx,
             finish_times: vec![SimTime::ZERO; p],
+            deadline,
         }
     }
 
@@ -162,11 +167,17 @@ impl Engine {
                     trace,
                 });
             }
-            let resumed = self.resume_minimal();
-            if resumed == 0 {
-                let detail = self.deadlock_detail();
-                self.abort_all();
-                return Err(SimError::Deadlock { detail });
+            match self.resume_minimal() {
+                Ok(0) => {
+                    let detail = self.deadlock_detail();
+                    self.abort_all();
+                    return Err(SimError::Deadlock { detail });
+                }
+                Ok(_) => {}
+                Err(e) => {
+                    self.abort_all();
+                    return Err(e);
+                }
             }
         }
     }
@@ -249,8 +260,8 @@ impl Engine {
     }
 
     fn apply_isend(&mut self, src: usize, req: ReqId, dst: usize, tag: Tag, payload: Bytes) {
-        // The send call occupies the sending CPU.
-        self.local[src] += self.fabric.cluster().send_overhead();
+        // The send call occupies the sending CPU (straggler-aware).
+        self.local[src] += self.fabric.send_overhead(src);
         let ready = self.local[src];
         let bytes = payload.len();
         self.reqs[src].insert(req, ReqState::pending());
@@ -259,8 +270,7 @@ impl Engine {
             let plan = self.fabric.plan_transfer(src, dst, bytes, ready);
             self.complete_req(src, req, plan.send_done, None, None);
             if let Some(recv) = self.take_matching_recv(dst, src, tag) {
-                let done =
-                    plan.delivered.max(recv.posted_at) + self.fabric.cluster().recv_overhead();
+                let done = plan.delivered.max(recv.posted_at) + self.fabric.recv_overhead(dst);
                 self.complete_req(dst, recv.req, done, Some(payload), Some((src, tag)));
             } else {
                 self.unexpected[dst].push_back(UnexpectedSend {
@@ -298,7 +308,7 @@ impl Engine {
             let u = self.unexpected[dst].remove(idx).expect("index just found");
             match u.arrival {
                 Arrival::Eager { delivered } => {
-                    let done = delivered.max(posted_at) + self.fabric.cluster().recv_overhead();
+                    let done = delivered.max(posted_at) + self.fabric.recv_overhead(dst);
                     self.complete_req(dst, req, done, Some(u.payload), Some((u.src, u.tag)));
                 }
                 Arrival::Rendezvous {
@@ -347,7 +357,7 @@ impl Engine {
         let bytes = payload.len();
         let plan = self.fabric.plan_transfer(src, dst, bytes, ready);
         self.complete_req(src, send_req, plan.send_done, None, None);
-        let done = plan.delivered + self.fabric.cluster().recv_overhead();
+        let done = plan.delivered + self.fabric.recv_overhead(dst);
         self.complete_req(dst, recv_req, done, Some(payload), Some((src, tag)));
     }
 
@@ -377,9 +387,24 @@ impl Engine {
         state.origin = origin;
     }
 
+    /// Checks the virtual-time watchdog against the next resume time.
+    fn check_deadline(&self, next: SimTime) -> Result<(), SimError> {
+        match self.deadline {
+            Some(d) if next > d => Err(SimError::Timeout {
+                deadline: d.saturating_since(SimTime::ZERO),
+                detail: format!(
+                    "next event at {next} lies past the deadline; {}",
+                    self.deadlock_detail()
+                ),
+            }),
+            _ => Ok(()),
+        }
+    }
+
     /// Phase 3: wake the blocked ranks with the minimal resume time.
-    /// Returns the number of ranks resumed.
-    fn resume_minimal(&mut self) -> usize {
+    /// Returns the number of ranks resumed, or [`SimError::Timeout`]
+    /// when that minimal resume time lies past the watchdog deadline.
+    fn resume_minimal(&mut self) -> Result<usize, SimError> {
         // Barrier: only complete when every non-finished rank is in it.
         let alive: Vec<usize> = (0..self.p)
             .filter(|&r| self.status[r] != Status::Done)
@@ -396,10 +421,11 @@ impl Engine {
                 .iter()
                 .map(|&r| self.local[r])
                 .fold(SimTime::ZERO, SimTime::max);
+            self.check_deadline(t)?;
             for &r in &alive {
                 self.wake(r, t, Vec::new());
             }
-            return alive.len();
+            return Ok(alive.len());
         }
 
         // Everything else: find each rank's earliest possible resume time.
@@ -419,7 +445,8 @@ impl Engine {
                 best = Some(best.map_or(at, |b: SimTime| b.min(at)));
             }
         }
-        let Some(best) = best else { return 0 };
+        let Some(best) = best else { return Ok(0) };
+        self.check_deadline(best)?;
         let winners: Vec<usize> = ready
             .iter()
             .filter(|&&(_, at)| at == best)
@@ -434,7 +461,7 @@ impl Engine {
             };
             self.wake(r, best, completions);
         }
-        winners.len()
+        Ok(winners.len())
     }
 
     /// The earliest time at which rank `r`'s wait can finish, if it can.

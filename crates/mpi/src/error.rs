@@ -1,5 +1,6 @@
-//! Error types of the simulated MPI runtime.
+//! Error types of the simulated MPI runtime and measurement pipeline.
 
+use collsel_netsim::SimSpan;
 use std::error::Error;
 use std::fmt;
 
@@ -7,8 +8,11 @@ use std::fmt;
 ///
 /// The runtime validates arguments eagerly (panicking on programmer
 /// errors like out-of-range ranks), so the errors that escape to the
-/// caller are genuine runtime outcomes of the simulated program.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// caller are genuine runtime outcomes of the simulated program. The
+/// estimation layer reuses this type for measurement-level failures
+/// ([`SimError::PrecisionNotReached`]) so one error type travels
+/// through the whole sim → estim → select pipeline.
+#[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
 pub enum SimError {
     /// A rank's user function panicked; the whole run is torn down.
@@ -23,6 +27,25 @@ pub enum SimError {
         /// Human-readable description of who waits on what.
         detail: String,
     },
+    /// The virtual-time watchdog fired: the next possible event lies
+    /// beyond the run's deadline (see
+    /// [`SimOptions::deadline`](crate::SimOptions)).
+    Timeout {
+        /// The configured virtual-time budget.
+        deadline: SimSpan,
+        /// Human-readable description of what was still pending.
+        detail: String,
+    },
+    /// An adaptive measurement exhausted its repeat budget without the
+    /// confidence interval reaching the precision target.
+    PrecisionNotReached {
+        /// Target relative CI half-width (e.g. 0.025 for the paper).
+        target: f64,
+        /// Achieved relative CI half-width when the budget ran out.
+        achieved: f64,
+        /// Number of samples actually taken.
+        samples: usize,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -32,6 +55,20 @@ impl fmt::Display for SimError {
                 write!(f, "rank {rank} panicked: {message}")
             }
             SimError::Deadlock { detail } => write!(f, "deadlock: {detail}"),
+            SimError::Timeout { deadline, detail } => {
+                write!(f, "virtual-time watchdog fired after {deadline}: {detail}")
+            }
+            SimError::PrecisionNotReached {
+                target,
+                achieved,
+                samples,
+            } => write!(
+                f,
+                "precision target {:.2}% not reached after {samples} samples \
+                 (achieved CI half-width {:.2}% of the mean)",
+                100.0 * target,
+                100.0 * achieved
+            ),
         }
     }
 }
@@ -53,6 +90,19 @@ mod tests {
             detail: "rank 0: blocked".into(),
         };
         assert!(d.to_string().starts_with("deadlock:"));
+        let t = SimError::Timeout {
+            deadline: SimSpan::from_millis(5),
+            detail: "2 ranks blocked".into(),
+        };
+        assert!(t.to_string().contains("watchdog"));
+        assert!(t.to_string().contains("5.000ms"));
+        let p = SimError::PrecisionNotReached {
+            target: 0.025,
+            achieved: 0.101,
+            samples: 200,
+        };
+        let s = p.to_string();
+        assert!(s.contains("2.50%") && s.contains("10.10%") && s.contains("200"));
     }
 
     #[test]

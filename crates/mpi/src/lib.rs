@@ -47,4 +47,4 @@ mod sim;
 pub use ctx::{Ctx, RecvRequest, SendRequest};
 pub use error::SimError;
 pub use msg::{Peer, RecvStatus, Tag, TagSel};
-pub use sim::{simulate, simulate_traced, RunReport, SimOutcome};
+pub use sim::{simulate, simulate_traced, simulate_with, RunReport, SimOptions, SimOutcome};

@@ -5,7 +5,7 @@ use crate::ctx::Ctx;
 use crate::engine::Engine;
 use crate::error::SimError;
 use crate::proto::RankMsg;
-use collsel_netsim::{ClusterModel, Fabric, SimTime, TransferRecord};
+use collsel_netsim::{ClusterModel, Fabric, SimSpan, SimTime, TransferRecord};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
 use std::sync::Mutex;
@@ -13,6 +13,31 @@ use std::sync::Mutex;
 /// Marker panic payload used to unwind rank threads on engine abort.
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct AbortToken;
+
+/// Knobs for [`simulate_with`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SimOptions {
+    /// Record a [`TransferRecord`] per message (see [`simulate_traced`]).
+    pub traced: bool,
+    /// Virtual-time watchdog: abort with [`SimError::Timeout`] as soon
+    /// as the next possible event lies past this much virtual time.
+    /// `None` (the default) disables the watchdog.
+    ///
+    /// The watchdog is a *virtual-clock* budget, so it is deterministic:
+    /// it catches runs whose simulated time explodes (e.g. under an
+    /// injected brown-out), not host-machine slowness.
+    pub deadline: Option<SimSpan>,
+}
+
+impl SimOptions {
+    /// Options with a virtual-time deadline and no tracing.
+    pub fn with_deadline(deadline: SimSpan) -> SimOptions {
+        SimOptions {
+            traced: false,
+            deadline: Some(deadline),
+        }
+    }
+}
 
 /// Summary statistics of one simulation run.
 #[derive(Debug, Clone)]
@@ -84,7 +109,32 @@ where
     F: Fn(&mut Ctx) -> T + Sync,
     T: Send,
 {
-    simulate_impl(cluster, ranks, seed, false, f)
+    simulate_impl(cluster, ranks, seed, SimOptions::default(), f)
+}
+
+/// Like [`simulate`], with explicit [`SimOptions`] (tracing and/or a
+/// virtual-time watchdog deadline).
+///
+/// # Errors
+///
+/// Same as [`simulate`], plus [`SimError::Timeout`] when a deadline is
+/// configured and the run's virtual time would exceed it.
+///
+/// # Panics
+///
+/// Same as [`simulate`].
+pub fn simulate_with<T, F>(
+    cluster: &ClusterModel,
+    ranks: usize,
+    seed: u64,
+    opts: SimOptions,
+    f: F,
+) -> Result<SimOutcome<T>, SimError>
+where
+    F: Fn(&mut Ctx) -> T + Sync,
+    T: Send,
+{
+    simulate_impl(cluster, ranks, seed, opts, f)
 }
 
 /// Like [`simulate`], but records a [`TransferRecord`] for every
@@ -110,14 +160,23 @@ where
     F: Fn(&mut Ctx) -> T + Sync,
     T: Send,
 {
-    simulate_impl(cluster, ranks, seed, true, f)
+    simulate_impl(
+        cluster,
+        ranks,
+        seed,
+        SimOptions {
+            traced: true,
+            deadline: None,
+        },
+        f,
+    )
 }
 
 fn simulate_impl<T, F>(
     cluster: &ClusterModel,
     ranks: usize,
     seed: u64,
-    traced: bool,
+    opts: SimOptions,
     f: F,
 ) -> Result<SimOutcome<T>, SimError>
 where
@@ -133,7 +192,7 @@ where
     );
 
     let mut fabric = Fabric::new(cluster.clone(), seed);
-    if traced {
+    if opts.traced {
         fabric.enable_tracing();
     }
     let (to_engine, from_ranks) = mpsc::channel::<RankMsg>();
@@ -146,7 +205,8 @@ where
     }
 
     let results: Mutex<Vec<Option<T>>> = Mutex::new((0..ranks).map(|_| None).collect());
-    let engine = Engine::new(fabric, ranks, from_ranks, resume_txs);
+    let deadline = opts.deadline.map(|d| SimTime::ZERO + d);
+    let engine = Engine::new(fabric, ranks, from_ranks, resume_txs, deadline);
 
     let engine_result = std::thread::scope(|scope| {
         for (rank, resume_rx) in resume_rxs.into_iter().enumerate() {

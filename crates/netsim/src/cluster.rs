@@ -18,6 +18,7 @@
 //! numbers. They are *not* claimed to be the physical parameters of the
 //! real clusters.
 
+use crate::fault::FaultPlan;
 use crate::noise::NoiseParams;
 use crate::time::SimSpan;
 
@@ -66,6 +67,8 @@ pub struct ClusterModel {
     /// oversubscription factor (`None` = one flat non-blocking switch).
     racks: Option<RackParams>,
     noise: NoiseParams,
+    /// Injected faults ([`FaultPlan::none`] for a healthy cluster).
+    faults: FaultPlan,
 }
 
 /// Rack-level topology: nodes are grouped into racks whose uplinks to
@@ -109,6 +112,7 @@ impl ClusterModel {
                 shm_latency: SimSpan::from_nanos(600),
                 racks: None,
                 noise: NoiseParams::default(),
+                faults: FaultPlan::none(),
             },
         }
     }
@@ -277,10 +281,22 @@ impl ClusterModel {
         SimSpan::from_secs_f64(bytes as f64 / self.shm_bandwidth) + self.shm_latency
     }
 
+    /// The injected fault plan ([`FaultPlan::none`] when healthy).
+    pub fn faults(&self) -> &FaultPlan {
+        &self.faults
+    }
+
     /// A copy of this model with a different noise configuration.
     #[must_use]
     pub fn with_noise(mut self, noise: NoiseParams) -> ClusterModel {
         self.noise = noise;
+        self
+    }
+
+    /// A copy of this model with an injected fault plan.
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultPlan) -> ClusterModel {
+        self.faults = faults;
         self
     }
 
@@ -406,6 +422,12 @@ impl ClusterModelBuilder {
     /// Sets the noise configuration.
     pub fn noise(mut self, noise: NoiseParams) -> Self {
         self.model.noise = noise;
+        self
+    }
+
+    /// Sets the injected fault plan.
+    pub fn faults(mut self, faults: FaultPlan) -> Self {
+        self.model.faults = faults;
         self
     }
 

@@ -24,9 +24,11 @@
 //! threshold via [`ClusterModel::eager_threshold`].
 
 use crate::cluster::ClusterModel;
+use crate::fault::FaultPlan;
 use crate::noise::Noise;
 use crate::time::{SimSpan, SimTime};
 use crate::trace::TransferRecord;
+use collsel_support::rng::StdRng;
 
 /// Occupancy of one node's NIC (full duplex: independent sides).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -76,6 +78,12 @@ pub struct Fabric {
     nics: Vec<NicState>,
     racks: Vec<RackPipes>,
     noise: Noise,
+    /// The injected fault plan (cloned out of the cluster model).
+    faults: FaultPlan,
+    /// Dedicated stream for transient delay spikes, kept separate from
+    /// the noise stream so enabling/disabling spikes never shifts the
+    /// jitter sequence of everything else.
+    spike_rng: StdRng,
     stats: FabricStats,
     trace: Option<Vec<TransferRecord>>,
 }
@@ -87,11 +95,15 @@ impl Fabric {
         let nics = vec![NicState::default(); cluster.nodes()];
         let racks = vec![RackPipes::default(); cluster.rack_count()];
         let noise = Noise::new(cluster.noise(), seed);
+        let faults = cluster.faults().clone();
+        let spike_rng = StdRng::seed_from_u64(seed ^ faults.seed().rotate_left(17));
         Fabric {
             cluster,
             nics,
             racks,
             noise,
+            faults,
+            spike_rng,
             stats: FabricStats::default(),
             trace: None,
         }
@@ -130,6 +142,33 @@ impl Fabric {
         self.cluster.one_way_latency()
     }
 
+    /// The injected fault plan.
+    pub fn faults(&self) -> &FaultPlan {
+        &self.faults
+    }
+
+    /// Sender CPU overhead per message for `rank`, including any
+    /// straggler multiplier from the fault plan.
+    pub fn send_overhead(&self, rank: usize) -> SimSpan {
+        Self::scale_overhead(self.cluster.send_overhead(), self.faults.cpu_factor(rank))
+    }
+
+    /// Receiver CPU overhead per message for `rank`, including any
+    /// straggler multiplier from the fault plan.
+    pub fn recv_overhead(&self, rank: usize) -> SimSpan {
+        Self::scale_overhead(self.cluster.recv_overhead(), self.faults.cpu_factor(rank))
+    }
+
+    /// Applies a straggler factor to a base overhead; factor 1.0 returns
+    /// the base span untouched so the healthy path stays bit-identical.
+    fn scale_overhead(base: SimSpan, factor: f64) -> SimSpan {
+        if factor == 1.0 {
+            base
+        } else {
+            base.scale(factor)
+        }
+    }
+
     /// Plans the transfer of `bytes` payload bytes from `src` to `dst`
     /// (ranks), where the payload is ready to leave the sender at
     /// `ready`, and updates NIC occupancy.
@@ -156,9 +195,14 @@ impl Fabric {
         let dst_node = self.cluster.node_of(dst);
 
         if src_node == dst_node {
-            // Shared-memory path: a single copy, no NIC involvement.
+            // Shared-memory path: a single copy, no NIC involvement. A
+            // straggler's copy loop runs on its slowed CPU.
             self.stats.shm_messages += 1;
-            let dur = self.cluster.shm_duration(bytes).scale(self.noise.factor());
+            let mut factor = self.noise.factor();
+            if !self.faults.is_none() {
+                factor *= self.faults.cpu_factor(src);
+            }
+            let dur = self.cluster.shm_duration(bytes).scale(factor);
             let delivered = ready + dur;
             let plan = TransferPlan {
                 wire_start: ready,
@@ -169,8 +213,21 @@ impl Fabric {
             return plan;
         }
 
-        let dur = self.cluster.tx_duration(bytes).scale(self.noise.factor());
+        // Fault hooks: a degraded link or an active brown-out stretches
+        // the serialization time; a transient spike adds latency. With
+        // `FaultPlan::none()` no extra factor is applied and no extra
+        // random draw happens, so healthy timings stay bit-identical.
+        let mut factor = self.noise.factor();
+        if !self.faults.is_none() {
+            factor *= self.faults.link_factor(src_node, dst_node, ready);
+        }
+        let dur = self.cluster.tx_duration(bytes).scale(factor);
         let mut latency = self.cluster.one_way_latency();
+        if let Some(spikes) = self.faults.spike_params() {
+            if self.spike_rng.next_f64() < spikes.probability {
+                latency += spikes.extra_latency;
+            }
+        }
 
         // Transmit side: queue behind earlier messages from this node.
         let wire_start = ready.max(self.nics[src_node].tx_free);
@@ -367,6 +424,73 @@ mod tests {
         let a = f1.plan_transfer(0, 1, 100_000, SimTime::ZERO);
         let b = f2.plan_transfer(0, 1, 100_000, SimTime::ZERO);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_fault_plan_is_bit_identical() {
+        let healthy = quiet_cluster().with_noise(NoiseParams::new(0.05));
+        let faulted = healthy.clone().with_faults(crate::fault::FaultPlan::none());
+        let mut a = Fabric::new(healthy, 11);
+        let mut b = Fabric::new(faulted, 11);
+        for i in 0..20 {
+            let x = a.plan_transfer(i % 4, 4 + i % 4, 10_000, SimTime::ZERO);
+            let y = b.plan_transfer(i % 4, 4 + i % 4, 10_000, SimTime::ZERO);
+            assert_eq!(x, y);
+        }
+    }
+
+    #[test]
+    fn degraded_link_stretches_serialization() {
+        let cluster = quiet_cluster()
+            .with_faults(crate::fault::FaultPlan::none().with_degraded_link(0, 1, 4.0));
+        let mut f = Fabric::new(cluster, 0);
+        // 1000 B at 1 GB/s = 1 us, degraded 4x = 4 us, + 10 us latency.
+        let plan = f.plan_transfer(0, 1, 1000, SimTime::ZERO);
+        assert_eq!(plan.send_done, SimTime::from_nanos(4_000));
+        assert_eq!(plan.delivered, SimTime::from_nanos(14_000));
+        // The 1-2 link is untouched.
+        f.reset_occupancy();
+        let plan = f.plan_transfer(1, 2, 1000, SimTime::ZERO);
+        assert_eq!(plan.delivered, SimTime::from_nanos(11_000));
+    }
+
+    #[test]
+    fn straggler_scales_overheads_and_shm() {
+        let cluster = ClusterModel::builder("t", 2)
+            .cpus_per_node(2)
+            .overheads(SimSpan::from_micros(2), SimSpan::from_micros(3))
+            .noise(NoiseParams::OFF)
+            .shared_memory(1e9, SimSpan::ZERO)
+            .faults(crate::fault::FaultPlan::none().with_straggler(0, 5.0))
+            .build();
+        let mut f = Fabric::new(cluster, 0);
+        assert_eq!(f.send_overhead(0), SimSpan::from_micros(10));
+        assert_eq!(f.recv_overhead(0), SimSpan::from_micros(15));
+        assert_eq!(f.send_overhead(1), SimSpan::from_micros(2));
+        // Ranks 0 and 2 share node 0; the copy runs on rank 0's CPU.
+        let plan = f.plan_transfer(0, 2, 1000, SimTime::ZERO);
+        assert_eq!(plan.delivered, SimTime::from_nanos(5_000));
+    }
+
+    #[test]
+    fn spikes_add_latency_sometimes_and_deterministically() {
+        let cluster = quiet_cluster().with_faults(
+            crate::fault::FaultPlan::none().with_spikes(0.5, SimSpan::from_micros(100)),
+        );
+        let mut a = Fabric::new(cluster.clone(), 3);
+        let mut b = Fabric::new(cluster, 3);
+        let mut spiked = 0;
+        for i in 0..40 {
+            a.reset_occupancy();
+            b.reset_occupancy();
+            let x = a.plan_transfer(0, 1, 1000, SimTime::ZERO);
+            let y = b.plan_transfer(0, 1, 1000, SimTime::ZERO);
+            assert_eq!(x, y, "spike stream must be seed-deterministic (i={i})");
+            if x.delivered >= SimTime::from_nanos(111_000) {
+                spiked += 1;
+            }
+        }
+        assert!(spiked > 5 && spiked < 35, "spiked {spiked}/40");
     }
 
     #[test]

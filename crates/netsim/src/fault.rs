@@ -1,0 +1,499 @@
+//! Deterministic, seeded **fault injection** for the simulated network.
+//!
+//! A [`FaultPlan`] describes a set of reproducible pathologies the
+//! fabric applies on top of the healthy cluster model:
+//!
+//! * **degraded links** — a per-node-pair slowdown factor on the
+//!   serialization time of every message crossing that pair;
+//! * **stragglers** — ranks whose per-message CPU overheads (and
+//!   same-node shared-memory copies) are multiplied by a factor > 1,
+//!   mimicking an oversubscribed or thermally-throttled host;
+//! * **transient delay spikes** — with probability `p` per network
+//!   message, an extra latency is added (mimicking OS preemption or
+//!   switch buffering bursts);
+//! * **scheduled brown-outs** — time windows during which every link
+//!   touching a node is slowed down by a factor.
+//!
+//! All randomness is drawn from the workspace's seeded [`StdRng`], so a
+//! faulted run is exactly as replayable as a healthy one: same seed,
+//! same cluster, same program ⇒ identical timings, fault effects
+//! included. `FaultPlan::none()` is guaranteed **zero-cost**: the fabric
+//! consumes no extra random draws and produces bit-identical timings to
+//! a build without fault hooks.
+
+use crate::time::{SimSpan, SimTime};
+use collsel_support::rng::StdRng;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Default seed used by the canned plan generators and the CLI parser
+/// when no explicit seed is given.
+pub const DEFAULT_FAULT_SEED: u64 = 0xFA_17;
+
+/// A scheduled brown-out: every link touching `node` is slowed down by
+/// `slowdown` during `[start, end)` of virtual time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Brownout {
+    /// The affected node (all links touching it degrade).
+    pub node: usize,
+    /// Start of the window (inclusive).
+    pub start: SimTime,
+    /// End of the window (exclusive).
+    pub end: SimTime,
+    /// Multiplicative slowdown (≥ 1) on link serialization time.
+    pub slowdown: f64,
+}
+
+/// Transient delay-spike configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpikeParams {
+    /// Per-network-message probability of a spike, in `[0, 1]`.
+    pub probability: f64,
+    /// Extra one-way latency added when a spike fires.
+    pub extra_latency: SimSpan,
+}
+
+/// A deterministic, seeded fault-injection plan.
+///
+/// Attach a plan to a cluster with
+/// [`ClusterModel::with_faults`](crate::ClusterModel::with_faults) (or
+/// the builder's `faults` method); the [`Fabric`](crate::Fabric)
+/// consults it on every transfer.
+///
+/// Degraded links and brown-outs are keyed by **node** index; straggler
+/// multipliers are keyed by **rank** (the paper's measurement loops are
+/// per-rank, and one node may host several ranks).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultPlan {
+    degraded_links: BTreeMap<(usize, usize), f64>,
+    stragglers: BTreeMap<usize, f64>,
+    brownouts: Vec<Brownout>,
+    spikes: Option<SpikeParams>,
+    seed: u64,
+}
+
+impl FaultPlan {
+    /// The empty plan: no faults, zero cost, bit-identical timings to a
+    /// fabric without fault hooks.
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Whether this plan injects no faults at all.
+    pub fn is_none(&self) -> bool {
+        self.degraded_links.is_empty()
+            && self.stragglers.is_empty()
+            && self.brownouts.is_empty()
+            && self.spikes.is_none()
+    }
+
+    /// Seed for the transient-spike stream (mixed with the run seed).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Adds a degraded link between nodes `a` and `b` (undirected).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b` or `slowdown` is not finite and ≥ 1.
+    #[must_use]
+    pub fn with_degraded_link(mut self, a: usize, b: usize, slowdown: f64) -> FaultPlan {
+        assert!(a != b, "a link connects two distinct nodes");
+        assert!(
+            slowdown.is_finite() && slowdown >= 1.0,
+            "link slowdown must be finite and >= 1, got {slowdown}"
+        );
+        let key = if a <= b { (a, b) } else { (b, a) };
+        self.degraded_links.insert(key, slowdown);
+        self
+    }
+
+    /// Marks `rank` as a straggler whose CPU overheads are multiplied
+    /// by `multiplier`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `multiplier` is not finite and ≥ 1.
+    #[must_use]
+    pub fn with_straggler(mut self, rank: usize, multiplier: f64) -> FaultPlan {
+        assert!(
+            multiplier.is_finite() && multiplier >= 1.0,
+            "straggler multiplier must be finite and >= 1, got {multiplier}"
+        );
+        self.stragglers.insert(rank, multiplier);
+        self
+    }
+
+    /// Adds a scheduled brown-out window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is empty or `slowdown` is not finite and ≥ 1.
+    #[must_use]
+    pub fn with_brownout(mut self, brownout: Brownout) -> FaultPlan {
+        assert!(brownout.start < brownout.end, "brown-out window is empty");
+        assert!(
+            brownout.slowdown.is_finite() && brownout.slowdown >= 1.0,
+            "brown-out slowdown must be finite and >= 1, got {}",
+            brownout.slowdown
+        );
+        self.brownouts.push(brownout);
+        self
+    }
+
+    /// Enables transient delay spikes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `probability` is not in `[0, 1]`.
+    #[must_use]
+    pub fn with_spikes(mut self, probability: f64, extra_latency: SimSpan) -> FaultPlan {
+        assert!(
+            (0.0..=1.0).contains(&probability),
+            "spike probability must be in [0, 1], got {probability}"
+        );
+        self.spikes = Some(SpikeParams {
+            probability,
+            extra_latency,
+        });
+        self
+    }
+
+    /// Sets the seed mixed into the transient-spike stream.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> FaultPlan {
+        self.seed = seed;
+        self
+    }
+
+    /// Canned plan: `count` randomly chosen node pairs degraded by a
+    /// slowdown drawn uniformly from `[2, max_slowdown]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes < 2` or `max_slowdown < 2`.
+    pub fn degraded_links(nodes: usize, count: usize, max_slowdown: f64, seed: u64) -> FaultPlan {
+        assert!(nodes >= 2, "degraded links need at least two nodes");
+        assert!(
+            max_slowdown.is_finite() && max_slowdown >= 2.0,
+            "max slowdown must be finite and >= 2, got {max_slowdown}"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut plan = FaultPlan::none().with_seed(seed);
+        let target = count.min(nodes * (nodes - 1) / 2);
+        while plan.degraded_links.len() < target {
+            let a = rng.gen_range(0..nodes);
+            let b = rng.gen_range(0..nodes);
+            if a == b {
+                continue;
+            }
+            let slowdown = rng.gen_range(2.0..max_slowdown.max(2.0000001));
+            plan = plan.with_degraded_link(a, b, slowdown);
+        }
+        plan
+    }
+
+    /// Canned plan: `count` randomly chosen straggler ranks (out of
+    /// `ranks`) with CPU multipliers drawn uniformly from
+    /// `[2, max_multiplier]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ranks` is zero or `max_multiplier < 2`.
+    pub fn stragglers(ranks: usize, count: usize, max_multiplier: f64, seed: u64) -> FaultPlan {
+        assert!(ranks > 0, "stragglers need at least one rank");
+        assert!(
+            max_multiplier.is_finite() && max_multiplier >= 2.0,
+            "max multiplier must be finite and >= 2, got {max_multiplier}"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut plan = FaultPlan::none().with_seed(seed);
+        let target = count.min(ranks);
+        while plan.stragglers.len() < target {
+            let rank = rng.gen_range(0..ranks);
+            let multiplier = rng.gen_range(2.0..max_multiplier.max(2.0000001));
+            plan = plan.with_straggler(rank, multiplier);
+        }
+        plan
+    }
+
+    /// Canned plan: `count` brown-out windows on randomly chosen nodes.
+    /// Each window starts in `[0, horizon)` and lasts `duration`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is zero, `horizon` or `duration` is zero, or
+    /// `slowdown < 1`.
+    pub fn brownouts(
+        nodes: usize,
+        count: usize,
+        horizon: SimSpan,
+        duration: SimSpan,
+        slowdown: f64,
+        seed: u64,
+    ) -> FaultPlan {
+        assert!(nodes > 0, "brown-outs need at least one node");
+        assert!(
+            horizon > SimSpan::ZERO && duration > SimSpan::ZERO,
+            "brown-out horizon and duration must be positive"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut plan = FaultPlan::none().with_seed(seed);
+        for _ in 0..count {
+            let node = rng.gen_range(0..nodes);
+            let start = SimTime::ZERO + SimSpan::from_nanos(rng.gen_range(0..horizon.as_nanos()));
+            plan = plan.with_brownout(Brownout {
+                node,
+                start,
+                end: start + duration,
+                slowdown,
+            });
+        }
+        plan
+    }
+
+    /// Parses a CLI fault specification into a canned plan scaled to a
+    /// cluster with `nodes` nodes.
+    ///
+    /// Grammar: `NAME` or `NAME:SEED`, where `NAME` is one of `none`,
+    /// `degraded-link`, `straggler`, `brownout`, `spike`, `chaos` and
+    /// `SEED` is a decimal `u64` (default [`DEFAULT_FAULT_SEED`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message for an unknown name or a
+    /// malformed seed.
+    pub fn parse(spec: &str, nodes: usize) -> Result<FaultPlan, String> {
+        let (name, seed) = match spec.split_once(':') {
+            Some((name, seed)) => (
+                name,
+                seed.parse::<u64>()
+                    .map_err(|_| format!("bad fault seed {seed:?} in {spec:?}"))?,
+            ),
+            None => (spec, DEFAULT_FAULT_SEED),
+        };
+        let link_count = (nodes / 8).max(1);
+        let straggler_count = (nodes / 16).max(1);
+        match name {
+            "none" => Ok(FaultPlan::none()),
+            "degraded-link" => Ok(FaultPlan::degraded_links(
+                nodes.max(2),
+                link_count,
+                8.0,
+                seed,
+            )),
+            "straggler" => Ok(FaultPlan::stragglers(nodes, straggler_count, 16.0, seed)),
+            "brownout" => Ok(FaultPlan::brownouts(
+                nodes,
+                2,
+                SimSpan::from_micros(200),
+                SimSpan::from_millis(2),
+                10.0,
+                seed,
+            )),
+            "spike" => Ok(FaultPlan::none()
+                .with_seed(seed)
+                .with_spikes(0.05, SimSpan::from_micros(500))),
+            "chaos" => Ok(
+                FaultPlan::degraded_links(nodes.max(2), link_count, 4.0, seed)
+                    .merge(FaultPlan::stragglers(
+                        nodes,
+                        straggler_count,
+                        8.0,
+                        seed ^ 0x5EED,
+                    ))
+                    .with_spikes(0.02, SimSpan::from_micros(200)),
+            ),
+            other => Err(format!(
+                "unknown fault plan {other:?}; expected one of \
+                 none, degraded-link, straggler, brownout, spike, chaos \
+                 (optionally suffixed with :SEED)"
+            )),
+        }
+    }
+
+    /// Combines two plans (the other plan's entries win on key clashes;
+    /// spike settings are taken from `other` when present).
+    #[must_use]
+    pub fn merge(mut self, other: FaultPlan) -> FaultPlan {
+        self.degraded_links.extend(other.degraded_links);
+        self.stragglers.extend(other.stragglers);
+        self.brownouts.extend(other.brownouts);
+        if other.spikes.is_some() {
+            self.spikes = other.spikes;
+        }
+        self
+    }
+
+    /// Combined slowdown factor (≥ 1) for a transfer between nodes `a`
+    /// and `b` whose serialization starts at `at`: the degraded-link
+    /// factor of the pair times every active brown-out touching either
+    /// endpoint.
+    pub fn link_factor(&self, a: usize, b: usize, at: SimTime) -> f64 {
+        let key = if a <= b { (a, b) } else { (b, a) };
+        let mut factor = self.degraded_links.get(&key).copied().unwrap_or(1.0);
+        for bo in &self.brownouts {
+            if (bo.node == a || bo.node == b) && at >= bo.start && at < bo.end {
+                factor *= bo.slowdown;
+            }
+        }
+        factor
+    }
+
+    /// CPU-overhead multiplier (≥ 1) for `rank` (1.0 for non-stragglers).
+    pub fn cpu_factor(&self, rank: usize) -> f64 {
+        self.stragglers.get(&rank).copied().unwrap_or(1.0)
+    }
+
+    /// Transient-spike configuration, if enabled.
+    pub fn spike_params(&self) -> Option<SpikeParams> {
+        self.spikes
+    }
+
+    /// Number of degraded links.
+    pub fn degraded_link_count(&self) -> usize {
+        self.degraded_links.len()
+    }
+
+    /// Number of straggler ranks.
+    pub fn straggler_count(&self) -> usize {
+        self.stragglers.len()
+    }
+
+    /// The brown-out windows.
+    pub fn brownout_windows(&self) -> &[Brownout] {
+        &self.brownouts
+    }
+}
+
+impl fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_none() {
+            return write!(f, "no faults");
+        }
+        let mut parts = Vec::new();
+        if !self.degraded_links.is_empty() {
+            parts.push(format!("{} degraded link(s)", self.degraded_links.len()));
+        }
+        if !self.stragglers.is_empty() {
+            parts.push(format!("{} straggler(s)", self.stragglers.len()));
+        }
+        if !self.brownouts.is_empty() {
+            parts.push(format!("{} brown-out(s)", self.brownouts.len()));
+        }
+        if let Some(sp) = self.spikes {
+            parts.push(format!("spikes p={} +{}", sp.probability, sp.extra_latency));
+        }
+        write!(f, "{}", parts.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_empty_and_neutral() {
+        let plan = FaultPlan::none();
+        assert!(plan.is_none());
+        assert_eq!(plan.link_factor(0, 1, SimTime::ZERO), 1.0);
+        assert_eq!(plan.cpu_factor(3), 1.0);
+        assert!(plan.spike_params().is_none());
+        assert_eq!(plan.to_string(), "no faults");
+    }
+
+    #[test]
+    fn degraded_link_is_undirected() {
+        let plan = FaultPlan::none().with_degraded_link(2, 5, 3.0);
+        assert_eq!(plan.link_factor(2, 5, SimTime::ZERO), 3.0);
+        assert_eq!(plan.link_factor(5, 2, SimTime::ZERO), 3.0);
+        assert_eq!(plan.link_factor(2, 4, SimTime::ZERO), 1.0);
+    }
+
+    #[test]
+    fn brownout_applies_only_inside_window() {
+        let plan = FaultPlan::none().with_brownout(Brownout {
+            node: 1,
+            start: SimTime::from_nanos(100),
+            end: SimTime::from_nanos(200),
+            slowdown: 10.0,
+        });
+        assert_eq!(plan.link_factor(0, 1, SimTime::from_nanos(50)), 1.0);
+        assert_eq!(plan.link_factor(0, 1, SimTime::from_nanos(150)), 10.0);
+        assert_eq!(plan.link_factor(1, 3, SimTime::from_nanos(199)), 10.0);
+        assert_eq!(plan.link_factor(0, 1, SimTime::from_nanos(200)), 1.0);
+        assert_eq!(plan.link_factor(0, 2, SimTime::from_nanos(150)), 1.0);
+    }
+
+    #[test]
+    fn brownout_stacks_with_degraded_link() {
+        let plan = FaultPlan::none()
+            .with_degraded_link(0, 1, 2.0)
+            .with_brownout(Brownout {
+                node: 0,
+                start: SimTime::ZERO,
+                end: SimTime::from_nanos(10),
+                slowdown: 3.0,
+            });
+        assert_eq!(plan.link_factor(0, 1, SimTime::ZERO), 6.0);
+    }
+
+    #[test]
+    fn straggler_multiplies_cpu() {
+        let plan = FaultPlan::none().with_straggler(4, 7.5);
+        assert_eq!(plan.cpu_factor(4), 7.5);
+        assert_eq!(plan.cpu_factor(5), 1.0);
+        assert!(!plan.is_none());
+    }
+
+    #[test]
+    fn canned_generators_are_seed_deterministic() {
+        for seed in [0u64, 42, 0xDEAD] {
+            let a = FaultPlan::degraded_links(16, 3, 8.0, seed);
+            let b = FaultPlan::degraded_links(16, 3, 8.0, seed);
+            assert_eq!(a, b);
+            assert_eq!(a.degraded_link_count(), 3);
+            let a = FaultPlan::stragglers(16, 3, 8.0, seed);
+            let b = FaultPlan::stragglers(16, 3, 8.0, seed);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn parse_accepts_known_names_and_seeds() {
+        assert!(FaultPlan::parse("none", 8).unwrap().is_none());
+        let a = FaultPlan::parse("degraded-link", 16).unwrap();
+        let b = FaultPlan::parse("degraded-link:64791", 16).unwrap();
+        assert!(!a.is_none() && !b.is_none());
+        assert_ne!(a, b, "different seeds should give different plans");
+        assert_eq!(a, FaultPlan::parse("degraded-link", 16).unwrap());
+        let chaos = FaultPlan::parse("chaos:9", 32).unwrap();
+        assert!(chaos.degraded_link_count() > 0);
+        assert!(chaos.straggler_count() > 0);
+        assert!(chaos.spike_params().is_some());
+    }
+
+    #[test]
+    fn parse_rejects_unknown_and_malformed() {
+        assert!(FaultPlan::parse("meteor-strike", 8).is_err());
+        assert!(FaultPlan::parse("straggler:not-a-seed", 8).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = ">= 1")]
+    fn rejects_speedup_links() {
+        let _ = FaultPlan::none().with_degraded_link(0, 1, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "window is empty")]
+    fn rejects_empty_brownout() {
+        let _ = FaultPlan::none().with_brownout(Brownout {
+            node: 0,
+            start: SimTime::from_nanos(5),
+            end: SimTime::from_nanos(5),
+            slowdown: 2.0,
+        });
+    }
+}

@@ -32,12 +32,14 @@
 
 mod cluster;
 mod fabric;
+pub mod fault;
 mod noise;
 mod time;
 pub mod trace;
 
 pub use cluster::{ClusterModel, ClusterModelBuilder, RackParams, RankMapping};
 pub use fabric::{Fabric, FabricStats, TransferPlan};
+pub use fault::{Brownout, FaultPlan, SpikeParams};
 pub use noise::{Noise, NoiseParams};
 pub use time::{SimSpan, SimTime};
 pub use trace::TransferRecord;

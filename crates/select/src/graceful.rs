@@ -1,0 +1,297 @@
+//! Graceful-degradation selection: model-based when the models can be
+//! trusted, Open MPI fixed rules when they cannot — per `(P, m)` query,
+//! never by panicking.
+//!
+//! Tuning on a faulted cluster can leave the per-algorithm fits in
+//! mixed shape: some algorithms fitted cleanly, some timed out, some
+//! produced fits whose measurements never converged. The
+//! [`GracefulSelector`] takes whatever survived, ranks with the valid
+//! models only, and falls back to [`OpenMpiFixedSelector`] whenever the
+//! model path cannot decide — reporting *which* path decided and *why*
+//! through [`Decision`].
+
+use crate::selector::{ModelBasedSelector, OpenMpiFixedSelector, Selection, Selector};
+use collsel_coll::BcastAlg;
+use collsel_model::{derived, FitValidity, GammaTable, Hockney};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Why the model path could not decide a query (or an algorithm was
+/// excluded from the ranking).
+#[derive(Debug, Clone, PartialEq)]
+pub enum FallbackReason {
+    /// No algorithm has a usable model at all.
+    NoUsableModel,
+    /// Every modelled prediction for this `(P, m)` was non-finite.
+    NonFinitePredictions,
+}
+
+impl fmt::Display for FallbackReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FallbackReason::NoUsableModel => write!(f, "no algorithm has a valid model fit"),
+            FallbackReason::NonFinitePredictions => {
+                write!(f, "every model prediction was non-finite")
+            }
+        }
+    }
+}
+
+/// Which path produced a [`Decision`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum DecisionSource {
+    /// The model-based ranking decided; carries the winning predicted
+    /// time in seconds.
+    Model {
+        /// Predicted execution time of the winning algorithm.
+        predicted: f64,
+    },
+    /// The Open MPI fixed rules decided; carries why the model path was
+    /// unavailable.
+    Fallback {
+        /// Why the model path could not decide.
+        reason: FallbackReason,
+    },
+}
+
+impl DecisionSource {
+    /// Whether the model path decided.
+    pub fn is_model(&self) -> bool {
+        matches!(self, DecisionSource::Model { .. })
+    }
+}
+
+/// A selection together with the metadata of how it was reached.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Decision {
+    /// The selected algorithm and segment size.
+    pub selection: Selection,
+    /// Which path decided, and why.
+    pub source: DecisionSource,
+}
+
+impl fmt::Display for Decision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.source {
+            DecisionSource::Model { predicted } => write!(
+                f,
+                "{} (model, predicted {:.3e} s)",
+                self.selection.alg, predicted
+            ),
+            DecisionSource::Fallback { reason } => {
+                write!(f, "{} (rules fallback: {})", self.selection.alg, reason)
+            }
+        }
+    }
+}
+
+/// A selector that degrades gracefully instead of panicking.
+///
+/// Built from per-algorithm `(α, β)` fits *with their validity
+/// verdicts*: only [`FitValidity::Valid`] fits join the model ranking;
+/// the rest are remembered so reports can say why an algorithm is
+/// missing. Queries whose model ranking is empty or entirely non-finite
+/// fall back, per `(P, m)`, to the Open MPI fixed rules.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GracefulSelector {
+    model: Option<ModelBasedSelector>,
+    validity: BTreeMap<BcastAlg, FitValidity>,
+    fallback: OpenMpiFixedSelector,
+    seg_size: usize,
+}
+
+impl GracefulSelector {
+    /// Builds the selector from judged fits. Algorithms absent from
+    /// `params` (e.g. skipped because their estimation timed out) are
+    /// simply not modelled; `validity` records the verdicts of the fits
+    /// that exist.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seg_size` is zero.
+    pub fn new(
+        gamma: GammaTable,
+        params: BTreeMap<BcastAlg, Hockney>,
+        validity: BTreeMap<BcastAlg, FitValidity>,
+        seg_size: usize,
+    ) -> Self {
+        assert!(seg_size > 0, "segment size must be positive");
+        let trusted: BTreeMap<BcastAlg, Hockney> = params
+            .into_iter()
+            .filter(|(alg, _)| validity.get(alg).is_some_and(FitValidity::is_valid))
+            .collect();
+        let model = if trusted.is_empty() {
+            None
+        } else {
+            Some(ModelBasedSelector::new(gamma, trusted, seg_size))
+        };
+        GracefulSelector {
+            model,
+            validity,
+            fallback: OpenMpiFixedSelector,
+            seg_size,
+        }
+    }
+
+    /// Per-algorithm validity verdicts this selector was built from.
+    pub fn validity(&self) -> &BTreeMap<BcastAlg, FitValidity> {
+        &self.validity
+    }
+
+    /// The algorithms whose models participate in the ranking.
+    pub fn modelled_algorithms(&self) -> Vec<BcastAlg> {
+        self.model
+            .as_ref()
+            .map(|m| m.params().keys().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Decides the algorithm for broadcasting `m` bytes among `p`
+    /// processes, reporting which path decided. Never panics: a
+    /// non-finite prediction excludes that algorithm, and an empty
+    /// surviving ranking falls back to the Open MPI rules.
+    pub fn decide(&self, p: usize, m: usize) -> Decision {
+        let Some(model) = &self.model else {
+            return Decision {
+                selection: self.fallback.select(p, m),
+                source: DecisionSource::Fallback {
+                    reason: FallbackReason::NoUsableModel,
+                },
+            };
+        };
+        // Rank by hand rather than via ModelBasedSelector::ranking,
+        // which asserts finiteness: a degenerate γ table or extreme
+        // parameters must downgrade the query, not abort the program.
+        let mut best: Option<(BcastAlg, f64)> = None;
+        for (&alg, h) in model.params() {
+            let t = derived::predict_bcast(alg, p, m, self.seg_size, model.gamma(), h);
+            if t.is_finite() && best.is_none_or(|(_, bt)| t < bt) {
+                best = Some((alg, t));
+            }
+        }
+        match best {
+            Some((alg, predicted)) => Decision {
+                selection: Selection::segmented(alg, self.seg_size),
+                source: DecisionSource::Model { predicted },
+            },
+            None => Decision {
+                selection: self.fallback.select(p, m),
+                source: DecisionSource::Fallback {
+                    reason: FallbackReason::NonFinitePredictions,
+                },
+            },
+        }
+    }
+}
+
+impl Selector for GracefulSelector {
+    fn select(&self, p: usize, m: usize) -> Selection {
+        self.decide(p, m).selection
+    }
+
+    fn name(&self) -> &str {
+        "graceful"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gamma() -> GammaTable {
+        GammaTable::from_pairs([(3, 1.11), (5, 1.28), (7, 1.54)])
+    }
+
+    fn all_valid() -> (BTreeMap<BcastAlg, Hockney>, BTreeMap<BcastAlg, FitValidity>) {
+        let params: BTreeMap<BcastAlg, Hockney> = BcastAlg::ALL
+            .iter()
+            .map(|&a| (a, Hockney::new(1e-6, 1e-9)))
+            .collect();
+        let validity = params.keys().map(|&a| (a, FitValidity::Valid)).collect();
+        (params, validity)
+    }
+
+    #[test]
+    fn all_valid_fits_use_the_model_path() {
+        let (params, validity) = all_valid();
+        let sel = GracefulSelector::new(gamma(), params, validity, 8192);
+        let d = sel.decide(90, 1 << 20);
+        assert!(d.source.is_model(), "{d:?}");
+        assert_eq!(sel.modelled_algorithms().len(), BcastAlg::ALL.len());
+        // Agrees with the plain model-based selector.
+        let (p2, _) = all_valid();
+        let plain = ModelBasedSelector::new(gamma(), p2, 8192);
+        assert_eq!(d.selection, plain.select(90, 1 << 20));
+    }
+
+    #[test]
+    fn invalid_fits_are_excluded_from_the_ranking() {
+        let (params, mut validity) = all_valid();
+        // Invalidate everything except Chain.
+        for (&alg, v) in validity.iter_mut() {
+            if alg != BcastAlg::Chain {
+                *v = FitValidity::Unconverged { achieved: 0.3 };
+            }
+        }
+        let sel = GracefulSelector::new(gamma(), params, validity, 8192);
+        assert_eq!(sel.modelled_algorithms(), vec![BcastAlg::Chain]);
+        let d = sel.decide(90, 1 << 20);
+        assert!(d.source.is_model());
+        assert_eq!(d.selection.alg, BcastAlg::Chain);
+    }
+
+    #[test]
+    fn no_usable_model_falls_back_to_rules() {
+        let (params, validity) = all_valid();
+        let all_bad: BTreeMap<BcastAlg, FitValidity> = validity
+            .keys()
+            .map(|&a| (a, FitValidity::Degenerate))
+            .collect();
+        let sel = GracefulSelector::new(gamma(), params, all_bad, 8192);
+        for &(p, m) in &[
+            (4usize, 100usize),
+            (16, 8192),
+            (90, 1 << 20),
+            (124, 4 << 20),
+        ] {
+            let d = sel.decide(p, m);
+            match &d.source {
+                DecisionSource::Fallback { reason } => {
+                    assert_eq!(*reason, FallbackReason::NoUsableModel)
+                }
+                other => panic!("expected fallback, got {other:?}"),
+            }
+            assert_eq!(d.selection, OpenMpiFixedSelector.select(p, m));
+        }
+    }
+
+    #[test]
+    fn missing_algorithms_are_simply_not_modelled() {
+        let (mut params, mut validity) = all_valid();
+        params.remove(&BcastAlg::Linear);
+        validity.remove(&BcastAlg::Linear);
+        let sel = GracefulSelector::new(gamma(), params, validity, 8192);
+        assert!(!sel.modelled_algorithms().contains(&BcastAlg::Linear));
+        assert!(sel.decide(64, 65536).source.is_model());
+    }
+
+    #[test]
+    fn decision_display_names_the_path() {
+        let (params, validity) = all_valid();
+        let sel = GracefulSelector::new(gamma(), params, validity, 8192);
+        let d = sel.decide(90, 1 << 20);
+        assert!(d.to_string().contains("model"), "{d}");
+        let empty = GracefulSelector::new(gamma(), BTreeMap::new(), BTreeMap::new(), 8192);
+        let d = empty.decide(90, 1 << 20);
+        assert!(d.to_string().contains("fallback"), "{d}");
+    }
+
+    #[test]
+    fn selector_trait_is_implemented() {
+        let (params, validity) = all_valid();
+        let sel = GracefulSelector::new(gamma(), params, validity, 8192);
+        assert_eq!(sel.name(), "graceful");
+        let s = sel.select(90, 1 << 20);
+        assert!(s.seg_size.is_some());
+    }
+}

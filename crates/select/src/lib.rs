@@ -23,9 +23,11 @@
 #![warn(missing_debug_implementations)]
 
 pub mod analysis;
+mod graceful;
 pub mod rules;
 mod selector;
 
+pub use graceful::{Decision, DecisionSource, FallbackReason, GracefulSelector};
 pub use selector::{
     MeasuredTableSelector, ModelBasedSelector, OpenMpiFixedSelector, Selection, Selector,
     TraditionalModelSelector,

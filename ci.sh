@@ -12,6 +12,18 @@ RUSTFLAGS='-D warnings' cargo build --offline --release --workspace
 echo "==> cargo test (offline, warnings are errors)"
 RUSTFLAGS='-D warnings' cargo test --offline --workspace -q
 
+echo "==> determinism gate: integration tests again at COLLSEL_THREADS=2"
+# Campaigns must be bit-identical at any thread count; running the
+# workspace-level integration tests once more with a threaded pool
+# catches any seed-derivation or ordering regression.
+COLLSEL_THREADS=2 RUSTFLAGS='-D warnings' \
+    cargo test --offline -q -p collsel-repro
+
+echo "==> campaign bench (smoke): serial vs threaded tuning campaign"
+COLLSEL_BENCH_SMOKE=1 RUSTFLAGS='-D warnings' \
+    cargo bench --offline -p collsel-bench --bench campaign
+test -f BENCH_tune.json || { echo "ci.sh: BENCH_tune.json missing" >&2; exit 1; }
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 

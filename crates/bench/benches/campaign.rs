@@ -1,0 +1,103 @@
+//! Perf-trajectory benchmark for the parallel tuning campaign: runs a
+//! Table-2-style full tuning campaign (γ then per-algorithm α/β)
+//! serially and across the job pool, checks the two models are
+//! bit-identical, and writes the wall-clock numbers to
+//! `BENCH_tune.json` at the repository root so successive PRs can track
+//! the trajectory.
+//!
+//! This target deliberately skips the criterion harness: a campaign is
+//! a seconds-long unit of work, so explicit best-of-N wall-clock timing
+//! is both cheaper and easier to serialise. Set `COLLSEL_BENCH_SMOKE=1`
+//! for the CI-sized run (fewer repetitions, looser precision).
+
+use collsel::{TunedModel, Tuner, TunerConfig};
+use collsel_bench::quiet_cluster;
+use collsel_support::pool;
+use collsel_support::Json;
+use std::time::Instant;
+
+/// Times one full campaign at a fixed thread count, returning the
+/// model and the elapsed seconds.
+fn run_campaign(threads: usize, config: &TunerConfig) -> (TunedModel, f64) {
+    pool::set_thread_override(threads);
+    let start = Instant::now();
+    let model = Tuner::new(quiet_cluster(), config.clone()).tune();
+    let elapsed = start.elapsed().as_secs_f64();
+    pool::clear_thread_override();
+    (model, elapsed)
+}
+
+fn main() {
+    let smoke = std::env::var("COLLSEL_BENCH_SMOKE").is_ok_and(|v| v == "1");
+    let runs = if smoke { 1 } else { 3 };
+    let tune_p = 12;
+    let mut config = TunerConfig::quick(tune_p);
+    if smoke {
+        // CI-sized: loosen the stopping rule so each cell settles fast.
+        config.gamma.precision.min_reps = 2;
+        config.gamma.precision.max_reps = 4;
+        config.alpha_beta.precision.min_reps = 2;
+        config.alpha_beta.precision.max_reps = 4;
+    }
+
+    let host = std::thread::available_parallelism().map_or(1, |n| n.get());
+    // The threaded leg uses the pool's configured width (COLLSEL_THREADS
+    // or the host), but always at least 2 so the parallel path is
+    // exercised even on a single-core host.
+    let threads = pool::current_threads().max(2);
+
+    println!("campaign bench: tune_p={tune_p} smoke={smoke} runs={runs}");
+    println!("host parallelism: {host}; threaded leg: {threads} threads");
+
+    let mut serial_s = f64::INFINITY;
+    let mut threaded_s = f64::INFINITY;
+    let mut serial_model = None;
+    let mut threaded_model = None;
+    for run in 0..runs {
+        let (m1, t1) = run_campaign(1, &config);
+        let (mn, tn) = run_campaign(threads, &config);
+        println!("  run {run}: serial {t1:.3}s, {threads} threads {tn:.3}s");
+        serial_s = serial_s.min(t1);
+        threaded_s = threaded_s.min(tn);
+        serial_model = Some(m1);
+        threaded_model = Some(mn);
+    }
+    let (serial_model, threaded_model) = (
+        serial_model.expect("runs >= 1"),
+        threaded_model.expect("runs >= 1"),
+    );
+
+    // The campaign's core invariant: thread count changes wall-clock,
+    // never results.
+    assert_eq!(
+        serial_model, threaded_model,
+        "tuned models diverged between serial and threaded campaigns"
+    );
+    println!("determinism: serial and threaded models are identical");
+
+    let speedup = serial_s / threaded_s;
+    println!("serial (best of {runs}):   {serial_s:.3}s");
+    println!("threaded (best of {runs}): {threaded_s:.3}s at {threads} threads");
+    println!("speedup: {speedup:.2}x on a host with parallelism {host}");
+
+    let json = Json::Obj(vec![
+        ("bench".to_owned(), Json::Str("campaign".to_owned())),
+        ("smoke".to_owned(), Json::Bool(smoke)),
+        ("runs".to_owned(), Json::Num(runs as f64)),
+        ("tune_p".to_owned(), Json::Num(tune_p as f64)),
+        ("threads".to_owned(), Json::Num(threads as f64)),
+        ("host_parallelism".to_owned(), Json::Num(host as f64)),
+        ("serial_s".to_owned(), Json::Num(serial_s)),
+        ("threaded_s".to_owned(), Json::Num(threaded_s)),
+        ("speedup".to_owned(), Json::Num(speedup)),
+        (
+            "models_identical".to_owned(),
+            Json::Bool(serial_model == threaded_model),
+        ),
+    ]);
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_tune.json");
+    match std::fs::write(out, json.to_string_pretty()) {
+        Ok(()) => println!("wrote {out}"),
+        Err(e) => eprintln!("cannot write {out}: {e}"),
+    }
+}

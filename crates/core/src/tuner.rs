@@ -9,6 +9,15 @@
 //!    experiments solved by Huber regression (Sect. 4.2);
 //! 3. assemble the [`ModelBasedSelector`] that picks the
 //!    predicted-fastest algorithm at runtime (Sect. 5.3).
+//!
+//! Tuning campaigns parallelise: the independent measurement cells of
+//! both estimation stages (γ widths; the algorithm × message-size
+//! experiment grid) fan out across a
+//! [`collsel_support::pool::Pool`] sized by the `COLLSEL_THREADS`
+//! environment variable or the CLI's `-j` (default: the host's
+//! available parallelism). Every cell derives its seed from its grid
+//! position, so the tuned model is **bit-identical at any thread
+//! count** — parallelism changes wall-clock, never results.
 
 use collsel_coll::BcastAlg;
 use collsel_estim::{
@@ -169,7 +178,9 @@ impl Tuner {
     /// Runs the full pipeline: γ, then per-algorithm (α, β).
     ///
     /// This performs simulated communication experiments and can take
-    /// seconds for paper-scale configurations.
+    /// seconds for paper-scale configurations. Within each stage the
+    /// independent cells run across the current thread pool (see the
+    /// module docs); the result does not depend on the thread count.
     pub fn tune(&self) -> TunedModel {
         let gamma = estimate_gamma(&self.cluster, &self.config.gamma, self.config.seed);
         let params = estimate_all_alpha_beta(

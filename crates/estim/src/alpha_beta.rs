@@ -20,13 +20,17 @@
 //! contention, protocol and pipelining effects the Hockney abstraction
 //! cannot express.
 
-use crate::measure::{bcast_gather_experiment_time, try_bcast_gather_experiment_time, RetryPolicy};
+use crate::measure::{
+    bcast_gather_experiment_time_batch, try_bcast_gather_experiment_time, ExperimentSpec,
+    RetryPolicy,
+};
 use crate::regress::huber_default;
 use crate::stats::{Precision, SampleStats};
 use collsel_coll::BcastAlg;
 use collsel_model::{derived, FitValidity, GammaTable, Hockney};
 use collsel_mpi::SimError;
 use collsel_netsim::ClusterModel;
+use collsel_support::pool::Pool;
 use std::collections::BTreeMap;
 
 /// Configuration of the α/β estimation experiments.
@@ -167,10 +171,68 @@ impl AlphaBetaEstimate {
     }
 }
 
+/// The experiment cells of one algorithm's estimation, in point order,
+/// with the exact per-point seeds of the original serial loop.
+fn experiment_specs(alg: BcastAlg, cfg: &AlphaBetaConfig, seed: u64) -> Vec<ExperimentSpec> {
+    cfg.msg_sizes
+        .iter()
+        .zip(&cfg.gather_sizes)
+        .enumerate()
+        .map(|(idx, (&m, &m_g))| ExperimentSpec {
+            alg,
+            p: cfg.p,
+            m,
+            m_g,
+            seg_size: cfg.seg_size,
+            seed: seed.wrapping_add(idx as u64 * 7919),
+        })
+        .collect()
+}
+
+/// Canonicalises the measured cells and fits (α, β) with the Huber
+/// regressor; `measured` is in point order.
+fn fit_from_measurements(
+    alg: BcastAlg,
+    cfg: &AlphaBetaConfig,
+    gamma: &GammaTable,
+    measured: Vec<SampleStats>,
+) -> AlphaBetaEstimate {
+    let points: Vec<ExperimentPoint> = cfg
+        .msg_sizes
+        .iter()
+        .zip(&cfg.gather_sizes)
+        .zip(measured)
+        .map(|((&m, &m_g), measured)| {
+            let coeff = derived::bcast_coefficients(alg, cfg.p, m, cfg.seg_size, gamma)
+                .plus(derived::gather_linear_coefficients(cfg.p, m_g));
+            let (x, y) = coeff.canonicalise(measured.mean);
+            ExperimentPoint {
+                msg_size: m,
+                gather_size: m_g,
+                x,
+                y,
+                measured,
+            }
+        })
+        .collect();
+    let xs: Vec<f64> = points.iter().map(|p| p.x).collect();
+    let ys: Vec<f64> = points.iter().map(|p| p.y).collect();
+    let fit = huber_default(&xs, &ys);
+    AlphaBetaEstimate {
+        hockney: Hockney::new(fit.intercept.max(0.0), fit.slope.max(0.0)),
+        points,
+    }
+}
+
 /// Runs the Sect. 4.2 experiments for `alg` and fits (α, β) with the
 /// Huber regressor. Negative fitted values (possible when the model's
 /// startup count overestimates reality) are clamped to zero, as the
 /// Hockney parameters are physical quantities.
+///
+/// The per-size experiments are independent (each carries its own seed
+/// derived from its point index) and fan out across the current
+/// [`Pool`]; the fit is bit-identical to serial execution at any thread
+/// count.
 ///
 /// # Panics
 ///
@@ -183,57 +245,38 @@ pub fn estimate_alpha_beta(
     seed: u64,
 ) -> AlphaBetaEstimate {
     cfg.validate();
-    let mut points = Vec::with_capacity(cfg.msg_sizes.len());
-    for (idx, (&m, &m_g)) in cfg.msg_sizes.iter().zip(&cfg.gather_sizes).enumerate() {
-        let measured = bcast_gather_experiment_time(
-            cluster,
-            alg,
-            cfg.p,
-            m,
-            m_g,
-            cfg.seg_size,
-            &cfg.precision,
-            seed.wrapping_add(idx as u64 * 7919),
-        );
-        let coeff = derived::bcast_coefficients(alg, cfg.p, m, cfg.seg_size, gamma)
-            .plus(derived::gather_linear_coefficients(cfg.p, m_g));
-        let (x, y) = coeff.canonicalise(measured.mean);
-        points.push(ExperimentPoint {
-            msg_size: m,
-            gather_size: m_g,
-            x,
-            y,
-            measured,
-        });
-    }
-    let xs: Vec<f64> = points.iter().map(|p| p.x).collect();
-    let ys: Vec<f64> = points.iter().map(|p| p.y).collect();
-    let fit = huber_default(&xs, &ys);
-    AlphaBetaEstimate {
-        hockney: Hockney::new(fit.intercept.max(0.0), fit.slope.max(0.0)),
-        points,
-    }
+    let specs = experiment_specs(alg, cfg, seed);
+    let measured =
+        bcast_gather_experiment_time_batch(cluster, &specs, &cfg.precision, Pool::current());
+    fit_from_measurements(alg, cfg, gamma, measured)
 }
 
 /// Runs the estimation for all six broadcast algorithms.
+///
+/// The whole algorithm × message-size grid is flattened into a single
+/// batch, so the pool load-balances across all cells at once instead of
+/// synchronising between algorithms.
 pub fn estimate_all_alpha_beta(
     cluster: &ClusterModel,
     cfg: &AlphaBetaConfig,
     gamma: &GammaTable,
     seed: u64,
 ) -> BTreeMap<BcastAlg, AlphaBetaEstimate> {
-    BcastAlg::ALL
+    cfg.validate();
+    let specs: Vec<ExperimentSpec> = BcastAlg::ALL
         .iter()
         .enumerate()
-        .map(|(i, &alg)| {
-            let est = estimate_alpha_beta(
-                cluster,
-                alg,
-                cfg,
-                gamma,
-                seed.wrapping_add((i as u64) << 32),
-            );
-            (alg, est)
+        .flat_map(|(i, &alg)| experiment_specs(alg, cfg, seed.wrapping_add((i as u64) << 32)))
+        .collect();
+    let measured =
+        bcast_gather_experiment_time_batch(cluster, &specs, &cfg.precision, Pool::current());
+    let n = cfg.msg_sizes.len();
+    let mut cells = measured.into_iter();
+    BcastAlg::ALL
+        .iter()
+        .map(|&alg| {
+            let alg_cells: Vec<SampleStats> = cells.by_ref().take(n).collect();
+            (alg, fit_from_measurements(alg, cfg, gamma, alg_cells))
         })
         .collect()
 }
@@ -261,37 +304,40 @@ pub fn try_estimate_alpha_beta(
     policy: &RetryPolicy,
 ) -> Result<AlphaBetaEstimate, SimError> {
     cfg.validate();
-    let mut points = Vec::with_capacity(cfg.msg_sizes.len());
-    for (idx, (&m, &m_g)) in cfg.msg_sizes.iter().zip(&cfg.gather_sizes).enumerate() {
-        let measured = try_bcast_gather_experiment_time(
-            cluster,
-            alg,
-            cfg.p,
-            m,
-            m_g,
-            cfg.seg_size,
-            &cfg.precision,
-            seed.wrapping_add(idx as u64 * 7919),
-            policy,
-        )?;
-        let coeff = derived::bcast_coefficients(alg, cfg.p, m, cfg.seg_size, gamma)
-            .plus(derived::gather_linear_coefficients(cfg.p, m_g));
-        let (x, y) = coeff.canonicalise(measured.mean);
-        points.push(ExperimentPoint {
-            msg_size: m,
-            gather_size: m_g,
-            x,
-            y,
-            measured,
-        });
-    }
-    let xs: Vec<f64> = points.iter().map(|p| p.x).collect();
-    let ys: Vec<f64> = points.iter().map(|p| p.y).collect();
-    let fit = huber_default(&xs, &ys);
-    Ok(AlphaBetaEstimate {
-        hockney: Hockney::new(fit.intercept.max(0.0), fit.slope.max(0.0)),
-        points,
-    })
+    let specs = experiment_specs(alg, cfg, seed);
+    let measured = try_experiment_batch(cluster, &specs, &cfg.precision, policy)?;
+    Ok(fit_from_measurements(alg, cfg, gamma, measured))
+}
+
+/// Fans the fallible cells out across the current pool. All cells run
+/// even past a failure (in-flight jobs cannot be cancelled), but the
+/// returned error is the first one in spec order — the same outcome the
+/// early-exiting serial loop produces.
+fn try_experiment_batch(
+    cluster: &ClusterModel,
+    specs: &[ExperimentSpec],
+    precision: &Precision,
+    policy: &RetryPolicy,
+) -> Result<Vec<SampleStats>, SimError> {
+    Pool::current()
+        .run(specs.iter().map(|spec| {
+            let spec = *spec;
+            move || {
+                try_bcast_gather_experiment_time(
+                    cluster,
+                    spec.alg,
+                    spec.p,
+                    spec.m,
+                    spec.m_g,
+                    spec.seg_size,
+                    precision,
+                    spec.seed,
+                    policy,
+                )
+            }
+        }))
+        .into_iter()
+        .collect()
 }
 
 /// Runs the fallible estimation for all six broadcast algorithms,
@@ -306,19 +352,43 @@ pub fn try_estimate_all_alpha_beta(
     seed: u64,
     policy: &RetryPolicy,
 ) -> BTreeMap<BcastAlg, Result<AlphaBetaEstimate, SimError>> {
-    BcastAlg::ALL
+    cfg.validate();
+    // Flatten the whole algorithm × size grid into one batch (see
+    // `estimate_all_alpha_beta`), then regroup per algorithm: each
+    // algorithm's outcome is its cells' results folded in point order,
+    // so one algorithm's failure leaves the others' fits intact and the
+    // reported error matches the serial loop's.
+    let flat: Vec<ExperimentSpec> = BcastAlg::ALL
         .iter()
         .enumerate()
-        .map(|(i, &alg)| {
-            let est = try_estimate_alpha_beta(
+        .flat_map(|(i, &alg)| experiment_specs(alg, cfg, seed.wrapping_add((i as u64) << 32)))
+        .collect();
+    let outcomes = Pool::current().run(flat.iter().map(|spec| {
+        let spec = *spec;
+        move || {
+            try_bcast_gather_experiment_time(
                 cluster,
-                alg,
-                cfg,
-                gamma,
-                seed.wrapping_add((i as u64) << 32),
+                spec.alg,
+                spec.p,
+                spec.m,
+                spec.m_g,
+                spec.seg_size,
+                &cfg.precision,
+                spec.seed,
                 policy,
-            );
-            (alg, est)
+            )
+        }
+    }));
+    let n = cfg.msg_sizes.len();
+    let mut cells = outcomes.into_iter();
+    BcastAlg::ALL
+        .iter()
+        .map(|&alg| {
+            let alg_cells: Result<Vec<SampleStats>, SimError> = cells.by_ref().take(n).collect();
+            (
+                alg,
+                alg_cells.map(|measured| fit_from_measurements(alg, cfg, gamma, measured)),
+            )
         })
         .collect()
 }

@@ -12,6 +12,7 @@ use crate::stats::{Precision, SampleStats};
 use collsel_model::GammaTable;
 use collsel_mpi::SimError;
 use collsel_netsim::ClusterModel;
+use collsel_support::pool::Pool;
 
 /// Configuration of the γ estimation experiments.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -78,18 +79,22 @@ pub fn estimate_gamma(cluster: &ClusterModel, cfg: &GammaConfig, seed: u64) -> G
         cluster.name(),
         cfg.max_width
     );
-    let mut t2 = Vec::with_capacity(cfg.max_width - 1);
-    for p in 2..=cfg.max_width {
-        let stats = linear_segment_bcast_time(
-            cluster,
-            p,
-            cfg.seg_size,
-            cfg.calls_per_sample,
-            &cfg.precision,
-            seed.wrapping_add(p as u64 * 1009),
-        );
-        t2.push((p, stats));
-    }
+    // Each width is an independent experiment with its own seed, so the
+    // widths fan out across the pool; results come back in width order
+    // and are bit-identical to the serial loop at any thread count.
+    let stats = Pool::current().run((2..=cfg.max_width).map(|p| {
+        move || {
+            linear_segment_bcast_time(
+                cluster,
+                p,
+                cfg.seg_size,
+                cfg.calls_per_sample,
+                &cfg.precision,
+                seed.wrapping_add(p as u64 * 1009),
+            )
+        }
+    }));
+    let t2: Vec<(usize, SampleStats)> = (2..=cfg.max_width).zip(stats).collect();
     let base = t2[0].1.mean;
     assert!(base > 0.0, "T2(2) must be positive");
     let pairs: Vec<(usize, f64)> = t2
@@ -134,18 +139,26 @@ pub fn try_estimate_gamma(
         cluster.name(),
         cfg.max_width
     );
+    // All widths run (even past a failure — unlike the serial loop's
+    // early exit, the pool cannot cancel in-flight cells), but the
+    // reported error is the first one in width order, so the outcome is
+    // deterministic and identical to serial execution.
+    let outcomes = Pool::current().run((2..=cfg.max_width).map(|p| {
+        move || {
+            try_linear_segment_bcast_time(
+                cluster,
+                p,
+                cfg.seg_size,
+                cfg.calls_per_sample,
+                &cfg.precision,
+                seed.wrapping_add(p as u64 * 1009),
+                policy,
+            )
+        }
+    }));
     let mut t2 = Vec::with_capacity(cfg.max_width - 1);
-    for p in 2..=cfg.max_width {
-        let stats = try_linear_segment_bcast_time(
-            cluster,
-            p,
-            cfg.seg_size,
-            cfg.calls_per_sample,
-            &cfg.precision,
-            seed.wrapping_add(p as u64 * 1009),
-            policy,
-        )?;
-        t2.push((p, stats));
+    for (p, outcome) in (2..=cfg.max_width).zip(outcomes) {
+        t2.push((p, outcome?));
     }
     let base = t2[0].1.mean;
     assert!(base > 0.0, "T2(2) must be positive");

@@ -19,6 +19,13 @@
 //! Measurement follows the MPIBlib methodology the paper cites: every
 //! data point is re-sampled until its mean lies within a 2.5% precision
 //! 95% confidence interval ([`sample_adaptive`]).
+//!
+//! Estimation campaigns fan their *independent* measurement cells
+//! (γ widths, per-algorithm experiment sizes) across a
+//! [`collsel_support::pool::Pool`] sized by `COLLSEL_THREADS`; every
+//! cell derives its seed from its grid position, so results are
+//! bit-identical at any thread count. The adaptive stopping rule stays
+//! strictly sequential *within* a cell.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -39,7 +46,8 @@ pub use gamma_est::{estimate_gamma, try_estimate_gamma, GammaConfig, GammaEstima
 pub use hockney_est::{estimate_network_hockney, NetworkHockneyEstimate};
 pub use loggp_est::{estimate_loggp, LogGPEstimate};
 pub use measure::{
-    try_bcast_gather_experiment_time, try_bcast_time, try_linear_segment_bcast_time, try_p2p_time,
+    bcast_gather_experiment_time_batch, bcast_time_batch, try_bcast_gather_experiment_time,
+    try_bcast_time, try_linear_segment_bcast_time, try_p2p_time, BcastSpec, ExperimentSpec,
     RetryPolicy,
 };
 pub use regress::{huber, huber_default, ols, LinearFit};

@@ -6,7 +6,7 @@
 //! naturally end on the root) a closing barrier so the root observes
 //! the completion of the slowest rank.
 //!
-//! Two API tiers live here:
+//! Three API tiers live here:
 //!
 //! * the original infallible functions ([`bcast_time`] etc.) — used by
 //!   the golden regression path; they run without a watchdog and panic
@@ -17,13 +17,25 @@
 //!   watchdog, retry timed-out batches under a [`RetryPolicy`] with a
 //!   grown budget and a perturbed seed, and report
 //!   [`SimError::PrecisionNotReached`] instead of silently returning a
-//!   non-converged sample.
+//!   non-converged sample;
+//! * `*_batch` fan-out twins ([`bcast_time_batch`],
+//!   [`bcast_gather_experiment_time_batch`]) — run many independent
+//!   measurement cells across a [`Pool`], returning results in spec
+//!   order, bit-identical to the serial tier at any thread count.
+//!
+//! All tiers execute their simulations through
+//! [`collsel_mpi::simulate_pooled`], so a campaign reuses rank OS
+//! threads across its tens of thousands of runs instead of spawning
+//! `P` fresh threads per measurement.
 
 use crate::stats::{sample_adaptive, sample_adaptive_fallible, Precision, SampleStats};
 use collsel_coll::{bcast, gather_linear, BcastAlg};
 use collsel_mpi::{Ctx, SimError, SimOptions};
 use collsel_netsim::{ClusterModel, SimSpan};
+use collsel_support::pool::Pool;
 use collsel_support::Bytes;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Retry policy for measurements on a cluster that may stall.
 ///
@@ -102,13 +114,21 @@ fn try_root_samples(
     p: usize,
     seed: u64,
     policy: &RetryPolicy,
-    program: impl Fn(&mut Ctx) -> Vec<f64> + Sync,
+    program: impl Fn(&mut Ctx) -> Vec<f64> + Send + Sync + 'static,
 ) -> Result<Vec<f64>, SimError> {
     policy.validate();
+    let program = Arc::new(program);
     let mut last_timeout: Option<SimError> = None;
     for attempt in 0..policy.max_attempts {
         let opts = policy.options_for(attempt);
-        match collsel_mpi::simulate_with(cluster, p, mix_attempt(seed, attempt), opts, &program) {
+        let prog = Arc::clone(&program);
+        match collsel_mpi::simulate_pooled(
+            cluster,
+            p,
+            mix_attempt(seed, attempt),
+            opts,
+            move |ctx| prog(ctx),
+        ) {
             Ok(out) => {
                 // Invariant: the root always returns a value once the
                 // simulation completes.
@@ -126,8 +146,25 @@ fn try_root_samples(
 pub const ROOT: usize = 0;
 
 /// A deterministic position-dependent payload of `len` bytes.
+///
+/// Memoised: a campaign measures a few dozen distinct sizes across
+/// thousands of repetitions and retries, so the buffer for each size is
+/// built once and then handed out as a cheap [`Bytes`] (`Arc`-backed)
+/// clone instead of an O(len) allocation+fill per call.
 pub fn payload(len: usize) -> Bytes {
-    Bytes::from((0..len).map(|i| (i % 251) as u8).collect::<Vec<_>>())
+    static CACHE: OnceLock<Mutex<HashMap<usize, Bytes>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut cache = cache.lock().expect("payload cache lock");
+    if let Some(b) = cache.get(&len) {
+        return b.clone();
+    }
+    let b = Bytes::from((0..len).map(|i| (i % 251) as u8).collect::<Vec<_>>());
+    // Campaigns use a bounded set of sizes; the cap only guards against
+    // a pathological caller sweeping millions of distinct lengths.
+    if cache.len() < 1024 {
+        cache.insert(len, b.clone());
+    }
+    b
 }
 
 /// Runs `reps` timed repetitions of `body` inside one simulation and
@@ -147,9 +184,9 @@ fn timed_reps(
     p: usize,
     seed: u64,
     reps: usize,
-    body: impl Fn(&mut collsel_mpi::Ctx) + Sync,
+    body: impl Fn(&mut collsel_mpi::Ctx) + Send + Sync + 'static,
 ) -> Vec<f64> {
-    let out = collsel_mpi::simulate(cluster, p, seed, |ctx| {
+    let out = collsel_mpi::simulate_pooled(cluster, p, seed, SimOptions::default(), move |ctx| {
         let mut ts = Vec::with_capacity(reps);
         for _ in 0..reps {
             ctx.barrier();
@@ -186,10 +223,17 @@ pub fn bcast_time(
     let msg = payload(m);
     let reps = precision.min_reps;
     sample_adaptive(precision, |batch| {
-        timed_reps(cluster, p, seed.wrapping_add(batch as u64), reps, |ctx| {
-            let data = (ctx.rank() == ROOT).then(|| msg.clone());
-            let _ = bcast(ctx, alg, ROOT, data, m, seg_size);
-        })
+        let msg = msg.clone();
+        timed_reps(
+            cluster,
+            p,
+            seed.wrapping_add(batch as u64),
+            reps,
+            move |ctx| {
+                let data = (ctx.rank() == ROOT).then(|| msg.clone());
+                let _ = bcast(ctx, alg, ROOT, data, m, seg_size);
+            },
+        )
     })
 }
 
@@ -214,21 +258,27 @@ pub fn bcast_gather_experiment_time(
     sample_adaptive(precision, |batch| {
         let msg = msg.clone();
         let contrib = contrib.clone();
-        let out = collsel_mpi::simulate(cluster, p, seed.wrapping_add(batch as u64), move |ctx| {
-            let mut ts = Vec::with_capacity(reps);
-            for _ in 0..reps {
-                ctx.barrier();
-                let t0 = ctx.wtime();
-                let data = (ctx.rank() == ROOT).then(|| msg.clone());
-                let _ = bcast(ctx, alg, ROOT, data, m, seg_size);
-                let _ = gather_linear(ctx, ROOT, contrib.clone());
-                let t1 = ctx.wtime();
-                if ctx.rank() == ROOT {
-                    ts.push((t1 - t0).as_secs_f64());
+        let out = collsel_mpi::simulate_pooled(
+            cluster,
+            p,
+            seed.wrapping_add(batch as u64),
+            SimOptions::default(),
+            move |ctx| {
+                let mut ts = Vec::with_capacity(reps);
+                for _ in 0..reps {
+                    ctx.barrier();
+                    let t0 = ctx.wtime();
+                    let data = (ctx.rank() == ROOT).then(|| msg.clone());
+                    let _ = bcast(ctx, alg, ROOT, data, m, seg_size);
+                    let _ = gather_linear(ctx, ROOT, contrib.clone());
+                    let t1 = ctx.wtime();
+                    if ctx.rank() == ROOT {
+                        ts.push((t1 - t0).as_secs_f64());
+                    }
                 }
-            }
-            ts
-        })
+                ts
+            },
+        )
         .expect("measurement program cannot deadlock");
         out.results.into_iter().nth(ROOT).expect("root result")
     })
@@ -250,17 +300,23 @@ pub fn linear_segment_bcast_time(
     let msg = payload(seg_size);
     sample_adaptive(precision, |batch| {
         let msg = msg.clone();
-        let out = collsel_mpi::simulate(cluster, p, seed.wrapping_add(batch as u64), move |ctx| {
-            ctx.barrier();
-            let t0 = ctx.wtime();
-            for _ in 0..calls {
-                let data = (ctx.rank() == ROOT).then(|| msg.clone());
-                let _ = collsel_coll::bcast_linear(ctx, ROOT, data, msg.len());
+        let out = collsel_mpi::simulate_pooled(
+            cluster,
+            p,
+            seed.wrapping_add(batch as u64),
+            SimOptions::default(),
+            move |ctx| {
                 ctx.barrier();
-            }
-            let t1 = ctx.wtime();
-            (t1 - t0).as_secs_f64() / calls as f64
-        })
+                let t0 = ctx.wtime();
+                for _ in 0..calls {
+                    let data = (ctx.rank() == ROOT).then(|| msg.clone());
+                    let _ = collsel_coll::bcast_linear(ctx, ROOT, data, msg.len());
+                    ctx.barrier();
+                }
+                let t1 = ctx.wtime();
+                (t1 - t0).as_secs_f64() / calls as f64
+            },
+        )
         .expect("measurement program cannot deadlock");
         vec![out.results[ROOT]]
     })
@@ -274,25 +330,31 @@ pub fn p2p_time(cluster: &ClusterModel, m: usize, precision: &Precision, seed: u
     let reps = precision.min_reps;
     sample_adaptive(precision, |batch| {
         let msg = msg.clone();
-        let out = collsel_mpi::simulate(cluster, 2, seed.wrapping_add(batch as u64), move |ctx| {
-            let mut ts = Vec::with_capacity(reps);
-            for _ in 0..reps {
-                ctx.barrier();
-                let t0 = ctx.wtime();
-                if ctx.rank() == 0 {
-                    ctx.send(1, 0, msg.clone());
-                    let _ = ctx.recv(1, 1);
-                } else {
-                    let (data, _) = ctx.recv(0, 0);
-                    ctx.send(0, 1, data);
+        let out = collsel_mpi::simulate_pooled(
+            cluster,
+            2,
+            seed.wrapping_add(batch as u64),
+            SimOptions::default(),
+            move |ctx| {
+                let mut ts = Vec::with_capacity(reps);
+                for _ in 0..reps {
+                    ctx.barrier();
+                    let t0 = ctx.wtime();
+                    if ctx.rank() == 0 {
+                        ctx.send(1, 0, msg.clone());
+                        let _ = ctx.recv(1, 1);
+                    } else {
+                        let (data, _) = ctx.recv(0, 0);
+                        ctx.send(0, 1, data);
+                    }
+                    let t1 = ctx.wtime();
+                    if ctx.rank() == 0 {
+                        ts.push((t1 - t0).as_secs_f64() / 2.0);
+                    }
                 }
-                let t1 = ctx.wtime();
-                if ctx.rank() == 0 {
-                    ts.push((t1 - t0).as_secs_f64() / 2.0);
-                }
-            }
-            ts
-        })
+                ts
+            },
+        )
         .expect("measurement program cannot deadlock");
         out.results.into_iter().next().expect("rank 0 result")
     })
@@ -325,21 +387,28 @@ pub fn try_bcast_time(
     let msg = payload(m);
     let reps = precision.min_reps;
     sample_adaptive_fallible(precision, |batch| {
-        try_root_samples(cluster, p, seed.wrapping_add(batch as u64), policy, |ctx| {
-            let mut ts = Vec::with_capacity(reps);
-            for _ in 0..reps {
-                ctx.barrier();
-                let t0 = ctx.wtime();
-                let data = (ctx.rank() == ROOT).then(|| msg.clone());
-                let _ = bcast(ctx, alg, ROOT, data, m, seg_size);
-                ctx.barrier();
-                let t1 = ctx.wtime();
-                if ctx.rank() == ROOT {
-                    ts.push((t1 - t0).as_secs_f64());
+        let msg = msg.clone();
+        try_root_samples(
+            cluster,
+            p,
+            seed.wrapping_add(batch as u64),
+            policy,
+            move |ctx| {
+                let mut ts = Vec::with_capacity(reps);
+                for _ in 0..reps {
+                    ctx.barrier();
+                    let t0 = ctx.wtime();
+                    let data = (ctx.rank() == ROOT).then(|| msg.clone());
+                    let _ = bcast(ctx, alg, ROOT, data, m, seg_size);
+                    ctx.barrier();
+                    let t1 = ctx.wtime();
+                    if ctx.rank() == ROOT {
+                        ts.push((t1 - t0).as_secs_f64());
+                    }
                 }
-            }
-            ts
-        })
+                ts
+            },
+        )
     })
 }
 
@@ -365,21 +434,29 @@ pub fn try_bcast_gather_experiment_time(
     let contrib = payload(m_g);
     let reps = precision.min_reps;
     sample_adaptive_fallible(precision, |batch| {
-        try_root_samples(cluster, p, seed.wrapping_add(batch as u64), policy, |ctx| {
-            let mut ts = Vec::with_capacity(reps);
-            for _ in 0..reps {
-                ctx.barrier();
-                let t0 = ctx.wtime();
-                let data = (ctx.rank() == ROOT).then(|| msg.clone());
-                let _ = bcast(ctx, alg, ROOT, data, m, seg_size);
-                let _ = gather_linear(ctx, ROOT, contrib.clone());
-                let t1 = ctx.wtime();
-                if ctx.rank() == ROOT {
-                    ts.push((t1 - t0).as_secs_f64());
+        let msg = msg.clone();
+        let contrib = contrib.clone();
+        try_root_samples(
+            cluster,
+            p,
+            seed.wrapping_add(batch as u64),
+            policy,
+            move |ctx| {
+                let mut ts = Vec::with_capacity(reps);
+                for _ in 0..reps {
+                    ctx.barrier();
+                    let t0 = ctx.wtime();
+                    let data = (ctx.rank() == ROOT).then(|| msg.clone());
+                    let _ = bcast(ctx, alg, ROOT, data, m, seg_size);
+                    let _ = gather_linear(ctx, ROOT, contrib.clone());
+                    let t1 = ctx.wtime();
+                    if ctx.rank() == ROOT {
+                        ts.push((t1 - t0).as_secs_f64());
+                    }
                 }
-            }
-            ts
-        })
+                ts
+            },
+        )
     })
 }
 
@@ -401,17 +478,24 @@ pub fn try_linear_segment_bcast_time(
     assert!(calls > 0, "need at least one call per sample");
     let msg = payload(seg_size);
     sample_adaptive_fallible(precision, |batch| {
-        try_root_samples(cluster, p, seed.wrapping_add(batch as u64), policy, |ctx| {
-            ctx.barrier();
-            let t0 = ctx.wtime();
-            for _ in 0..calls {
-                let data = (ctx.rank() == ROOT).then(|| msg.clone());
-                let _ = collsel_coll::bcast_linear(ctx, ROOT, data, msg.len());
+        let msg = msg.clone();
+        try_root_samples(
+            cluster,
+            p,
+            seed.wrapping_add(batch as u64),
+            policy,
+            move |ctx| {
                 ctx.barrier();
-            }
-            let t1 = ctx.wtime();
-            vec![(t1 - t0).as_secs_f64() / calls as f64]
-        })
+                let t0 = ctx.wtime();
+                for _ in 0..calls {
+                    let data = (ctx.rank() == ROOT).then(|| msg.clone());
+                    let _ = collsel_coll::bcast_linear(ctx, ROOT, data, msg.len());
+                    ctx.barrier();
+                }
+                let t1 = ctx.wtime();
+                vec![(t1 - t0).as_secs_f64() / calls as f64]
+            },
+        )
     })
 }
 
@@ -431,26 +515,124 @@ pub fn try_p2p_time(
     let msg = payload(m);
     let reps = precision.min_reps;
     sample_adaptive_fallible(precision, |batch| {
-        try_root_samples(cluster, 2, seed.wrapping_add(batch as u64), policy, |ctx| {
-            let mut ts = Vec::with_capacity(reps);
-            for _ in 0..reps {
-                ctx.barrier();
-                let t0 = ctx.wtime();
-                if ctx.rank() == 0 {
-                    ctx.send(1, 0, msg.clone());
-                    let _ = ctx.recv(1, 1);
-                } else {
-                    let (data, _) = ctx.recv(0, 0);
-                    ctx.send(0, 1, data);
+        let msg = msg.clone();
+        try_root_samples(
+            cluster,
+            2,
+            seed.wrapping_add(batch as u64),
+            policy,
+            move |ctx| {
+                let mut ts = Vec::with_capacity(reps);
+                for _ in 0..reps {
+                    ctx.barrier();
+                    let t0 = ctx.wtime();
+                    if ctx.rank() == 0 {
+                        ctx.send(1, 0, msg.clone());
+                        let _ = ctx.recv(1, 1);
+                    } else {
+                        let (data, _) = ctx.recv(0, 0);
+                        ctx.send(0, 1, data);
+                    }
+                    let t1 = ctx.wtime();
+                    if ctx.rank() == 0 {
+                        ts.push((t1 - t0).as_secs_f64() / 2.0);
+                    }
                 }
-                let t1 = ctx.wtime();
-                if ctx.rank() == 0 {
-                    ts.push((t1 - t0).as_secs_f64() / 2.0);
-                }
-            }
-            ts
-        })
+                ts
+            },
+        )
     })
+}
+
+/// Specification of one independent [`bcast_time`] measurement inside a
+/// batch: the full (algorithm, P, m, segment, seed) cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BcastSpec {
+    /// Broadcast algorithm under measurement.
+    pub alg: BcastAlg,
+    /// Number of ranks.
+    pub p: usize,
+    /// Message size in bytes.
+    pub m: usize,
+    /// Segment size for segmented algorithms.
+    pub seg_size: usize,
+    /// Base seed of this cell's noise stream.
+    pub seed: u64,
+}
+
+/// Specification of one independent
+/// [`bcast_gather_experiment_time`] measurement inside a batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExperimentSpec {
+    /// Broadcast algorithm under measurement.
+    pub alg: BcastAlg,
+    /// Number of ranks.
+    pub p: usize,
+    /// Broadcast message size in bytes.
+    pub m: usize,
+    /// Per-rank gather contribution size in bytes.
+    pub m_g: usize,
+    /// Segment size for segmented algorithms.
+    pub seg_size: usize,
+    /// Base seed of this cell's noise stream.
+    pub seed: u64,
+}
+
+/// Measures a batch of independent broadcast cells across `pool`,
+/// returning the statistics in spec order.
+///
+/// Each cell is a complete adaptive measurement (the MPIBlib stopping
+/// rule is inherently sequential *within* a cell); the pool fans the
+/// *cells* out. Because every cell carries its own seed, the result is
+/// bit-identical to calling [`bcast_time`] per spec in order — at any
+/// thread count.
+pub fn bcast_time_batch(
+    cluster: &ClusterModel,
+    specs: &[BcastSpec],
+    precision: &Precision,
+    pool: Pool,
+) -> Vec<SampleStats> {
+    pool.run(specs.iter().map(|spec| {
+        let spec = *spec;
+        move || {
+            bcast_time(
+                cluster,
+                spec.alg,
+                spec.p,
+                spec.m,
+                spec.seg_size,
+                precision,
+                spec.seed,
+            )
+        }
+    }))
+}
+
+/// Measures a batch of independent Sect. 4.2 bcast+gather experiment
+/// cells across `pool`, returning the statistics in spec order;
+/// bit-identical to serial [`bcast_gather_experiment_time`] calls (see
+/// [`bcast_time_batch`]).
+pub fn bcast_gather_experiment_time_batch(
+    cluster: &ClusterModel,
+    specs: &[ExperimentSpec],
+    precision: &Precision,
+    pool: Pool,
+) -> Vec<SampleStats> {
+    pool.run(specs.iter().map(|spec| {
+        let spec = *spec;
+        move || {
+            bcast_gather_experiment_time(
+                cluster,
+                spec.alg,
+                spec.p,
+                spec.m,
+                spec.m_g,
+                spec.seg_size,
+                precision,
+                spec.seed,
+            )
+        }
+    }))
 }
 
 #[cfg(test)]
@@ -616,6 +798,36 @@ mod tests {
         )
         .expect("straggler slows but does not stall");
         assert!(hurt.mean > base.mean, "{} vs {}", hurt.mean, base.mean);
+    }
+
+    #[test]
+    fn batch_measurements_match_serial_at_any_thread_count() {
+        let c = quiet_gros();
+        let prec = Precision::quick();
+        let cells = [
+            (BcastAlg::Binomial, 16 * 1024),
+            (BcastAlg::Chain, 64 * 1024),
+            (BcastAlg::Binary, 32 * 1024),
+        ];
+        let specs: Vec<BcastSpec> = cells
+            .iter()
+            .enumerate()
+            .map(|(i, &(alg, m))| BcastSpec {
+                alg,
+                p: 8,
+                m,
+                seg_size: 8 * 1024,
+                seed: 1 + i as u64,
+            })
+            .collect();
+        let serial: Vec<SampleStats> = specs
+            .iter()
+            .map(|s| bcast_time(&c, s.alg, s.p, s.m, s.seg_size, &prec, s.seed))
+            .collect();
+        for threads in [1, 4] {
+            let batch = bcast_time_batch(&c, &specs, &prec, Pool::with_threads(threads));
+            assert_eq!(serial, batch, "threads={threads}");
+        }
     }
 
     #[test]

@@ -26,12 +26,15 @@ use std::process::ExitCode;
 
 const USAGE: &str = "usage:
   colltune tune   [--preset grisou|gros | --nodes N --gbps G --latency-us L --cpus-per-node C]
-                  [--tune-p P] [--paper] [--seed N] [--faults SPEC] --out model.json
+                  [--tune-p P] [--paper] [--seed N] [--faults SPEC] [-j N | --threads N]
+                  --out model.json
   colltune query  --model model.json --p P --m BYTES [--m BYTES]... [--degraded]
   colltune show   --model model.json
   colltune export --model model.json --out rules.conf [--comm-sizes A,B,...]
 
-fault specs (NAME or NAME:SEED): none, degraded-link, straggler, brownout, spike, chaos";
+fault specs (NAME or NAME:SEED): none, degraded-link, straggler, brownout, spike, chaos
+-j/--threads: worker threads for the tuning campaign (default: COLLSEL_THREADS
+or the host's available parallelism); any thread count yields bit-identical models";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -113,6 +116,18 @@ fn cmd_tune(args: &[String]) -> Result<(), String> {
     };
     let out = flag_value(args, "--out").ok_or("--out required")?;
 
+    let threads: usize = match flag_value(args, "--threads").or_else(|| flag_value(args, "-j")) {
+        Some(s) => {
+            let n: usize = parse(s, "thread count")?;
+            if n == 0 {
+                return Err("--threads must be at least 1".into());
+            }
+            collsel_support::pool::set_thread_override(n);
+            n
+        }
+        None => collsel_support::pool::current_threads(),
+    };
+
     let mut config = if args.iter().any(|a| a == "--paper") {
         TunerConfig::paper(tune_p)
     } else {
@@ -126,10 +141,11 @@ fn cmd_tune(args: &[String]) -> Result<(), String> {
     };
 
     eprintln!(
-        "[colltune] tuning {} ({} slots) with {} experiment processes...",
+        "[colltune] tuning {} ({} slots) with {} experiment processes on {} threads...",
         cluster.name(),
         cluster.max_ranks(),
-        tune_p
+        tune_p,
+        threads
     );
     let model = match faults {
         Some(plan) if !plan.is_none() => {
@@ -153,8 +169,19 @@ fn cmd_tune(args: &[String]) -> Result<(), String> {
         }
         _ => Tuner::new(cluster, config).tune(),
     };
-    let json = collsel_support::ToJson::to_json(&model).to_string_pretty();
-    std::fs::write(out, json).map_err(|e| format!("cannot write {out}: {e}"))?;
+    let mut json = collsel_support::ToJson::to_json(&model);
+    if let collsel_support::Json::Obj(fields) = &mut json {
+        // Campaign metadata rides along as extra top-level fields;
+        // decoding ignores unknown fields, so older and newer readers
+        // both load the model unchanged (and the model itself is
+        // thread-count independent — this records how it was produced,
+        // not what it contains).
+        fields.push((
+            "tuning_threads".to_owned(),
+            collsel_support::Json::Num(threads as f64),
+        ));
+    }
+    std::fs::write(out, json.to_string_pretty()).map_err(|e| format!("cannot write {out}: {e}"))?;
     eprintln!("[colltune] model written to {out}");
     print_tables(&model);
     Ok(())

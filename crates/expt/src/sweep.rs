@@ -6,12 +6,13 @@
 
 use crate::config::Scenario;
 use collsel::coll::BcastAlg;
-use collsel::estim::measure::bcast_time;
+use collsel::estim::measure::{bcast_time_batch, BcastSpec};
 use collsel::estim::Precision;
 use collsel::netsim::ClusterModel;
 use collsel::select::analysis::MeasuredPoint;
 use collsel::select::{OpenMpiFixedSelector, Selection, Selector};
 use collsel::TunedModel;
+use collsel_support::pool::Pool;
 use std::collections::BTreeMap;
 
 /// Everything measured and decided at one `(p, m)` point.
@@ -62,7 +63,26 @@ pub struct SweepPanel {
     pub points: Vec<SweepPoint>,
 }
 
+/// The per-algorithm cells of one `(p, m)` point, with the exact
+/// per-algorithm seeds of the original serial loop.
+fn point_specs(p: usize, m: usize, seg_size: usize, seed: u64) -> Vec<BcastSpec> {
+    BcastAlg::ALL
+        .iter()
+        .enumerate()
+        .map(|(i, &alg)| BcastSpec {
+            alg,
+            p,
+            m,
+            seg_size,
+            seed: seed.wrapping_add(i as u64 * 65537),
+        })
+        .collect()
+}
+
 /// Measures all six algorithms at `(p, m)` with the fixed segment size.
+///
+/// The algorithms fan out across the current [`Pool`]; each carries its
+/// own seed, so the point is bit-identical at any thread count.
 pub fn measure_point(
     cluster: &ClusterModel,
     p: usize,
@@ -71,57 +91,84 @@ pub fn measure_point(
     precision: &Precision,
     seed: u64,
 ) -> MeasuredPoint {
-    let times: BTreeMap<BcastAlg, f64> = BcastAlg::ALL
+    let specs = point_specs(p, m, seg_size, seed);
+    let stats = bcast_time_batch(cluster, &specs, precision, Pool::current());
+    let times: BTreeMap<BcastAlg, f64> = specs
         .iter()
-        .enumerate()
-        .map(|(i, &alg)| {
-            let stats = bcast_time(
-                cluster,
-                alg,
-                p,
-                m,
-                seg_size,
-                precision,
-                seed.wrapping_add(i as u64 * 65537),
-            );
-            (alg, stats.mean)
-        })
+        .zip(&stats)
+        .map(|(spec, s)| (spec.alg, s.mean))
         .collect();
     MeasuredPoint::new(p, m, times)
 }
 
 /// Runs the full sweep for one panel.
+///
+/// The whole (message size × algorithm) grid — plus the extra Open MPI
+/// cells for picks whose segment size differs from the panel's — is
+/// flattened into a single batch over the current [`Pool`], so the pool
+/// load-balances across every cell of the panel at once. Per-cell seeds
+/// match the serial per-point loop, keeping the panel bit-identical at
+/// any thread count.
 pub fn sweep_panel(scenario: &Scenario, tuned: &TunedModel, p: usize, seed: u64) -> SweepPanel {
     let selector = tuned.selector();
     let openmpi = OpenMpiFixedSelector;
+    let n_alg = BcastAlg::ALL.len();
+    let point_seed = |i: usize| seed.wrapping_add((i as u64) << 20);
+
+    // Selection is pure, so the Open MPI picks (and hence which points
+    // need an extra differently-segmented measurement) are known before
+    // anything is measured.
+    let picks: Vec<Selection> = scenario
+        .msg_sizes
+        .iter()
+        .map(|&m| openmpi.select(p, m))
+        .collect();
+
+    let mut specs: Vec<BcastSpec> = Vec::with_capacity(scenario.msg_sizes.len() * (n_alg + 1));
+    for (i, &m) in scenario.msg_sizes.iter().enumerate() {
+        specs.extend(point_specs(p, m, scenario.seg_size, point_seed(i)));
+    }
+    // Extra Open MPI cells are appended after the grid; remember where
+    // each point's extra landed (if it needed one).
+    let mut extra_slot: Vec<Option<usize>> = Vec::with_capacity(scenario.msg_sizes.len());
+    for (i, &m) in scenario.msg_sizes.iter().enumerate() {
+        let pick = &picks[i];
+        if pick.effective_seg_size(m) == scenario.seg_size {
+            extra_slot.push(None);
+        } else {
+            extra_slot.push(Some(specs.len()));
+            specs.push(BcastSpec {
+                alg: pick.alg,
+                p,
+                m,
+                seg_size: pick.effective_seg_size(m),
+                seed: point_seed(i).wrapping_add(0xE0),
+            });
+        }
+    }
+
+    let stats = bcast_time_batch(
+        &scenario.cluster,
+        &specs,
+        &scenario.precision,
+        Pool::current(),
+    );
+
     let mut points = Vec::with_capacity(scenario.msg_sizes.len());
     for (i, &m) in scenario.msg_sizes.iter().enumerate() {
-        let point_seed = seed.wrapping_add((i as u64) << 20);
-        let measured = measure_point(
-            &scenario.cluster,
-            p,
-            m,
-            scenario.seg_size,
-            &scenario.precision,
-            point_seed,
-        );
+        let times: BTreeMap<BcastAlg, f64> = specs[i * n_alg..(i + 1) * n_alg]
+            .iter()
+            .zip(&stats[i * n_alg..(i + 1) * n_alg])
+            .map(|(spec, s)| (spec.alg, s.mean))
+            .collect();
+        let measured = MeasuredPoint::new(p, m, times);
         let (best, best_time) = measured.best();
         let model_pick = selector.select(p, m).alg;
         let model_time = measured.times[&model_pick];
-        let openmpi_pick = openmpi.select(p, m);
-        let openmpi_time = if openmpi_pick.effective_seg_size(m) == scenario.seg_size {
-            measured.times[&openmpi_pick.alg]
-        } else {
-            bcast_time(
-                &scenario.cluster,
-                openmpi_pick.alg,
-                p,
-                m,
-                openmpi_pick.effective_seg_size(m),
-                &scenario.precision,
-                point_seed.wrapping_add(0xE0),
-            )
-            .mean
+        let openmpi_pick = picks[i].clone();
+        let openmpi_time = match extra_slot[i] {
+            Some(slot) => stats[slot].mean,
+            None => measured.times[&openmpi_pick.alg],
         };
         points.push(SweepPoint {
             p,

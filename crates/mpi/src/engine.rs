@@ -33,6 +33,16 @@
 //! leaves the sender only after an RTS/CTS handshake with the matching
 //! receive, adding two control-message latencies. Receive completion
 //! additionally charges the receiver's CPU overhead.
+//!
+//! # Hot-path layout
+//!
+//! Tuning campaigns run tens of thousands of short simulations, so the
+//! per-run cost of this file matters. Request state lives in an
+//! index-keyed [`ReqTable`] slab (request ids are allocated
+//! monotonically per rank, so a ring of slots with a sliding base
+//! replaces hashing), and all per-rank vectors plus the scheduling heap
+//! are recycled across runs through [`EngineScratch`] instead of being
+//! reallocated per `simulate()` call.
 
 use crate::error::SimError;
 use crate::msg::{Peer, Tag, TagSel};
@@ -40,7 +50,7 @@ use crate::proto::{BlockOp, Completion, PostOp, RankMsg, ReqId, Resume, WaitMode
 use collsel_netsim::{Fabric, FabricStats, SimTime};
 use collsel_support::Bytes;
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::{BinaryHeap, VecDeque};
 use std::sync::mpsc::{Receiver, Sender};
 
 /// Where a rank currently stands, from the engine's point of view.
@@ -66,6 +76,117 @@ impl ReqState {
             payload: None,
             origin: None,
         }
+    }
+}
+
+/// Per-rank request table: a slab keyed by request index.
+///
+/// [`ReqId`]s are allocated monotonically per rank, and requests are
+/// short-lived (posted, completed, waited, removed), so the live ids of
+/// a rank always form a narrow window. The table stores that window as
+/// a deque of slots starting at `base`; [`remove`](ReqTable::remove)
+/// reclaims the contiguous vacant prefix, sliding the window forward so
+/// long campaigns reuse a handful of slots instead of growing a hash
+/// table — and lookups are a bounds check plus an index instead of a
+/// hash.
+#[derive(Debug, Default)]
+struct ReqTable {
+    /// Id of the request stored in `slots[0]`.
+    base: ReqId,
+    /// `slots[i]` holds the state of request `base + i` (None = vacant:
+    /// either removed out of order or never inserted).
+    slots: VecDeque<Option<ReqState>>,
+}
+
+impl ReqTable {
+    fn clear(&mut self) {
+        self.base = 0;
+        self.slots.clear();
+    }
+
+    fn insert(&mut self, req: ReqId, state: ReqState) {
+        debug_assert!(req >= self.base, "request ids are monotone per rank");
+        let idx = (req - self.base) as usize;
+        while self.slots.len() <= idx {
+            self.slots.push_back(None);
+        }
+        debug_assert!(self.slots[idx].is_none(), "request id {req} reused");
+        self.slots[idx] = Some(state);
+    }
+
+    fn get(&self, req: ReqId) -> Option<&ReqState> {
+        let idx = req.checked_sub(self.base)? as usize;
+        self.slots.get(idx)?.as_ref()
+    }
+
+    fn get_mut(&mut self, req: ReqId) -> Option<&mut ReqState> {
+        let idx = req.checked_sub(self.base)? as usize;
+        self.slots.get_mut(idx)?.as_mut()
+    }
+
+    fn remove(&mut self, req: ReqId) -> Option<ReqState> {
+        let idx = req.checked_sub(self.base)? as usize;
+        let state = self.slots.get_mut(idx)?.take();
+        // Slide the window past the vacant prefix so the slab stays as
+        // small as the set of live requests.
+        while matches!(self.slots.front(), Some(None)) {
+            self.slots.pop_front();
+            self.base += 1;
+        }
+        state
+    }
+
+    #[cfg(test)]
+    fn live_slots(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+/// Recyclable per-run buffers of the engine.
+///
+/// One simulation allocates ~10 vectors sized by the rank count plus a
+/// scheduling heap; a tuning campaign runs tens of thousands of
+/// simulations. The caller (see `crate::sim`) keeps one scratch per OS
+/// thread and threads it through consecutive runs, so those allocations
+/// happen once per campaign instead of once per run. Recycling is
+/// invisible to results: [`reset`](EngineScratch::reset) restores the
+/// exact state a fresh allocation would have.
+#[derive(Debug, Default)]
+pub(crate) struct EngineScratch {
+    local: Vec<SimTime>,
+    status: Vec<Status>,
+    blocked_op: Vec<Option<BlockOp>>,
+    reqs: Vec<ReqTable>,
+    posted_recvs: Vec<VecDeque<PostedRecv>>,
+    unexpected: Vec<VecDeque<UnexpectedSend>>,
+    pending: Vec<VecDeque<RankMsg>>,
+    finish_times: Vec<SimTime>,
+    heap: BinaryHeap<Reverse<(SimTime, usize)>>,
+}
+
+impl EngineScratch {
+    fn reset(&mut self, p: usize) {
+        self.local.clear();
+        self.local.resize(p, SimTime::ZERO);
+        self.status.clear();
+        self.status.resize(p, Status::Running);
+        self.blocked_op.clear();
+        self.blocked_op.resize_with(p, || None);
+        self.reqs.truncate(p);
+        self.reqs.iter_mut().for_each(ReqTable::clear);
+        self.reqs.resize_with(p, ReqTable::default);
+        self.posted_recvs.truncate(p);
+        self.posted_recvs.iter_mut().for_each(VecDeque::clear);
+        self.posted_recvs.resize_with(p, VecDeque::new);
+        self.unexpected.truncate(p);
+        self.unexpected.iter_mut().for_each(VecDeque::clear);
+        self.unexpected.resize_with(p, VecDeque::new);
+        self.pending.truncate(p);
+        self.pending.iter_mut().for_each(VecDeque::clear);
+        self.pending.resize_with(p, VecDeque::new);
+        self.finish_times.clear();
+        self.finish_times.resize(p, SimTime::ZERO);
+        self.heap.clear();
     }
 }
 
@@ -107,17 +228,10 @@ pub(crate) struct EngineReport {
 pub(crate) struct Engine {
     fabric: Fabric,
     p: usize,
-    local: Vec<SimTime>,
-    status: Vec<Status>,
-    blocked_op: Vec<Option<BlockOp>>,
-    reqs: Vec<HashMap<ReqId, ReqState>>,
-    posted_recvs: Vec<VecDeque<PostedRecv>>,
-    unexpected: Vec<VecDeque<UnexpectedSend>>,
-    pending: Vec<VecDeque<RankMsg>>,
+    scratch: EngineScratch,
     running: usize,
     from_ranks: Receiver<RankMsg>,
     resume_tx: Vec<Sender<Resume>>,
-    finish_times: Vec<SimTime>,
     /// Virtual-time watchdog: if the next possible resume time lies past
     /// this instant, the run is aborted with [`SimError::Timeout`].
     deadline: Option<SimTime>,
@@ -130,39 +244,40 @@ impl Engine {
         from_ranks: Receiver<RankMsg>,
         resume_tx: Vec<Sender<Resume>>,
         deadline: Option<SimTime>,
+        mut scratch: EngineScratch,
     ) -> Self {
         debug_assert_eq!(resume_tx.len(), p);
+        scratch.reset(p);
         Engine {
             fabric,
             p,
-            local: vec![SimTime::ZERO; p],
-            status: vec![Status::Running; p],
-            blocked_op: (0..p).map(|_| None).collect(),
-            reqs: (0..p).map(|_| HashMap::new()).collect(),
-            posted_recvs: (0..p).map(|_| VecDeque::new()).collect(),
-            unexpected: (0..p).map(|_| VecDeque::new()).collect(),
-            pending: (0..p).map(|_| VecDeque::new()).collect(),
+            scratch,
             running: p,
             from_ranks,
             resume_tx,
-            finish_times: vec![SimTime::ZERO; p],
             deadline,
         }
     }
 
-    /// Runs the simulation to completion.
-    pub(crate) fn run(mut self) -> Result<EngineReport, SimError> {
+    /// Runs the simulation to completion, returning the outcome and the
+    /// scratch buffers for the next run to reuse.
+    pub(crate) fn run(mut self) -> (Result<EngineReport, SimError>, EngineScratch) {
+        let result = self.run_inner();
+        (result, self.scratch)
+    }
+
+    fn run_inner(&mut self) -> Result<EngineReport, SimError> {
         loop {
             if let Err(e) = self.drain() {
                 self.abort_all();
                 return Err(e);
             }
             self.apply_pending();
-            if self.status.iter().all(|s| *s == Status::Done) {
+            if self.scratch.status.iter().all(|s| *s == Status::Done) {
                 let stats = self.fabric.stats();
                 let trace = self.fabric.take_trace();
                 return Ok(EngineReport {
-                    finish_times: self.finish_times,
+                    finish_times: self.scratch.finish_times.clone(),
                     stats,
                     trace,
                 });
@@ -204,30 +319,32 @@ impl Engine {
                 | RankMsg::Finished { rank } => *rank,
                 RankMsg::Panicked { .. } => unreachable!(),
             };
-            self.pending[rank].push_back(msg);
+            self.scratch.pending[rank].push_back(msg);
         }
         Ok(())
     }
 
     /// Phase 2: apply queued operations merged in ascending time order.
     fn apply_pending(&mut self) {
-        let mut heap: BinaryHeap<Reverse<(SimTime, usize)>> = (0..self.p)
-            .filter(|&r| !self.pending[r].is_empty())
-            .map(|r| Reverse((self.local[r], r)))
-            .collect();
-        while let Some(Reverse((t, r))) = heap.pop() {
-            if t != self.local[r] {
+        debug_assert!(self.scratch.heap.is_empty());
+        for r in 0..self.p {
+            if !self.scratch.pending[r].is_empty() {
+                self.scratch.heap.push(Reverse((self.scratch.local[r], r)));
+            }
+        }
+        while let Some(Reverse((t, r))) = self.scratch.heap.pop() {
+            if t != self.scratch.local[r] {
                 // Stale key: the rank's clock advanced since this entry
                 // was pushed; re-key it.
-                heap.push(Reverse((self.local[r], r)));
+                self.scratch.heap.push(Reverse((self.scratch.local[r], r)));
                 continue;
             }
-            let Some(item) = self.pending[r].pop_front() else {
+            let Some(item) = self.scratch.pending[r].pop_front() else {
                 continue;
             };
             self.apply(item);
-            if !self.pending[r].is_empty() {
-                heap.push(Reverse((self.local[r], r)));
+            if !self.scratch.pending[r].is_empty() {
+                self.scratch.heap.push(Reverse((self.scratch.local[r], r)));
             }
         }
     }
@@ -245,15 +362,15 @@ impl Engine {
             },
             RankMsg::Block { rank, op } => {
                 debug_assert!(
-                    self.pending[rank].is_empty(),
+                    self.scratch.pending[rank].is_empty(),
                     "protocol violation: rank {rank} issued operations after blocking"
                 );
-                self.status[rank] = Status::Blocked;
-                self.blocked_op[rank] = Some(op);
+                self.scratch.status[rank] = Status::Blocked;
+                self.scratch.blocked_op[rank] = Some(op);
             }
             RankMsg::Finished { rank } => {
-                self.status[rank] = Status::Done;
-                self.finish_times[rank] = self.local[rank];
+                self.scratch.status[rank] = Status::Done;
+                self.scratch.finish_times[rank] = self.scratch.local[rank];
             }
             RankMsg::Panicked { .. } => unreachable!("handled during drain"),
         }
@@ -261,10 +378,10 @@ impl Engine {
 
     fn apply_isend(&mut self, src: usize, req: ReqId, dst: usize, tag: Tag, payload: Bytes) {
         // The send call occupies the sending CPU (straggler-aware).
-        self.local[src] += self.fabric.send_overhead(src);
-        let ready = self.local[src];
+        self.scratch.local[src] += self.fabric.send_overhead(src);
+        let ready = self.scratch.local[src];
         let bytes = payload.len();
-        self.reqs[src].insert(req, ReqState::pending());
+        self.scratch.reqs[src].insert(req, ReqState::pending());
 
         if bytes <= self.fabric.cluster().eager_threshold() {
             let plan = self.fabric.plan_transfer(src, dst, bytes, ready);
@@ -273,7 +390,7 @@ impl Engine {
                 let done = plan.delivered.max(recv.posted_at) + self.fabric.recv_overhead(dst);
                 self.complete_req(dst, recv.req, done, Some(payload), Some((src, tag)));
             } else {
-                self.unexpected[dst].push_back(UnexpectedSend {
+                self.scratch.unexpected[dst].push_back(UnexpectedSend {
                     src,
                     tag,
                     payload,
@@ -285,7 +402,7 @@ impl Engine {
         } else if let Some(recv) = self.take_matching_recv(dst, src, tag) {
             self.rendezvous(src, req, dst, recv.req, tag, payload, ready, recv.posted_at);
         } else {
-            self.unexpected[dst].push_back(UnexpectedSend {
+            self.scratch.unexpected[dst].push_back(UnexpectedSend {
                 src,
                 tag,
                 payload,
@@ -298,14 +415,16 @@ impl Engine {
     }
 
     fn apply_irecv(&mut self, dst: usize, req: ReqId, src: Peer, tag: TagSel) {
-        let posted_at = self.local[dst];
-        self.reqs[dst].insert(req, ReqState::pending());
+        let posted_at = self.scratch.local[dst];
+        self.scratch.reqs[dst].insert(req, ReqState::pending());
 
-        let matched = self.unexpected[dst]
+        let matched = self.scratch.unexpected[dst]
             .iter()
             .position(|u| src.matches(u.src) && tag.matches(u.tag));
         if let Some(idx) = matched {
-            let u = self.unexpected[dst].remove(idx).expect("index just found");
+            let u = self.scratch.unexpected[dst]
+                .remove(idx)
+                .expect("index just found");
             match u.arrival {
                 Arrival::Eager { delivered } => {
                     let done = delivered.max(posted_at) + self.fabric.recv_overhead(dst);
@@ -328,7 +447,7 @@ impl Engine {
                 }
             }
         } else {
-            self.posted_recvs[dst].push_back(PostedRecv {
+            self.scratch.posted_recvs[dst].push_back(PostedRecv {
                 req,
                 src,
                 tag,
@@ -364,10 +483,10 @@ impl Engine {
     /// Removes and returns the oldest posted receive at `dst` matching a
     /// message from `src` with `tag`.
     fn take_matching_recv(&mut self, dst: usize, src: usize, tag: Tag) -> Option<PostedRecv> {
-        let idx = self.posted_recvs[dst]
+        let idx = self.scratch.posted_recvs[dst]
             .iter()
             .position(|r| r.src.matches(src) && r.tag.matches(tag))?;
-        self.posted_recvs[dst].remove(idx)
+        self.scratch.posted_recvs[dst].remove(idx)
     }
 
     fn complete_req(
@@ -378,8 +497,8 @@ impl Engine {
         payload: Option<Bytes>,
         origin: Option<(usize, Tag)>,
     ) {
-        let state = self.reqs[rank]
-            .get_mut(&req)
+        let state = self.scratch.reqs[rank]
+            .get_mut(req)
             .expect("request must exist when completed");
         debug_assert!(state.complete_at.is_none(), "request completed twice");
         state.complete_at = Some(at);
@@ -406,72 +525,82 @@ impl Engine {
     /// when that minimal resume time lies past the watchdog deadline.
     fn resume_minimal(&mut self) -> Result<usize, SimError> {
         // Barrier: only complete when every non-finished rank is in it.
-        let alive: Vec<usize> = (0..self.p)
-            .filter(|&r| self.status[r] != Status::Done)
-            .collect();
         // A barrier only completes if every rank of the world can still
         // reach it; a rank that finished without it makes the program
         // erroneous (caught below as a deadlock).
-        let all_in_barrier = alive.len() == self.p
-            && alive
-                .iter()
-                .all(|&r| matches!(self.blocked_op[r], Some(BlockOp::Barrier)));
-        if all_in_barrier {
-            let t = alive
-                .iter()
-                .map(|&r| self.local[r])
-                .fold(SimTime::ZERO, SimTime::max);
-            self.check_deadline(t)?;
-            for &r in &alive {
-                self.wake(r, t, Vec::new());
-            }
-            return Ok(alive.len());
-        }
-
-        // Everything else: find each rank's earliest possible resume time.
-        let mut best: Option<SimTime> = None;
-        let mut ready: Vec<(usize, SimTime)> = Vec::new();
+        let mut alive = 0usize;
+        let mut all_in_barrier = true;
+        let mut barrier_t = SimTime::ZERO;
         for r in 0..self.p {
-            if self.status[r] != Status::Blocked {
+            if self.scratch.status[r] == Status::Done {
                 continue;
             }
-            let at = match self.blocked_op[r].as_ref() {
-                Some(BlockOp::Wtime) => Some(self.local[r]),
-                Some(BlockOp::Wait { reqs, mode }) => self.wait_ready_at(r, reqs, *mode),
-                Some(BlockOp::Barrier) | None => None,
-            };
-            if let Some(at) = at {
-                ready.push((r, at));
+            alive += 1;
+            if matches!(self.scratch.blocked_op[r], Some(BlockOp::Barrier)) {
+                barrier_t = barrier_t.max(self.scratch.local[r]);
+            } else {
+                all_in_barrier = false;
+            }
+        }
+        if alive == self.p && all_in_barrier {
+            self.check_deadline(barrier_t)?;
+            for r in 0..self.p {
+                self.wake(r, barrier_t, Vec::new());
+            }
+            return Ok(alive);
+        }
+
+        // Everything else: find the minimal resume time over all blocked
+        // ranks, then wake exactly the ranks that attain it. Two passes
+        // keep this allocation-free; `wait_ready_at` is a cheap pure
+        // scan of the rank's live requests.
+        let mut best: Option<SimTime> = None;
+        for r in 0..self.p {
+            if let Some(at) = self.resume_at(r) {
                 best = Some(best.map_or(at, |b: SimTime| b.min(at)));
             }
         }
         let Some(best) = best else { return Ok(0) };
         self.check_deadline(best)?;
-        let winners: Vec<usize> = ready
-            .iter()
-            .filter(|&&(_, at)| at == best)
-            .map(|&(r, _)| r)
-            .collect();
-        for &r in &winners {
-            let op = self.blocked_op[r].take().expect("blocked rank has an op");
+        let mut woken = 0usize;
+        for r in 0..self.p {
+            if self.resume_at(r) != Some(best) {
+                continue;
+            }
+            let op = self.scratch.blocked_op[r]
+                .take()
+                .expect("blocked rank has an op");
             let completions = match op {
                 BlockOp::Wtime => Vec::new(),
-                BlockOp::Barrier => unreachable!("barrier handled above"),
+                BlockOp::Barrier => unreachable!("barrier ranks have no resume time"),
                 BlockOp::Wait { reqs, mode } => self.collect_completions(r, &reqs, mode),
             };
             self.wake(r, best, completions);
+            woken += 1;
         }
-        Ok(winners.len())
+        Ok(woken)
+    }
+
+    /// The earliest time at which rank `r` could resume, if it can.
+    fn resume_at(&self, r: usize) -> Option<SimTime> {
+        if self.scratch.status[r] != Status::Blocked {
+            return None;
+        }
+        match self.scratch.blocked_op[r].as_ref() {
+            Some(BlockOp::Wtime) => Some(self.scratch.local[r]),
+            Some(BlockOp::Wait { reqs, mode }) => self.wait_ready_at(r, reqs, *mode),
+            Some(BlockOp::Barrier) | None => None,
+        }
     }
 
     /// The earliest time at which rank `r`'s wait can finish, if it can.
     fn wait_ready_at(&self, r: usize, reqs: &[ReqId], mode: WaitMode) -> Option<SimTime> {
         let times = reqs
             .iter()
-            .map(|id| self.reqs[r].get(id).and_then(|s| s.complete_at));
+            .map(|&id| self.scratch.reqs[r].get(id).and_then(|s| s.complete_at));
         match mode {
             WaitMode::All => {
-                let mut at = self.local[r];
+                let mut at = self.scratch.local[r];
                 for t in times {
                     at = at.max(t?);
                 }
@@ -479,7 +608,7 @@ impl Engine {
             }
             WaitMode::Any => {
                 let earliest = times.flatten().min()?;
-                Some(earliest.max(self.local[r]))
+                Some(earliest.max(self.scratch.local[r]))
             }
         }
     }
@@ -490,7 +619,9 @@ impl Engine {
             WaitMode::All => reqs
                 .iter()
                 .map(|&id| {
-                    let state = self.reqs[r].remove(&id).expect("waited request exists");
+                    let state = self.scratch.reqs[r]
+                        .remove(id)
+                        .expect("waited request exists");
                     Completion {
                         req: id,
                         payload: state.payload,
@@ -502,14 +633,14 @@ impl Engine {
                 let (&winner, _) = reqs
                     .iter()
                     .filter_map(|id| {
-                        self.reqs[r]
-                            .get(id)
+                        self.scratch.reqs[r]
+                            .get(*id)
                             .and_then(|s| s.complete_at)
                             .map(|t| (id, t))
                     })
                     .min_by_key(|&(id, t)| (t, *id))
                     .expect("wait-any resumed without a completed request");
-                let state = self.reqs[r].remove(&winner).expect("request exists");
+                let state = self.scratch.reqs[r].remove(winner).expect("request exists");
                 vec![Completion {
                     req: winner,
                     payload: state.payload,
@@ -520,9 +651,9 @@ impl Engine {
     }
 
     fn wake(&mut self, rank: usize, now: SimTime, completions: Vec<Completion>) {
-        self.local[rank] = now;
-        self.status[rank] = Status::Running;
-        self.blocked_op[rank] = None;
+        self.scratch.local[rank] = now;
+        self.scratch.status[rank] = Status::Running;
+        self.scratch.blocked_op[rank] = None;
         self.running += 1;
         // A send failure means the rank thread died; the subsequent drain
         // will surface its panic message.
@@ -538,18 +669,20 @@ impl Engine {
     fn deadlock_detail(&self) -> String {
         let mut parts = Vec::new();
         for r in 0..self.p {
-            match self.status[r] {
+            match self.scratch.status[r] {
                 Status::Done => {}
                 Status::Running => parts.push(format!("rank {r}: running (internal error)")),
                 Status::Blocked => {
-                    let what = match self.blocked_op[r].as_ref() {
+                    let what = match self.scratch.blocked_op[r].as_ref() {
                         Some(BlockOp::Barrier) => "barrier".to_owned(),
                         Some(BlockOp::Wtime) => "wtime (internal error)".to_owned(),
                         Some(BlockOp::Wait { reqs, mode }) => {
                             let outstanding: Vec<String> = reqs
                                 .iter()
-                                .filter(|id| {
-                                    self.reqs[r].get(id).is_none_or(|s| s.complete_at.is_none())
+                                .filter(|&&id| {
+                                    self.scratch.reqs[r]
+                                        .get(id)
+                                        .is_none_or(|s| s.complete_at.is_none())
                                 })
                                 .map(|id| format!("req {id}"))
                                 .collect();
@@ -559,11 +692,110 @@ impl Engine {
                     };
                     parts.push(format!(
                         "rank {r}: blocked on {what} at t={}",
-                        self.local[r]
+                        self.scratch.local[r]
                     ));
                 }
             }
         }
         parts.join("; ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state_at(t: u64) -> ReqState {
+        ReqState {
+            complete_at: Some(SimTime::from_nanos(t)),
+            payload: None,
+            origin: None,
+        }
+    }
+
+    #[test]
+    fn slab_inserts_and_removes_in_order() {
+        let mut t = ReqTable::default();
+        for id in 0..4u32 {
+            t.insert(id, state_at(id as u64));
+        }
+        for id in 0..4u32 {
+            assert_eq!(
+                t.get(id).and_then(|s| s.complete_at),
+                Some(SimTime::from_nanos(id as u64))
+            );
+            assert!(t.remove(id).is_some());
+            assert!(t.get(id).is_none(), "removed request must read as absent");
+        }
+        assert_eq!(t.live_slots(), 0, "in-order removal reclaims everything");
+    }
+
+    #[test]
+    fn slab_reuses_slots_across_the_id_window() {
+        // A long campaign allocates monotonically increasing ids; the
+        // slab must stay as small as the live window, not the id range.
+        let mut t = ReqTable::default();
+        for id in 0..10_000u32 {
+            t.insert(id, ReqState::pending());
+            assert!(t.get(id).is_some());
+            assert!(t.remove(id).is_some());
+        }
+        assert_eq!(t.live_slots(), 0);
+        // Fresh inserts after the window slid still work.
+        t.insert(10_000, state_at(1));
+        assert!(t.get(10_000).is_some());
+        assert!(t.get(9_999).is_none(), "old ids stay absent");
+    }
+
+    #[test]
+    fn slab_tolerates_out_of_order_removal() {
+        let mut t = ReqTable::default();
+        for id in 0..5u32 {
+            t.insert(id, state_at(id as u64));
+        }
+        // Remove the middle first: the prefix cannot slide yet.
+        assert!(t.remove(2).is_some());
+        assert!(t.get(2).is_none());
+        assert!(t.get(1).is_some() && t.get(3).is_some());
+        assert_eq!(t.live_slots(), 5);
+        // Removing the front reclaims through the vacant middle.
+        assert!(t.remove(0).is_some());
+        assert!(t.remove(1).is_some());
+        assert_eq!(t.live_slots(), 2, "prefix slid past the vacant slot 2");
+        assert!(t.remove(2).is_none(), "double remove reads as absent");
+        assert!(t.remove(3).is_some());
+        assert!(t.remove(4).is_some());
+        assert_eq!(t.live_slots(), 0);
+    }
+
+    #[test]
+    fn slab_mutation_through_get_mut() {
+        let mut t = ReqTable::default();
+        t.insert(7, ReqState::pending());
+        t.get_mut(7).expect("live").complete_at = Some(SimTime::from_nanos(9));
+        assert_eq!(
+            t.get(7).and_then(|s| s.complete_at),
+            Some(SimTime::from_nanos(9))
+        );
+        assert!(t.get_mut(6).is_none());
+    }
+
+    #[test]
+    fn scratch_reset_restores_a_fresh_state() {
+        let mut s = EngineScratch::default();
+        s.reset(3);
+        s.local[1] = SimTime::from_nanos(5);
+        s.status[2] = Status::Done;
+        s.reqs[0].insert(0, ReqState::pending());
+        s.heap.push(Reverse((SimTime::ZERO, 1)));
+        // Shrinks and grows alike.
+        for p in [2, 5] {
+            s.reset(p);
+            assert_eq!(s.local, vec![SimTime::ZERO; p]);
+            assert_eq!(s.status, vec![Status::Running; p]);
+            assert_eq!(s.reqs.len(), p);
+            assert!(s.reqs.iter().all(|t| t.base == 0 && t.slots.is_empty()));
+            assert!(s.heap.is_empty());
+        }
     }
 }

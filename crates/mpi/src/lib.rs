@@ -43,8 +43,10 @@ mod error;
 mod msg;
 mod proto;
 mod sim;
+mod team;
 
 pub use ctx::{Ctx, RecvRequest, SendRequest};
 pub use error::SimError;
 pub use msg::{Peer, RecvStatus, Tag, TagSel};
 pub use sim::{simulate, simulate_traced, simulate_with, RunReport, SimOptions, SimOutcome};
+pub use team::simulate_pooled;

@@ -1,11 +1,26 @@
 //! Simulation entry point: spawn one thread per rank, run the engine,
 //! collect results.
+//!
+//! Two execution strategies share all of the engine machinery:
+//!
+//! * [`simulate`] (and its `_with`/`_traced` variants) spawns **scoped**
+//!   rank threads per call, so the rank closure may borrow from the
+//!   caller's stack. This is the general-purpose path.
+//! * [`crate::simulate_pooled`] dispatches the ranks onto a persistent
+//!   per-OS-thread worker team, avoiding the P `thread::spawn`/join
+//!   round-trips per run — the hot path for tuning campaigns that run
+//!   tens of thousands of short simulations.
+//!
+//! Both paths also recycle the engine's per-run buffers through a
+//! thread-local [`EngineScratch`] stash, so consecutive runs on the same
+//! caller thread reuse their allocations.
 
 use crate::ctx::Ctx;
-use crate::engine::Engine;
+use crate::engine::{Engine, EngineReport, EngineScratch};
 use crate::error::SimError;
 use crate::proto::RankMsg;
 use collsel_netsim::{ClusterModel, Fabric, SimSpan, SimTime, TransferRecord};
+use std::cell::RefCell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
 use std::sync::Mutex;
@@ -13,6 +28,19 @@ use std::sync::Mutex;
 /// Marker panic payload used to unwind rank threads on engine abort.
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct AbortToken;
+
+thread_local! {
+    /// Engine buffers recycled across consecutive runs on this thread.
+    static ENGINE_SCRATCH: RefCell<EngineScratch> = RefCell::new(EngineScratch::default());
+}
+
+pub(crate) fn take_scratch() -> EngineScratch {
+    ENGINE_SCRATCH.with(|s| std::mem::take(&mut *s.borrow_mut()))
+}
+
+pub(crate) fn stash_scratch(scratch: EngineScratch) {
+    ENGINE_SCRATCH.with(|s| *s.borrow_mut() = scratch);
+}
 
 /// Knobs for [`simulate_with`].
 #[derive(Debug, Clone, Copy, Default)]
@@ -172,6 +200,83 @@ where
     )
 }
 
+/// Validates the (cluster, ranks) pair shared by all entry points.
+pub(crate) fn check_ranks(cluster: &ClusterModel, ranks: usize) {
+    assert!(ranks > 0, "need at least one rank");
+    assert!(
+        ranks <= cluster.max_ranks(),
+        "cluster {} has {} process slots, requested {ranks}",
+        cluster.name(),
+        cluster.max_ranks()
+    );
+}
+
+/// Builds the fabric for one run according to `opts`.
+pub(crate) fn build_fabric(cluster: &ClusterModel, seed: u64, opts: SimOptions) -> Fabric {
+    let mut fabric = Fabric::new(cluster.clone(), seed);
+    if opts.traced {
+        fabric.enable_tracing();
+    }
+    fabric
+}
+
+/// Assembles the public outcome from the engine report and the per-rank
+/// results gathered by either execution strategy.
+pub(crate) fn assemble_outcome<T>(report: EngineReport, results: Vec<Option<T>>) -> SimOutcome<T> {
+    let results: Vec<T> = results
+        .into_iter()
+        .enumerate()
+        .map(|(rank, v)| v.unwrap_or_else(|| panic!("rank {rank} finished without a result")))
+        .collect();
+    let makespan = report
+        .finish_times
+        .iter()
+        .copied()
+        .fold(SimTime::ZERO, SimTime::max);
+    SimOutcome {
+        results,
+        report: RunReport {
+            finish_times: report.finish_times,
+            makespan,
+            messages: report.stats.messages,
+            bytes: report.stats.bytes,
+            shm_messages: report.stats.shm_messages,
+            trace: report.trace,
+        },
+    }
+}
+
+/// The body every rank thread runs, shared by both execution strategies.
+/// Catches panics, distinguishing engine-initiated aborts from real rank
+/// failures, and stores the rank's return value.
+pub(crate) fn run_rank_body<T>(
+    rank: usize,
+    ranks: usize,
+    to_engine: mpsc::Sender<RankMsg>,
+    resume_rx: mpsc::Receiver<crate::proto::Resume>,
+    results: &Mutex<Vec<Option<T>>>,
+    f: impl FnOnce(&mut Ctx) -> T,
+) where
+    T: Send,
+{
+    let mut ctx = Ctx::new(rank, ranks, to_engine, resume_rx);
+    let outcome = catch_unwind(AssertUnwindSafe(|| f(&mut ctx)));
+    match outcome {
+        Ok(value) => {
+            results.lock().expect("results lock")[rank] = Some(value);
+            ctx.notify_finished();
+        }
+        Err(payload) => {
+            if payload.downcast_ref::<AbortToken>().is_some() {
+                // The engine initiated the abort; stay quiet.
+                return;
+            }
+            let message = panic_message(payload.as_ref());
+            ctx.notify_panicked(message);
+        }
+    }
+}
+
 fn simulate_impl<T, F>(
     cluster: &ClusterModel,
     ranks: usize,
@@ -183,18 +288,8 @@ where
     F: Fn(&mut Ctx) -> T + Sync,
     T: Send,
 {
-    assert!(ranks > 0, "need at least one rank");
-    assert!(
-        ranks <= cluster.max_ranks(),
-        "cluster {} has {} process slots, requested {ranks}",
-        cluster.name(),
-        cluster.max_ranks()
-    );
-
-    let mut fabric = Fabric::new(cluster.clone(), seed);
-    if opts.traced {
-        fabric.enable_tracing();
-    }
+    check_ranks(cluster, ranks);
+    let fabric = build_fabric(cluster, seed, opts);
     let (to_engine, from_ranks) = mpsc::channel::<RankMsg>();
     let mut resume_txs = Vec::with_capacity(ranks);
     let mut resume_rxs = Vec::with_capacity(ranks);
@@ -206,63 +301,37 @@ where
 
     let results: Mutex<Vec<Option<T>>> = Mutex::new((0..ranks).map(|_| None).collect());
     let deadline = opts.deadline.map(|d| SimTime::ZERO + d);
-    let engine = Engine::new(fabric, ranks, from_ranks, resume_txs, deadline);
+    let engine = Engine::new(
+        fabric,
+        ranks,
+        from_ranks,
+        resume_txs,
+        deadline,
+        take_scratch(),
+    );
 
-    let engine_result = std::thread::scope(|scope| {
+    let (engine_result, scratch) = std::thread::scope(|scope| {
         for (rank, resume_rx) in resume_rxs.into_iter().enumerate() {
             let to_engine = to_engine.clone();
             let f = &f;
             let results = &results;
             scope.spawn(move || {
-                let mut ctx = Ctx::new(rank, ranks, to_engine, resume_rx);
-                let outcome = catch_unwind(AssertUnwindSafe(|| f(&mut ctx)));
-                match outcome {
-                    Ok(value) => {
-                        results.lock().unwrap()[rank] = Some(value);
-                        ctx.notify_finished();
-                    }
-                    Err(payload) => {
-                        if payload.downcast_ref::<AbortToken>().is_some() {
-                            // The engine initiated the abort; stay quiet.
-                            return;
-                        }
-                        let message = panic_message(payload.as_ref());
-                        ctx.notify_panicked(message);
-                    }
-                }
+                run_rank_body(rank, ranks, to_engine, resume_rx, results, f);
             });
         }
         drop(to_engine);
         engine.run()
     });
+    stash_scratch(scratch);
 
     let report = engine_result?;
-    let results: Vec<T> = results
+    let results = results
         .into_inner()
-        .expect("a rank panicked while holding the results lock")
-        .into_iter()
-        .enumerate()
-        .map(|(rank, v)| v.unwrap_or_else(|| panic!("rank {rank} finished without a result")))
-        .collect();
-    let makespan = report
-        .finish_times
-        .iter()
-        .copied()
-        .fold(SimTime::ZERO, SimTime::max);
-    Ok(SimOutcome {
-        results,
-        report: RunReport {
-            finish_times: report.finish_times,
-            makespan,
-            messages: report.stats.messages,
-            bytes: report.stats.bytes,
-            shm_messages: report.stats.shm_messages,
-            trace: report.trace,
-        },
-    })
+        .expect("a rank panicked while holding the results lock");
+    Ok(assemble_outcome(report, results))
 }
 
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_owned()
     } else if let Some(s) = payload.downcast_ref::<String>() {

@@ -12,6 +12,7 @@
 //! | [`json`] | `serde`/`serde_json` | [`Json`] tree, parser, pretty writer, [`ToJson`]/[`FromJson`] |
 //! | [`prop`] | `proptest` | [`proptest!`] macro, strategies, shrinking, seeded replay |
 //! | [`bench`] | `criterion` | [`bench::Criterion`] timing harness with JSON reports |
+//! | [`pool`] | `rayon` | [`pool::Pool`] scoped job pool with submission-order results |
 //!
 //! The implementations cover exactly the subset of the upstream APIs the
 //! workspace uses — they are not general-purpose replacements.
@@ -22,6 +23,7 @@
 pub mod bench;
 pub mod bytes;
 pub mod json;
+pub mod pool;
 pub mod prop;
 pub mod rng;
 

@@ -1,0 +1,54 @@
+//! Property tests for the job pool's two contracts: results come back
+//! in submission order at any thread count, and a panicking job is
+//! re-raised on the caller without deadlocking the batch.
+
+use collsel_support::pool::Pool;
+use collsel_support::prelude::*;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// `Pool::run` returns exactly the serial map, in submission order,
+    /// for any job list and any thread count.
+    #[test]
+    fn results_preserve_submission_order(
+        inputs in prop::collection::vec(any::<u64>(), 0..40),
+        threads in 1usize..12,
+    ) {
+        let pool = Pool::with_threads(threads);
+        let expected: Vec<u64> = inputs.iter().map(|x| x.wrapping_mul(31)).collect();
+        let got = pool.run(inputs.iter().map(|&x| move || x.wrapping_mul(31)));
+        prop_assert_eq!(got, expected);
+    }
+
+    /// A panicking job surfaces as a caller panic — never a hang — and
+    /// the panic does not stop the other jobs from running.
+    #[test]
+    fn panics_propagate_without_deadlock(
+        n in 1usize..30,
+        bad_frac in 0.0f64..1.0,
+        threads in 1usize..9,
+    ) {
+        let bad = (bad_frac * (n - 1) as f64).round() as usize;
+        let pool = Pool::with_threads(threads);
+        let ran = AtomicUsize::new(0);
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            pool.run((0..n).map(|i| {
+                let ran = &ran;
+                move || {
+                    ran.fetch_add(1, Ordering::SeqCst);
+                    assert!(i != bad, "job {i} failed");
+                    i
+                }
+            }))
+        }));
+        prop_assert!(outcome.is_err(), "the job panic was swallowed");
+        // The serial path fails fast at the panicking job; worker
+        // threads drain the whole batch before re-raising. Either way
+        // every job submitted before the panicking one has run.
+        let ran = ran.load(Ordering::SeqCst);
+        prop_assert!(ran > bad && ran <= n, "ran {} of {} jobs (bad: {})", ran, n, bad);
+    }
+}

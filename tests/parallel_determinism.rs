@@ -1,0 +1,50 @@
+//! Parallel campaigns are an optimisation, never a semantic change:
+//! the same tuning campaign (and the same measurement sweep) must
+//! produce bit-identical results at every thread count.
+//!
+//! The thread override is process-global state, so all thread-count
+//! comparisons live in a single `#[test]` — Rust runs tests in the
+//! same binary concurrently, and two tests racing on the override
+//! would measure each other's setting.
+
+use collsel::netsim::NoiseParams;
+use collsel::{TunedModel, Tuner, TunerConfig};
+use collsel_expt::sweep::{sweep_panel, SweepPanel};
+use collsel_expt::{scenarios, Fidelity};
+use collsel_support::pool;
+use collsel_support::ToJson;
+
+fn campaign(threads: usize) -> (TunedModel, SweepPanel) {
+    pool::set_thread_override(threads);
+    let mut sc = scenarios(Fidelity::Quick).remove(1); // gros
+    sc.cluster = sc.cluster.with_noise(NoiseParams::OFF);
+    sc.msg_sizes = vec![8 * 1024, 128 * 1024];
+    let tuned = Tuner::new(sc.cluster.clone(), TunerConfig::quick(12)).tune();
+    let panel = sweep_panel(&sc, &tuned, 16, 9);
+    pool::clear_thread_override();
+    (tuned, panel)
+}
+
+#[test]
+fn campaigns_are_bit_identical_at_any_thread_count() {
+    let (model_1, panel_1) = campaign(1);
+    for threads in [2, 8] {
+        let (model_n, panel_n) = campaign(threads);
+        // Structural equality covers every float bit-for-bit...
+        assert_eq!(
+            model_1, model_n,
+            "tuned model diverged at {threads} threads"
+        );
+        assert_eq!(
+            panel_1, panel_n,
+            "sweep panel diverged at {threads} threads"
+        );
+        // ...and the persisted artifact must be byte-identical too, so
+        // committed results/*.json never depend on the host.
+        assert_eq!(
+            model_1.to_json().to_string_pretty(),
+            model_n.to_json().to_string_pretty(),
+            "serialised model diverged at {threads} threads"
+        );
+    }
+}

@@ -19,10 +19,23 @@ echo "==> determinism gate: integration tests again at COLLSEL_THREADS=2"
 COLLSEL_THREADS=2 RUSTFLAGS='-D warnings' \
     cargo test --offline -q -p collsel-repro
 
+echo "==> backend-equivalence gate: differential suite at COLLSEL_THREADS=2"
+# The event-driven replay backend must stay bit-identical to the
+# thread-per-rank oracle (times, traces, and error values) even when
+# the surrounding pool is threaded.
+COLLSEL_THREADS=2 RUSTFLAGS='-D warnings' \
+    cargo test --offline -q -p collsel-repro --test backend_equivalence
+
 echo "==> campaign bench (smoke): serial vs threaded tuning campaign"
 COLLSEL_BENCH_SMOKE=1 RUSTFLAGS='-D warnings' \
     cargo bench --offline -p collsel-bench --bench campaign
 test -f BENCH_tune.json || { echo "ci.sh: BENCH_tune.json missing" >&2; exit 1; }
+
+echo "==> simrate bench (smoke): event backend must not be slower"
+# The smoke run asserts internally that events >= threads in every cell.
+COLLSEL_BENCH_SMOKE=1 RUSTFLAGS='-D warnings' \
+    cargo bench --offline -p collsel-bench --bench simrate
+test -f BENCH_sim.json || { echo "ci.sh: BENCH_sim.json missing" >&2; exit 1; }
 
 echo "==> cargo fmt --check"
 cargo fmt --check

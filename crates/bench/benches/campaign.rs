@@ -94,6 +94,10 @@ fn main() {
             "models_identical".to_owned(),
             Json::Bool(serial_model == threaded_model),
         ),
+        (
+            "sim_backend".to_owned(),
+            Json::Str(config.gamma.backend.name().to_owned()),
+        ),
     ]);
     let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_tune.json");
     match std::fs::write(out, json.to_string_pretty()) {

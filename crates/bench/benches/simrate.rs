@@ -1,0 +1,174 @@
+//! Single-cell simulation throughput: events vs threads.
+//!
+//! A tuning campaign is tens of thousands of short simulation runs, so
+//! the unit that decides campaign wall-clock is runs/second of one
+//! cell. This bench compiles a broadcast into a [`Schedule`] once and
+//! replays it (the event-driven backend), times the same program on
+//! the thread-per-rank backend, and writes both rates plus the speedup
+//! to `BENCH_sim.json` at the repository root.
+//!
+//! Like `campaign.rs`, this target skips the criterion harness: the
+//! grid is explicit and the JSON artifact is the point. Set
+//! `COLLSEL_BENCH_SMOKE=1` for the CI-sized run (smaller grid, shorter
+//! timing windows); smoke mode asserts the event backend is not slower
+//! than the threaded one in any cell.
+
+use collsel::coll::compile::compile_bcast;
+use collsel::coll::{bcast, BcastAlg};
+use collsel::mpi::{simulate_pooled, simulate_scheduled, SimOptions};
+use collsel::netsim::ClusterModel;
+use collsel_bench::quiet_cluster;
+use collsel_support::{Bytes, Json};
+use std::time::Instant;
+
+const SEG_SIZE: usize = 8 * 1024;
+const ALG: BcastAlg = BcastAlg::Binomial;
+const SEED: u64 = 0xBE7C;
+
+/// Same deterministic filler the schedule compiler uses; only the
+/// length matters for timing, but keeping the programs literally
+/// identical makes the makespan cross-check exact.
+fn payload(len: usize) -> Bytes {
+    Bytes::from((0..len).map(|i| (i % 251) as u8).collect::<Vec<u8>>())
+}
+
+/// Times `run` by doubling the batch size until the timed window is
+/// long enough to trust, returning runs per second.
+fn runs_per_sec(min_window_s: f64, mut run: impl FnMut(u64)) -> f64 {
+    let mut batch = 1u64;
+    let mut next_seed = 0u64;
+    loop {
+        let start = Instant::now();
+        for _ in 0..batch {
+            run(SEED.wrapping_add(next_seed));
+            next_seed += 1;
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+        if elapsed >= min_window_s {
+            return batch as f64 / elapsed;
+        }
+        batch *= 2;
+    }
+}
+
+/// One (preset, P, m) cell: both backends timed, plus a makespan
+/// cross-check at a fixed seed.
+fn bench_cell(cluster: &ClusterModel, p_requested: usize, m: usize, min_window_s: f64) -> Json {
+    let p = p_requested.min(cluster.max_ranks());
+    let root = 0;
+    let sched =
+        compile_bcast(cluster, ALG, p, root, m, SEG_SIZE).expect("broadcast records cleanly");
+    let msg = payload(m);
+
+    // The backends must agree before their speeds are worth comparing.
+    let replay = simulate_scheduled(cluster, &sched, SEED, SimOptions::default())
+        .expect("replay run completes");
+    let threaded = {
+        let msg = msg.clone();
+        simulate_pooled(cluster, p, SEED, SimOptions::default(), move |ctx| {
+            let data = (ctx.rank() == root).then(|| msg.clone());
+            bcast(ctx, ALG, root, data, m, SEG_SIZE);
+        })
+        .expect("threaded run completes")
+    };
+    assert_eq!(
+        replay.report.makespan,
+        threaded.report.makespan,
+        "backends diverged at {} p={p} m={m}",
+        cluster.name()
+    );
+
+    let events_rps = runs_per_sec(min_window_s, |seed| {
+        let _ = simulate_scheduled(cluster, &sched, seed, SimOptions::default())
+            .expect("replay run completes");
+    });
+    let threads_rps = runs_per_sec(min_window_s, |seed| {
+        let msg = msg.clone();
+        let _ = simulate_pooled(cluster, p, seed, SimOptions::default(), move |ctx| {
+            let data = (ctx.rank() == root).then(|| msg.clone());
+            bcast(ctx, ALG, root, data, m, SEG_SIZE);
+        })
+        .expect("threaded run completes");
+    });
+    let speedup = events_rps / threads_rps;
+    println!(
+        "  {:<6} p={p:>3} (requested {p_requested:>3}) m={m:>7}: \
+         events {events_rps:>9.1}/s, threads {threads_rps:>8.1}/s, speedup {speedup:.1}x",
+        cluster.name()
+    );
+
+    Json::Obj(vec![
+        ("preset".to_owned(), Json::Str(cluster.name().to_owned())),
+        ("p_requested".to_owned(), Json::Num(p_requested as f64)),
+        ("p".to_owned(), Json::Num(p as f64)),
+        ("m".to_owned(), Json::Num(m as f64)),
+        ("events_runs_per_s".to_owned(), Json::Num(events_rps)),
+        ("threads_runs_per_s".to_owned(), Json::Num(threads_rps)),
+        ("speedup".to_owned(), Json::Num(speedup)),
+    ])
+}
+
+fn main() {
+    let smoke = std::env::var("COLLSEL_BENCH_SMOKE").is_ok_and(|v| v == "1");
+    // Presets cap their rank counts (grisou 102, gros 124), so the
+    // P = 128 column is clamped per preset; the JSON records both the
+    // requested and the effective process count.
+    let ps: &[usize] = if smoke { &[8, 32] } else { &[8, 32, 128] };
+    let ms: &[usize] = if smoke {
+        &[8 * 1024]
+    } else {
+        &[8 * 1024, 512 * 1024]
+    };
+    let min_window_s = if smoke { 0.05 } else { 0.3 };
+    println!("simrate bench: smoke={smoke} ps={ps:?} ms={ms:?} window={min_window_s}s");
+
+    let mut cells = Vec::new();
+    for cluster in [quiet_cluster(), ClusterModel::grisou()] {
+        for &p in ps {
+            for &m in ms {
+                cells.push(bench_cell(&cluster, p, m, min_window_s));
+            }
+        }
+    }
+
+    let speedup_of = |c: &Json| match c {
+        Json::Obj(fields) => fields
+            .iter()
+            .find(|(k, _)| k == "speedup")
+            .and_then(|(_, v)| match v {
+                Json::Num(n) => Some(*n),
+                _ => None,
+            })
+            .expect("every cell records a speedup"),
+        _ => unreachable!("cells are objects"),
+    };
+    let max_speedup = cells.iter().map(&speedup_of).fold(0.0, f64::max);
+    let min_speedup = cells.iter().map(&speedup_of).fold(f64::INFINITY, f64::min);
+    println!(
+        "speedup range: {min_speedup:.1}x .. {max_speedup:.1}x over {} cells",
+        cells.len()
+    );
+
+    if smoke {
+        assert!(
+            min_speedup >= 1.0,
+            "event backend slower than threads in at least one cell ({min_speedup:.2}x)"
+        );
+        println!("smoke gate: events not slower than threads in any cell");
+    }
+
+    let json = Json::Obj(vec![
+        ("bench".to_owned(), Json::Str("simrate".to_owned())),
+        ("smoke".to_owned(), Json::Bool(smoke)),
+        ("alg".to_owned(), Json::Str(ALG.name().to_owned())),
+        ("seg_size".to_owned(), Json::Num(SEG_SIZE as f64)),
+        ("min_speedup".to_owned(), Json::Num(min_speedup)),
+        ("max_speedup".to_owned(), Json::Num(max_speedup)),
+        ("cells".to_owned(), Json::Arr(cells)),
+    ]);
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sim.json");
+    match std::fs::write(out, json.to_string_pretty()) {
+        Ok(()) => println!("wrote {out}"),
+        Err(e) => eprintln!("cannot write {out}: {e}"),
+    }
+}

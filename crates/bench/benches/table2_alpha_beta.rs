@@ -46,6 +46,7 @@ fn regenerate_and_bench(c: &mut Criterion) {
             min_reps: 2,
             max_reps: 4,
         },
+        backend: collsel::mpi::Backend::default(),
     };
     c.bench_function("table2/estimate_alpha_beta_binomial_p12", |b| {
         b.iter(|| estimate_alpha_beta(black_box(&sc.cluster), BcastAlg::Binomial, &cfg, &gamma, 1))

@@ -12,12 +12,12 @@
 
 use crate::bcast::bcast_binomial;
 use crate::gather::gather_linear;
-use collsel_mpi::Ctx;
+use collsel_mpi::Comm;
 use collsel_support::Bytes;
 
 const TAG_ALLGATHER: u32 = 0x1A;
 
-fn check_block(ctx: &Ctx, block: &Bytes) -> usize {
+fn check_block<C: Comm>(ctx: &C, block: &Bytes) -> usize {
     let _ = ctx;
     block.len()
 }
@@ -25,7 +25,7 @@ fn check_block(ctx: &Ctx, block: &Bytes) -> usize {
 /// Ring allgather: in step `s`, rank `r` sends the block it received in
 /// step `s-1` (its own in step 0) to `(r+1) mod P` and receives from
 /// `(r-1) mod P`. Returns all blocks in rank order.
-pub fn allgather_ring(ctx: &mut Ctx, block: Bytes) -> Vec<Bytes> {
+pub fn allgather_ring<C: Comm>(ctx: &mut C, block: Bytes) -> Vec<Bytes> {
     let p = ctx.size();
     let me = ctx.rank();
     let item = check_block(ctx, &block);
@@ -49,7 +49,7 @@ pub fn allgather_ring(ctx: &mut Ctx, block: Bytes) -> Vec<Bytes> {
 /// Recursive-doubling allgather: in round `k`, partners at distance
 /// `2^k` exchange everything they have accumulated so far. Requires a
 /// power-of-two world; other sizes fall back to [`allgather_ring`].
-pub fn allgather_recursive_doubling(ctx: &mut Ctx, block: Bytes) -> Vec<Bytes> {
+pub fn allgather_recursive_doubling<C: Comm>(ctx: &mut C, block: Bytes) -> Vec<Bytes> {
     let p = ctx.size();
     if !p.is_power_of_two() {
         return allgather_ring(ctx, block);
@@ -90,7 +90,7 @@ pub fn allgather_recursive_doubling(ctx: &mut Ctx, block: Bytes) -> Vec<Bytes> {
 /// Gather-then-broadcast allgather (`basic_linear`): blocks are
 /// gathered to rank 0 with the linear gather, packed, broadcast with
 /// the binomial tree, and unpacked.
-pub fn allgather_gather_bcast(ctx: &mut Ctx, block: Bytes) -> Vec<Bytes> {
+pub fn allgather_gather_bcast<C: Comm>(ctx: &mut C, block: Bytes) -> Vec<Bytes> {
     let p = ctx.size();
     let item = check_block(ctx, &block);
     let gathered = gather_linear(ctx, 0, block);

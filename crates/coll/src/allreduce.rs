@@ -11,7 +11,7 @@
 
 use crate::bcast::bcast_binomial;
 use crate::reduce::{reduce_binomial, ReduceOp};
-use collsel_mpi::Ctx;
+use collsel_mpi::Comm;
 use collsel_support::Bytes;
 
 const TAG_ALLREDUCE: u32 = 0x3A;
@@ -23,8 +23,8 @@ const TAG_ALLREDUCE: u32 = 0x3A;
 ///
 /// Panics if the contribution is not a whole number of `u64` lanes or
 /// `seg_size` is not a positive multiple of 8.
-pub fn allreduce_reduce_bcast(
-    ctx: &mut Ctx,
+pub fn allreduce_reduce_bcast<C: Comm>(
+    ctx: &mut C,
     op: ReduceOp,
     contribution: Bytes,
     seg_size: usize,
@@ -45,7 +45,11 @@ pub fn allreduce_reduce_bcast(
 /// # Panics
 ///
 /// Panics if the contribution is not a whole number of `u64` lanes.
-pub fn allreduce_recursive_doubling(ctx: &mut Ctx, op: ReduceOp, contribution: Bytes) -> Bytes {
+pub fn allreduce_recursive_doubling<C: Comm>(
+    ctx: &mut C,
+    op: ReduceOp,
+    contribution: Bytes,
+) -> Bytes {
     assert!(
         contribution.len().is_multiple_of(8),
         "contribution must be a whole number of u64 lanes"

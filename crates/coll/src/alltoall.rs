@@ -8,12 +8,12 @@
 //! * [`alltoall_pairwise`] — P-1 balanced sendrecv rounds with partner
 //!   `(r + round) mod P` (`alltoall_intra_pairwise`).
 
-use collsel_mpi::Ctx;
+use collsel_mpi::Comm;
 use collsel_support::Bytes;
 
 const TAG_ALLTOALL: u32 = 0x2A;
 
-fn check_blocks(ctx: &Ctx, blocks: &[Bytes]) {
+fn check_blocks<C: Comm>(ctx: &C, blocks: &[Bytes]) {
     assert_eq!(
         blocks.len(),
         ctx.size(),
@@ -28,7 +28,7 @@ fn check_blocks(ctx: &Ctx, blocks: &[Bytes]) {
 /// # Panics
 ///
 /// Panics if `blocks` does not contain exactly one block per rank.
-pub fn alltoall_linear(ctx: &mut Ctx, blocks: Vec<Bytes>) -> Vec<Bytes> {
+pub fn alltoall_linear<C: Comm>(ctx: &mut C, blocks: Vec<Bytes>) -> Vec<Bytes> {
     check_blocks(ctx, &blocks);
     let p = ctx.size();
     let me = ctx.rank();
@@ -65,7 +65,7 @@ pub fn alltoall_linear(ctx: &mut Ctx, blocks: Vec<Bytes>) -> Vec<Bytes> {
 /// # Panics
 ///
 /// Panics if `blocks` does not contain exactly one block per rank.
-pub fn alltoall_pairwise(ctx: &mut Ctx, blocks: Vec<Bytes>) -> Vec<Bytes> {
+pub fn alltoall_pairwise<C: Comm>(ctx: &mut C, blocks: Vec<Bytes>) -> Vec<Bytes> {
     check_blocks(ctx, &blocks);
     let p = ctx.size();
     let me = ctx.rank();

@@ -10,7 +10,7 @@
 //! * [`barrier_linear`] — a flat gather-then-release barrier
 //!   (`barrier_intra_basic_linear`).
 
-use collsel_mpi::Ctx;
+use collsel_mpi::Comm;
 use collsel_support::Bytes;
 
 const TAG_BARRIER: u32 = 0xD;
@@ -18,7 +18,7 @@ const TAG_BARRIER: u32 = 0xD;
 /// Dissemination (Bruck) barrier: in round `k`, rank `r` sends to
 /// `(r + 2^k) mod P` and receives from `(r - 2^k) mod P`; after
 /// `⌈log₂ P⌉` rounds every rank has transitively heard from every other.
-pub fn barrier_dissemination(ctx: &mut Ctx) {
+pub fn barrier_dissemination<C: Comm>(ctx: &mut C) {
     let p = ctx.size();
     if p == 1 {
         return;
@@ -34,7 +34,7 @@ pub fn barrier_dissemination(ctx: &mut Ctx) {
 }
 
 /// Flat barrier: everyone signals rank 0; rank 0 releases everyone.
-pub fn barrier_linear(ctx: &mut Ctx) {
+pub fn barrier_linear<C: Comm>(ctx: &mut C) {
     let p = ctx.size();
     if p == 1 {
         return;

@@ -19,7 +19,7 @@
 
 use crate::alg::{BcastAlg, DEFAULT_CHAIN_FANOUT};
 use crate::topology::Topology;
-use collsel_mpi::Ctx;
+use collsel_mpi::Comm;
 use collsel_support::{Bytes, BytesMut};
 
 /// Internal tag for broadcast pipeline traffic.
@@ -49,7 +49,7 @@ fn segments(msg: &Bytes, seg_size: usize) -> Vec<Bytes> {
 
 /// Validates the common broadcast arguments and returns the root's
 /// payload when this rank is the root.
-fn check_args(ctx: &Ctx, root: usize, msg: &Option<Bytes>, len: usize) {
+fn check_args<C: Comm>(ctx: &C, root: usize, msg: &Option<Bytes>, len: usize) {
     assert!(root < ctx.size(), "bcast root {root} out of range");
     if ctx.rank() == root {
         let m = msg.as_ref().expect("bcast root must supply the message");
@@ -70,8 +70,8 @@ fn check_args(ctx: &Ctx, root: usize, msg: &Option<Bytes>, len: usize) {
 /// Panics if `root` is out of range, if the root's payload is missing or
 /// of the wrong length, or if `seg_size` is zero for a segmented
 /// algorithm.
-pub fn bcast(
-    ctx: &mut Ctx,
+pub fn bcast<C: Comm>(
+    ctx: &mut C,
     alg: BcastAlg,
     root: usize,
     msg: Option<Bytes>,
@@ -91,7 +91,7 @@ pub fn bcast(
 /// Flat non-segmented broadcast (`bcast_intra_basic_linear`): the root
 /// posts one non-blocking send of the whole message per rank, then waits
 /// for all of them; everyone else receives once.
-pub fn bcast_linear(ctx: &mut Ctx, root: usize, msg: Option<Bytes>, len: usize) -> Bytes {
+pub fn bcast_linear<C: Comm>(ctx: &mut C, root: usize, msg: Option<Bytes>, len: usize) -> Bytes {
     check_args(ctx, root, &msg, len);
     if ctx.size() == 1 {
         return msg.expect("root supplies the message");
@@ -110,8 +110,8 @@ pub fn bcast_linear(ctx: &mut Ctx, root: usize, msg: Option<Bytes>, len: usize) 
 }
 
 /// Pipelined broadcast down a single chain (`bcast_intra_pipeline`).
-pub fn bcast_chain(
-    ctx: &mut Ctx,
+pub fn bcast_chain<C: Comm>(
+    ctx: &mut C,
     root: usize,
     msg: Option<Bytes>,
     len: usize,
@@ -127,8 +127,8 @@ pub fn bcast_chain(
 /// # Panics
 ///
 /// Panics if `k` is zero.
-pub fn bcast_k_chain(
-    ctx: &mut Ctx,
+pub fn bcast_k_chain<C: Comm>(
+    ctx: &mut C,
     k: usize,
     root: usize,
     msg: Option<Bytes>,
@@ -141,8 +141,8 @@ pub fn bcast_k_chain(
 
 /// Segmented pipelined broadcast down a heap-shaped binary tree
 /// (`bcast_intra_bintree`).
-pub fn bcast_binary(
-    ctx: &mut Ctx,
+pub fn bcast_binary<C: Comm>(
+    ctx: &mut C,
     root: usize,
     msg: Option<Bytes>,
     len: usize,
@@ -154,8 +154,8 @@ pub fn bcast_binary(
 
 /// Segmented pipelined broadcast down a balanced binomial tree
 /// (`bcast_intra_binomial`; modelled in Sect. 3.1 of the paper).
-pub fn bcast_binomial(
-    ctx: &mut Ctx,
+pub fn bcast_binomial<C: Comm>(
+    ctx: &mut C,
     root: usize,
     msg: Option<Bytes>,
     len: usize,
@@ -174,8 +174,8 @@ pub fn bcast_binomial(
 ///
 /// Panics if `seg_size` is zero or the arguments are inconsistent (see
 /// [`bcast`]).
-pub fn bcast_tree_segmented(
-    ctx: &mut Ctx,
+pub fn bcast_tree_segmented<C: Comm>(
+    ctx: &mut C,
     tree: &Topology,
     root: usize,
     msg: Option<Bytes>,
@@ -242,8 +242,8 @@ pub fn bcast_tree_segmented(
 ///
 /// Panics if `seg_size` is zero or the arguments are inconsistent (see
 /// [`bcast`]).
-pub fn bcast_split_binary(
-    ctx: &mut Ctx,
+pub fn bcast_split_binary<C: Comm>(
+    ctx: &mut C,
     root: usize,
     msg: Option<Bytes>,
     len: usize,

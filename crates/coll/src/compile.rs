@@ -1,0 +1,447 @@
+//! Compiling collectives to [`Schedule`]s for the event-driven backend.
+//!
+//! Each `compile_*` function runs the corresponding collective once
+//! against a recording context ([`collsel_mpi::record_schedule`]), so
+//! the schedule IR is *derived from the implementing code* — the same
+//! principle the paper applies when deriving analytical models from the
+//! implementations. The resulting [`Schedule`] replays under any seed,
+//! fault plan or watchdog deadline via
+//! [`collsel_mpi::simulate_scheduled`] with zero OS threads per run,
+//! bit-identical to the threaded backend.
+//!
+//! All collectives here are compilable: their operation streams depend
+//! only on `(rank, size, payload lengths, seg_size)`, never on timing
+//! or payload contents. Payloads are synthesised internally (replay
+//! timing depends only on lengths).
+
+use crate::alg::BcastAlg;
+use crate::bcast::bcast;
+use crate::gather::gather_linear;
+use crate::{
+    allgather_ring, allreduce_recursive_doubling, alltoall_pairwise, barrier_dissemination, reduce,
+    scatter_binomial, ReduceAlg, ReduceOp,
+};
+use collsel_mpi::{record_schedule, Comm, RecordError, Schedule};
+use collsel_netsim::ClusterModel;
+use collsel_support::Bytes;
+
+/// Deterministic payload of `len` bytes (contents never affect timing;
+/// this just keeps recorded schedules reproducible byte-for-byte).
+fn payload(len: usize) -> Bytes {
+    Bytes::from((0..len).map(|i| (i % 251) as u8).collect::<Vec<_>>())
+}
+
+/// Payload of `lanes` little-endian `u64` lanes for the reductions.
+fn lane_payload(rank: usize, lanes: usize) -> Bytes {
+    let mut v = Vec::with_capacity(lanes * 8);
+    for lane in 0..lanes {
+        v.extend_from_slice(&((rank * 1000 + lane) as u64).to_le_bytes());
+    }
+    Bytes::from(v)
+}
+
+/// Compiles one broadcast algorithm at geometry `(p, root, len,
+/// seg_size)` into a per-rank schedule.
+///
+/// # Errors
+///
+/// [`RecordError`] if the recording run fails (the broadcast ports use
+/// no wildcards, so `Unsupported` cannot occur for them).
+///
+/// # Panics
+///
+/// Panics on invalid geometry (zero ranks, root out of range, zero
+/// `seg_size` for a segmented algorithm), as [`bcast`] would.
+pub fn compile_bcast(
+    cluster: &ClusterModel,
+    alg: BcastAlg,
+    p: usize,
+    root: usize,
+    len: usize,
+    seg_size: usize,
+) -> Result<Schedule, RecordError> {
+    let msg = payload(len);
+    record_schedule(cluster, p, move |rc| {
+        let m = (rc.rank() == root).then(|| msg.clone());
+        bcast(rc, alg, root, m, len, seg_size);
+    })
+}
+
+/// Compiles the paper's measurement round: one timed repetition of
+/// `bcast` framed by barriers and `wtime` reads, repeated `reps` times
+/// — the exact program `estim::measure` times on the threaded backend.
+///
+/// Per repetition the recorded ops are: `barrier; t0 = wtime; bcast;
+/// barrier; t1 = wtime`, so each rank observes `2·reps` clock values
+/// and the root's consecutive pairs are the timing samples.
+///
+/// # Errors
+///
+/// [`RecordError`] if the recording run fails.
+///
+/// # Panics
+///
+/// Panics on invalid geometry, as [`bcast`] would.
+pub fn compile_timed_bcast(
+    cluster: &ClusterModel,
+    alg: BcastAlg,
+    p: usize,
+    root: usize,
+    len: usize,
+    seg_size: usize,
+    reps: usize,
+) -> Result<Schedule, RecordError> {
+    let msg = payload(len);
+    record_schedule(cluster, p, move |rc| {
+        for _ in 0..reps {
+            rc.barrier();
+            let _ = rc.wtime();
+            let m = (rc.rank() == root).then(|| msg.clone());
+            bcast(rc, alg, root, m, len, seg_size);
+            rc.barrier();
+            let _ = rc.wtime();
+        }
+    })
+}
+
+/// Compiles the paper's Sect. 4.2 measurement round: `reps` timed
+/// repetitions of `bcast` followed by a linear gather, each opened by a
+/// barrier and a `wtime` read and closed by a `wtime` read alone (the
+/// experiment finishes on the root, so no closing barrier is needed) —
+/// the exact program `estim::measure` times on the threaded backend.
+///
+/// # Errors
+///
+/// [`RecordError`] if the recording run fails.
+///
+/// # Panics
+///
+/// Panics on invalid geometry, as [`bcast`] would.
+#[allow(clippy::too_many_arguments)]
+pub fn compile_timed_bcast_gather(
+    cluster: &ClusterModel,
+    alg: BcastAlg,
+    p: usize,
+    root: usize,
+    m: usize,
+    m_g: usize,
+    seg_size: usize,
+    reps: usize,
+) -> Result<Schedule, RecordError> {
+    let msg = payload(m);
+    let contrib = payload(m_g);
+    record_schedule(cluster, p, move |rc| {
+        for _ in 0..reps {
+            rc.barrier();
+            let _ = rc.wtime();
+            let data = (rc.rank() == root).then(|| msg.clone());
+            let _ = bcast(rc, alg, root, data, m, seg_size);
+            let _ = gather_linear(rc, root, contrib.clone());
+            let _ = rc.wtime();
+        }
+    })
+}
+
+/// Compiles the paper's Sect. 4.1 measurement round: one `wtime`d run
+/// of `calls` successive linear-tree broadcasts of a `seg_size`-byte
+/// segment, each followed by a barrier — the exact program
+/// `estim::measure` times on the threaded backend (the sample is the
+/// root's single clock pair divided by `calls`).
+///
+/// # Errors
+///
+/// [`RecordError`] if the recording run fails.
+pub fn compile_timed_linear_segment(
+    cluster: &ClusterModel,
+    p: usize,
+    root: usize,
+    seg_size: usize,
+    calls: usize,
+) -> Result<Schedule, RecordError> {
+    let msg = payload(seg_size);
+    record_schedule(cluster, p, move |rc| {
+        rc.barrier();
+        let _ = rc.wtime();
+        for _ in 0..calls {
+            let data = (rc.rank() == root).then(|| msg.clone());
+            let _ = crate::bcast_linear(rc, root, data, msg.len());
+            rc.barrier();
+        }
+        let _ = rc.wtime();
+    })
+}
+
+/// Compiles the linear gather at geometry `(p, root, len)`.
+///
+/// # Errors
+///
+/// [`RecordError`] if the recording run fails.
+pub fn compile_gather_linear(
+    cluster: &ClusterModel,
+    p: usize,
+    root: usize,
+    len: usize,
+) -> Result<Schedule, RecordError> {
+    let contribution = payload(len);
+    record_schedule(cluster, p, move |rc| {
+        gather_linear(rc, root, contribution.clone());
+    })
+}
+
+/// Compiles the binomial scatter at geometry `(p, root, len)` (each
+/// rank's block is `len` bytes).
+///
+/// # Errors
+///
+/// [`RecordError`] if the recording run fails.
+pub fn compile_scatter_binomial(
+    cluster: &ClusterModel,
+    p: usize,
+    root: usize,
+    len: usize,
+) -> Result<Schedule, RecordError> {
+    record_schedule(cluster, p, move |rc| {
+        let blocks = (rc.rank() == root).then(|| (0..p).map(|_| payload(len)).collect());
+        scatter_binomial(rc, root, blocks);
+    })
+}
+
+/// Compiles the ring allgather at geometry `(p, len)`.
+///
+/// # Errors
+///
+/// [`RecordError`] if the recording run fails.
+pub fn compile_allgather_ring(
+    cluster: &ClusterModel,
+    p: usize,
+    len: usize,
+) -> Result<Schedule, RecordError> {
+    let block = payload(len);
+    record_schedule(cluster, p, move |rc| {
+        allgather_ring(rc, block.clone());
+    })
+}
+
+/// Compiles a reduce algorithm at geometry `(p, root, lanes,
+/// seg_size)` — payloads are `lanes` `u64` lanes.
+///
+/// # Errors
+///
+/// [`RecordError`] if the recording run fails.
+pub fn compile_reduce(
+    cluster: &ClusterModel,
+    alg: ReduceAlg,
+    p: usize,
+    root: usize,
+    lanes: usize,
+    seg_size: usize,
+) -> Result<Schedule, RecordError> {
+    record_schedule(cluster, p, move |rc| {
+        reduce(
+            rc,
+            alg,
+            root,
+            ReduceOp::Sum,
+            lane_payload(rc.rank(), lanes),
+            seg_size,
+        );
+    })
+}
+
+/// Compiles the recursive-doubling allreduce at geometry `(p, lanes)`.
+///
+/// # Errors
+///
+/// [`RecordError`] if the recording run fails.
+pub fn compile_allreduce_recursive_doubling(
+    cluster: &ClusterModel,
+    p: usize,
+    lanes: usize,
+) -> Result<Schedule, RecordError> {
+    record_schedule(cluster, p, move |rc| {
+        allreduce_recursive_doubling(rc, ReduceOp::Sum, lane_payload(rc.rank(), lanes));
+    })
+}
+
+/// Compiles the pairwise all-to-all at geometry `(p, len)` (each block
+/// is `len` bytes).
+///
+/// # Errors
+///
+/// [`RecordError`] if the recording run fails.
+pub fn compile_alltoall_pairwise(
+    cluster: &ClusterModel,
+    p: usize,
+    len: usize,
+) -> Result<Schedule, RecordError> {
+    record_schedule(cluster, p, move |rc| {
+        alltoall_pairwise(rc, (0..p).map(|_| payload(len)).collect());
+    })
+}
+
+/// Compiles the dissemination barrier at world size `p`.
+///
+/// # Errors
+///
+/// [`RecordError`] if the recording run fails.
+pub fn compile_barrier_dissemination(
+    cluster: &ClusterModel,
+    p: usize,
+) -> Result<Schedule, RecordError> {
+    record_schedule(cluster, p, |rc| {
+        barrier_dissemination(rc);
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use collsel_mpi::{simulate_scheduled, simulate_with, Comm, Ctx, SimOptions};
+
+    const OPTS: SimOptions = SimOptions {
+        traced: true,
+        deadline: None,
+    };
+
+    /// Replaying a compiled schedule must match running the same
+    /// program live on the threaded backend, bit for bit.
+    fn assert_equivalent(
+        cluster: &ClusterModel,
+        p: usize,
+        sched: &Schedule,
+        program: impl Fn(&mut Ctx) + Sync,
+    ) {
+        for seed in [0u64, 3, 77] {
+            let threaded =
+                simulate_with(cluster, p, seed, OPTS, |ctx| program(ctx)).expect("threaded run");
+            let replay = simulate_scheduled(cluster, sched, seed, OPTS).expect("replay run");
+            assert_eq!(threaded.report.finish_times, replay.report.finish_times);
+            assert_eq!(threaded.report.makespan, replay.report.makespan);
+            assert_eq!(threaded.report.messages, replay.report.messages);
+            assert_eq!(threaded.report.bytes, replay.report.bytes);
+            assert_eq!(threaded.report.trace, replay.report.trace);
+        }
+    }
+
+    #[test]
+    fn all_bcast_algorithms_compile_and_replay_identically() {
+        let cluster = ClusterModel::grisou();
+        let (p, root, len, seg) = (9, 1, 40_000, 8 * 1024);
+        for alg in BcastAlg::ALL {
+            let sched = compile_bcast(&cluster, alg, p, root, len, seg).expect("compiles");
+            assert_eq!(sched.ranks(), p);
+            let msg = payload(len);
+            assert_equivalent(&cluster, p, &sched, move |ctx| {
+                let m = (Comm::rank(ctx) == root).then(|| msg.clone());
+                bcast(ctx, alg, root, m, len, seg);
+            });
+        }
+    }
+
+    #[test]
+    fn timed_bcast_schedule_replays_identically() {
+        let cluster = ClusterModel::gros();
+        let (p, root, len, seg, reps) = (6, 0, 10_000, 4096, 3);
+        let sched = compile_timed_bcast(&cluster, BcastAlg::Binomial, p, root, len, seg, reps)
+            .expect("compiles");
+        let msg = payload(len);
+        assert_equivalent(&cluster, p, &sched, move |ctx| {
+            for _ in 0..reps {
+                ctx.barrier();
+                let _ = ctx.wtime();
+                let m = (Comm::rank(ctx) == root).then(|| msg.clone());
+                bcast(ctx, BcastAlg::Binomial, root, m, len, seg);
+                ctx.barrier();
+                let _ = ctx.wtime();
+            }
+        });
+    }
+
+    #[test]
+    fn timed_bcast_gather_schedule_replays_identically() {
+        let cluster = ClusterModel::grisou();
+        let (p, root, m, m_g, seg, reps) = (5, 0, 20_000, 1024, 8192, 2);
+        let sched =
+            compile_timed_bcast_gather(&cluster, BcastAlg::Chain, p, root, m, m_g, seg, reps)
+                .expect("compiles");
+        let msg = payload(m);
+        let contrib = payload(m_g);
+        assert_equivalent(&cluster, p, &sched, move |ctx| {
+            for _ in 0..reps {
+                ctx.barrier();
+                let _ = ctx.wtime();
+                let data = (Comm::rank(ctx) == root).then(|| msg.clone());
+                let _ = bcast(ctx, BcastAlg::Chain, root, data, m, seg);
+                let _ = gather_linear(ctx, root, contrib.clone());
+                let _ = ctx.wtime();
+            }
+        });
+    }
+
+    #[test]
+    fn timed_linear_segment_schedule_replays_identically() {
+        let cluster = ClusterModel::gros();
+        let (p, root, seg, calls) = (5, 0, 4096, 4);
+        let sched = compile_timed_linear_segment(&cluster, p, root, seg, calls).expect("compiles");
+        let msg = payload(seg);
+        assert_equivalent(&cluster, p, &sched, move |ctx| {
+            ctx.barrier();
+            let _ = ctx.wtime();
+            for _ in 0..calls {
+                let data = (Comm::rank(ctx) == root).then(|| msg.clone());
+                let _ = crate::bcast_linear(ctx, root, data, msg.len());
+                ctx.barrier();
+            }
+            let _ = ctx.wtime();
+        });
+    }
+
+    #[test]
+    fn other_collectives_compile_and_replay_identically() {
+        let cluster = ClusterModel::gros();
+        let p = 7;
+
+        let sched = compile_gather_linear(&cluster, p, 2, 512).expect("gather");
+        assert_equivalent(&cluster, p, &sched, |ctx| {
+            gather_linear(ctx, 2, payload(512));
+        });
+
+        let sched = compile_scatter_binomial(&cluster, p, 0, 256).expect("scatter");
+        assert_equivalent(&cluster, p, &sched, move |ctx| {
+            let blocks = (Comm::rank(ctx) == 0).then(|| (0..p).map(|_| payload(256)).collect());
+            scatter_binomial(ctx, 0, blocks);
+        });
+
+        let sched = compile_allgather_ring(&cluster, p, 300).expect("allgather");
+        assert_equivalent(&cluster, p, &sched, |ctx| {
+            allgather_ring(ctx, payload(300));
+        });
+
+        let sched = compile_reduce(&cluster, ReduceAlg::Binomial, p, 0, 64, 128).expect("reduce");
+        assert_equivalent(&cluster, p, &sched, |ctx| {
+            reduce(
+                ctx,
+                ReduceAlg::Binomial,
+                0,
+                ReduceOp::Sum,
+                lane_payload(Comm::rank(ctx), 64),
+                128,
+            );
+        });
+
+        let sched = compile_allreduce_recursive_doubling(&cluster, p, 32).expect("allreduce");
+        assert_equivalent(&cluster, p, &sched, |ctx| {
+            allreduce_recursive_doubling(ctx, ReduceOp::Sum, lane_payload(Comm::rank(ctx), 32));
+        });
+
+        let sched = compile_alltoall_pairwise(&cluster, p, 128).expect("alltoall");
+        assert_equivalent(&cluster, p, &sched, move |ctx| {
+            alltoall_pairwise(ctx, (0..p).map(|_| payload(128)).collect());
+        });
+
+        let sched = compile_barrier_dissemination(&cluster, p).expect("barrier");
+        assert_equivalent(&cluster, p, &sched, |ctx| {
+            barrier_dissemination(ctx);
+        });
+    }
+}

@@ -11,7 +11,7 @@
 //! algorithm), used by the extension experiments.
 
 use crate::topology::Topology;
-use collsel_mpi::Ctx;
+use collsel_mpi::Comm;
 use collsel_support::{Bytes, BytesMut};
 
 const TAG_GATHER: u32 = 0xC;
@@ -19,7 +19,7 @@ const TAG_GATHER: u32 = 0xC;
 /// Linear gather without synchronisation
 /// (`gather_intra_basic_linear`): returns `Some(contributions)` indexed
 /// by rank at the root, `None` elsewhere.
-pub fn gather_linear(ctx: &mut Ctx, root: usize, contribution: Bytes) -> Option<Vec<Bytes>> {
+pub fn gather_linear<C: Comm>(ctx: &mut C, root: usize, contribution: Bytes) -> Option<Vec<Bytes>> {
     assert!(root < ctx.size(), "gather root {root} out of range");
     if ctx.rank() == root {
         let reqs: Vec<_> = (0..ctx.size())
@@ -56,7 +56,11 @@ pub fn gather_linear(ctx: &mut Ctx, root: usize, contribution: Bytes) -> Option<
 ///
 /// Panics (at the root, when deblocking) if contributions have
 /// inconsistent lengths.
-pub fn gather_binomial(ctx: &mut Ctx, root: usize, contribution: Bytes) -> Option<Vec<Bytes>> {
+pub fn gather_binomial<C: Comm>(
+    ctx: &mut C,
+    root: usize,
+    contribution: Bytes,
+) -> Option<Vec<Bytes>> {
     assert!(root < ctx.size(), "gather root {root} out of range");
     let p = ctx.size();
     if p == 1 {

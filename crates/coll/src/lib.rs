@@ -40,6 +40,7 @@ mod allreduce;
 mod alltoall;
 mod barrier;
 mod bcast;
+pub mod compile;
 mod gather;
 mod reduce;
 mod scatter;

@@ -17,7 +17,7 @@
 //! `MPI_SUM` etc. on integer types).
 
 use crate::topology::Topology;
-use collsel_mpi::Ctx;
+use collsel_mpi::Comm;
 use collsel_support::Bytes;
 
 const TAG_REDUCE: u32 = 0xF;
@@ -64,8 +64,8 @@ impl std::fmt::Display for ReduceAlg {
 
 /// Dispatches to the selected reduce algorithm (segmented algorithms
 /// use `seg_size`; [`ReduceAlg::Linear`] ignores it).
-pub fn reduce(
-    ctx: &mut Ctx,
+pub fn reduce<C: Comm>(
+    ctx: &mut C,
     alg: ReduceAlg,
     root: usize,
     op: ReduceOp,
@@ -142,8 +142,8 @@ fn check_contribution(contribution: &Bytes) {
 ///
 /// Panics if `root` is out of range or the contribution is not a whole
 /// number of lanes.
-pub fn reduce_linear(
-    ctx: &mut Ctx,
+pub fn reduce_linear<C: Comm>(
+    ctx: &mut C,
     root: usize,
     op: ReduceOp,
     contribution: Bytes,
@@ -178,8 +178,8 @@ pub fn reduce_linear(
 ///
 /// Panics if `seg_size` is zero or not a multiple of 8, if `root` is
 /// out of range, or if the contribution is not a whole number of lanes.
-pub fn reduce_tree_segmented(
-    ctx: &mut Ctx,
+pub fn reduce_tree_segmented<C: Comm>(
+    ctx: &mut C,
     tree: &Topology,
     root: usize,
     op: ReduceOp,
@@ -233,8 +233,8 @@ pub fn reduce_tree_segmented(
 }
 
 /// Segmented binomial-tree reduction (`reduce_intra_binomial`).
-pub fn reduce_binomial(
-    ctx: &mut Ctx,
+pub fn reduce_binomial<C: Comm>(
+    ctx: &mut C,
     root: usize,
     op: ReduceOp,
     contribution: Bytes,
@@ -245,8 +245,8 @@ pub fn reduce_binomial(
 }
 
 /// Segmented chain (pipeline) reduction (`reduce_intra_pipeline`).
-pub fn reduce_chain(
-    ctx: &mut Ctx,
+pub fn reduce_chain<C: Comm>(
+    ctx: &mut C,
     root: usize,
     op: ReduceOp,
     contribution: Bytes,
@@ -257,8 +257,8 @@ pub fn reduce_chain(
 }
 
 /// Segmented binary-tree reduction (`reduce_intra_bintree`).
-pub fn reduce_binary(
-    ctx: &mut Ctx,
+pub fn reduce_binary<C: Comm>(
+    ctx: &mut C,
     root: usize,
     op: ReduceOp,
     contribution: Bytes,

@@ -12,13 +12,13 @@
 //!   forwarding its children's sub-blocks.
 
 use crate::topology::Topology;
-use collsel_mpi::Ctx;
+use collsel_mpi::Comm;
 use collsel_support::Bytes;
 
 const TAG_SCATTER: u32 = 0xE;
 
 /// Validates scatter arguments; returns blocks at the root.
-fn check_blocks(ctx: &Ctx, root: usize, blocks: &Option<Vec<Bytes>>) {
+fn check_blocks<C: Comm>(ctx: &C, root: usize, blocks: &Option<Vec<Bytes>>) {
     assert!(root < ctx.size(), "scatter root {root} out of range");
     if ctx.rank() == root {
         let blocks = blocks.as_ref().expect("scatter root must supply blocks");
@@ -37,7 +37,7 @@ fn check_blocks(ctx: &Ctx, root: usize, blocks: &Option<Vec<Bytes>>) {
 ///
 /// Panics if `root` is out of range or the root's blocks are missing or
 /// miscounted.
-pub fn scatter_linear(ctx: &mut Ctx, root: usize, blocks: Option<Vec<Bytes>>) -> Bytes {
+pub fn scatter_linear<C: Comm>(ctx: &mut C, root: usize, blocks: Option<Vec<Bytes>>) -> Bytes {
     check_blocks(ctx, root, &blocks);
     if ctx.rank() == root {
         let blocks = blocks.expect("root supplies blocks");
@@ -61,7 +61,7 @@ pub fn scatter_linear(ctx: &mut Ctx, root: usize, blocks: Option<Vec<Bytes>>) ->
 ///
 /// Panics if `root` is out of range, the root's blocks are missing or
 /// miscounted, or block lengths are not uniform.
-pub fn scatter_binomial(ctx: &mut Ctx, root: usize, blocks: Option<Vec<Bytes>>) -> Bytes {
+pub fn scatter_binomial<C: Comm>(ctx: &mut C, root: usize, blocks: Option<Vec<Bytes>>) -> Bytes {
     check_blocks(ctx, root, &blocks);
     let p = ctx.size();
     if p == 1 {

@@ -18,6 +18,15 @@
 //! available parallelism). Every cell derives its seed from its grid
 //! position, so the tuned model is **bit-identical at any thread
 //! count** — parallelism changes wall-clock, never results.
+//!
+//! Within each cell, measurements run by default on the event-driven
+//! execution backend ([`collsel_mpi::Backend::Events`]): the
+//! measurement program is compiled to a schedule once and replayed with
+//! zero OS threads per run, so a campaign's threads are spent *across*
+//! cells, not inside them. Set the `backend` field of [`GammaConfig`] /
+//! [`AlphaBetaConfig`] (or `colltune tune --backend threads`) to use
+//! the threaded oracle instead; the tuned model is bit-identical either
+//! way.
 
 use collsel_coll::BcastAlg;
 use collsel_estim::{
@@ -283,6 +292,27 @@ mod tests {
         for m in [8 * 1024, 64 * 1024, 1 << 20] {
             assert_ne!(selector.select(100, m).alg, collsel_coll::BcastAlg::Linear);
         }
+    }
+
+    #[test]
+    fn tune_is_bit_identical_across_backends() {
+        use collsel_mpi::Backend;
+        // Noise stays ON: the tuned parameters must match to the last
+        // bit even when every sample carries jitter.
+        let cluster = ClusterModel::gros();
+        let events_cfg = TunerConfig::quick(10);
+        assert_eq!(
+            events_cfg.gamma.backend,
+            Backend::Events,
+            "events is the default"
+        );
+        assert_eq!(events_cfg.alpha_beta.backend, Backend::Events);
+        let mut threads_cfg = events_cfg.clone();
+        threads_cfg.gamma.backend = Backend::Threads;
+        threads_cfg.alpha_beta.backend = Backend::Threads;
+        let events = Tuner::new(cluster.clone(), events_cfg).tune();
+        let threads = Tuner::new(cluster, threads_cfg).tune();
+        assert_eq!(events, threads, "backends must tune identical models");
     }
 
     #[test]

@@ -21,14 +21,14 @@
 //! cannot express.
 
 use crate::measure::{
-    bcast_gather_experiment_time_batch, try_bcast_gather_experiment_time, ExperimentSpec,
+    bcast_gather_experiment_time_batch_with, try_bcast_gather_experiment_time_with, ExperimentSpec,
     RetryPolicy,
 };
 use crate::regress::huber_default;
 use crate::stats::{Precision, SampleStats};
 use collsel_coll::BcastAlg;
 use collsel_model::{derived, FitValidity, GammaTable, Hockney};
-use collsel_mpi::SimError;
+use collsel_mpi::{Backend, SimError};
 use collsel_netsim::ClusterModel;
 use collsel_support::pool::Pool;
 use std::collections::BTreeMap;
@@ -49,6 +49,9 @@ pub struct AlphaBetaConfig {
     pub p: usize,
     /// Stopping rule per experiment.
     pub precision: Precision,
+    /// Execution backend of the measurement simulations (both return
+    /// bit-identical statistics; events is the campaign hot path).
+    pub backend: Backend,
 }
 
 /// `count` sizes log-spaced (inclusive) between `lo` and `hi`.
@@ -80,6 +83,7 @@ impl AlphaBetaConfig {
             gather_sizes: log_spaced_sizes(1024, 64 * 1024, 10),
             p,
             precision: Precision::paper(),
+            backend: Backend::default(),
         }
     }
 
@@ -96,6 +100,7 @@ impl AlphaBetaConfig {
             gather_sizes: log_spaced_sizes(2 * 1024, 64 * 1024, 5),
             p,
             precision: Precision::quick(),
+            backend: Backend::default(),
         }
     }
 
@@ -246,8 +251,13 @@ pub fn estimate_alpha_beta(
 ) -> AlphaBetaEstimate {
     cfg.validate();
     let specs = experiment_specs(alg, cfg, seed);
-    let measured =
-        bcast_gather_experiment_time_batch(cluster, &specs, &cfg.precision, Pool::current());
+    let measured = bcast_gather_experiment_time_batch_with(
+        cluster,
+        &specs,
+        &cfg.precision,
+        Pool::current(),
+        cfg.backend,
+    );
     fit_from_measurements(alg, cfg, gamma, measured)
 }
 
@@ -268,8 +278,13 @@ pub fn estimate_all_alpha_beta(
         .enumerate()
         .flat_map(|(i, &alg)| experiment_specs(alg, cfg, seed.wrapping_add((i as u64) << 32)))
         .collect();
-    let measured =
-        bcast_gather_experiment_time_batch(cluster, &specs, &cfg.precision, Pool::current());
+    let measured = bcast_gather_experiment_time_batch_with(
+        cluster,
+        &specs,
+        &cfg.precision,
+        Pool::current(),
+        cfg.backend,
+    );
     let n = cfg.msg_sizes.len();
     let mut cells = measured.into_iter();
     BcastAlg::ALL
@@ -305,7 +320,7 @@ pub fn try_estimate_alpha_beta(
 ) -> Result<AlphaBetaEstimate, SimError> {
     cfg.validate();
     let specs = experiment_specs(alg, cfg, seed);
-    let measured = try_experiment_batch(cluster, &specs, &cfg.precision, policy)?;
+    let measured = try_experiment_batch(cluster, &specs, &cfg.precision, policy, cfg.backend)?;
     Ok(fit_from_measurements(alg, cfg, gamma, measured))
 }
 
@@ -318,12 +333,13 @@ fn try_experiment_batch(
     specs: &[ExperimentSpec],
     precision: &Precision,
     policy: &RetryPolicy,
+    backend: Backend,
 ) -> Result<Vec<SampleStats>, SimError> {
     Pool::current()
         .run(specs.iter().map(|spec| {
             let spec = *spec;
             move || {
-                try_bcast_gather_experiment_time(
+                try_bcast_gather_experiment_time_with(
                     cluster,
                     spec.alg,
                     spec.p,
@@ -333,6 +349,7 @@ fn try_experiment_batch(
                     precision,
                     spec.seed,
                     policy,
+                    backend,
                 )
             }
         }))
@@ -366,7 +383,7 @@ pub fn try_estimate_all_alpha_beta(
     let outcomes = Pool::current().run(flat.iter().map(|spec| {
         let spec = *spec;
         move || {
-            try_bcast_gather_experiment_time(
+            try_bcast_gather_experiment_time_with(
                 cluster,
                 spec.alg,
                 spec.p,
@@ -376,6 +393,7 @@ pub fn try_estimate_all_alpha_beta(
                 &cfg.precision,
                 spec.seed,
                 policy,
+                cfg.backend,
             )
         }
     }));

@@ -7,10 +7,12 @@
 //! `γ(P) = T2(P) / T2(2)` is the platform-specific, algorithm-independent
 //! factor used by every implementation-derived model.
 
-use crate::measure::{linear_segment_bcast_time, try_linear_segment_bcast_time, RetryPolicy};
+use crate::measure::{
+    linear_segment_bcast_time_with, try_linear_segment_bcast_time_with, RetryPolicy,
+};
 use crate::stats::{Precision, SampleStats};
 use collsel_model::GammaTable;
-use collsel_mpi::SimError;
+use collsel_mpi::{Backend, SimError};
 use collsel_netsim::ClusterModel;
 use collsel_support::pool::Pool;
 
@@ -27,6 +29,9 @@ pub struct GammaConfig {
     pub calls_per_sample: usize,
     /// Stopping rule for each `T2(P)`.
     pub precision: Precision,
+    /// Execution backend of the measurement simulations (both return
+    /// bit-identical statistics; events is the campaign hot path).
+    pub backend: Backend,
 }
 
 impl GammaConfig {
@@ -37,6 +42,7 @@ impl GammaConfig {
             max_width: 7,
             calls_per_sample: 10,
             precision: Precision::paper(),
+            backend: Backend::default(),
         }
     }
 
@@ -47,6 +53,7 @@ impl GammaConfig {
             max_width: 5,
             calls_per_sample: 3,
             precision: Precision::quick(),
+            backend: Backend::default(),
         }
     }
 }
@@ -84,13 +91,14 @@ pub fn estimate_gamma(cluster: &ClusterModel, cfg: &GammaConfig, seed: u64) -> G
     // and are bit-identical to the serial loop at any thread count.
     let stats = Pool::current().run((2..=cfg.max_width).map(|p| {
         move || {
-            linear_segment_bcast_time(
+            linear_segment_bcast_time_with(
                 cluster,
                 p,
                 cfg.seg_size,
                 cfg.calls_per_sample,
                 &cfg.precision,
                 seed.wrapping_add(p as u64 * 1009),
+                cfg.backend,
             )
         }
     }));
@@ -145,7 +153,7 @@ pub fn try_estimate_gamma(
     // deterministic and identical to serial execution.
     let outcomes = Pool::current().run((2..=cfg.max_width).map(|p| {
         move || {
-            try_linear_segment_bcast_time(
+            try_linear_segment_bcast_time_with(
                 cluster,
                 p,
                 cfg.seg_size,
@@ -153,6 +161,7 @@ pub fn try_estimate_gamma(
                 &cfg.precision,
                 seed.wrapping_add(p as u64 * 1009),
                 policy,
+                cfg.backend,
             )
         }
     }));

@@ -26,6 +26,12 @@
 //! cell derives its seed from its grid position, so results are
 //! bit-identical at any thread count. The adaptive stopping rule stays
 //! strictly sequential *within* a cell.
+//!
+//! Each measurement cell executes on a [`collsel_mpi::Backend`]: by
+//! default the event-driven backend compiles the measurement program to
+//! a schedule once and replays it with zero OS threads per run; the
+//! threaded backend remains available as the oracle (see
+//! [`measure`]).
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -46,8 +52,10 @@ pub use gamma_est::{estimate_gamma, try_estimate_gamma, GammaConfig, GammaEstima
 pub use hockney_est::{estimate_network_hockney, NetworkHockneyEstimate};
 pub use loggp_est::{estimate_loggp, LogGPEstimate};
 pub use measure::{
-    bcast_gather_experiment_time_batch, bcast_time_batch, try_bcast_gather_experiment_time,
-    try_bcast_time, try_linear_segment_bcast_time, try_p2p_time, BcastSpec, ExperimentSpec,
+    bcast_gather_experiment_time_batch, bcast_gather_experiment_time_batch_with, bcast_time_batch,
+    bcast_time_batch_with, try_bcast_gather_experiment_time, try_bcast_gather_experiment_time_with,
+    try_bcast_time, try_bcast_time_with, try_linear_segment_bcast_time,
+    try_linear_segment_bcast_time_with, try_p2p_time, try_p2p_time_with, BcastSpec, ExperimentSpec,
     RetryPolicy,
 };
 pub use regress::{huber, huber_default, ols, LinearFit};

@@ -23,15 +23,28 @@
 //!   measurement cells across a [`Pool`], returning results in spec
 //!   order, bit-identical to the serial tier at any thread count.
 //!
-//! All tiers execute their simulations through
-//! [`collsel_mpi::simulate_pooled`], so a campaign reuses rank OS
-//! threads across its tens of thousands of runs instead of spawning
-//! `P` fresh threads per measurement.
+//! Every tier also comes in a `*_with` variant taking an execution
+//! [`Backend`]. The default ([`Backend::Events`]) compiles the
+//! measurement program to a [`collsel_mpi::Schedule`] once per call and
+//! replays it per batch with zero OS threads in the loop
+//! ([`collsel_mpi::simulate_scheduled`]); the timing samples are
+//! derived from the replay's `wtime` observations with the same float
+//! arithmetic the threaded closures apply, so both backends return
+//! **bit-identical** statistics. [`Backend::Threads`] runs the original
+//! closures through [`collsel_mpi::simulate_pooled`] and remains the
+//! oracle the event-driven path is checked against
+//! (`tests/backend_equivalence.rs`).
 
 use crate::stats::{sample_adaptive, sample_adaptive_fallible, Precision, SampleStats};
+use collsel_coll::compile::{
+    compile_timed_bcast, compile_timed_bcast_gather, compile_timed_linear_segment,
+};
 use collsel_coll::{bcast, gather_linear, BcastAlg};
-use collsel_mpi::{Ctx, SimError, SimOptions};
-use collsel_netsim::{ClusterModel, SimSpan};
+use collsel_mpi::{
+    record_schedule, simulate_scheduled, Backend, Comm, Ctx, RecordError, Schedule, ScheduledRun,
+    SimError, SimOptions,
+};
+use collsel_netsim::{ClusterModel, FaultPlan, SimSpan};
 use collsel_support::pool::Pool;
 use collsel_support::Bytes;
 use std::collections::HashMap;
@@ -145,6 +158,106 @@ fn try_root_samples(
 /// Root rank used by all measurement experiments.
 pub const ROOT: usize = 0;
 
+/// The cluster a measurement schedule is recorded on: the caller's
+/// topology with fault injection stripped.
+///
+/// A compilable program's operation stream never depends on timing, so
+/// recording on the pristine topology yields the same schedule — and
+/// keeps the recording run (which is not armed with a watchdog) from
+/// being slowed or stalled by a fault plan that the *replays* handle
+/// under the retry policy's deadlines.
+fn recording_cluster(cluster: &ClusterModel) -> ClusterModel {
+    cluster.clone().with_faults(FaultPlan::none())
+}
+
+/// Derives the root's timing samples from a replay's clock
+/// observations: consecutive `wtime` pairs, each divided by `per` —
+/// exactly the float arithmetic the threaded closures apply to the same
+/// virtual clock values (division by `1.0` is exact).
+fn paired_samples(run: &ScheduledRun, per: f64) -> Vec<f64> {
+    run.wtimes[ROOT]
+        .chunks_exact(2)
+        .map(|w| (w[1] - w[0]).as_secs_f64() / per)
+        .collect()
+}
+
+/// Replays `sched` once per adaptive batch and feeds the root's samples
+/// to the stopping rule. Infallible tier: no watchdog is armed, and a
+/// recorded measurement program cannot deadlock.
+fn events_stats(
+    cluster: &ClusterModel,
+    sched: &Schedule,
+    precision: &Precision,
+    seed: u64,
+    per: f64,
+) -> SampleStats {
+    sample_adaptive(precision, |batch| {
+        let run = simulate_scheduled(
+            cluster,
+            sched,
+            seed.wrapping_add(batch as u64),
+            SimOptions::default(),
+        )
+        .expect("measurement program cannot deadlock");
+        paired_samples(&run, per)
+    })
+}
+
+/// Fallible twin of [`events_stats`]: replays run under `policy`'s
+/// virtual-time watchdog with the same retry, backoff and
+/// seed-perturbation discipline as [`try_root_samples`].
+fn try_events_stats(
+    cluster: &ClusterModel,
+    sched: &Schedule,
+    precision: &Precision,
+    seed: u64,
+    policy: &RetryPolicy,
+    per: f64,
+) -> Result<SampleStats, SimError> {
+    policy.validate();
+    sample_adaptive_fallible(precision, |batch| {
+        let batch_seed = seed.wrapping_add(batch as u64);
+        let mut last_timeout: Option<SimError> = None;
+        for attempt in 0..policy.max_attempts {
+            match simulate_scheduled(
+                cluster,
+                sched,
+                mix_attempt(batch_seed, attempt),
+                policy.options_for(attempt),
+            ) {
+                Ok(run) => return Ok(paired_samples(&run, per)),
+                Err(e @ SimError::Timeout { .. }) => last_timeout = Some(e),
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last_timeout.expect("at least one attempt ran"))
+    })
+}
+
+/// Records the round-trip program of [`p2p_time`]: `reps` repetitions
+/// of `barrier; wtime; ping-pong; wtime` between ranks 0 and 1.
+fn compile_timed_p2p(
+    cluster: &ClusterModel,
+    m: usize,
+    reps: usize,
+) -> Result<Schedule, RecordError> {
+    let msg = payload(m);
+    record_schedule(cluster, 2, move |rc| {
+        for _ in 0..reps {
+            rc.barrier();
+            let _ = rc.wtime();
+            if rc.rank() == 0 {
+                rc.send(1, 0, msg.clone());
+                let _ = rc.recv(1, 1);
+            } else {
+                let (data, _) = rc.recv(0, 0);
+                rc.send(0, 1, data);
+            }
+            let _ = rc.wtime();
+        }
+    })
+}
+
 /// A deterministic position-dependent payload of `len` bytes.
 ///
 /// Memoised: a campaign measures a few dozen distinct sizes across
@@ -205,13 +318,65 @@ fn timed_reps(
 }
 
 /// Measures the execution time of one broadcast configuration until the
-/// paper's precision target is met.
+/// paper's precision target is met, on the default [`Backend`].
 ///
 /// # Panics
 ///
 /// Panics if `p` exceeds the cluster's slots or `seg_size` is zero for
 /// a segmented algorithm.
 pub fn bcast_time(
+    cluster: &ClusterModel,
+    alg: BcastAlg,
+    p: usize,
+    m: usize,
+    seg_size: usize,
+    precision: &Precision,
+    seed: u64,
+) -> SampleStats {
+    bcast_time_with(
+        cluster,
+        alg,
+        p,
+        m,
+        seg_size,
+        precision,
+        seed,
+        Backend::default(),
+    )
+}
+
+/// [`bcast_time`] on an explicit execution [`Backend`]; both backends
+/// return bit-identical statistics.
+///
+/// # Panics
+///
+/// Same as [`bcast_time`].
+#[allow(clippy::too_many_arguments)]
+pub fn bcast_time_with(
+    cluster: &ClusterModel,
+    alg: BcastAlg,
+    p: usize,
+    m: usize,
+    seg_size: usize,
+    precision: &Precision,
+    seed: u64,
+    backend: Backend,
+) -> SampleStats {
+    if backend == Backend::Events {
+        let reps = precision.min_reps;
+        // A recording failure (impossible for these wildcard-free
+        // programs, but the enum is open) falls back to the oracle.
+        if let Ok(sched) =
+            compile_timed_bcast(&recording_cluster(cluster), alg, p, ROOT, m, seg_size, reps)
+        {
+            return events_stats(cluster, &sched, precision, seed, 1.0);
+        }
+    }
+    bcast_time_threads(cluster, alg, p, m, seg_size, precision, seed)
+}
+
+/// The threaded-oracle body of [`bcast_time`].
+fn bcast_time_threads(
     cluster: &ClusterModel,
     alg: BcastAlg,
     p: usize,
@@ -240,9 +405,67 @@ pub fn bcast_time(
 /// Measures the paper's Sect. 4.2 communication experiment: the
 /// modelled broadcast of `m` bytes followed by a linear gather of
 /// `m_g`-byte contributions, timed on the root (the experiment starts
-/// and finishes there, so no closing barrier is needed).
+/// and finishes there, so no closing barrier is needed). Runs on the
+/// default [`Backend`].
 #[allow(clippy::too_many_arguments)]
 pub fn bcast_gather_experiment_time(
+    cluster: &ClusterModel,
+    alg: BcastAlg,
+    p: usize,
+    m: usize,
+    m_g: usize,
+    seg_size: usize,
+    precision: &Precision,
+    seed: u64,
+) -> SampleStats {
+    bcast_gather_experiment_time_with(
+        cluster,
+        alg,
+        p,
+        m,
+        m_g,
+        seg_size,
+        precision,
+        seed,
+        Backend::default(),
+    )
+}
+
+/// [`bcast_gather_experiment_time`] on an explicit execution
+/// [`Backend`]; both backends return bit-identical statistics.
+#[allow(clippy::too_many_arguments)]
+pub fn bcast_gather_experiment_time_with(
+    cluster: &ClusterModel,
+    alg: BcastAlg,
+    p: usize,
+    m: usize,
+    m_g: usize,
+    seg_size: usize,
+    precision: &Precision,
+    seed: u64,
+    backend: Backend,
+) -> SampleStats {
+    if backend == Backend::Events {
+        let reps = precision.min_reps;
+        if let Ok(sched) = compile_timed_bcast_gather(
+            &recording_cluster(cluster),
+            alg,
+            p,
+            ROOT,
+            m,
+            m_g,
+            seg_size,
+            reps,
+        ) {
+            return events_stats(cluster, &sched, precision, seed, 1.0);
+        }
+    }
+    bcast_gather_experiment_time_threads(cluster, alg, p, m, m_g, seg_size, precision, seed)
+}
+
+/// The threaded-oracle body of [`bcast_gather_experiment_time`].
+#[allow(clippy::too_many_arguments)]
+fn bcast_gather_experiment_time_threads(
     cluster: &ClusterModel,
     alg: BcastAlg,
     p: usize,
@@ -287,8 +510,51 @@ pub fn bcast_gather_experiment_time(
 /// Measures the Sect. 4.1 experiment: `calls` successive non-blocking
 /// linear-tree broadcasts of one `seg_size`-byte segment, separated by
 /// barriers, measured on the root; the sample is the total divided by
-/// `calls` (the paper's `T2(P) = T1(P, N) / N`).
+/// `calls` (the paper's `T2(P) = T1(P, N) / N`). Runs on the default
+/// [`Backend`].
 pub fn linear_segment_bcast_time(
+    cluster: &ClusterModel,
+    p: usize,
+    seg_size: usize,
+    calls: usize,
+    precision: &Precision,
+    seed: u64,
+) -> SampleStats {
+    linear_segment_bcast_time_with(
+        cluster,
+        p,
+        seg_size,
+        calls,
+        precision,
+        seed,
+        Backend::default(),
+    )
+}
+
+/// [`linear_segment_bcast_time`] on an explicit execution [`Backend`];
+/// both backends return bit-identical statistics.
+pub fn linear_segment_bcast_time_with(
+    cluster: &ClusterModel,
+    p: usize,
+    seg_size: usize,
+    calls: usize,
+    precision: &Precision,
+    seed: u64,
+    backend: Backend,
+) -> SampleStats {
+    assert!(calls > 0, "need at least one call per sample");
+    if backend == Backend::Events {
+        if let Ok(sched) =
+            compile_timed_linear_segment(&recording_cluster(cluster), p, ROOT, seg_size, calls)
+        {
+            return events_stats(cluster, &sched, precision, seed, calls as f64);
+        }
+    }
+    linear_segment_bcast_time_threads(cluster, p, seg_size, calls, precision, seed)
+}
+
+/// The threaded-oracle body of [`linear_segment_bcast_time`].
+fn linear_segment_bcast_time_threads(
     cluster: &ClusterModel,
     p: usize,
     seg_size: usize,
@@ -324,8 +590,36 @@ pub fn linear_segment_bcast_time(
 
 /// Measures the one-way point-to-point time for `m` bytes via a
 /// round-trip between ranks 0 and 1 (the Hockney measurement used by
-/// the *traditional* models).
+/// the *traditional* models). Runs on the default [`Backend`].
 pub fn p2p_time(cluster: &ClusterModel, m: usize, precision: &Precision, seed: u64) -> SampleStats {
+    p2p_time_with(cluster, m, precision, seed, Backend::default())
+}
+
+/// [`p2p_time`] on an explicit execution [`Backend`]; both backends
+/// return bit-identical statistics.
+pub fn p2p_time_with(
+    cluster: &ClusterModel,
+    m: usize,
+    precision: &Precision,
+    seed: u64,
+    backend: Backend,
+) -> SampleStats {
+    if backend == Backend::Events {
+        let reps = precision.min_reps;
+        if let Ok(sched) = compile_timed_p2p(&recording_cluster(cluster), m, reps) {
+            return events_stats(cluster, &sched, precision, seed, 2.0);
+        }
+    }
+    p2p_time_threads(cluster, m, precision, seed)
+}
+
+/// The threaded-oracle body of [`p2p_time`].
+fn p2p_time_threads(
+    cluster: &ClusterModel,
+    m: usize,
+    precision: &Precision,
+    seed: u64,
+) -> SampleStats {
     let msg = payload(m);
     let reps = precision.min_reps;
     sample_adaptive(precision, |batch| {
@@ -384,6 +678,60 @@ pub fn try_bcast_time(
     seed: u64,
     policy: &RetryPolicy,
 ) -> Result<SampleStats, SimError> {
+    try_bcast_time_with(
+        cluster,
+        alg,
+        p,
+        m,
+        seg_size,
+        precision,
+        seed,
+        policy,
+        Backend::default(),
+    )
+}
+
+/// [`try_bcast_time`] on an explicit execution [`Backend`]; both
+/// backends return bit-identical results, including error variants.
+///
+/// # Errors
+///
+/// Same contract as [`try_bcast_time`].
+#[allow(clippy::too_many_arguments)]
+pub fn try_bcast_time_with(
+    cluster: &ClusterModel,
+    alg: BcastAlg,
+    p: usize,
+    m: usize,
+    seg_size: usize,
+    precision: &Precision,
+    seed: u64,
+    policy: &RetryPolicy,
+    backend: Backend,
+) -> Result<SampleStats, SimError> {
+    if backend == Backend::Events {
+        let reps = precision.min_reps;
+        if let Ok(sched) =
+            compile_timed_bcast(&recording_cluster(cluster), alg, p, ROOT, m, seg_size, reps)
+        {
+            return try_events_stats(cluster, &sched, precision, seed, policy, 1.0);
+        }
+    }
+    try_bcast_time_threads(cluster, alg, p, m, seg_size, precision, seed, policy)
+}
+
+/// The threaded-oracle body of [`try_bcast_time`].
+#[allow(clippy::too_many_arguments)]
+fn try_bcast_time_threads(
+    cluster: &ClusterModel,
+    alg: BcastAlg,
+    p: usize,
+    m: usize,
+    seg_size: usize,
+    precision: &Precision,
+    seed: u64,
+    policy: &RetryPolicy,
+) -> Result<SampleStats, SimError> {
     let msg = payload(m);
     let reps = precision.min_reps;
     sample_adaptive_fallible(precision, |batch| {
@@ -420,6 +768,73 @@ pub fn try_bcast_time(
 /// Same contract as [`try_bcast_time`].
 #[allow(clippy::too_many_arguments)]
 pub fn try_bcast_gather_experiment_time(
+    cluster: &ClusterModel,
+    alg: BcastAlg,
+    p: usize,
+    m: usize,
+    m_g: usize,
+    seg_size: usize,
+    precision: &Precision,
+    seed: u64,
+    policy: &RetryPolicy,
+) -> Result<SampleStats, SimError> {
+    try_bcast_gather_experiment_time_with(
+        cluster,
+        alg,
+        p,
+        m,
+        m_g,
+        seg_size,
+        precision,
+        seed,
+        policy,
+        Backend::default(),
+    )
+}
+
+/// [`try_bcast_gather_experiment_time`] on an explicit execution
+/// [`Backend`]; both backends return bit-identical results, including
+/// error variants.
+///
+/// # Errors
+///
+/// Same contract as [`try_bcast_time`].
+#[allow(clippy::too_many_arguments)]
+pub fn try_bcast_gather_experiment_time_with(
+    cluster: &ClusterModel,
+    alg: BcastAlg,
+    p: usize,
+    m: usize,
+    m_g: usize,
+    seg_size: usize,
+    precision: &Precision,
+    seed: u64,
+    policy: &RetryPolicy,
+    backend: Backend,
+) -> Result<SampleStats, SimError> {
+    if backend == Backend::Events {
+        let reps = precision.min_reps;
+        if let Ok(sched) = compile_timed_bcast_gather(
+            &recording_cluster(cluster),
+            alg,
+            p,
+            ROOT,
+            m,
+            m_g,
+            seg_size,
+            reps,
+        ) {
+            return try_events_stats(cluster, &sched, precision, seed, policy, 1.0);
+        }
+    }
+    try_bcast_gather_experiment_time_threads(
+        cluster, alg, p, m, m_g, seg_size, precision, seed, policy,
+    )
+}
+
+/// The threaded-oracle body of [`try_bcast_gather_experiment_time`].
+#[allow(clippy::too_many_arguments)]
+fn try_bcast_gather_experiment_time_threads(
     cluster: &ClusterModel,
     alg: BcastAlg,
     p: usize,
@@ -475,6 +890,58 @@ pub fn try_linear_segment_bcast_time(
     seed: u64,
     policy: &RetryPolicy,
 ) -> Result<SampleStats, SimError> {
+    try_linear_segment_bcast_time_with(
+        cluster,
+        p,
+        seg_size,
+        calls,
+        precision,
+        seed,
+        policy,
+        Backend::default(),
+    )
+}
+
+/// [`try_linear_segment_bcast_time`] on an explicit execution
+/// [`Backend`]; both backends return bit-identical results, including
+/// error variants.
+///
+/// # Errors
+///
+/// Same contract as [`try_bcast_time`].
+#[allow(clippy::too_many_arguments)]
+pub fn try_linear_segment_bcast_time_with(
+    cluster: &ClusterModel,
+    p: usize,
+    seg_size: usize,
+    calls: usize,
+    precision: &Precision,
+    seed: u64,
+    policy: &RetryPolicy,
+    backend: Backend,
+) -> Result<SampleStats, SimError> {
+    assert!(calls > 0, "need at least one call per sample");
+    if backend == Backend::Events {
+        if let Ok(sched) =
+            compile_timed_linear_segment(&recording_cluster(cluster), p, ROOT, seg_size, calls)
+        {
+            return try_events_stats(cluster, &sched, precision, seed, policy, calls as f64);
+        }
+    }
+    try_linear_segment_bcast_time_threads(cluster, p, seg_size, calls, precision, seed, policy)
+}
+
+/// The threaded-oracle body of [`try_linear_segment_bcast_time`].
+#[allow(clippy::too_many_arguments)]
+fn try_linear_segment_bcast_time_threads(
+    cluster: &ClusterModel,
+    p: usize,
+    seg_size: usize,
+    calls: usize,
+    precision: &Precision,
+    seed: u64,
+    policy: &RetryPolicy,
+) -> Result<SampleStats, SimError> {
     assert!(calls > 0, "need at least one call per sample");
     let msg = payload(seg_size);
     sample_adaptive_fallible(precision, |batch| {
@@ -506,6 +973,40 @@ pub fn try_linear_segment_bcast_time(
 ///
 /// Same contract as [`try_bcast_time`].
 pub fn try_p2p_time(
+    cluster: &ClusterModel,
+    m: usize,
+    precision: &Precision,
+    seed: u64,
+    policy: &RetryPolicy,
+) -> Result<SampleStats, SimError> {
+    try_p2p_time_with(cluster, m, precision, seed, policy, Backend::default())
+}
+
+/// [`try_p2p_time`] on an explicit execution [`Backend`]; both backends
+/// return bit-identical results, including error variants.
+///
+/// # Errors
+///
+/// Same contract as [`try_bcast_time`].
+pub fn try_p2p_time_with(
+    cluster: &ClusterModel,
+    m: usize,
+    precision: &Precision,
+    seed: u64,
+    policy: &RetryPolicy,
+    backend: Backend,
+) -> Result<SampleStats, SimError> {
+    if backend == Backend::Events {
+        let reps = precision.min_reps;
+        if let Ok(sched) = compile_timed_p2p(&recording_cluster(cluster), m, reps) {
+            return try_events_stats(cluster, &sched, precision, seed, policy, 2.0);
+        }
+    }
+    try_p2p_time_threads(cluster, m, precision, seed, policy)
+}
+
+/// The threaded-oracle body of [`try_p2p_time`].
+fn try_p2p_time_threads(
     cluster: &ClusterModel,
     m: usize,
     precision: &Precision,
@@ -592,10 +1093,23 @@ pub fn bcast_time_batch(
     precision: &Precision,
     pool: Pool,
 ) -> Vec<SampleStats> {
+    bcast_time_batch_with(cluster, specs, precision, pool, Backend::default())
+}
+
+/// [`bcast_time_batch`] on an explicit execution [`Backend`]; every
+/// cell runs on `backend` and the statistics are bit-identical across
+/// backends and thread counts.
+pub fn bcast_time_batch_with(
+    cluster: &ClusterModel,
+    specs: &[BcastSpec],
+    precision: &Precision,
+    pool: Pool,
+    backend: Backend,
+) -> Vec<SampleStats> {
     pool.run(specs.iter().map(|spec| {
         let spec = *spec;
         move || {
-            bcast_time(
+            bcast_time_with(
                 cluster,
                 spec.alg,
                 spec.p,
@@ -603,6 +1117,7 @@ pub fn bcast_time_batch(
                 spec.seg_size,
                 precision,
                 spec.seed,
+                backend,
             )
         }
     }))
@@ -618,10 +1133,22 @@ pub fn bcast_gather_experiment_time_batch(
     precision: &Precision,
     pool: Pool,
 ) -> Vec<SampleStats> {
+    bcast_gather_experiment_time_batch_with(cluster, specs, precision, pool, Backend::default())
+}
+
+/// [`bcast_gather_experiment_time_batch`] on an explicit execution
+/// [`Backend`]; see [`bcast_time_batch_with`].
+pub fn bcast_gather_experiment_time_batch_with(
+    cluster: &ClusterModel,
+    specs: &[ExperimentSpec],
+    precision: &Precision,
+    pool: Pool,
+    backend: Backend,
+) -> Vec<SampleStats> {
     pool.run(specs.iter().map(|spec| {
         let spec = *spec;
         move || {
-            bcast_gather_experiment_time(
+            bcast_gather_experiment_time_with(
                 cluster,
                 spec.alg,
                 spec.p,
@@ -630,6 +1157,7 @@ pub fn bcast_gather_experiment_time_batch(
                 spec.seg_size,
                 precision,
                 spec.seed,
+                backend,
             )
         }
     }))
@@ -828,6 +1356,117 @@ mod tests {
             let batch = bcast_time_batch(&c, &specs, &prec, Pool::with_threads(threads));
             assert_eq!(serial, batch, "threads={threads}");
         }
+    }
+
+    #[test]
+    fn backends_return_bit_identical_statistics() {
+        // Noise ON: the clock values must match exactly, not just the
+        // zero-variance deterministic case.
+        let c = ClusterModel::grisou();
+        let p = Precision::quick();
+        let ev = Backend::Events;
+        let th = Backend::Threads;
+        assert_eq!(
+            bcast_time_with(&c, BcastAlg::SplitBinary, 8, 64 * 1024, 8 * 1024, &p, 9, ev),
+            bcast_time_with(&c, BcastAlg::SplitBinary, 8, 64 * 1024, 8 * 1024, &p, 9, th),
+        );
+        assert_eq!(
+            bcast_gather_experiment_time_with(
+                &c,
+                BcastAlg::Binary,
+                7,
+                32 * 1024,
+                2048,
+                8 * 1024,
+                &p,
+                11,
+                ev
+            ),
+            bcast_gather_experiment_time_with(
+                &c,
+                BcastAlg::Binary,
+                7,
+                32 * 1024,
+                2048,
+                8 * 1024,
+                &p,
+                11,
+                th
+            ),
+        );
+        assert_eq!(
+            linear_segment_bcast_time_with(&c, 5, 8 * 1024, 4, &p, 13, ev),
+            linear_segment_bcast_time_with(&c, 5, 8 * 1024, 4, &p, 13, th),
+        );
+        assert_eq!(
+            p2p_time_with(&c, 100_000, &p, 17, ev),
+            p2p_time_with(&c, 100_000, &p, 17, th),
+        );
+    }
+
+    #[test]
+    fn try_backends_agree_on_results_and_errors() {
+        use collsel_netsim::FaultPlan;
+        let slowed = quiet_gros()
+            .clone()
+            .with_faults(FaultPlan::none().with_straggler(2, 15.0));
+        let p = Precision::quick();
+        let policy = RetryPolicy::default();
+        let ev = try_bcast_time_with(
+            &slowed,
+            BcastAlg::Binomial,
+            6,
+            32 * 1024,
+            8 * 1024,
+            &p,
+            3,
+            &policy,
+            Backend::Events,
+        );
+        let th = try_bcast_time_with(
+            &slowed,
+            BcastAlg::Binomial,
+            6,
+            32 * 1024,
+            8 * 1024,
+            &p,
+            3,
+            &policy,
+            Backend::Threads,
+        );
+        assert_eq!(ev.expect("straggler run fits"), th.expect("oracle fits"));
+
+        // A hopeless budget must time out identically on both backends.
+        let tiny = RetryPolicy {
+            max_attempts: 2,
+            budget: Some(SimSpan::from_nanos(1)),
+            backoff: 1,
+        };
+        let ev = try_bcast_time_with(
+            &quiet_gros(),
+            BcastAlg::Binomial,
+            6,
+            32 * 1024,
+            8 * 1024,
+            &p,
+            3,
+            &tiny,
+            Backend::Events,
+        )
+        .expect_err("1 ns cannot fit a run");
+        let th = try_bcast_time_with(
+            &quiet_gros(),
+            BcastAlg::Binomial,
+            6,
+            32 * 1024,
+            8 * 1024,
+            &p,
+            3,
+            &tiny,
+            Backend::Threads,
+        )
+        .expect_err("1 ns cannot fit a run");
+        assert_eq!(ev, th, "timeout diagnostics must match");
     }
 
     #[test]

@@ -18,6 +18,7 @@
 //!  --mca coll_tuned_dynamic_rules_filename <file>`.
 
 use collsel::estim::{log_spaced_sizes, RetryPolicy};
+use collsel::mpi::Backend;
 use collsel::netsim::{ClusterModel, FaultPlan, SimSpan};
 use collsel::select::rules::DecisionTable;
 use collsel::select::{DecisionSource, Selector};
@@ -27,14 +28,17 @@ use std::process::ExitCode;
 const USAGE: &str = "usage:
   colltune tune   [--preset grisou|gros | --nodes N --gbps G --latency-us L --cpus-per-node C]
                   [--tune-p P] [--paper] [--seed N] [--faults SPEC] [-j N | --threads N]
-                  --out model.json
+                  [--backend threads|events] --out model.json
   colltune query  --model model.json --p P --m BYTES [--m BYTES]... [--degraded]
+                  [--backend threads|events]
   colltune show   --model model.json
   colltune export --model model.json --out rules.conf [--comm-sizes A,B,...]
 
 fault specs (NAME or NAME:SEED): none, degraded-link, straggler, brownout, spike, chaos
 -j/--threads: worker threads for the tuning campaign (default: COLLSEL_THREADS
-or the host's available parallelism); any thread count yields bit-identical models";
+or the host's available parallelism); any thread count yields bit-identical models
+--backend: measurement execution backend (default: events — compile-and-replay with
+zero threads per run; threads is the oracle); both yield bit-identical models";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -80,6 +84,14 @@ fn flag_values<'a>(args: &'a [String], name: &str) -> Vec<&'a str> {
 
 fn parse<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, String> {
     s.parse().map_err(|_| format!("invalid {what}: `{s}`"))
+}
+
+/// Parses the `--backend` flag (default: [`Backend::Events`]).
+fn parse_backend(args: &[String]) -> Result<Backend, String> {
+    match flag_value(args, "--backend") {
+        Some(s) => s.parse(),
+        None => Ok(Backend::default()),
+    }
 }
 
 fn cmd_tune(args: &[String]) -> Result<(), String> {
@@ -128,12 +140,15 @@ fn cmd_tune(args: &[String]) -> Result<(), String> {
         None => collsel_support::pool::current_threads(),
     };
 
+    let backend = parse_backend(args)?;
     let mut config = if args.iter().any(|a| a == "--paper") {
         TunerConfig::paper(tune_p)
     } else {
         TunerConfig::quick(tune_p)
     };
     config.seed = seed;
+    config.gamma.backend = backend;
+    config.alpha_beta.backend = backend;
 
     let faults = match flag_value(args, "--faults") {
         Some(spec) => Some(FaultPlan::parse(spec, cluster.nodes())?),
@@ -141,7 +156,8 @@ fn cmd_tune(args: &[String]) -> Result<(), String> {
     };
 
     eprintln!(
-        "[colltune] tuning {} ({} slots) with {} experiment processes on {} threads...",
+        "[colltune] tuning {} ({} slots) with {} experiment processes on {} threads \
+         ({backend} backend)...",
         cluster.name(),
         cluster.max_ranks(),
         tune_p,
@@ -180,6 +196,10 @@ fn cmd_tune(args: &[String]) -> Result<(), String> {
             "tuning_threads".to_owned(),
             collsel_support::Json::Num(threads as f64),
         ));
+        fields.push((
+            "sim_backend".to_owned(),
+            collsel_support::Json::Str(backend.name().to_owned()),
+        ));
     }
     std::fs::write(out, json.to_string_pretty()).map_err(|e| format!("cannot write {out}: {e}"))?;
     eprintln!("[colltune] model written to {out}");
@@ -196,6 +216,10 @@ fn load_model(args: &[String]) -> Result<TunedModel, String> {
 }
 
 fn cmd_query(args: &[String]) -> Result<(), String> {
+    // Queries evaluate closed-form models — no simulation runs — but
+    // the flag is validated here too so scripted pipelines can pass a
+    // uniform `--backend` to every subcommand.
+    let _ = parse_backend(args)?;
     let model = load_model(args)?;
     let p: usize = parse(flag_value(args, "--p").ok_or("--p required")?, "p")?;
     let sizes = flag_values(args, "--m");

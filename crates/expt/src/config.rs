@@ -2,6 +2,7 @@
 //! scenarios of the paper.
 
 use collsel::estim::{log_spaced_sizes, AlphaBetaConfig, GammaConfig, Precision};
+use collsel::mpi::Backend;
 use collsel::netsim::ClusterModel;
 use collsel::TunerConfig;
 
@@ -37,21 +38,31 @@ pub struct Scenario {
     pub precision: Precision,
     /// Fixed segment size for the model-based and oracle runs.
     pub seg_size: usize,
+    /// Execution backend of every measurement in this scenario (tuning
+    /// and sweeps); both backends are bit-identical.
+    pub backend: Backend,
 }
 
 impl Scenario {
     /// The tuner configuration for this scenario.
     pub fn tuner_config(&self, fidelity: Fidelity) -> TunerConfig {
         match fidelity {
-            Fidelity::Paper => TunerConfig::paper(self.tune_p),
+            Fidelity::Paper => {
+                let mut cfg = TunerConfig::paper(self.tune_p);
+                cfg.gamma.backend = self.backend;
+                cfg.alpha_beta.backend = self.backend;
+                cfg
+            }
             Fidelity::Quick => {
                 let mut cfg = TunerConfig::quick(self.tune_p);
                 cfg.gamma = GammaConfig {
                     max_width: 7,
+                    backend: self.backend,
                     ..GammaConfig::quick()
                 };
                 cfg.alpha_beta = AlphaBetaConfig {
                     p: self.tune_p,
+                    backend: self.backend,
                     ..AlphaBetaConfig::quick(self.tune_p)
                 };
                 cfg
@@ -80,6 +91,7 @@ pub fn scenarios(fidelity: Fidelity) -> Vec<Scenario> {
                 msg_sizes: log_spaced_sizes(8 * 1024, 4 * 1024 * 1024, 10),
                 precision: Precision::paper(),
                 seg_size: 8 * 1024,
+                backend: Backend::default(),
             },
             Scenario {
                 cluster: ClusterModel::gros(),
@@ -89,6 +101,7 @@ pub fn scenarios(fidelity: Fidelity) -> Vec<Scenario> {
                 msg_sizes: log_spaced_sizes(8 * 1024, 4 * 1024 * 1024, 10),
                 precision: Precision::paper(),
                 seg_size: 8 * 1024,
+                backend: Backend::default(),
             },
         ],
         Fidelity::Quick => vec![
@@ -100,6 +113,7 @@ pub fn scenarios(fidelity: Fidelity) -> Vec<Scenario> {
                 msg_sizes: log_spaced_sizes(8 * 1024, 1024 * 1024, 5),
                 precision: Precision::quick(),
                 seg_size: 8 * 1024,
+                backend: Backend::default(),
             },
             Scenario {
                 cluster: ClusterModel::gros(),
@@ -109,6 +123,7 @@ pub fn scenarios(fidelity: Fidelity) -> Vec<Scenario> {
                 msg_sizes: log_spaced_sizes(8 * 1024, 1024 * 1024, 5),
                 precision: Precision::quick(),
                 seg_size: 8 * 1024,
+                backend: Backend::default(),
             },
         ],
     }

@@ -6,8 +6,9 @@
 
 use crate::config::Scenario;
 use collsel::coll::BcastAlg;
-use collsel::estim::measure::{bcast_time_batch, BcastSpec};
+use collsel::estim::measure::{bcast_time_batch_with, BcastSpec};
 use collsel::estim::Precision;
+use collsel::mpi::Backend;
 use collsel::netsim::ClusterModel;
 use collsel::select::analysis::MeasuredPoint;
 use collsel::select::{OpenMpiFixedSelector, Selection, Selector};
@@ -79,7 +80,8 @@ fn point_specs(p: usize, m: usize, seg_size: usize, seed: u64) -> Vec<BcastSpec>
         .collect()
 }
 
-/// Measures all six algorithms at `(p, m)` with the fixed segment size.
+/// Measures all six algorithms at `(p, m)` with the fixed segment size,
+/// on the default measurement [`Backend`].
 ///
 /// The algorithms fan out across the current [`Pool`]; each carries its
 /// own seed, so the point is bit-identical at any thread count.
@@ -92,7 +94,13 @@ pub fn measure_point(
     seed: u64,
 ) -> MeasuredPoint {
     let specs = point_specs(p, m, seg_size, seed);
-    let stats = bcast_time_batch(cluster, &specs, precision, Pool::current());
+    let stats = bcast_time_batch_with(
+        cluster,
+        &specs,
+        precision,
+        Pool::current(),
+        Backend::default(),
+    );
     let times: BTreeMap<BcastAlg, f64> = specs
         .iter()
         .zip(&stats)
@@ -108,7 +116,8 @@ pub fn measure_point(
 /// flattened into a single batch over the current [`Pool`], so the pool
 /// load-balances across every cell of the panel at once. Per-cell seeds
 /// match the serial per-point loop, keeping the panel bit-identical at
-/// any thread count.
+/// any thread count; every cell executes on the scenario's measurement
+/// [`Backend`] (events by default), which is bit-identical too.
 pub fn sweep_panel(scenario: &Scenario, tuned: &TunedModel, p: usize, seed: u64) -> SweepPanel {
     let selector = tuned.selector();
     let openmpi = OpenMpiFixedSelector;
@@ -147,11 +156,12 @@ pub fn sweep_panel(scenario: &Scenario, tuned: &TunedModel, p: usize, seed: u64)
         }
     }
 
-    let stats = bcast_time_batch(
+    let stats = bcast_time_batch_with(
         &scenario.cluster,
         &specs,
         &scenario.precision,
         Pool::current(),
+        scenario.backend,
     );
 
     let mut points = Vec::with_capacity(scenario.msg_sizes.len());

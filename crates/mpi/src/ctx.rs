@@ -24,7 +24,7 @@ use std::sync::mpsc::{Receiver, Sender};
 #[derive(Debug)]
 #[must_use = "a send request must be waited on"]
 pub struct SendRequest {
-    id: ReqId,
+    pub(crate) id: ReqId,
 }
 
 /// Handle to an in-flight non-blocking receive.
@@ -34,7 +34,7 @@ pub struct SendRequest {
 #[derive(Debug)]
 #[must_use = "a receive request must be waited on"]
 pub struct RecvRequest {
-    id: ReqId,
+    pub(crate) id: ReqId,
 }
 
 /// The per-rank communication context handed to the user function by
@@ -257,6 +257,13 @@ impl Ctx {
     pub fn wtime(&mut self) -> SimTime {
         let (now, _) = self.block(BlockOp::Wtime);
         now
+    }
+
+    /// Advances this rank's virtual clock by `span` of local computation
+    /// (the `Compute(γ)` op of the schedule IR) without touching the
+    /// network.
+    pub fn compute(&mut self, span: collsel_netsim::SimSpan) {
+        self.post(PostOp::Compute { span });
     }
 
     fn into_recv(c: Completion) -> (Bytes, RecvStatus) {

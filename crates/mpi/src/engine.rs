@@ -53,6 +53,57 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 use std::sync::mpsc::{Receiver, Sender};
 
+/// How the engine exchanges messages with its ranks.
+///
+/// The scheduling logic above is identical for both execution backends;
+/// only the delivery mechanism differs:
+///
+/// * [`ChannelTransport`] — ranks are OS threads; messages arrive over
+///   an mpsc channel and resumes are sent back over per-rank channels.
+/// * [`crate::engine_ev`]'s replay transport — ranks are inline cursors
+///   over a recorded [`crate::Schedule`]; "delivery" advances the
+///   cursor synchronously and queues the ops it emits. No threads, no
+///   locks, no condvars.
+///
+/// Because `apply_pending` merges per-rank queues by (local time, rank,
+/// program order), the cross-rank arrival interleaving that the
+/// threaded transport exhibits never influences results — which is why
+/// the two transports are bit-identical by construction.
+pub(crate) trait Transport {
+    /// Blocking-receives the next rank message; `None` means every
+    /// message source is gone (threaded mode: all rank threads died).
+    fn next_msg(&mut self) -> Option<RankMsg>;
+    /// Delivers a resume to `rank`, whose blocking op finished at `now`.
+    fn deliver(&mut self, rank: usize, now: SimTime, completions: Vec<Completion>);
+    /// Tears the ranks down after a fatal error.
+    fn abort(&mut self);
+}
+
+/// The thread-backed transport used by [`crate::simulate`] and
+/// [`crate::simulate_pooled`].
+pub(crate) struct ChannelTransport {
+    pub(crate) from_ranks: Receiver<RankMsg>,
+    pub(crate) resume_tx: Vec<Sender<Resume>>,
+}
+
+impl Transport for ChannelTransport {
+    fn next_msg(&mut self) -> Option<RankMsg> {
+        self.from_ranks.recv().ok()
+    }
+
+    fn deliver(&mut self, rank: usize, now: SimTime, completions: Vec<Completion>) {
+        // A send failure means the rank thread died; the subsequent
+        // drain will surface its panic message.
+        let _ = self.resume_tx[rank].send(Resume::Ready { now, completions });
+    }
+
+    fn abort(&mut self) {
+        for tx in &self.resume_tx {
+            let _ = tx.send(Resume::Abort);
+        }
+    }
+}
+
 /// Where a rank currently stands, from the engine's point of view.
 #[derive(Debug, PartialEq, Eq, Clone, Copy)]
 enum Status {
@@ -164,7 +215,57 @@ pub(crate) struct EngineScratch {
     heap: BinaryHeap<Reverse<(SimTime, usize)>>,
 }
 
+/// Rank capacity kept alive in recycled scratch (and rank teams): a
+/// one-off oversized run (say P=512) must not pin its buffers for the
+/// rest of a campaign that otherwise runs at P≤128.
+pub(crate) const RECYCLE_RANK_CAP: usize = 256;
+
 impl EngineScratch {
+    /// Drops capacity beyond `cap` ranks (and oversized per-rank
+    /// queues) so a stashed scratch never pins an outlier run's
+    /// buffers. A no-op for runs at or below the cap.
+    pub(crate) fn shrink_to_ranks(&mut self, cap: usize) {
+        self.local.truncate(cap);
+        self.local.shrink_to(cap);
+        self.status.truncate(cap);
+        self.status.shrink_to(cap);
+        self.blocked_op.truncate(cap);
+        self.blocked_op.shrink_to(cap);
+        self.finish_times.truncate(cap);
+        self.finish_times.shrink_to(cap);
+        self.reqs.truncate(cap);
+        self.reqs.shrink_to(cap);
+        for t in &mut self.reqs {
+            t.slots.shrink_to(cap);
+        }
+        self.posted_recvs.truncate(cap);
+        self.posted_recvs.shrink_to(cap);
+        for q in &mut self.posted_recvs {
+            q.shrink_to(cap);
+        }
+        self.unexpected.truncate(cap);
+        self.unexpected.shrink_to(cap);
+        for q in &mut self.unexpected {
+            q.shrink_to(cap);
+        }
+        self.pending.truncate(cap);
+        self.pending.shrink_to(cap);
+        for q in &mut self.pending {
+            q.shrink_to(cap);
+        }
+        self.heap.shrink_to(cap);
+    }
+
+    /// Total rank capacity currently held (the largest per-rank vector).
+    #[cfg(test)]
+    pub(crate) fn rank_capacity(&self) -> usize {
+        self.local
+            .capacity()
+            .max(self.status.capacity())
+            .max(self.reqs.capacity())
+            .max(self.pending.capacity())
+    }
+
     fn reset(&mut self, p: usize) {
         self.local.clear();
         self.local.resize(p, SimTime::ZERO);
@@ -225,45 +326,42 @@ pub(crate) struct EngineReport {
     pub trace: Vec<collsel_netsim::TransferRecord>,
 }
 
-pub(crate) struct Engine {
+pub(crate) struct Engine<T: Transport> {
     fabric: Fabric,
     p: usize,
     scratch: EngineScratch,
     running: usize,
-    from_ranks: Receiver<RankMsg>,
-    resume_tx: Vec<Sender<Resume>>,
+    transport: T,
     /// Virtual-time watchdog: if the next possible resume time lies past
     /// this instant, the run is aborted with [`SimError::Timeout`].
     deadline: Option<SimTime>,
 }
 
-impl Engine {
+impl<T: Transport> Engine<T> {
     pub(crate) fn new(
         fabric: Fabric,
         p: usize,
-        from_ranks: Receiver<RankMsg>,
-        resume_tx: Vec<Sender<Resume>>,
+        transport: T,
         deadline: Option<SimTime>,
         mut scratch: EngineScratch,
     ) -> Self {
-        debug_assert_eq!(resume_tx.len(), p);
         scratch.reset(p);
         Engine {
             fabric,
             p,
             scratch,
             running: p,
-            from_ranks,
-            resume_tx,
+            transport,
             deadline,
         }
     }
 
-    /// Runs the simulation to completion, returning the outcome and the
-    /// scratch buffers for the next run to reuse.
-    pub(crate) fn run(mut self) -> (Result<EngineReport, SimError>, EngineScratch) {
+    /// Runs the simulation to completion, returning the outcome, the
+    /// scratch buffers for the next run to reuse, and the transport (so
+    /// backends that accumulate state inside it can read it back).
+    pub(crate) fn run(mut self) -> (Result<EngineReport, SimError>, EngineScratch, T) {
         let result = self.run_inner();
-        (result, self.scratch)
+        (result, self.scratch, self.transport)
     }
 
     fn run_inner(&mut self) -> Result<EngineReport, SimError> {
@@ -300,9 +398,12 @@ impl Engine {
     /// Phase 1: receive rank messages until no rank is running.
     fn drain(&mut self) -> Result<(), SimError> {
         while self.running > 0 {
-            let msg = self.from_ranks.recv().map_err(|_| SimError::Deadlock {
-                detail: "all rank threads disappeared while still marked running".to_owned(),
-            })?;
+            let msg = self
+                .transport
+                .next_msg()
+                .ok_or_else(|| SimError::Deadlock {
+                    detail: "all rank threads disappeared while still marked running".to_owned(),
+                })?;
             match &msg {
                 RankMsg::Post { .. } => {}
                 RankMsg::Block { .. } | RankMsg::Finished { .. } => self.running -= 1,
@@ -359,6 +460,7 @@ impl Engine {
                     payload,
                 } => self.apply_isend(rank, req, dst, tag, payload),
                 PostOp::Irecv { req, src, tag } => self.apply_irecv(rank, req, src, tag),
+                PostOp::Compute { span } => self.scratch.local[rank] += span,
             },
             RankMsg::Block { rank, op } => {
                 debug_assert!(
@@ -655,15 +757,11 @@ impl Engine {
         self.scratch.status[rank] = Status::Running;
         self.scratch.blocked_op[rank] = None;
         self.running += 1;
-        // A send failure means the rank thread died; the subsequent drain
-        // will surface its panic message.
-        let _ = self.resume_tx[rank].send(Resume::Ready { now, completions });
+        self.transport.deliver(rank, now, completions);
     }
 
     fn abort_all(&mut self) {
-        for tx in &self.resume_tx {
-            let _ = tx.send(Resume::Abort);
-        }
+        self.transport.abort();
     }
 
     fn deadlock_detail(&self) -> String {
@@ -778,6 +876,24 @@ mod tests {
             Some(SimTime::from_nanos(9))
         );
         assert!(t.get_mut(6).is_none());
+    }
+
+    #[test]
+    fn shrink_to_ranks_caps_recycled_capacity() {
+        let mut s = EngineScratch::default();
+        s.reset(512);
+        assert!(s.rank_capacity() >= 512, "oversized run grows the scratch");
+        s.shrink_to_ranks(RECYCLE_RANK_CAP);
+        assert!(
+            s.rank_capacity() <= RECYCLE_RANK_CAP,
+            "shrink must cap capacity, found {}",
+            s.rank_capacity()
+        );
+        // The scratch stays fully usable after shrinking.
+        s.reset(8);
+        assert_eq!(s.local.len(), 8);
+        s.reset(300);
+        assert_eq!(s.status.len(), 300);
     }
 
     #[test]

@@ -13,6 +13,13 @@
 //!
 //! Entry point: [`simulate`]. Per-rank API: [`Ctx`].
 //!
+//! Two execution backends share the engine (see [`Backend`]):
+//! thread-per-rank (`simulate`/`simulate_pooled`, the general-purpose
+//! oracle) and the event-driven replay path ([`record_schedule`] +
+//! [`simulate_scheduled`]), which compiles a program written against
+//! the [`Comm`] trait into a [`Schedule`] once and then replays it
+//! with zero OS threads per run — the campaign hot path.
+//!
 //! ```
 //! use collsel_support::Bytes;
 //! use collsel_netsim::ClusterModel;
@@ -37,16 +44,22 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod comm;
 mod ctx;
 mod engine;
+mod engine_ev;
 mod error;
 mod msg;
 mod proto;
+mod schedule;
 mod sim;
 mod team;
 
+pub use comm::Comm;
 pub use ctx::{Ctx, RecvRequest, SendRequest};
+pub use engine_ev::{simulate_scheduled, Backend, ScheduledRun};
 pub use error::SimError;
 pub use msg::{Peer, RecvStatus, Tag, TagSel};
+pub use schedule::{record_schedule, RecCtx, RecordError, Schedule};
 pub use sim::{simulate, simulate_traced, simulate_with, RunReport, SimOptions, SimOutcome};
 pub use team::simulate_pooled;

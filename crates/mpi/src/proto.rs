@@ -1,7 +1,7 @@
 //! Crate-private wire protocol between rank threads and the engine.
 
 use crate::msg::{Peer, Tag, TagSel};
-use collsel_netsim::SimTime;
+use collsel_netsim::{SimSpan, SimTime};
 use collsel_support::Bytes;
 
 /// Rank-local request identifier (allocated monotonically per rank).
@@ -21,6 +21,12 @@ pub(crate) enum PostOp {
         req: ReqId,
         src: Peer,
         tag: TagSel,
+    },
+    /// Local computation: advances the rank's virtual clock by `span`
+    /// without touching the network (the `Compute(γ)` op of the
+    /// schedule IR).
+    Compute {
+        span: SimSpan,
     },
 }
 

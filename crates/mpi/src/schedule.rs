@@ -1,0 +1,284 @@
+//! The schedule IR: a collective algorithm compiled to explicit
+//! per-rank operation sequences.
+//!
+//! A [`Schedule`] is recorded by running the implementing code once
+//! against a [`RecCtx`] (see [`record_schedule`]) and can then be
+//! replayed any number of times by the event-driven backend
+//! ([`crate::simulate_scheduled`]) without OS threads, locks or
+//! condvars in the loop.
+//!
+//! # Validity
+//!
+//! Record-once/replay-many is sound only for programs whose operation
+//! stream depends solely on `(rank, size)` and statically known payload
+//! shapes — never on timing, the noise seed, or received payload
+//! *contents*. All collective algorithms in `collsel-coll` satisfy
+//! this: their control flow is a pure function of rank, world size and
+//! message lengths. Programs that use receive wildcards
+//! ([`Peer::Any`] / [`TagSel::Any`]) or `wait_any_recv` are rejected at
+//! recording time with [`RecordError::Unsupported`], because their
+//! replay could diverge from a live run under a different seed.
+
+use crate::comm::Comm;
+use crate::ctx::{Ctx, RecvRequest, SendRequest};
+use crate::error::SimError;
+use crate::msg::{Peer, RecvStatus, Tag, TagSel};
+use crate::proto::{ReqId, WaitMode};
+use crate::sim::simulate;
+use collsel_netsim::{ClusterModel, SimSpan, SimTime};
+use collsel_support::Bytes;
+
+/// One recorded operation of a rank's program.
+#[derive(Debug, Clone)]
+pub(crate) enum SchedOp {
+    /// Non-blocking send: `PostOp::Isend` on replay.
+    Isend {
+        req: ReqId,
+        dst: usize,
+        tag: Tag,
+        payload: Bytes,
+    },
+    /// Non-blocking receive: `PostOp::Irecv` on replay.
+    Irecv { req: ReqId, src: Peer, tag: TagSel },
+    /// Local computation: `PostOp::Compute` on replay.
+    Compute { span: SimSpan },
+    /// Blocking wait on a request set: `BlockOp::Wait` on replay.
+    Wait { reqs: Vec<ReqId>, mode: WaitMode },
+    /// The runtime's ideal barrier: `BlockOp::Barrier` on replay.
+    Barrier,
+    /// Clock read: `BlockOp::Wtime` on replay; the observed time is
+    /// collected into [`crate::ScheduledRun::wtimes`].
+    Wtime,
+}
+
+/// A compiled SPMD program: for each rank, the exact sequence of
+/// engine operations its code issues.
+///
+/// Produced by [`record_schedule`]; consumed by
+/// [`crate::simulate_scheduled`]. Cloning is cheap-ish (payload bytes
+/// are reference-counted), but replaying borrows the schedule, so one
+/// recording typically serves a whole campaign.
+#[derive(Debug, Clone)]
+pub struct Schedule {
+    pub(crate) ops: Vec<Vec<SchedOp>>,
+}
+
+impl Schedule {
+    /// Number of ranks this schedule was recorded for.
+    pub fn ranks(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Total recorded operations across all ranks (diagnostics).
+    pub fn total_ops(&self) -> usize {
+        self.ops.iter().map(Vec::len).sum()
+    }
+}
+
+/// Why a program could not be compiled to a [`Schedule`].
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum RecordError {
+    /// The program used a construct whose replay could diverge from a
+    /// live run (receive wildcards, `wait_any_recv`).
+    Unsupported {
+        /// First rank that used the construct.
+        rank: usize,
+        /// Which construct it was.
+        what: String,
+    },
+    /// The recording run itself failed.
+    Sim(SimError),
+}
+
+impl std::fmt::Display for RecordError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecordError::Unsupported { rank, what } => {
+                write!(f, "rank {rank} used {what}, which cannot be replayed")
+            }
+            RecordError::Sim(e) => write!(f, "recording run failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RecordError {}
+
+/// A [`Comm`] implementor that records every operation into a
+/// [`Schedule`] while delegating to a live [`Ctx`], so the recording
+/// run is itself a complete, correct simulation.
+#[derive(Debug)]
+pub struct RecCtx<'a> {
+    inner: &'a mut Ctx,
+    ops: Vec<SchedOp>,
+    unsupported: Option<String>,
+}
+
+impl<'a> RecCtx<'a> {
+    fn new(inner: &'a mut Ctx) -> Self {
+        RecCtx {
+            inner,
+            ops: Vec::new(),
+            unsupported: None,
+        }
+    }
+
+    fn mark_unsupported(&mut self, what: &str) {
+        if self.unsupported.is_none() {
+            self.unsupported = Some(what.to_owned());
+        }
+    }
+
+    fn finish(self) -> (Vec<SchedOp>, Option<String>) {
+        (self.ops, self.unsupported)
+    }
+}
+
+impl Comm for RecCtx<'_> {
+    fn rank(&self) -> usize {
+        self.inner.rank()
+    }
+
+    fn size(&self) -> usize {
+        self.inner.size()
+    }
+
+    fn isend(&mut self, dst: usize, tag: Tag, payload: Bytes) -> SendRequest {
+        let req = self.inner.isend(dst, tag, payload.clone());
+        self.ops.push(SchedOp::Isend {
+            req: req.id,
+            dst,
+            tag,
+            payload,
+        });
+        req
+    }
+
+    fn irecv(&mut self, src: impl Into<Peer>, tag: impl Into<TagSel>) -> RecvRequest {
+        let src = src.into();
+        let tag = tag.into();
+        if matches!(src, Peer::Any) {
+            self.mark_unsupported("a receive-source wildcard (Peer::Any)");
+        }
+        if matches!(tag, TagSel::Any) {
+            self.mark_unsupported("a receive-tag wildcard (TagSel::Any)");
+        }
+        let req = self.inner.irecv(src, tag);
+        self.ops.push(SchedOp::Irecv {
+            req: req.id,
+            src,
+            tag,
+        });
+        req
+    }
+
+    fn wait_send(&mut self, req: SendRequest) {
+        self.ops.push(SchedOp::Wait {
+            reqs: vec![req.id],
+            mode: WaitMode::All,
+        });
+        self.inner.wait_send(req);
+    }
+
+    fn wait_recv(&mut self, req: RecvRequest) -> (Bytes, RecvStatus) {
+        self.ops.push(SchedOp::Wait {
+            reqs: vec![req.id],
+            mode: WaitMode::All,
+        });
+        self.inner.wait_recv(req)
+    }
+
+    fn wait_all_sends(&mut self, reqs: Vec<SendRequest>) {
+        // An empty waitall is a no-op in `Ctx` (no engine round-trip),
+        // so it must record nothing.
+        if reqs.is_empty() {
+            return;
+        }
+        self.ops.push(SchedOp::Wait {
+            reqs: reqs.iter().map(|r| r.id).collect(),
+            mode: WaitMode::All,
+        });
+        self.inner.wait_all_sends(reqs);
+    }
+
+    fn wait_all_recvs(&mut self, reqs: Vec<RecvRequest>) -> Vec<(Bytes, RecvStatus)> {
+        if reqs.is_empty() {
+            return Vec::new();
+        }
+        self.ops.push(SchedOp::Wait {
+            reqs: reqs.iter().map(|r| r.id).collect(),
+            mode: WaitMode::All,
+        });
+        self.inner.wait_all_recvs(reqs)
+    }
+
+    fn wait_any_recv(
+        &mut self,
+        reqs: Vec<RecvRequest>,
+    ) -> (usize, Bytes, RecvStatus, Vec<RecvRequest>) {
+        // Which request wins depends on timing, so subsequent ops could
+        // diverge between recording and replay.
+        self.mark_unsupported("wait_any_recv");
+        self.ops.push(SchedOp::Wait {
+            reqs: reqs.iter().map(|r| r.id).collect(),
+            mode: WaitMode::Any,
+        });
+        self.inner.wait_any_recv(reqs)
+    }
+
+    fn barrier(&mut self) {
+        self.ops.push(SchedOp::Barrier);
+        self.inner.barrier();
+    }
+
+    fn wtime(&mut self) -> SimTime {
+        self.ops.push(SchedOp::Wtime);
+        self.inner.wtime()
+    }
+
+    fn compute(&mut self, span: SimSpan) {
+        self.ops.push(SchedOp::Compute { span });
+        self.inner.compute(span);
+    }
+}
+
+/// Compiles an SPMD program into a [`Schedule`] by running it once on
+/// the threaded backend with a recording context.
+///
+/// The recording run uses seed 0 and no watchdog; since a valid
+/// program's operation stream is timing-independent (see the
+/// [module docs](self)), the seed does not matter, and replays under
+/// any seed, fault plan or deadline then happen without rank threads.
+///
+/// # Errors
+///
+/// [`RecordError::Unsupported`] if the program used receive wildcards
+/// or `wait_any_recv`; [`RecordError::Sim`] if the recording run
+/// itself failed (panic, deadlock).
+///
+/// # Panics
+///
+/// Panics if `ranks` is zero or exceeds the cluster's process slots.
+pub fn record_schedule<F>(
+    cluster: &ClusterModel,
+    ranks: usize,
+    f: F,
+) -> Result<Schedule, RecordError>
+where
+    F: Fn(&mut RecCtx<'_>) + Sync,
+{
+    let out = simulate(cluster, ranks, 0, |ctx| {
+        let mut rc = RecCtx::new(ctx);
+        f(&mut rc);
+        rc.finish()
+    })
+    .map_err(RecordError::Sim)?;
+    let mut ops = Vec::with_capacity(ranks);
+    for (rank, (rank_ops, unsupported)) in out.results.into_iter().enumerate() {
+        if let Some(what) = unsupported {
+            return Err(RecordError::Unsupported { rank, what });
+        }
+        ops.push(rank_ops);
+    }
+    Ok(Schedule { ops })
+}

@@ -16,7 +16,7 @@
 //! caller thread reuse their allocations.
 
 use crate::ctx::Ctx;
-use crate::engine::{Engine, EngineReport, EngineScratch};
+use crate::engine::{ChannelTransport, Engine, EngineReport, EngineScratch, RECYCLE_RANK_CAP};
 use crate::error::SimError;
 use crate::proto::RankMsg;
 use collsel_netsim::{ClusterModel, Fabric, SimSpan, SimTime, TransferRecord};
@@ -38,7 +38,10 @@ pub(crate) fn take_scratch() -> EngineScratch {
     ENGINE_SCRATCH.with(|s| std::mem::take(&mut *s.borrow_mut()))
 }
 
-pub(crate) fn stash_scratch(scratch: EngineScratch) {
+pub(crate) fn stash_scratch(mut scratch: EngineScratch) {
+    // Cap the recycled capacity so one oversized run doesn't pin its
+    // buffers for the rest of a campaign.
+    scratch.shrink_to_ranks(RECYCLE_RANK_CAP);
     ENGINE_SCRATCH.with(|s| *s.borrow_mut() = scratch);
 }
 
@@ -220,6 +223,23 @@ pub(crate) fn build_fabric(cluster: &ClusterModel, seed: u64, opts: SimOptions) 
     fabric
 }
 
+/// Converts the engine's internal report into the public [`RunReport`].
+pub(crate) fn report_from_engine(report: EngineReport) -> RunReport {
+    let makespan = report
+        .finish_times
+        .iter()
+        .copied()
+        .fold(SimTime::ZERO, SimTime::max);
+    RunReport {
+        finish_times: report.finish_times,
+        makespan,
+        messages: report.stats.messages,
+        bytes: report.stats.bytes,
+        shm_messages: report.stats.shm_messages,
+        trace: report.trace,
+    }
+}
+
 /// Assembles the public outcome from the engine report and the per-rank
 /// results gathered by either execution strategy.
 pub(crate) fn assemble_outcome<T>(report: EngineReport, results: Vec<Option<T>>) -> SimOutcome<T> {
@@ -228,21 +248,9 @@ pub(crate) fn assemble_outcome<T>(report: EngineReport, results: Vec<Option<T>>)
         .enumerate()
         .map(|(rank, v)| v.unwrap_or_else(|| panic!("rank {rank} finished without a result")))
         .collect();
-    let makespan = report
-        .finish_times
-        .iter()
-        .copied()
-        .fold(SimTime::ZERO, SimTime::max);
     SimOutcome {
         results,
-        report: RunReport {
-            finish_times: report.finish_times,
-            makespan,
-            messages: report.stats.messages,
-            bytes: report.stats.bytes,
-            shm_messages: report.stats.shm_messages,
-            trace: report.trace,
-        },
+        report: report_from_engine(report),
     }
 }
 
@@ -301,16 +309,13 @@ where
 
     let results: Mutex<Vec<Option<T>>> = Mutex::new((0..ranks).map(|_| None).collect());
     let deadline = opts.deadline.map(|d| SimTime::ZERO + d);
-    let engine = Engine::new(
-        fabric,
-        ranks,
+    let transport = ChannelTransport {
         from_ranks,
-        resume_txs,
-        deadline,
-        take_scratch(),
-    );
+        resume_tx: resume_txs,
+    };
+    let engine = Engine::new(fabric, ranks, transport, deadline, take_scratch());
 
-    let (engine_result, scratch) = std::thread::scope(|scope| {
+    let (engine_result, scratch, _transport) = std::thread::scope(|scope| {
         for (rank, resume_rx) in resume_rxs.into_iter().enumerate() {
             let to_engine = to_engine.clone();
             let f = &f;

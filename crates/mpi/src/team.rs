@@ -68,6 +68,19 @@ impl Team {
             .send(job)
             .expect("rank worker thread died");
     }
+
+    /// Drops workers beyond `cap` so a one-off oversized run doesn't pin
+    /// its threads for the rest of a campaign. Dropping a sender lets
+    /// the worker finish its current job and exit its receive loop.
+    fn shrink_to(&mut self, cap: usize) {
+        self.workers.truncate(cap);
+        self.workers.shrink_to(cap);
+    }
+
+    #[cfg(test)]
+    fn len(&self) -> usize {
+        self.workers.len()
+    }
 }
 
 thread_local! {
@@ -120,14 +133,11 @@ where
     let results: Arc<Mutex<Vec<Option<T>>>> =
         Arc::new(Mutex::new((0..ranks).map(|_| None).collect()));
     let deadline = opts.deadline.map(|d| SimTime::ZERO + d);
-    let engine = crate::engine::Engine::new(
-        fabric,
-        ranks,
+    let transport = crate::engine::ChannelTransport {
         from_ranks,
-        resume_txs,
-        deadline,
-        take_scratch(),
-    );
+        resume_tx: resume_txs,
+    };
+    let engine = crate::engine::Engine::new(fabric, ranks, transport, deadline, take_scratch());
 
     // One latch message per rank marks its job (not just its simulated
     // program) as finished, so `results` is complete before we read it.
@@ -152,6 +162,10 @@ where
                 }),
             );
         }
+        // Cap the persistent team: workers beyond the cap still run the
+        // job queued above (dropping a sender lets them drain first),
+        // but don't survive into the rest of the campaign.
+        team.shrink_to(crate::engine::RECYCLE_RANK_CAP);
     });
     drop(to_engine);
     drop(done_tx);
@@ -159,7 +173,7 @@ where
     // The engine runs on the caller thread. On error it aborts all
     // blocked ranks, whose workers then finish their jobs; either way
     // every job signals (or drops) its latch, so this cannot hang.
-    let (engine_result, scratch) = engine.run();
+    let (engine_result, scratch, _transport) = engine.run();
     stash_scratch(scratch);
     let mut remaining = ranks;
     while remaining > 0 {
@@ -238,6 +252,35 @@ mod tests {
         let ok = simulate_pooled(&cluster, 4, 3, SimOptions::default(), ring_program)
             .expect("team still healthy");
         assert_eq!(ok.results.len(), 4);
+    }
+
+    #[test]
+    fn team_is_capped_after_an_oversized_run() {
+        use crate::engine::RECYCLE_RANK_CAP;
+        // A dedicated OS thread keeps this test's thread-local team
+        // isolated from the other tests on the harness threads.
+        std::thread::spawn(|| {
+            let big = ClusterModel::builder("big", RECYCLE_RANK_CAP + 44).build();
+            let p = RECYCLE_RANK_CAP + 44;
+            let out = simulate_pooled(&big, p, 5, SimOptions::default(), |ctx: &mut Ctx| {
+                ctx.barrier();
+                ctx.rank()
+            })
+            .expect("oversized run succeeds");
+            assert_eq!(out.results.len(), p);
+            TEAM.with(|team| {
+                assert!(
+                    team.borrow().len() <= RECYCLE_RANK_CAP,
+                    "one oversized run must not pin workers past the cap"
+                );
+            });
+            // Back under the cap, the team still works.
+            let ok = simulate_pooled(&big, 4, 5, SimOptions::default(), ring_program)
+                .expect("small follow-up run");
+            assert_eq!(ok.results.len(), 4);
+        })
+        .join()
+        .expect("capped-team test thread");
     }
 
     #[test]

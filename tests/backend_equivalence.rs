@@ -1,0 +1,201 @@
+//! Differential suite for the two execution backends: every simulation
+//! must be **bit-identical** between the thread-per-rank oracle
+//! (`simulate_with`) and the event-driven replay of the compiled
+//! schedule (`record_schedule` + `simulate_scheduled`) — virtual
+//! finish times, makespan, message/byte counts, and the full transfer
+//! trace. Fault plans and virtual-time deadlines must agree too,
+//! down to equal [`SimError`] values.
+
+use collsel::coll::compile::compile_bcast;
+use collsel::coll::{bcast, BcastAlg};
+use collsel::mpi::{simulate_scheduled, simulate_with, SimError, SimOptions};
+use collsel::netsim::{Brownout, ClusterModel, FaultPlan, SimSpan, SimTime};
+use collsel_support::Bytes;
+
+const SEG_SIZE: usize = 8 * 1024;
+
+const TRACED: SimOptions = SimOptions {
+    traced: true,
+    deadline: None,
+};
+
+/// Same deterministic filler the schedule compiler uses.
+fn payload(len: usize) -> Bytes {
+    Bytes::from((0..len).map(|i| (i % 251) as u8).collect::<Vec<u8>>())
+}
+
+/// Runs the broadcast live on the threaded backend and as a schedule
+/// replay on `cluster`, asserting the two reports are bit-identical.
+/// The schedule is recorded on `recording`, which may differ from
+/// `cluster` only in its fault plan (recording ignores timing, so the
+/// op stream is fault-independent).
+fn assert_identical_reports(
+    recording: &ClusterModel,
+    cluster: &ClusterModel,
+    alg: BcastAlg,
+    p: usize,
+    m: usize,
+    seed: u64,
+) {
+    let root = 0;
+    let sched = compile_bcast(recording, alg, p, root, m, SEG_SIZE).expect("broadcast records");
+    let msg = payload(m);
+    let threaded = simulate_with(cluster, p, seed, TRACED, move |ctx| {
+        let data = (ctx.rank() == root).then(|| msg.clone());
+        bcast(ctx, alg, root, data, m, SEG_SIZE);
+    })
+    .expect("threaded run completes");
+    let replay = simulate_scheduled(cluster, &sched, seed, TRACED).expect("replay completes");
+
+    let ctx = format!("{} {} p={p} m={m} seed={seed}", cluster.name(), alg.name());
+    assert_eq!(
+        threaded.report.finish_times, replay.report.finish_times,
+        "finish times diverged: {ctx}"
+    );
+    assert_eq!(
+        threaded.report.makespan, replay.report.makespan,
+        "makespan diverged: {ctx}"
+    );
+    assert_eq!(
+        threaded.report.messages, replay.report.messages,
+        "message count diverged: {ctx}"
+    );
+    assert_eq!(
+        threaded.report.bytes, replay.report.bytes,
+        "byte count diverged: {ctx}"
+    );
+    assert_eq!(
+        threaded.report.trace, replay.report.trace,
+        "transfer trace diverged: {ctx}"
+    );
+}
+
+/// The full grid: both presets (noise ON), all six broadcast
+/// algorithms, several process counts and message sizes, two seeds.
+#[test]
+fn all_algorithms_bit_identical_across_backends() {
+    for cluster in [ClusterModel::grisou(), ClusterModel::gros()] {
+        for alg in BcastAlg::ALL {
+            for p in [4usize, 9, 16] {
+                for m in [1024usize, 256 * 1024] {
+                    for seed in [1u64, 42] {
+                        assert_identical_reports(&cluster, &cluster, alg, p, m, seed);
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn fault_plans(nodes: usize) -> Vec<(&'static str, FaultPlan)> {
+    vec![
+        (
+            "straggler",
+            FaultPlan::none()
+                .with_straggler(1, 7.5)
+                .with_straggler(3, 2.0),
+        ),
+        (
+            "degraded-link",
+            FaultPlan::none().with_degraded_link(0, 1 % nodes.max(2), 5.0),
+        ),
+        (
+            "brown-out",
+            FaultPlan::none().with_brownout(Brownout {
+                node: 0,
+                start: SimTime::ZERO + SimSpan::from_micros(10),
+                end: SimTime::ZERO + SimSpan::from_millis(400),
+                slowdown: 9.0,
+            }),
+        ),
+    ]
+}
+
+/// Fault plans perturb virtual timing, not the op stream: the recorded
+/// schedule comes from the fault-free cluster, replays on the faulted
+/// one, and must still match the threaded run bit for bit.
+#[test]
+fn fault_plans_bit_identical_across_backends() {
+    for cluster in [ClusterModel::grisou(), ClusterModel::gros()] {
+        for (label, plan) in fault_plans(cluster.nodes()) {
+            let faulted = cluster.clone().with_faults(plan);
+            for seed in [5u64, 77] {
+                // One algorithm per plan keeps the suite fast; the
+                // fault machinery is algorithm-independent.
+                let alg = match label {
+                    "straggler" => BcastAlg::Binomial,
+                    "degraded-link" => BcastAlg::Chain,
+                    _ => BcastAlg::SplitBinary,
+                };
+                assert_identical_reports(&cluster, &faulted, alg, 8, 64 * 1024, seed);
+            }
+        }
+    }
+}
+
+/// Under a virtual-time deadline both backends must reach the same
+/// verdict: the identical `Ok` report when the budget suffices, and an
+/// **equal** `SimError::Timeout` value when it does not — including
+/// under a brown-out plan that stretches the run past the deadline.
+#[test]
+fn deadlines_agree_including_timeout_errors() {
+    let cluster = ClusterModel::gros();
+    let brownout = cluster
+        .clone()
+        .with_faults(FaultPlan::none().with_brownout(Brownout {
+            node: 0,
+            start: SimTime::ZERO,
+            end: SimTime::ZERO + SimSpan::from_secs_f64(1000.0),
+            slowdown: 50.0,
+        }));
+    let (alg, p, m, root) = (BcastAlg::Binomial, 8, 128 * 1024, 0);
+    let sched = compile_bcast(&cluster, alg, p, root, m, SEG_SIZE).expect("records");
+
+    for (label, target, deadline) in [
+        ("hopeless budget", &cluster, SimSpan::from_nanos(1)),
+        (
+            "brown-out past budget",
+            &brownout,
+            SimSpan::from_micros(200),
+        ),
+        ("ample budget", &cluster, SimSpan::from_secs_f64(1000.0)),
+        (
+            "ample budget, brown-out",
+            &brownout,
+            SimSpan::from_secs_f64(100_000.0),
+        ),
+    ] {
+        let opts = SimOptions::with_deadline(deadline);
+        for seed in [2u64, 13] {
+            let msg = payload(m);
+            let threaded = simulate_with(target, p, seed, opts, move |ctx| {
+                let data = (ctx.rank() == root).then(|| msg.clone());
+                bcast(ctx, alg, root, data, m, SEG_SIZE);
+            });
+            let replay = simulate_scheduled(target, &sched, seed, opts);
+            match (threaded, replay) {
+                (Ok(t), Ok(r)) => {
+                    assert_eq!(
+                        t.report.finish_times, r.report.finish_times,
+                        "{label}: finish times diverged (seed {seed})"
+                    );
+                    assert_eq!(
+                        t.report.makespan, r.report.makespan,
+                        "{label}: makespan diverged (seed {seed})"
+                    );
+                }
+                (Err(t), Err(r)) => {
+                    assert!(
+                        matches!(t, SimError::Timeout { .. }),
+                        "{label}: expected timeout, got {t} (seed {seed})"
+                    );
+                    assert_eq!(t, r, "{label}: error values diverged (seed {seed})");
+                }
+                (t, r) => panic!(
+                    "{label}: backends disagree on outcome (seed {seed}): \
+                     threaded {t:?} vs replay {r:?}"
+                ),
+            }
+        }
+    }
+}

@@ -26,6 +26,14 @@ echo "==> backend-equivalence gate: differential suite at COLLSEL_THREADS=2"
 COLLSEL_THREADS=2 RUSTFLAGS='-D warnings' \
     cargo test --offline -q -p collsel-repro --test backend_equivalence
 
+echo "==> compiled-vs-live equivalence gate: decision-serving suite at COLLSEL_THREADS=2"
+# A compiled selector must be indistinguishable from its source on grid
+# points and from DecisionTable::lookup everywhere else, and the query
+# cache must be transparent — for all four selector types, with batched
+# queries bit-identical under a threaded pool.
+COLLSEL_THREADS=2 RUSTFLAGS='-D warnings' \
+    cargo test --offline -q -p collsel-repro --test service
+
 echo "==> campaign bench (smoke): serial vs threaded tuning campaign"
 COLLSEL_BENCH_SMOKE=1 RUSTFLAGS='-D warnings' \
     cargo bench --offline -p collsel-bench --bench campaign
@@ -36,6 +44,12 @@ echo "==> simrate bench (smoke): event backend must not be slower"
 COLLSEL_BENCH_SMOKE=1 RUSTFLAGS='-D warnings' \
     cargo bench --offline -p collsel-bench --bench simrate
 test -f BENCH_sim.json || { echo "ci.sh: BENCH_sim.json missing" >&2; exit 1; }
+
+echo "==> selrate bench (smoke): compiled lookup must not be slower than live ranking"
+# The smoke run asserts internally that compiled >= live in every cell.
+COLLSEL_BENCH_SMOKE=1 RUSTFLAGS='-D warnings' \
+    cargo bench --offline -p collsel-bench --bench selrate
+test -f BENCH_select.json || { echo "ci.sh: BENCH_select.json missing" >&2; exit 1; }
 
 echo "==> cargo fmt --check"
 cargo fmt --check

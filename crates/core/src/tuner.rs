@@ -36,7 +36,7 @@ use collsel_estim::{
 use collsel_model::{FitValidity, Hockney};
 use collsel_mpi::SimError;
 use collsel_netsim::ClusterModel;
-use collsel_select::{GracefulSelector, ModelBasedSelector};
+use collsel_select::{CompiledSelector, GracefulSelector, ModelBasedSelector};
 use std::collections::BTreeMap;
 
 /// Configuration of a full tuning run.
@@ -107,6 +107,29 @@ impl TunedModel {
             self.hockney_table(),
             self.seg_size,
         )
+    }
+
+    /// Compiles the runtime decision function into a flat
+    /// [`CompiledSelector`] over the given grids: the serving-time
+    /// shape of the model (two binary searches per query, no
+    /// allocation) for call sites that query at MPI_Bcast rates.
+    /// Off-grid queries snap exactly like
+    /// [`collsel_select::rules::DecisionTable::lookup`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if either grid is empty or unsorted.
+    pub fn compiled_selector(&self, comm_sizes: &[usize], msg_sizes: &[usize]) -> CompiledSelector {
+        CompiledSelector::compile(&self.selector(), comm_sizes, msg_sizes)
+    }
+
+    /// [`compiled_selector`](Self::compiled_selector) over the default
+    /// deployment grids (the ones `colltune export` uses): communicator
+    /// sizes 2..128 in powers of two, fourteen log-spaced message sizes
+    /// from 1 KB to 8 MB.
+    pub fn compiled_selector_default(&self) -> CompiledSelector {
+        let msg_sizes = collsel_estim::log_spaced_sizes(1024, 8 * 1024 * 1024, 14);
+        self.compiled_selector(&[2, 4, 8, 16, 32, 64, 128], &msg_sizes)
     }
 
     /// Judges every stored fit (computed from the stored data, never
@@ -313,6 +336,20 @@ mod tests {
         let events = Tuner::new(cluster.clone(), events_cfg).tune();
         let threads = Tuner::new(cluster, threads_cfg).tune();
         assert_eq!(events, threads, "backends must tune identical models");
+    }
+
+    #[test]
+    fn compiled_selector_agrees_with_live_on_grid() {
+        let cluster = ClusterModel::gros().with_noise(NoiseParams::OFF);
+        let model = Tuner::new(cluster, TunerConfig::quick(12)).tune();
+        let live = model.selector();
+        let compiled = model.compiled_selector_default();
+        for &p in &[2usize, 4, 8, 16, 32, 64, 128] {
+            for m in collsel_estim::log_spaced_sizes(1024, 8 * 1024 * 1024, 14) {
+                assert_eq!(compiled.lookup(p, m), live.select(p, m), "p={p} m={m}");
+            }
+        }
+        assert!(compiled.rule_count() >= compiled.comm_block_count());
     }
 
     #[test]

@@ -21,7 +21,7 @@ use collsel::estim::{log_spaced_sizes, RetryPolicy};
 use collsel::mpi::Backend;
 use collsel::netsim::{ClusterModel, FaultPlan, SimSpan};
 use collsel::select::rules::DecisionTable;
-use collsel::select::{DecisionSource, Selector};
+use collsel::select::{DecisionService, DecisionSource, Selector};
 use collsel::{TunedModel, Tuner, TunerConfig};
 use std::process::ExitCode;
 
@@ -33,12 +33,17 @@ const USAGE: &str = "usage:
                   [--backend threads|events]
   colltune show   --model model.json
   colltune export --model model.json --out rules.conf [--comm-sizes A,B,...]
+  colltune bench-select
+                  --model model.json [--queries N] [--cache N] [--seed N]
+                  [--comm-sizes A,B,...]
 
 fault specs (NAME or NAME:SEED): none, degraded-link, straggler, brownout, spike, chaos
 -j/--threads: worker threads for the tuning campaign (default: COLLSEL_THREADS
 or the host's available parallelism); any thread count yields bit-identical models
 --backend: measurement execution backend (default: events — compile-and-replay with
-zero threads per run; threads is the oracle); both yield bit-identical models";
+zero threads per run; threads is the oracle); both yield bit-identical models
+bench-select: compare decision-serving throughput (live ranking vs compiled table
+vs cached service) for a tuned model";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -51,6 +56,7 @@ fn main() -> ExitCode {
         "query" => cmd_query(&args[1..]),
         "show" => cmd_show(&args[1..]),
         "export" => cmd_export(&args[1..]),
+        "bench-select" => cmd_bench_select(&args[1..]),
         "--help" | "-h" => {
             println!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -64,6 +70,40 @@ fn main() -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// Validates the whole argv of a subcommand against its flag set: every
+/// token must be a known value-taking flag (which consumes the next
+/// token), a known boolean flag, or a consumed value. A typo like
+/// `--segsize` must abort with an error naming the flag, not silently
+/// change results.
+fn validate_flags(
+    args: &[String],
+    value_flags: &[&str],
+    bool_flags: &[&str],
+) -> Result<(), String> {
+    let mut i = 0;
+    while i < args.len() {
+        let arg = args[i].as_str();
+        if value_flags.contains(&arg) {
+            if i + 1 >= args.len() {
+                return Err(format!("flag {arg} requires a value"));
+            }
+            i += 2;
+        } else if bool_flags.contains(&arg) {
+            i += 1;
+        } else if arg.starts_with('-') {
+            let mut known: Vec<&str> = value_flags.iter().chain(bool_flags).copied().collect();
+            known.sort_unstable();
+            return Err(format!(
+                "unknown flag `{arg}` (valid flags: {})",
+                known.join(", ")
+            ));
+        } else {
+            return Err(format!("unexpected argument `{arg}`"));
+        }
+    }
+    Ok(())
 }
 
 fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
@@ -95,6 +135,24 @@ fn parse_backend(args: &[String]) -> Result<Backend, String> {
 }
 
 fn cmd_tune(args: &[String]) -> Result<(), String> {
+    validate_flags(
+        args,
+        &[
+            "--preset",
+            "--nodes",
+            "--gbps",
+            "--latency-us",
+            "--cpus-per-node",
+            "--tune-p",
+            "--seed",
+            "--faults",
+            "--out",
+            "--threads",
+            "-j",
+            "--backend",
+        ],
+        &["--paper"],
+    )?;
     let cluster = match flag_value(args, "--preset") {
         Some("grisou") => ClusterModel::grisou(),
         Some("gros") => ClusterModel::gros(),
@@ -216,6 +274,11 @@ fn load_model(args: &[String]) -> Result<TunedModel, String> {
 }
 
 fn cmd_query(args: &[String]) -> Result<(), String> {
+    validate_flags(
+        args,
+        &["--model", "--p", "--m", "--backend"],
+        &["--degraded"],
+    )?;
     // Queries evaluate closed-form models — no simulation runs — but
     // the flag is validated here too so scripted pipelines can pass a
     // uniform `--backend` to every subcommand.
@@ -271,26 +334,17 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_show(args: &[String]) -> Result<(), String> {
+    validate_flags(args, &["--model"], &[])?;
     let model = load_model(args)?;
     print_tables(&model);
     Ok(())
 }
 
 fn cmd_export(args: &[String]) -> Result<(), String> {
+    validate_flags(args, &["--model", "--out", "--comm-sizes"], &[])?;
     let model = load_model(args)?;
     let out = flag_value(args, "--out").ok_or("--out required")?;
-    let comm_sizes: Vec<usize> = match flag_value(args, "--comm-sizes") {
-        Some(list) => {
-            let mut v = Vec::new();
-            for part in list.split(',') {
-                v.push(parse(part.trim(), "communicator size")?);
-            }
-            v.sort_unstable();
-            v.dedup();
-            v
-        }
-        None => vec![2, 4, 8, 16, 32, 64, 128],
-    };
+    let comm_sizes = parse_comm_sizes(args)?;
     let msg_sizes = log_spaced_sizes(1024, 8 * 1024 * 1024, 14);
     let selector = model.selector();
     let table = DecisionTable::generate(&selector, &comm_sizes, &msg_sizes);
@@ -302,6 +356,99 @@ fn cmd_export(args: &[String]) -> Result<(), String> {
     eprintln!(
         "[colltune] use with: mpirun --mca coll_tuned_use_dynamic_rules 1 \
          --mca coll_tuned_dynamic_rules_filename {out} ..."
+    );
+    Ok(())
+}
+
+/// The deployment comm-size grid: `--comm-sizes A,B,...` or the default
+/// powers of two (shared by `export` and `bench-select`).
+fn parse_comm_sizes(args: &[String]) -> Result<Vec<usize>, String> {
+    match flag_value(args, "--comm-sizes") {
+        Some(list) => {
+            let mut v = Vec::new();
+            for part in list.split(',') {
+                v.push(parse(part.trim(), "communicator size")?);
+            }
+            v.sort_unstable();
+            v.dedup();
+            Ok(v)
+        }
+        None => Ok(vec![2, 4, 8, 16, 32, 64, 128]),
+    }
+}
+
+fn cmd_bench_select(args: &[String]) -> Result<(), String> {
+    validate_flags(
+        args,
+        &["--model", "--queries", "--cache", "--seed", "--comm-sizes"],
+        &[],
+    )?;
+    let model = load_model(args)?;
+    let queries: usize = parse(flag_value(args, "--queries").unwrap_or("200000"), "queries")?;
+    let cache: usize = parse(flag_value(args, "--cache").unwrap_or("4096"), "cache size")?;
+    let seed: u64 = parse(flag_value(args, "--seed").unwrap_or("3492237"), "seed")?;
+    if queries == 0 || cache == 0 {
+        return Err("--queries and --cache must be at least 1".into());
+    }
+    let comm_sizes = parse_comm_sizes(args)?;
+    let msg_sizes = log_spaced_sizes(1024, 8 * 1024 * 1024, 14);
+    let live = model.selector();
+    let compiled = model.compiled_selector(&comm_sizes, &msg_sizes);
+    let service = DecisionService::compiled(compiled.clone()).with_cache(cache, seed);
+
+    // A fixed working set of distinct queries, cycled through: realistic
+    // for an application hammering the same communicators and message
+    // sizes, and what gives the cached path something to hit.
+    let mut rng_state = seed;
+    let max_p = comm_sizes.last().copied().unwrap_or(128).max(2);
+    let working_set: Vec<(usize, usize)> = (0..1024)
+        .map(|_| {
+            let p = 2 + (collsel_support::rng::splitmix64(&mut rng_state) as usize) % (max_p - 1);
+            let exp = (collsel_support::rng::splitmix64(&mut rng_state) % 14) as u32;
+            let m = 1024usize << exp.min(13);
+            (p, m)
+        })
+        .collect();
+    let stream = |i: usize| working_set[i % working_set.len()];
+
+    let time = |mut f: Box<dyn FnMut(usize) + '_>| -> f64 {
+        let start = std::time::Instant::now();
+        for i in 0..queries {
+            f(i);
+        }
+        queries as f64 / start.elapsed().as_secs_f64()
+    };
+    let live_qps = time(Box::new(|i| {
+        let (p, m) = stream(i);
+        std::hint::black_box(live.ranking(p, m));
+    }));
+    let compiled_qps = time(Box::new(|i| {
+        let (p, m) = stream(i);
+        std::hint::black_box(compiled.lookup(p, m));
+    }));
+    let cached_qps = time(Box::new(|i| {
+        let (p, m) = stream(i);
+        std::hint::black_box(service.decide(p, m));
+    }));
+    let stats = service.stats();
+    println!(
+        "decision-serving throughput for {} ({queries} queries, {} distinct):",
+        model.cluster_name,
+        working_set.len()
+    );
+    println!("  live ranking : {live_qps:>12.0} queries/s");
+    println!(
+        "  compiled     : {compiled_qps:>12.0} queries/s ({:.1}x live; {} rules, {} comm blocks)",
+        compiled_qps / live_qps,
+        compiled.rule_count(),
+        compiled.comm_block_count()
+    );
+    println!(
+        "  cached       : {cached_qps:>12.0} queries/s ({:.1}x live; hit rate {:.1}%, \
+         {} entries resident)",
+        cached_qps / live_qps,
+        100.0 * stats.hit_rate(),
+        service.cached_entries()
     );
     Ok(())
 }

@@ -11,7 +11,7 @@ use collsel::estim::Precision;
 use collsel::mpi::Backend;
 use collsel::netsim::ClusterModel;
 use collsel::select::analysis::MeasuredPoint;
-use collsel::select::{OpenMpiFixedSelector, Selection, Selector};
+use collsel::select::{CompiledSelector, OpenMpiFixedSelector, Selection, Selector};
 use collsel::TunedModel;
 use collsel_support::pool::Pool;
 use std::collections::BTreeMap;
@@ -120,6 +120,17 @@ pub fn measure_point(
 /// [`Backend`] (events by default), which is bit-identical too.
 pub fn sweep_panel(scenario: &Scenario, tuned: &TunedModel, p: usize, seed: u64) -> SweepPanel {
     let selector = tuned.selector();
+    // The panel's model picks are served from the compiled decision
+    // table — the same serving structure `colltune bench-select`
+    // measures — instead of re-ranking all six models at every point.
+    // Every queried (p, m) is a grid point of the compilation, where
+    // the compiled table agrees exactly with the live selector (the
+    // differential suite in tests/service.rs enforces this), so the
+    // panel's contents are unchanged.
+    let mut msg_grid = scenario.msg_sizes.clone();
+    msg_grid.sort_unstable();
+    msg_grid.dedup();
+    let compiled = CompiledSelector::compile(&selector, &[p], &msg_grid);
     let openmpi = OpenMpiFixedSelector;
     let n_alg = BcastAlg::ALL.len();
     let point_seed = |i: usize| seed.wrapping_add((i as u64) << 20);
@@ -173,7 +184,7 @@ pub fn sweep_panel(scenario: &Scenario, tuned: &TunedModel, p: usize, seed: u64)
             .collect();
         let measured = MeasuredPoint::new(p, m, times);
         let (best, best_time) = measured.best();
-        let model_pick = selector.select(p, m).alg;
+        let model_pick = compiled.lookup(p, m).alg;
         let model_time = measured.times[&model_pick];
         let openmpi_pick = picks[i].clone();
         let openmpi_time = match extra_slot[i] {

@@ -104,6 +104,102 @@ fn colltune_rejects_bad_usage() {
 }
 
 #[test]
+fn colltune_rejects_unknown_flags_by_name() {
+    // A typo like --segsize used to be silently ignored, changing
+    // results without warning; now every subcommand validates its argv.
+    let out = colltune()
+        .args(["tune", "--nodes", "8", "--segsize", "7", "--out", "x.json"])
+        .output()
+        .expect("runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--segsize"), "error must name the flag: {err}");
+    assert!(err.contains("unknown flag"), "{err}");
+
+    let out = colltune()
+        .args([
+            "query",
+            "--model",
+            "m.json",
+            "--p",
+            "8",
+            "--m",
+            "64",
+            "--degarded",
+        ])
+        .output()
+        .expect("runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--degarded"), "{err}");
+
+    // Stray positional tokens are rejected too.
+    let out = colltune()
+        .args(["show", "--model", "m.json", "extra"])
+        .output()
+        .expect("runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unexpected argument `extra`"), "{err}");
+
+    // A trailing value-taking flag with no value is an error, not a
+    // silent no-op.
+    let out = colltune()
+        .args(["export", "--model", "m.json", "--out"])
+        .output()
+        .expect("runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("requires a value"), "{err}");
+}
+
+#[test]
+fn colltune_bench_select_reports_throughput() {
+    let model = temp_path("bench-model.json");
+    let out = colltune()
+        .args([
+            "tune",
+            "--nodes",
+            "8",
+            "--tune-p",
+            "6",
+            "--out",
+            model.to_str().unwrap(),
+        ])
+        .output()
+        .expect("tune runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let out = colltune()
+        .args([
+            "bench-select",
+            "--model",
+            model.to_str().unwrap(),
+            "--queries",
+            "5000",
+            "--cache",
+            "64",
+        ])
+        .output()
+        .expect("bench-select runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("live ranking"), "{stdout}");
+    assert!(stdout.contains("compiled"), "{stdout}");
+    assert!(stdout.contains("hit rate"), "{stdout}");
+
+    let _ = std::fs::remove_file(model);
+}
+
+#[test]
 fn repro_help_and_bad_args() {
     let out = repro().arg("--help").output().expect("runs");
     assert!(out.status.success());

@@ -72,7 +72,11 @@ impl GammaTable {
     /// * `P ≤ 2` → 1 (a linear "tree" with one child *is* the
     ///   point-to-point transfer);
     /// * measured `P` → the measured value;
-    /// * otherwise → linear extrapolation, clamped below at 1.
+    /// * otherwise → linear extrapolation, clamped to the paper's
+    ///   `1 ≤ γ(P) ≤ P−1` bound (Sect. 3.1): a root serialising `P−1`
+    ///   sends can cost at most `P−1` point-to-point transfers, so a
+    ///   steep fit queried just outside a sparse table must not exceed
+    ///   that ceiling.
     pub fn gamma(&self, p: usize) -> f64 {
         if p <= 2 {
             return 1.0;
@@ -80,7 +84,7 @@ impl GammaTable {
         if let Some(&g) = self.values.get(&p) {
             return g;
         }
-        (self.slope * p as f64 + self.intercept).max(1.0)
+        (self.slope * p as f64 + self.intercept).clamp(1.0, (p - 1) as f64)
     }
 
     /// The measured pairs, in ascending `P` order.
@@ -166,6 +170,27 @@ mod tests {
         // A decreasing (nonsensical) table would extrapolate below 1.
         let t = GammaTable::from_pairs([(3, 1.0), (4, 1.0)]);
         assert!(t.gamma(100) >= 1.0);
+    }
+
+    #[test]
+    fn extrapolation_clamps_at_p_minus_one() {
+        // A sparse, steep table: the fit through (2, 1) and (10, 9.5)
+        // has slope 1.0625, so querying just outside the measured points
+        // would exceed the paper's γ(P) ≤ P−1 bound without the clamp.
+        let t = GammaTable::from_pairs([(10, 9.5)]);
+        let (slope, intercept) = t.fit();
+        assert!(slope * 3.0 + intercept > 2.0, "fit must overshoot at P=3");
+        assert_eq!(t.gamma(3), 2.0, "clamped to P-1 = 2");
+        assert_eq!(t.gamma(4), 3.0, "clamped to P-1 = 3");
+        // Every *extrapolated* query respects the bound (measured
+        // values are returned verbatim, clamping applies off-table).
+        for p in (3..200).filter(|p| *p != 10) {
+            let g = t.gamma(p);
+            assert!(
+                (1.0..=(p - 1) as f64).contains(&g),
+                "gamma({p}) = {g} violates 1 <= gamma <= P-1"
+            );
+        }
     }
 
     #[test]

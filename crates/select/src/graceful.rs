@@ -159,9 +159,10 @@ impl GracefulSelector {
                 },
             };
         };
-        // Rank by hand rather than via ModelBasedSelector::ranking,
-        // which asserts finiteness: a degenerate γ table or extreme
-        // parameters must downgrade the query, not abort the program.
+        // Rank by hand rather than via ModelBasedSelector::select,
+        // which still panics when *every* prediction is non-finite: a
+        // degenerate γ table or extreme parameters must downgrade the
+        // query to the rules fallback, not abort the program.
         let mut best: Option<(BcastAlg, f64)> = None;
         for (&alg, h) in model.params() {
             let t = derived::predict_bcast(alg, p, m, self.seg_size, model.gamma(), h);

@@ -9,7 +9,10 @@
 //!   fixed decision function (the baseline whose mis-selections reach
 //!   7297% degradation in the paper);
 //! * [`MeasuredTableSelector`] — the measured-best oracle;
-//! * [`analysis`] — Table 3-style degradation accounting.
+//! * [`analysis`] — Table 3-style degradation accounting;
+//! * [`service`] — production decision serving: [`CompiledSelector`]
+//!   (allocation-free compiled lookup) and [`DecisionService`]
+//!   (thread-safe cached front end with batch queries).
 //!
 //! ```
 //! use collsel_select::{OpenMpiFixedSelector, Selector};
@@ -26,9 +29,11 @@ pub mod analysis;
 mod graceful;
 pub mod rules;
 mod selector;
+pub mod service;
 
 pub use graceful::{Decision, DecisionSource, FallbackReason, GracefulSelector};
 pub use selector::{
     MeasuredTableSelector, ModelBasedSelector, OpenMpiFixedSelector, Selection, Selector,
     TraditionalModelSelector,
 };
+pub use service::{CompiledSelector, DecisionService, ServiceStats};

@@ -53,6 +53,18 @@ impl Selection {
     }
 }
 
+/// Sorts a ranking ascending by predicted time, **finite predictions
+/// first**: a poisoned fit (NaN/∞ prediction) sinks to the end of the
+/// ranking in a deterministic total order instead of panicking the
+/// sort.
+fn sort_ranking(v: &mut [(BcastAlg, f64)]) {
+    v.sort_by(|a, b| match (a.1.is_finite(), b.1.is_finite()) {
+        (true, false) => std::cmp::Ordering::Less,
+        (false, true) => std::cmp::Ordering::Greater,
+        _ => a.1.total_cmp(&b.1),
+    });
+}
+
 /// A runtime decision function for `MPI_Bcast`.
 pub trait Selector: Debug {
     /// Selects the algorithm for broadcasting `m` bytes among `p`
@@ -105,7 +117,8 @@ impl ModelBasedSelector {
         &self.params
     }
 
-    /// Predicted times of every modelled algorithm, ascending.
+    /// Predicted times of every modelled algorithm, ascending, with any
+    /// non-finite predictions (poisoned fits) sorted last.
     pub fn ranking(&self, p: usize, m: usize) -> Vec<(BcastAlg, f64)> {
         let mut v: Vec<(BcastAlg, f64)> = self
             .params
@@ -117,7 +130,7 @@ impl ModelBasedSelector {
                 )
             })
             .collect();
-        v.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite predictions"));
+        sort_ranking(&mut v);
         v
     }
 
@@ -145,18 +158,36 @@ impl ModelBasedSelector {
             assert!(seg > 0, "segment size candidates must be positive");
             for (&alg, h) in &self.params {
                 let t = derived::predict_bcast(alg, p, m, seg, &self.gamma, h);
-                if best.as_ref().is_none_or(|(bt, _)| t < *bt) {
+                if t.is_finite() && best.as_ref().is_none_or(|(bt, _)| t < *bt) {
                     best = Some((t, Selection::segmented(alg, seg)));
                 }
             }
         }
-        best.expect("at least one candidate").1
+        best.expect("every (algorithm, segment) prediction was non-finite")
+            .1
     }
 }
 
 impl Selector for ModelBasedSelector {
+    /// Allocation-free argmin over the finite predictions: an algorithm
+    /// whose model evaluates to NaN/∞ for this `(p, m)` is skipped
+    /// rather than poisoning the comparison.
+    ///
+    /// # Panics
+    ///
+    /// Panics only when *every* prediction is non-finite — a selector
+    /// with no usable model at all (use
+    /// [`GracefulSelector`](crate::GracefulSelector) to degrade to the
+    /// Open MPI rules instead).
     fn select(&self, p: usize, m: usize) -> Selection {
-        let (alg, _) = self.ranking(p, m)[0];
+        let mut best: Option<(BcastAlg, f64)> = None;
+        for (&alg, h) in &self.params {
+            let t = derived::predict_bcast(alg, p, m, self.seg_size, &self.gamma, h);
+            if t.is_finite() && best.is_none_or(|(_, bt)| t < bt) {
+                best = Some((alg, t));
+            }
+        }
+        let (alg, _) = best.expect("every model prediction was non-finite");
         Selection::segmented(alg, self.seg_size)
     }
 
@@ -204,7 +235,7 @@ impl TraditionalModelSelector {
                 )
             })
             .collect();
-        v.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite predictions"));
+        sort_ranking(&mut v);
         v
     }
 }
@@ -303,22 +334,38 @@ impl MeasuredTableSelector {
     }
 }
 
+/// Log-space distance between two positive sizes (counts clamped to 1
+/// so `m = 0` queries stay finite).
+fn log_distance(a: usize, b: usize) -> f64 {
+    ((a.max(1) as f64).ln() - (b.max(1) as f64).ln()).abs()
+}
+
 impl Selector for MeasuredTableSelector {
     fn select(&self, p: usize, m: usize) -> Selection {
         if let Some(&sel) = self.table.get(&(p, m)) {
             return sel;
         }
-        // Snap to the nearest measured message size (log distance) for
-        // this process count.
-        let best = self.table.iter().filter(|((tp, _), _)| *tp == p).min_by(
-            |((_, m1), _), ((_, m2), _)| {
-                let d1 = ((*m1 as f64).ln() - (m as f64).max(1.0).ln()).abs();
-                let d2 = ((*m2 as f64).ln() - (m as f64).max(1.0).ln()).abs();
-                d1.partial_cmp(&d2).expect("finite distances")
-            },
-        );
+        // Snap to the nearest measured process count (log distance),
+        // then to the nearest measured message size within it — the
+        // same rule in both dimensions. `min_by` keeps the *first* of
+        // equally distant candidates and the table iterates ascending,
+        // so ties deterministically snap to the smaller value.
+        let nearest_p = self
+            .table
+            .keys()
+            .map(|&(tp, _)| tp)
+            .min_by(|&a, &b| log_distance(a, p).total_cmp(&log_distance(b, p)));
+        let best = nearest_p.and_then(|tp| {
+            self.table
+                .range((tp, 0)..=(tp, usize::MAX))
+                .min_by(|((_, m1), _), ((_, m2), _)| {
+                    log_distance(*m1, m).total_cmp(&log_distance(*m2, m))
+                })
+        });
         match best {
             Some((_, &sel)) => sel,
+            // Unreachable through the public constructor (the table is
+            // never empty); kept as the documented degenerate fallback.
             None => Selection::segmented(BcastAlg::Binomial, self.seg_size),
         }
     }
@@ -440,8 +487,81 @@ mod tests {
         assert_eq!(sel.select(90, 8192).alg, BcastAlg::Binomial);
         assert_eq!(sel.select(90, 9000).alg, BcastAlg::Binomial);
         assert_eq!(sel.select(90, 900_000).alg, BcastAlg::SplitBinary);
-        // Unknown p: falls back to a sane default.
+        // Unknown p: snaps to the only measured process count.
         assert_eq!(sel.select(64, 8192).alg, BcastAlg::Binomial);
+        assert_eq!(sel.select(64, 900_000).alg, BcastAlg::SplitBinary);
+    }
+
+    #[test]
+    fn oracle_snaps_to_nearest_process_count() {
+        let mut t = BTreeMap::new();
+        t.insert((32, 8192), BcastAlg::Chain);
+        t.insert((32, 1 << 20), BcastAlg::SplitBinary);
+        t.insert((128, 8192), BcastAlg::Binary);
+        let sel = MeasuredTableSelector::new(t, 8192);
+        // p = 24 is nearest 32 in log space; the measured winner there
+        // must be returned, not a hardcoded default.
+        assert_eq!(sel.select(24, 8192).alg, BcastAlg::Chain);
+        assert_eq!(sel.select(24, 2 << 20).alg, BcastAlg::SplitBinary);
+        // p = 200 is nearest 128.
+        assert_eq!(sel.select(200, 4096).alg, BcastAlg::Binary);
+        // p = 64 is equidistant from 32 and 128 in log space; ties snap
+        // to the smaller measured count deterministically.
+        assert_eq!(sel.select(64, 8192).alg, BcastAlg::Chain);
+        // The old code silently answered Binomial for every unmeasured
+        // p — an algorithm this table never once measured as best.
+        for &(p, m) in &[(5usize, 8192usize), (24, 8192), (200, 1 << 20)] {
+            assert_ne!(sel.select(p, m).alg, BcastAlg::Binomial, "p={p} m={m}");
+        }
+    }
+
+    #[test]
+    fn nan_prediction_excludes_algorithm_instead_of_panicking() {
+        // A poisoned Hockney fit (NaN alpha) makes one algorithm's
+        // prediction NaN — the exact situation graceful degradation
+        // exists to survive. select must skip it, ranking must sort it
+        // last.
+        let mut params = uniform_params(1e-6, 1e-9);
+        params.insert(
+            BcastAlg::Binomial,
+            Hockney {
+                alpha: f64::NAN,
+                beta: 1e-9,
+            },
+        );
+        let sel = ModelBasedSelector::new(gamma(), params, 8192);
+        for &(p, m) in &[(16usize, 1024usize), (90, 1 << 20), (124, 8192)] {
+            let pick = sel.select(p, m);
+            assert_ne!(pick.alg, BcastAlg::Binomial, "p={p} m={m}");
+            let ranking = sel.ranking(p, m);
+            assert_eq!(ranking.len(), BcastAlg::ALL.len());
+            let (last_alg, last_t) = ranking[ranking.len() - 1];
+            assert_eq!(last_alg, BcastAlg::Binomial, "poisoned fit sorts last");
+            assert!(last_t.is_nan());
+            for w in ranking[..ranking.len() - 1].windows(2) {
+                assert!(w[0].1 <= w[1].1, "finite prefix stays sorted");
+            }
+            assert_eq!(pick.alg, ranking[0].0, "select still agrees with ranking");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn all_non_finite_predictions_still_panic() {
+        let params: BTreeMap<BcastAlg, Hockney> = BcastAlg::ALL
+            .iter()
+            .map(|&a| {
+                (
+                    a,
+                    Hockney {
+                        alpha: f64::NAN,
+                        beta: 1e-9,
+                    },
+                )
+            })
+            .collect();
+        let sel = ModelBasedSelector::new(gamma(), params, 8192);
+        let _ = sel.select(90, 1 << 20);
     }
 
     #[test]

@@ -1,0 +1,540 @@
+//! Production-shaped **decision serving**: compile a [`Selector`] into a
+//! flat, allocation-free lookup structure, share it across threads, and
+//! cache hot queries.
+//!
+//! The paper's end product is a *runtime decision function* queried at
+//! every `MPI_Bcast` call site, so the query path must cost as little
+//! as the hardware allows. Re-evaluating six analytical models (γ
+//! lookups, powers, a sort) per call is the tuning-time shape of the
+//! problem, not the serving-time shape. This module provides the
+//! serving-time shape:
+//!
+//! * [`CompiledSelector`] — any selector materialised over a grid into
+//!   the same rule structure as [`DecisionTable`], flattened into four
+//!   parallel arrays and answered with two binary searches: O(log n),
+//!   no allocation, no per-query `Vec` or sort. Off-grid queries snap
+//!   exactly like [`DecisionTable::lookup`] (floor block / floor
+//!   threshold, clamped to the first entry below the grid) — the
+//!   differential suite in `tests/service.rs` enforces the equivalence
+//!   for every selector type.
+//! * [`DecisionService`] — a thread-safe front end (`&self` queries,
+//!   shareable across [`Pool`] workers) wrapping a compiled table, a
+//!   live selector, or a [`GracefulSelector`], with an optional
+//!   seeded-eviction exact-query cache and hit/miss/fallback counters
+//!   for reports.
+//! * [`DecisionService::decide_batch`] — fan a query stream across the
+//!   pool with the same bit-identical-at-any-thread-count guarantee as
+//!   the tuning campaigns: selection is pure and the cache is
+//!   transparent, so only wall-clock depends on the thread count.
+
+use crate::graceful::GracefulSelector;
+use crate::rules::DecisionTable;
+use crate::selector::{Selection, Selector};
+use collsel_support::pool::Pool;
+use collsel_support::rng::splitmix64;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// A [`Selector`] compiled to a flat decision table with allocation-free
+/// O(log n) lookup.
+///
+/// The structure is [`DecisionTable`]'s rule blocks flattened into
+/// parallel arrays: `comm_sizes[b]` is block `b`'s communicator size,
+/// its rules occupy `thresholds[block_starts[b]..block_starts[b + 1]]`
+/// (message-size thresholds, ascending) with the decided selection at
+/// the same index of `selections`. A lookup is one binary search over
+/// the comm blocks and one over the block's thresholds.
+///
+/// # Snapping semantics (provably equal to [`DecisionTable::lookup`])
+///
+/// * `p` below the smallest block → the smallest block (clamp);
+///   otherwise the highest block not above `p` (floor).
+/// * `m` below the block's first threshold → the first rule (clamp;
+///   tables from [`DecisionTable::generate`] start every block at
+///   threshold 0, so this arm only fires for hand-built tables);
+///   otherwise the highest threshold not above `m` (floor).
+///
+/// Both follow from `partition_point(x <= q)`: the partition index is
+/// one past the floor entry, and `saturating_sub(1)` turns "no entry
+/// below the query" into the clamp-to-first rule that
+/// `DecisionTable::lookup` implements with `rfind(..).or_else(first)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompiledSelector {
+    name: String,
+    comm_sizes: Vec<usize>,
+    block_starts: Vec<usize>,
+    thresholds: Vec<usize>,
+    selections: Vec<Selection>,
+}
+
+impl CompiledSelector {
+    /// Materialises `selector` over the given grids (via
+    /// [`DecisionTable::generate`], so identical selections on
+    /// consecutive message sizes merge into one rule) and compiles the
+    /// result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either grid is empty or unsorted (the
+    /// [`DecisionTable::generate`] contract).
+    pub fn compile(selector: &dyn Selector, comm_sizes: &[usize], msg_sizes: &[usize]) -> Self {
+        let table = DecisionTable::generate(selector, comm_sizes, msg_sizes);
+        Self::from_table(&table, &format!("compiled({})", selector.name()))
+    }
+
+    /// Flattens an existing decision table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table has no blocks, a block has no rules, or the
+    /// blocks/thresholds are not strictly ascending (lookup's binary
+    /// searches require sortedness).
+    pub fn from_table(table: &DecisionTable, name: &str) -> Self {
+        assert!(
+            !table.comms.is_empty(),
+            "cannot compile an empty decision table"
+        );
+        let mut comm_sizes = Vec::with_capacity(table.comms.len());
+        let mut block_starts = Vec::with_capacity(table.comms.len() + 1);
+        let mut thresholds = Vec::new();
+        let mut selections = Vec::new();
+        block_starts.push(0);
+        for block in &table.comms {
+            assert!(
+                !block.rules.is_empty(),
+                "comm block {} has no rules",
+                block.comm_size
+            );
+            assert!(
+                comm_sizes.last().is_none_or(|&c| c < block.comm_size),
+                "comm blocks must be strictly ascending"
+            );
+            assert!(
+                block
+                    .rules
+                    .windows(2)
+                    .all(|w| w[0].min_msg_size < w[1].min_msg_size),
+                "rule thresholds must be strictly ascending"
+            );
+            comm_sizes.push(block.comm_size);
+            for rule in &block.rules {
+                thresholds.push(rule.min_msg_size);
+                selections.push(rule.selection);
+            }
+            block_starts.push(thresholds.len());
+        }
+        CompiledSelector {
+            name: name.to_owned(),
+            comm_sizes,
+            block_starts,
+            thresholds,
+            selections,
+        }
+    }
+
+    /// Answers a query with two binary searches; no allocation.
+    pub fn lookup(&self, p: usize, m: usize) -> Selection {
+        let b = self
+            .comm_sizes
+            .partition_point(|&c| c <= p)
+            .saturating_sub(1);
+        let start = self.block_starts[b];
+        let rules = &self.thresholds[start..self.block_starts[b + 1]];
+        let r = rules.partition_point(|&t| t <= m).saturating_sub(1);
+        self.selections[start + r]
+    }
+
+    /// Number of compiled comm blocks.
+    pub fn comm_block_count(&self) -> usize {
+        self.comm_sizes.len()
+    }
+
+    /// Total number of compiled rules across all blocks.
+    pub fn rule_count(&self) -> usize {
+        self.selections.len()
+    }
+}
+
+impl Selector for CompiledSelector {
+    fn select(&self, p: usize, m: usize) -> Selection {
+        self.lookup(p, m)
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// Fixed-capacity exact-query cache with **seeded random eviction**.
+///
+/// Random replacement needs no per-hit bookkeeping (an LRU would
+/// serialise every *read* through list surgery under the lock), has no
+/// pathological scan pattern, and — seeded through [`splitmix64`] — its
+/// eviction sequence is reproducible for a given seed and insertion
+/// order.
+#[derive(Debug)]
+struct QueryCache {
+    capacity: usize,
+    map: HashMap<(usize, usize), Selection>,
+    keys: Vec<(usize, usize)>,
+    rng_state: u64,
+}
+
+impl QueryCache {
+    fn new(capacity: usize, seed: u64) -> Self {
+        QueryCache {
+            capacity,
+            map: HashMap::with_capacity(capacity),
+            keys: Vec::with_capacity(capacity),
+            rng_state: seed,
+        }
+    }
+
+    fn get(&self, p: usize, m: usize) -> Option<Selection> {
+        self.map.get(&(p, m)).copied()
+    }
+
+    fn insert(&mut self, p: usize, m: usize, sel: Selection) {
+        // Two workers can race the same missed key; the second insert
+        // must not duplicate it in the eviction pool.
+        if self.map.contains_key(&(p, m)) {
+            return;
+        }
+        if self.keys.len() >= self.capacity {
+            let victim_ix = (splitmix64(&mut self.rng_state) as usize) % self.keys.len();
+            let victim = self.keys.swap_remove(victim_ix);
+            self.map.remove(&victim);
+        }
+        self.map.insert((p, m), sel);
+        self.keys.push((p, m));
+    }
+}
+
+/// Snapshot of a [`DecisionService`]'s counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServiceStats {
+    /// Queries answered from the exact-query cache.
+    pub hits: u64,
+    /// Queries answered by the underlying path (compiled table, live
+    /// selector, or graceful decision).
+    pub misses: u64,
+    /// Of the misses on a graceful path, how many the Open MPI rules
+    /// fallback decided rather than the model ranking. Always zero for
+    /// compiled and live paths.
+    pub fallbacks: u64,
+}
+
+impl ServiceStats {
+    /// Total queries served.
+    pub fn queries(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Fraction of queries served from the cache (0 when idle).
+    pub fn hit_rate(&self) -> f64 {
+        let q = self.queries();
+        if q == 0 {
+            0.0
+        } else {
+            self.hits as f64 / q as f64
+        }
+    }
+}
+
+collsel_support::json_struct!(ServiceStats {
+    hits,
+    misses,
+    fallbacks
+});
+
+/// The underlying decision path of a [`DecisionService`].
+#[derive(Debug)]
+enum ServePath {
+    Compiled(CompiledSelector),
+    Live(Box<dyn Selector + Send + Sync>),
+    Graceful(GracefulSelector),
+}
+
+/// Thread-safe serving front end for tuned decision functions.
+///
+/// All queries take `&self`, so one service can be shared by reference
+/// across [`Pool`] workers (or any threads). The optional exact-query
+/// cache sits in front of whichever path the service wraps; because
+/// selection is pure, a cached answer is always identical to a
+/// recomputed one (**cache transparency**, enforced by the differential
+/// suite), so caching changes throughput and counters but never
+/// results.
+///
+/// Counters are relaxed atomics: exact under any interleaving in total,
+/// though the hit/miss *split* of a parallel batch depends on thread
+/// timing — results never do.
+#[derive(Debug)]
+pub struct DecisionService {
+    path: ServePath,
+    cache: Option<Mutex<QueryCache>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    fallbacks: AtomicU64,
+}
+
+/// Queries per [`Pool`] job in [`DecisionService::decide_batch`]: fixed
+/// (not derived from the thread count) so the job list — and therefore
+/// the flattened, submission-ordered result — is the same at any
+/// parallelism.
+const BATCH_CHUNK: usize = 256;
+
+impl DecisionService {
+    fn new(path: ServePath) -> Self {
+        DecisionService {
+            path,
+            cache: None,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            fallbacks: AtomicU64::new(0),
+        }
+    }
+
+    /// Serves from a compiled decision table (the fast path).
+    pub fn compiled(table: CompiledSelector) -> Self {
+        Self::new(ServePath::Compiled(table))
+    }
+
+    /// Serves by querying `selector` live (the reference path; also the
+    /// only option when queries must never snap to a grid).
+    pub fn live<S: Selector + Send + Sync + 'static>(selector: S) -> Self {
+        Self::new(ServePath::Live(Box::new(selector)))
+    }
+
+    /// Serves from a [`GracefulSelector`], counting how many decisions
+    /// the rules fallback made (the `fallbacks` counter).
+    pub fn graceful(selector: GracefulSelector) -> Self {
+        Self::new(ServePath::Graceful(selector))
+    }
+
+    /// Adds an exact-query cache of `capacity` entries with
+    /// seeded-random eviction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero (omit the cache instead).
+    pub fn with_cache(mut self, capacity: usize, seed: u64) -> Self {
+        assert!(capacity > 0, "cache capacity must be at least 1");
+        self.cache = Some(Mutex::new(QueryCache::new(capacity, seed)));
+        self
+    }
+
+    /// Whether the service wraps a compiled table.
+    pub fn is_compiled(&self) -> bool {
+        matches!(self.path, ServePath::Compiled(_))
+    }
+
+    /// Decides one query, consulting the cache first.
+    pub fn decide(&self, p: usize, m: usize) -> Selection {
+        if let Some(cache) = &self.cache {
+            if let Some(sel) = cache.lock().expect("cache lock").get(p, m) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return sel;
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let sel = match &self.path {
+            ServePath::Compiled(table) => table.lookup(p, m),
+            ServePath::Live(selector) => selector.select(p, m),
+            ServePath::Graceful(graceful) => {
+                let d = graceful.decide(p, m);
+                if !d.source.is_model() {
+                    self.fallbacks.fetch_add(1, Ordering::Relaxed);
+                }
+                d.selection
+            }
+        };
+        if let Some(cache) = &self.cache {
+            cache.lock().expect("cache lock").insert(p, m, sel);
+        }
+        sel
+    }
+
+    /// Decides a whole query stream, fanned across `pool` in fixed-size
+    /// chunks. Results come back in query order and are bit-identical
+    /// at any thread count: each query's answer is a pure function of
+    /// `(p, m)` (the cache is transparent), and the pool returns chunk
+    /// results in submission order.
+    pub fn decide_batch(&self, queries: &[(usize, usize)], pool: &Pool) -> Vec<Selection> {
+        let per_chunk = pool.run(queries.chunks(BATCH_CHUNK).map(|chunk| {
+            move || {
+                chunk
+                    .iter()
+                    .map(|&(p, m)| self.decide(p, m))
+                    .collect::<Vec<Selection>>()
+            }
+        }));
+        let mut out = Vec::with_capacity(queries.len());
+        for chunk in per_chunk {
+            out.extend(chunk);
+        }
+        out
+    }
+
+    /// Snapshot of the hit/miss/fallback counters.
+    pub fn stats(&self) -> ServiceStats {
+        ServiceStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            fallbacks: self.fallbacks.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Entries currently resident in the cache (0 without one).
+    pub fn cached_entries(&self) -> usize {
+        self.cache
+            .as_ref()
+            .map_or(0, |c| c.lock().expect("cache lock").keys.len())
+    }
+}
+
+impl Selector for DecisionService {
+    fn select(&self, p: usize, m: usize) -> Selection {
+        self.decide(p, m)
+    }
+
+    fn name(&self) -> &str {
+        match self.path {
+            ServePath::Compiled(_) => "service(compiled)",
+            ServePath::Live(_) => "service(live)",
+            ServePath::Graceful(_) => "service(graceful)",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::selector::OpenMpiFixedSelector;
+    use collsel_coll::BcastAlg;
+    use collsel_model::FitValidity;
+    use collsel_model::{GammaTable, Hockney};
+    use std::collections::BTreeMap;
+
+    const COMMS: &[usize] = &[4, 16, 64, 128];
+    const MSGS: &[usize] = &[1024, 8 * 1024, 64 * 1024, 512 * 1024, 4 << 20];
+
+    fn compiled() -> CompiledSelector {
+        CompiledSelector::compile(&OpenMpiFixedSelector, COMMS, MSGS)
+    }
+
+    #[test]
+    fn compiled_lookup_matches_decision_table_everywhere() {
+        let table = DecisionTable::generate(&OpenMpiFixedSelector, COMMS, MSGS);
+        let c = compiled();
+        for p in [1usize, 3, 4, 5, 16, 40, 64, 100, 128, 500] {
+            for m in [0usize, 1, 1024, 5000, 8192, 70_000, 1 << 20, 16 << 20] {
+                assert_eq!(
+                    Some(c.lookup(p, m)),
+                    table.lookup(p, m),
+                    "p={p} m={m} diverged from DecisionTable::lookup"
+                );
+            }
+        }
+        assert_eq!(c.comm_block_count(), COMMS.len());
+        assert!(c.rule_count() >= COMMS.len());
+    }
+
+    #[test]
+    fn compiled_matches_source_on_grid_points() {
+        let c = compiled();
+        for &p in COMMS {
+            for &m in MSGS {
+                assert_eq!(c.lookup(p, m), OpenMpiFixedSelector.select(p, m));
+            }
+        }
+        assert_eq!(c.name(), "compiled(open-mpi-fixed)");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty decision table")]
+    fn from_table_rejects_empty() {
+        let _ = CompiledSelector::from_table(&DecisionTable { comms: vec![] }, "x");
+    }
+
+    #[test]
+    fn service_counts_hits_and_misses() {
+        let svc = DecisionService::compiled(compiled()).with_cache(8, 0xCAFE);
+        let first = svc.decide(64, 8192);
+        let second = svc.decide(64, 8192);
+        assert_eq!(first, second);
+        let stats = svc.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.fallbacks, 0);
+        assert_eq!(stats.queries(), 2);
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(svc.cached_entries(), 1);
+    }
+
+    #[test]
+    fn cache_eviction_is_bounded_and_seed_deterministic() {
+        let run = |seed: u64| {
+            let svc = DecisionService::compiled(compiled()).with_cache(4, seed);
+            let picks: Vec<Selection> = (0..64usize).map(|i| svc.decide(4 + i, 1024 * i)).collect();
+            assert!(svc.cached_entries() <= 4);
+            (picks, svc.stats())
+        };
+        let (a, sa) = run(7);
+        let (b, sb) = run(7);
+        assert_eq!(a, b, "same seed, same answers");
+        assert_eq!(sa, sb, "same seed, same serial counter trace");
+    }
+
+    #[test]
+    fn decide_batch_matches_serial_at_any_thread_count() {
+        let queries: Vec<(usize, usize)> = (0..600usize).map(|i| (2 + i % 140, i * 997)).collect();
+        let reference: Vec<Selection> = queries
+            .iter()
+            .map(|&(p, m)| compiled().lookup(p, m))
+            .collect();
+        for threads in [1usize, 2, 3, 8] {
+            let svc = DecisionService::compiled(compiled()).with_cache(32, 1);
+            let got = svc.decide_batch(&queries, &Pool::with_threads(threads));
+            assert_eq!(got, reference, "threads = {threads}");
+            assert_eq!(svc.stats().queries(), queries.len() as u64);
+        }
+    }
+
+    #[test]
+    fn live_path_serves_any_selector() {
+        let svc = DecisionService::live(OpenMpiFixedSelector);
+        assert!(!svc.is_compiled());
+        assert_eq!(svc.name(), "service(live)");
+        assert_eq!(
+            svc.decide(90, 1 << 20),
+            OpenMpiFixedSelector.select(90, 1 << 20)
+        );
+        assert_eq!(svc.stats().misses, 1);
+    }
+
+    #[test]
+    fn graceful_path_counts_fallbacks() {
+        // All fits invalid: every decision comes from the rules
+        // fallback and the counter must say so.
+        let gamma = GammaTable::from_pairs([(3, 1.11), (5, 1.28)]);
+        let params: BTreeMap<BcastAlg, Hockney> = BcastAlg::ALL
+            .iter()
+            .map(|&a| (a, Hockney::new(1e-6, 1e-9)))
+            .collect();
+        let validity: BTreeMap<BcastAlg, FitValidity> = params
+            .keys()
+            .map(|&a| (a, FitValidity::Degenerate))
+            .collect();
+        let graceful = GracefulSelector::new(gamma, params, validity, 8192);
+        let svc = DecisionService::graceful(graceful).with_cache(16, 2);
+        for &(p, m) in &[(16usize, 1024usize), (90, 1 << 20), (16, 1024)] {
+            let got = svc.decide(p, m);
+            assert_eq!(got, OpenMpiFixedSelector.select(p, m));
+        }
+        let stats = svc.stats();
+        assert_eq!(stats.queries(), 3);
+        assert_eq!(stats.hits, 1, "repeated query served from cache");
+        assert_eq!(stats.fallbacks, 2, "cache hits do not re-count fallbacks");
+    }
+}

@@ -34,6 +34,15 @@ echo "==> compiled-vs-live equivalence gate: decision-serving suite at COLLSEL_T
 COLLSEL_THREADS=2 RUSTFLAGS='-D warnings' \
     cargo test --offline -q -p collsel-repro --test service
 
+echo "==> collective-breadth gate: per-collective differential suite at COLLSEL_THREADS=2"
+# The compiled per-collective tables must match the live multi-collective
+# ranking on- and off-grid, both backends must agree bit-for-bit on every
+# collective's measurement program, and batched multi-collective serving
+# must be thread-count invariant; the reduce crossover golden test pins
+# the fitted models to the osu_reduce winner ordering.
+COLLSEL_THREADS=2 RUSTFLAGS='-D warnings' \
+    cargo test --offline -q -p collsel-repro --test collective_breadth
+
 echo "==> campaign bench (smoke): serial vs threaded tuning campaign"
 COLLSEL_BENCH_SMOKE=1 RUSTFLAGS='-D warnings' \
     cargo bench --offline -p collsel-bench --bench campaign
@@ -59,7 +68,10 @@ echo "==> unwrap/expect ratchet (estim + expt)"
 # invariant comment. This ratchet only ever goes DOWN: if you add an
 # unwrap()/expect() to these crates, justify it as an invariant and
 # bump consciously; if you removed some, lower the ceiling.
-UNWRAP_CEILING=40
+# 44 = 40 + the breadth additions: one documented invariant in
+# expt::breadth (every collective has >= 1 algorithm) and three in
+# test code.
+UNWRAP_CEILING=44
 count=$(grep -rc 'unwrap()\|\.expect(' crates/estim/src crates/expt/src \
     --include='*.rs' | awk -F: '{s+=$2} END {print s}')
 if [ "$count" -gt "$UNWRAP_CEILING" ]; then
@@ -75,5 +87,11 @@ trap 'rm -rf "$smoke_dir"' EXIT
     --faults chaos:7 --out "$smoke_dir/model.json"
 ./target/release/colltune query --model "$smoke_dir/model.json" \
     --p 64 --m 8192 --m 1048576 --degraded
+
+echo "==> colltune collective-breadth smoke run (reduce, under faults)"
+./target/release/colltune tune --preset gros --tune-p 8 \
+    --collective reduce --faults chaos:7 --out "$smoke_dir/breadth.json"
+./target/release/colltune query --model "$smoke_dir/breadth.json" \
+    --collective reduce --p 64 --m 8192 --m 1048576 --degraded
 
 echo "ci.sh: all green"

@@ -104,6 +104,43 @@ pub fn compile_timed_bcast(
     })
 }
 
+/// Compiles the breadth measurement round: `reps` timed repetitions of
+/// any collective algorithm (via
+/// [`run_collective`](crate::collective::run_collective)), each framed
+/// `barrier; t0 = wtime; op; barrier; t1 = wtime` — the same protocol
+/// as [`compile_timed_bcast`], so `estim` times every collective the
+/// same way on both backends.
+///
+/// `m` follows `run_collective`'s convention (total vector for
+/// bcast/reduce/allreduce, per-rank block otherwise).
+///
+/// # Errors
+///
+/// [`RecordError`] if the recording run fails.
+///
+/// # Panics
+///
+/// Panics on invalid geometry, as the underlying collective would.
+pub fn compile_timed_collective(
+    cluster: &ClusterModel,
+    alg: crate::collective::Alg,
+    p: usize,
+    root: usize,
+    m: usize,
+    seg_size: usize,
+    reps: usize,
+) -> Result<Schedule, RecordError> {
+    record_schedule(cluster, p, move |rc| {
+        for _ in 0..reps {
+            rc.barrier();
+            let _ = rc.wtime();
+            crate::collective::run_collective(rc, alg, root, m, seg_size);
+            rc.barrier();
+            let _ = rc.wtime();
+        }
+    })
+}
+
 /// Compiles the paper's Sect. 4.2 measurement round: `reps` timed
 /// repetitions of `bcast` followed by a linear gather, each opened by a
 /// barrier and a `wtime` read and closed by a `wtime` read alone (the

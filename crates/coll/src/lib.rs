@@ -40,6 +40,7 @@ mod allreduce;
 mod alltoall;
 mod barrier;
 mod bcast;
+mod collective;
 pub mod compile;
 mod gather;
 mod reduce;
@@ -55,10 +56,14 @@ pub use bcast::{
     bcast, bcast_binary, bcast_binomial, bcast_chain, bcast_k_chain, bcast_linear,
     bcast_split_binary, bcast_tree_segmented,
 };
+pub use collective::{
+    run_collective, Alg, AllgatherAlg, AllreduceAlg, AlltoallAlg, Collective, GatherAlg,
+    ParseAlgError, ParseCollectiveError, ScatterAlg,
+};
 pub use gather::{gather_binomial, gather_linear};
 pub use reduce::{
-    reduce, reduce_binary, reduce_binomial, reduce_chain, reduce_linear, reduce_tree_segmented,
-    ReduceAlg, ReduceOp,
+    reduce, reduce_binary, reduce_binomial, reduce_chain, reduce_in_order_binary, reduce_linear,
+    reduce_pipeline, reduce_tree_segmented, ParseReduceAlgError, ReduceAlg, ReduceOp,
 };
 pub use scatter::{scatter_binomial, scatter_linear};
 pub use topology::Topology;

@@ -7,8 +7,9 @@
 //!
 //! * [`reduce_linear`] — the root receives every contribution and folds
 //!   them (`reduce_intra_basic_linear`);
-//! * [`reduce_binomial`], [`reduce_chain`], [`reduce_binary`] —
-//!   segmented pipelined tree reductions via the shared engine
+//! * [`reduce_binomial`], [`reduce_chain`], [`reduce_pipeline`],
+//!   [`reduce_binary`], [`reduce_in_order_binary`] — segmented
+//!   pipelined tree reductions via the shared engine
 //!   [`reduce_tree_segmented`] (`ompi_coll_base_reduce_generic`).
 //!
 //! Payloads are vectors of little-endian `u64` lanes; [`ReduceOp`]
@@ -16,32 +17,52 @@
 //! reduction order over the tree yields the same result (as with
 //! `MPI_SUM` etc. on integer types).
 
+use crate::alg::DEFAULT_CHAIN_FANOUT;
 use crate::topology::Topology;
 use collsel_mpi::Comm;
 use collsel_support::Bytes;
 
 const TAG_REDUCE: u32 = 0xF;
 
-/// The catalogue of ported reduce algorithms (used by the extension
-/// models and the dispatcher [`reduce`]).
+/// The catalogue of ported reduce algorithms, mirroring the Open MPI
+/// 3.1 `MPI_Reduce` family (used by the extension models and the
+/// dispatcher [`reduce`]).
+///
+/// | Variant | Open MPI routine | Topology | Segmented |
+/// |---|---|---|---|
+/// | `Linear` | `reduce_intra_basic_linear` | flat | no |
+/// | `Chain` | `reduce_intra_chain` (4 chains) | 4 chains | yes |
+/// | `Pipeline` | `reduce_intra_pipeline` | single chain | yes |
+/// | `Binary` | `reduce_intra_binary` | heap binary | yes |
+/// | `InOrderBinary` | `reduce_intra_in_order_binary` | in-order binary | yes |
+/// | `Binomial` | `reduce_intra_binomial` | balanced binomial | yes |
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum ReduceAlg {
     /// Flat reduction at the root.
     Linear,
-    /// Segmented pipeline up a single chain.
+    /// Segmented reduction up [`DEFAULT_CHAIN_FANOUT`] parallel chains
+    /// (Open MPI "chain").
     Chain,
+    /// Segmented pipeline up a single chain (Open MPI "pipeline").
+    Pipeline,
     /// Segmented reduction up a heap binary tree.
     Binary,
+    /// Segmented reduction up an in-order binary tree. Open MPI uses
+    /// this shape for non-commutative operators; our lane operators are
+    /// commutative, so it is simply another pipelined tree here.
+    InOrderBinary,
     /// Segmented reduction up a balanced binomial tree.
     Binomial,
 }
 
 impl ReduceAlg {
     /// All reduce algorithms, in a stable order.
-    pub const ALL: [ReduceAlg; 4] = [
+    pub const ALL: [ReduceAlg; 6] = [
         ReduceAlg::Linear,
         ReduceAlg::Chain,
+        ReduceAlg::Pipeline,
         ReduceAlg::Binary,
+        ReduceAlg::InOrderBinary,
         ReduceAlg::Binomial,
     ];
 
@@ -50,9 +71,16 @@ impl ReduceAlg {
         match self {
             ReduceAlg::Linear => "linear",
             ReduceAlg::Chain => "chain",
+            ReduceAlg::Pipeline => "pipeline",
             ReduceAlg::Binary => "binary",
+            ReduceAlg::InOrderBinary => "in_order_binary",
             ReduceAlg::Binomial => "binomial",
         }
+    }
+
+    /// Whether the algorithm splits the payload into pipeline segments.
+    pub fn is_segmented(self) -> bool {
+        !matches!(self, ReduceAlg::Linear)
     }
 }
 
@@ -61,6 +89,48 @@ impl std::fmt::Display for ReduceAlg {
         f.write_str(self.name())
     }
 }
+
+/// Error returned when parsing an unknown reduce algorithm name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseReduceAlgError {
+    input: String,
+}
+
+impl std::fmt::Display for ParseReduceAlgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown reduce algorithm `{}` (expected one of: linear, chain, pipeline, \
+             binary, in_order_binary, binomial)",
+            self.input
+        )
+    }
+}
+
+impl std::error::Error for ParseReduceAlgError {}
+
+impl std::str::FromStr for ReduceAlg {
+    type Err = ParseReduceAlgError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        ReduceAlg::ALL
+            .iter()
+            .copied()
+            .find(|a| a.name() == s)
+            .ok_or_else(|| ParseReduceAlgError {
+                input: s.to_owned(),
+            })
+    }
+}
+
+collsel_support::json_enum!(ReduceAlg {
+    Linear,
+    Chain,
+    Pipeline,
+    Binary,
+    InOrderBinary,
+    Binomial
+});
 
 /// Dispatches to the selected reduce algorithm (segmented algorithms
 /// use `seg_size`; [`ReduceAlg::Linear`] ignores it).
@@ -75,7 +145,9 @@ pub fn reduce<C: Comm>(
     match alg {
         ReduceAlg::Linear => reduce_linear(ctx, root, op, contribution),
         ReduceAlg::Chain => reduce_chain(ctx, root, op, contribution, seg_size),
+        ReduceAlg::Pipeline => reduce_pipeline(ctx, root, op, contribution, seg_size),
         ReduceAlg::Binary => reduce_binary(ctx, root, op, contribution, seg_size),
+        ReduceAlg::InOrderBinary => reduce_in_order_binary(ctx, root, op, contribution, seg_size),
         ReduceAlg::Binomial => reduce_binomial(ctx, root, op, contribution, seg_size),
     }
 }
@@ -244,7 +316,8 @@ pub fn reduce_binomial<C: Comm>(
     reduce_tree_segmented(ctx, &tree, root, op, contribution, seg_size)
 }
 
-/// Segmented chain (pipeline) reduction (`reduce_intra_pipeline`).
+/// Segmented reduction up [`DEFAULT_CHAIN_FANOUT`] parallel chains
+/// (`reduce_intra_chain` with Open MPI's default fanout).
 pub fn reduce_chain<C: Comm>(
     ctx: &mut C,
     root: usize,
@@ -252,7 +325,33 @@ pub fn reduce_chain<C: Comm>(
     contribution: Bytes,
     seg_size: usize,
 ) -> Option<Bytes> {
+    let tree = Topology::k_chain(DEFAULT_CHAIN_FANOUT, ctx.size(), root);
+    reduce_tree_segmented(ctx, &tree, root, op, contribution, seg_size)
+}
+
+/// Segmented single-chain (pipeline) reduction
+/// (`reduce_intra_pipeline`).
+pub fn reduce_pipeline<C: Comm>(
+    ctx: &mut C,
+    root: usize,
+    op: ReduceOp,
+    contribution: Bytes,
+    seg_size: usize,
+) -> Option<Bytes> {
     let tree = Topology::chain(ctx.size(), root);
+    reduce_tree_segmented(ctx, &tree, root, op, contribution, seg_size)
+}
+
+/// Segmented reduction up an in-order binary tree
+/// (`reduce_intra_in_order_binary`).
+pub fn reduce_in_order_binary<C: Comm>(
+    ctx: &mut C,
+    root: usize,
+    op: ReduceOp,
+    contribution: Bytes,
+    seg_size: usize,
+) -> Option<Bytes> {
+    let tree = Topology::in_order_binary(ctx.size(), root);
     reduce_tree_segmented(ctx, &tree, root, op, contribution, seg_size)
 }
 
@@ -335,29 +434,31 @@ mod tests {
     fn tree_reduces_match_linear() {
         for p in [1, 2, 3, 5, 9, 16] {
             for root in [0, p - 1] {
-                check(
-                    |c, r, o, b| reduce_binomial(c, r, o, b, 64),
-                    ReduceOp::Sum,
-                    p,
-                    root,
-                    40,
-                );
-                check(
-                    |c, r, o, b| reduce_chain(c, r, o, b, 64),
-                    ReduceOp::Sum,
-                    p,
-                    root,
-                    40,
-                );
-                check(
-                    |c, r, o, b| reduce_binary(c, r, o, b, 64),
-                    ReduceOp::Max,
-                    p,
-                    root,
-                    40,
-                );
+                for alg in ReduceAlg::ALL {
+                    let op = if alg == ReduceAlg::Binary {
+                        ReduceOp::Max
+                    } else {
+                        ReduceOp::Sum
+                    };
+                    check(
+                        move |c, r, o, b| reduce(c, alg, r, o, b, 64),
+                        op,
+                        p,
+                        root,
+                        40,
+                    );
+                }
             }
         }
+    }
+
+    #[test]
+    fn reduce_names_round_trip() {
+        for alg in ReduceAlg::ALL {
+            assert_eq!(alg.name().parse::<ReduceAlg>().unwrap(), alg);
+            assert_eq!(alg.is_segmented(), alg != ReduceAlg::Linear);
+        }
+        assert!("bogus".parse::<ReduceAlg>().is_err());
     }
 
     #[test]

@@ -28,15 +28,20 @@
 //! the threaded oracle instead; the tuned model is bit-identical either
 //! way.
 
-use collsel_coll::BcastAlg;
+use collsel_coll::{Alg, BcastAlg, Collective};
 use collsel_estim::{
-    estimate_all_alpha_beta, estimate_gamma, try_estimate_all_alpha_beta, try_estimate_gamma,
-    AlphaBetaConfig, AlphaBetaEstimate, GammaConfig, GammaEstimate, RetryPolicy,
+    estimate_all_alpha_beta, estimate_collective_family, estimate_gamma,
+    try_estimate_all_alpha_beta, try_estimate_collective_family, try_estimate_gamma,
+    AlphaBetaConfig, AlphaBetaEstimate, BreadthConfig, GammaConfig, GammaEstimate, RetryPolicy,
 };
 use collsel_model::{FitValidity, Hockney};
 use collsel_mpi::SimError;
 use collsel_netsim::ClusterModel;
-use collsel_select::{CompiledSelector, GracefulSelector, ModelBasedSelector};
+use collsel_select::{
+    CollDecisionTable, CollectiveModelSelector, CompiledCollectiveSelector, CompiledSelector,
+    GracefulCollectiveSelector, GracefulSelector, ModelBasedSelector,
+};
+use collsel_support::FromJson;
 use std::collections::BTreeMap;
 
 /// Configuration of a full tuning run.
@@ -46,6 +51,10 @@ pub struct TunerConfig {
     pub gamma: GammaConfig,
     /// α/β estimation settings (Sect. 4.2).
     pub alpha_beta: AlphaBetaConfig,
+    /// Per-collective estimation sweep settings (the Sect. 4.2
+    /// methodology widened beyond broadcast; used by
+    /// [`Tuner::tune_collectives`]).
+    pub breadth: BreadthConfig,
     /// Segment size the tuned selector will use for segmented
     /// algorithms (the paper fixes 8 KB).
     pub seg_size: usize,
@@ -61,6 +70,7 @@ impl TunerConfig {
         TunerConfig {
             gamma: GammaConfig::paper(),
             alpha_beta: AlphaBetaConfig::paper(experiment_p),
+            breadth: BreadthConfig::paper(experiment_p),
             seg_size: 8 * 1024,
             seed: 0xC0115E1,
         }
@@ -71,6 +81,7 @@ impl TunerConfig {
         TunerConfig {
             gamma: GammaConfig::quick(),
             alpha_beta: AlphaBetaConfig::quick(experiment_p),
+            breadth: BreadthConfig::quick(experiment_p),
             seg_size: 8 * 1024,
             seed: 0xC0115E1,
         }
@@ -87,6 +98,10 @@ pub struct TunedModel {
     pub gamma: GammaEstimate,
     /// Per-algorithm estimation results (paper Table 2).
     pub params: BTreeMap<BcastAlg, AlphaBetaEstimate>,
+    /// Per-collective estimation results beyond broadcast, keyed by
+    /// collective then by qualified algorithm (empty for models tuned
+    /// by the broadcast-only [`Tuner::tune`]).
+    pub collectives: BTreeMap<Collective, BTreeMap<Alg, AlphaBetaEstimate>>,
     /// Segment size of the tuned selector.
     pub seg_size: usize,
 }
@@ -153,6 +168,122 @@ impl TunedModel {
             self.seg_size,
         )
     }
+
+    /// The collectives carrying per-algorithm fits, in
+    /// [`Collective::ALL`] order.
+    pub fn tuned_collectives(&self) -> Vec<Collective> {
+        Collective::ALL
+            .into_iter()
+            .filter(|c| self.collectives.contains_key(c))
+            .collect()
+    }
+
+    /// The per-algorithm Hockney pairs across every tuned collective,
+    /// keyed by qualified algorithm.
+    pub fn multi_hockney_table(&self) -> BTreeMap<Alg, Hockney> {
+        self.collectives
+            .values()
+            .flatten()
+            .map(|(&alg, est)| (alg, est.hockney))
+            .collect()
+    }
+
+    /// Validity verdicts for every tuned collective's fits.
+    pub fn multi_validity(&self) -> BTreeMap<Alg, FitValidity> {
+        self.collectives
+            .values()
+            .flatten()
+            .map(|(&alg, est)| (alg, est.validity()))
+            .collect()
+    }
+
+    /// Builds the multi-collective runtime decision function: argmin
+    /// over the tuned fits per collective, falling back to the fixed
+    /// rules for collectives without usable fits.
+    ///
+    /// The broadcast arm evaluates at the tuned broadcast segment (so
+    /// it agrees with [`selector`](Self::selector) by construction);
+    /// every other collective evaluates at the breadth campaigns'
+    /// coarser [`BREADTH_SEG_SIZE`](collsel_estim::BREADTH_SEG_SIZE) —
+    /// the segment its fits were estimated with. Serving them at the
+    /// broadcast segment instead would charge the pipelined algorithms
+    /// eight times the per-segment overheads their fits absorbed,
+    /// mis-ranking them at large payloads.
+    pub fn multi_selector(&self) -> CollectiveModelSelector {
+        let mut selector = CollectiveModelSelector::new(
+            self.gamma.table.clone(),
+            self.multi_hockney_table(),
+            self.seg_size,
+        );
+        for c in Collective::ALL {
+            if c != Collective::Bcast {
+                selector = selector.with_seg_size(c, collsel_estim::BREADTH_SEG_SIZE);
+            }
+        }
+        selector
+    }
+
+    /// The graceful multi-collective decision function: only fits that
+    /// pass validation join the rankings, and per decision the fallback
+    /// reason is reported. Segment sizes follow
+    /// [`multi_selector`](Self::multi_selector).
+    pub fn degraded_multi_selector(&self) -> GracefulCollectiveSelector {
+        let mut selector = GracefulCollectiveSelector::new(
+            self.gamma.table.clone(),
+            self.multi_hockney_table(),
+            self.multi_validity(),
+            self.seg_size,
+        );
+        for c in Collective::ALL {
+            if c != Collective::Bcast {
+                selector = selector.with_seg_size(c, collsel_estim::BREADTH_SEG_SIZE);
+            }
+        }
+        selector
+    }
+
+    /// Materialises the decision table of one tuned collective over the
+    /// given grids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either grid is empty or unsorted.
+    pub fn decision_table(
+        &self,
+        collective: Collective,
+        comm_sizes: &[usize],
+        msg_sizes: &[usize],
+    ) -> CollDecisionTable {
+        CollDecisionTable::generate(&self.multi_selector(), collective, comm_sizes, msg_sizes)
+    }
+
+    /// Compiles every tuned collective's decision table into one
+    /// [`CompiledCollectiveSelector`] over the given grids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no collective was tuned ([`Tuner::tune_collectives`]
+    /// fills the fits) or either grid is empty or unsorted.
+    pub fn compiled_multi_selector(
+        &self,
+        comm_sizes: &[usize],
+        msg_sizes: &[usize],
+    ) -> CompiledCollectiveSelector {
+        let tuned = self.tuned_collectives();
+        assert!(
+            !tuned.is_empty(),
+            "no collective fits: tune with tune_collectives first"
+        );
+        CompiledCollectiveSelector::compile(&self.multi_selector(), &tuned, comm_sizes, msg_sizes)
+    }
+
+    /// [`compiled_multi_selector`](Self::compiled_multi_selector) over
+    /// the default deployment grids (same grids as
+    /// [`compiled_selector_default`](Self::compiled_selector_default)).
+    pub fn compiled_multi_selector_default(&self) -> CompiledCollectiveSelector {
+        let msg_sizes = collsel_estim::log_spaced_sizes(1024, 8 * 1024 * 1024, 14);
+        self.compiled_multi_selector(&[2, 4, 8, 16, 32, 64, 128], &msg_sizes)
+    }
 }
 
 /// The output of a fault-tolerant tuning run: the model assembled from
@@ -161,14 +292,18 @@ impl TunedModel {
 pub struct TuneReport {
     /// The tuned model over the algorithms that fitted.
     pub model: TunedModel,
-    /// Algorithms whose estimation failed, with the typed reason.
+    /// Broadcast algorithms whose estimation failed, with the typed
+    /// reason.
     pub skipped: BTreeMap<BcastAlg, SimError>,
+    /// Algorithms of the breadth campaigns whose estimation failed
+    /// (empty for broadcast-only runs).
+    pub skipped_multi: BTreeMap<Alg, SimError>,
 }
 
 impl TuneReport {
     /// Whether every algorithm fitted (nothing was skipped).
     pub fn is_complete(&self) -> bool {
-        self.skipped.is_empty()
+        self.skipped.is_empty() && self.skipped_multi.is_empty()
     }
 }
 
@@ -225,8 +360,57 @@ impl Tuner {
             cluster_name: self.cluster.name().to_owned(),
             gamma,
             params,
+            collectives: BTreeMap::new(),
             seg_size: self.config.seg_size,
         }
+    }
+
+    /// Runs the full pipeline *plus* a breadth campaign per listed
+    /// collective: after γ and the broadcast fits, each collective's
+    /// algorithm family is fitted from its own timed sweeps
+    /// ([`estimate_collective_family`]).
+    ///
+    /// Broadcast's per-collective entry reuses the Sect. 4.2
+    /// gather-conditioned fits rather than re-measuring — the dedicated
+    /// broadcast estimation is strictly better conditioned, and this
+    /// keeps the mono and multi selectors consistent by construction.
+    pub fn tune_collectives(&self, collectives: &[Collective]) -> TunedModel {
+        let mut model = self.tune();
+        for &c in collectives {
+            let fits = if c == Collective::Bcast {
+                model
+                    .params
+                    .iter()
+                    .map(|(&b, est)| (Alg::Bcast(b), est.clone()))
+                    .collect()
+            } else {
+                estimate_collective_family(
+                    &self.cluster,
+                    c,
+                    &self.config.breadth,
+                    &model.gamma.table,
+                    self.breadth_seed(c),
+                )
+            };
+            model.collectives.insert(c, fits);
+        }
+        model
+    }
+
+    /// [`tune_collectives`](Self::tune_collectives) over all seven
+    /// collectives.
+    pub fn tune_all(&self) -> TunedModel {
+        self.tune_collectives(&Collective::ALL)
+    }
+
+    /// The seed of one collective's breadth campaign: decorrelated from
+    /// the γ (seed) and broadcast (seed+1) stages and from the other
+    /// collectives.
+    fn breadth_seed(&self, c: Collective) -> u64 {
+        self.config
+            .seed
+            .wrapping_add(2)
+            .wrapping_add((c.index() as u64) << 40)
     }
 
     /// Fault-tolerant pipeline for clusters running under an injected
@@ -274,20 +458,99 @@ impl Tuner {
                 cluster_name: self.cluster.name().to_owned(),
                 gamma,
                 params,
+                collectives: BTreeMap::new(),
                 seg_size: self.config.seg_size,
             },
             skipped,
+            skipped_multi: BTreeMap::new(),
         })
+    }
+
+    /// Fault-tolerant twin of [`tune_collectives`]
+    /// (Self::tune_collectives): the γ and broadcast stages follow
+    /// [`try_tune`](Self::try_tune)'s grading, and each breadth
+    /// algorithm that stalls is skipped individually — its collective
+    /// keeps the fits that survived, and the graceful selector falls
+    /// back to the fixed rules wherever a family lost every fit.
+    ///
+    /// # Errors
+    ///
+    /// Returns the γ estimation's [`SimError`] when the foundation
+    /// cannot be measured.
+    pub fn try_tune_collectives(
+        &self,
+        collectives: &[Collective],
+        policy: &RetryPolicy,
+    ) -> Result<TuneReport, SimError> {
+        let mut report = self.try_tune(policy)?;
+        for &c in collectives {
+            let mut fits = BTreeMap::new();
+            if c == Collective::Bcast {
+                for (&b, est) in &report.model.params {
+                    fits.insert(Alg::Bcast(b), est.clone());
+                }
+                // Broadcast algorithms skipped by the Sect. 4.2 stage
+                // stay skipped here, under their qualified name.
+                for (&b, e) in &report.skipped {
+                    report.skipped_multi.insert(Alg::Bcast(b), e.clone());
+                }
+            } else {
+                let outcomes = try_estimate_collective_family(
+                    &self.cluster,
+                    c,
+                    &self.config.breadth,
+                    &report.model.gamma.table,
+                    self.breadth_seed(c),
+                    policy,
+                );
+                for (alg, outcome) in outcomes {
+                    match outcome {
+                        Ok(est) => {
+                            fits.insert(alg, est);
+                        }
+                        Err(e) => {
+                            report.skipped_multi.insert(alg, e);
+                        }
+                    }
+                }
+            }
+            report.model.collectives.insert(c, fits);
+        }
+        Ok(report)
     }
 }
 
 // JSON persistence (layout-compatible with the former serde derives).
-collsel_support::json_struct!(TunedModel {
-    cluster_name,
-    gamma,
-    params,
-    seg_size
-});
+// Hand-written rather than `json_struct!` so that `collectives` is
+// optional on decode: model files written before the breadth campaigns
+// existed (including the committed `results/table2.json` artifact and
+// any user's saved broadcast-only model) must keep loading, with the
+// per-collective fits defaulting to empty.
+impl collsel_support::ToJson for TunedModel {
+    fn to_json(&self) -> collsel_support::Json {
+        collsel_support::Json::Obj(vec![
+            ("cluster_name".to_string(), self.cluster_name.to_json()),
+            ("gamma".to_string(), self.gamma.to_json()),
+            ("params".to_string(), self.params.to_json()),
+            ("collectives".to_string(), self.collectives.to_json()),
+            ("seg_size".to_string(), self.seg_size.to_json()),
+        ])
+    }
+}
+impl collsel_support::FromJson for TunedModel {
+    fn from_json(v: &collsel_support::Json) -> Result<Self, collsel_support::JsonError> {
+        Ok(TunedModel {
+            cluster_name: FromJson::from_json(v.field("cluster_name")?)?,
+            gamma: FromJson::from_json(v.field("gamma")?)?,
+            params: FromJson::from_json(v.field("params")?)?,
+            collectives: match v.get("collectives") {
+                Some(c) => FromJson::from_json(c)?,
+                None => BTreeMap::new(),
+            },
+            seg_size: FromJson::from_json(v.field("seg_size")?)?,
+        })
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -350,6 +613,77 @@ mod tests {
             }
         }
         assert!(compiled.rule_count() >= compiled.comm_block_count());
+    }
+
+    #[test]
+    fn tune_all_fits_every_collective_family() {
+        let cluster = ClusterModel::gros().with_noise(NoiseParams::OFF);
+        let model = Tuner::new(cluster, TunerConfig::quick(8)).tune_all();
+        assert_eq!(model.tuned_collectives(), Collective::ALL.to_vec());
+        for (c, fits) in &model.collectives {
+            assert_eq!(fits.len(), c.algorithms().len(), "{c}");
+            for alg in fits.keys() {
+                assert_eq!(alg.collective(), *c);
+            }
+        }
+        // Broadcast's entry is the Sect. 4.2 fits, re-keyed.
+        for (&b, est) in &model.params {
+            assert_eq!(model.collectives[&Collective::Bcast][&Alg::Bcast(b)], *est);
+        }
+    }
+
+    #[test]
+    fn multi_selector_serves_every_collective_and_matches_mono_bcast() {
+        use collsel_select::CollectiveSelector;
+        let cluster = ClusterModel::gros().with_noise(NoiseParams::OFF);
+        let model = Tuner::new(cluster, TunerConfig::quick(8)).tune_all();
+        let multi = model.multi_selector();
+        let mono = model.selector();
+        for &(p, m) in &[(4usize, 8192usize), (16, 64 * 1024), (90, 1 << 20)] {
+            for c in Collective::ALL {
+                let s = multi.select_for(c, p, m);
+                assert_eq!(s.alg.collective(), c, "p={p} m={m}");
+            }
+            // Same fits, same γ, same argmin: the multi selector's
+            // broadcast arm must agree with the dedicated selector.
+            use collsel_select::Selector;
+            let from_multi = multi.select_for(Collective::Bcast, p, m);
+            let from_mono = mono.select(p, m);
+            assert_eq!(from_multi.alg, Alg::Bcast(from_mono.alg), "p={p} m={m}");
+        }
+    }
+
+    #[test]
+    fn compiled_multi_selector_matches_live_on_grid() {
+        let cluster = ClusterModel::gros().with_noise(NoiseParams::OFF);
+        let model = Tuner::new(cluster, TunerConfig::quick(8)).tune_all();
+        use collsel_select::CollectiveSelector;
+        let live = model.multi_selector();
+        let compiled = model.compiled_multi_selector_default();
+        for c in Collective::ALL {
+            for &p in &[2usize, 8, 32, 128] {
+                for m in collsel_estim::log_spaced_sizes(1024, 8 * 1024 * 1024, 14) {
+                    assert_eq!(
+                        compiled.lookup(c, p, m),
+                        live.select_for(c, p, m),
+                        "{c} p={p} m={m}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn try_tune_collectives_matches_infallible_on_a_healthy_cluster() {
+        let cluster = ClusterModel::gros().with_noise(NoiseParams::OFF);
+        let tuner = Tuner::new(cluster, TunerConfig::quick(6));
+        let collectives = [Collective::Bcast, Collective::Reduce, Collective::Alltoall];
+        let plain = tuner.tune_collectives(&collectives);
+        let report = tuner
+            .try_tune_collectives(&collectives, &RetryPolicy::no_deadline())
+            .expect("healthy cluster tunes");
+        assert!(report.is_complete());
+        assert_eq!(report.model, plain, "fault-tolerant path is bit-identical");
     }
 
     #[test]
@@ -443,5 +777,32 @@ mod persistence_tests {
         for m in [4 * 1024, 64 * 1024, 1 << 20] {
             assert_eq!(a.select(64, m), b.select(64, m));
         }
+    }
+
+    #[test]
+    fn pre_breadth_model_files_still_decode() {
+        // Model JSON written before the breadth campaigns existed has
+        // no `collectives` field; it must load with the per-collective
+        // fits empty, not fail (regression: the committed
+        // results/table2.json artifact and any saved broadcast-only
+        // model).
+        let cluster = ClusterModel::gros().with_noise(NoiseParams::OFF);
+        let model = Tuner::new(cluster, TunerConfig::quick(12)).tune();
+        let json = collsel_support::ToJson::to_json(&model).to_string_pretty();
+        let value = collsel_support::Json::parse(&json).expect("parses");
+        let legacy = match value {
+            collsel_support::Json::Obj(fields) => collsel_support::Json::Obj(
+                fields
+                    .into_iter()
+                    .filter(|(k, _)| k != "collectives")
+                    .collect(),
+            ),
+            other => other,
+        };
+        let back: TunedModel = collsel_support::FromJson::from_json(&legacy).expect("decodes");
+        assert!(back.collectives.is_empty());
+        assert_eq!(back.tuned_collectives(), Vec::new());
+        assert_eq!(back.cluster_name, model.cluster_name);
+        assert_eq!(back.params.len(), model.params.len());
     }
 }

@@ -37,6 +37,7 @@
 #![warn(missing_debug_implementations)]
 
 mod alpha_beta;
+mod breadth;
 mod gamma_est;
 mod hockney_est;
 mod loggp_est;
@@ -48,15 +49,20 @@ pub use alpha_beta::{
     estimate_all_alpha_beta, estimate_alpha_beta, log_spaced_sizes, try_estimate_all_alpha_beta,
     try_estimate_alpha_beta, AlphaBetaConfig, AlphaBetaEstimate, ExperimentPoint,
 };
+pub use breadth::{
+    estimate_collective_alpha_beta, estimate_collective_family, try_estimate_collective_family,
+    BreadthConfig, BREADTH_SEG_SIZE,
+};
 pub use gamma_est::{estimate_gamma, try_estimate_gamma, GammaConfig, GammaEstimate};
 pub use hockney_est::{estimate_network_hockney, NetworkHockneyEstimate};
 pub use loggp_est::{estimate_loggp, LogGPEstimate};
 pub use measure::{
     bcast_gather_experiment_time_batch, bcast_gather_experiment_time_batch_with, bcast_time_batch,
-    bcast_time_batch_with, try_bcast_gather_experiment_time, try_bcast_gather_experiment_time_with,
-    try_bcast_time, try_bcast_time_with, try_linear_segment_bcast_time,
-    try_linear_segment_bcast_time_with, try_p2p_time, try_p2p_time_with, BcastSpec, ExperimentSpec,
-    RetryPolicy,
+    bcast_time_batch_with, collective_time, collective_time_batch, collective_time_batch_with,
+    collective_time_with, try_bcast_gather_experiment_time, try_bcast_gather_experiment_time_with,
+    try_bcast_time, try_bcast_time_with, try_collective_time, try_collective_time_with,
+    try_linear_segment_bcast_time, try_linear_segment_bcast_time_with, try_p2p_time,
+    try_p2p_time_with, BcastSpec, CollectiveSpec, ExperimentSpec, RetryPolicy,
 };
 pub use regress::{huber, huber_default, ols, LinearFit};
 pub use stats::{

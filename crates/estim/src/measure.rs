@@ -37,9 +37,10 @@
 
 use crate::stats::{sample_adaptive, sample_adaptive_fallible, Precision, SampleStats};
 use collsel_coll::compile::{
-    compile_timed_bcast, compile_timed_bcast_gather, compile_timed_linear_segment,
+    compile_timed_bcast, compile_timed_bcast_gather, compile_timed_collective,
+    compile_timed_linear_segment,
 };
-use collsel_coll::{bcast, gather_linear, BcastAlg};
+use collsel_coll::{bcast, gather_linear, run_collective, Alg, BcastAlg};
 use collsel_mpi::{
     record_schedule, simulate_scheduled, Backend, Comm, Ctx, RecordError, Schedule, ScheduledRun,
     SimError, SimOptions,
@@ -397,6 +398,188 @@ fn bcast_time_threads(
             move |ctx| {
                 let data = (ctx.rank() == ROOT).then(|| msg.clone());
                 let _ = bcast(ctx, alg, ROOT, data, m, seg_size);
+            },
+        )
+    })
+}
+
+/// Measures the execution time of one collective configuration —
+/// any algorithm of any of the seven collectives — until the paper's
+/// precision target is met, on the default [`Backend`].
+///
+/// `m` follows [`run_collective`]'s payload convention: the total
+/// vector for rooted one-to-all/all-to-one collectives and allreduce,
+/// the per-rank block for gather/scatter/allgather/alltoall. Each
+/// repetition is `barrier; t0; collective; barrier; t1` on the root, so
+/// the sample covers the slowest rank's completion.
+///
+/// # Panics
+///
+/// Panics if `p` exceeds the cluster's slots.
+pub fn collective_time(
+    cluster: &ClusterModel,
+    alg: Alg,
+    p: usize,
+    m: usize,
+    seg_size: usize,
+    precision: &Precision,
+    seed: u64,
+) -> SampleStats {
+    collective_time_with(
+        cluster,
+        alg,
+        p,
+        m,
+        seg_size,
+        precision,
+        seed,
+        Backend::default(),
+    )
+}
+
+/// [`collective_time`] on an explicit execution [`Backend`]; both
+/// backends return bit-identical statistics
+/// (`tests/collective_breadth.rs`).
+///
+/// # Panics
+///
+/// Same as [`collective_time`].
+#[allow(clippy::too_many_arguments)]
+pub fn collective_time_with(
+    cluster: &ClusterModel,
+    alg: Alg,
+    p: usize,
+    m: usize,
+    seg_size: usize,
+    precision: &Precision,
+    seed: u64,
+    backend: Backend,
+) -> SampleStats {
+    if backend == Backend::Events {
+        let reps = precision.min_reps;
+        if let Ok(sched) =
+            compile_timed_collective(&recording_cluster(cluster), alg, p, ROOT, m, seg_size, reps)
+        {
+            return events_stats(cluster, &sched, precision, seed, 1.0);
+        }
+    }
+    collective_time_threads(cluster, alg, p, m, seg_size, precision, seed)
+}
+
+/// The threaded-oracle body of [`collective_time`].
+fn collective_time_threads(
+    cluster: &ClusterModel,
+    alg: Alg,
+    p: usize,
+    m: usize,
+    seg_size: usize,
+    precision: &Precision,
+    seed: u64,
+) -> SampleStats {
+    let reps = precision.min_reps;
+    sample_adaptive(precision, |batch| {
+        timed_reps(
+            cluster,
+            p,
+            seed.wrapping_add(batch as u64),
+            reps,
+            move |ctx| run_collective(ctx, alg, ROOT, m, seg_size),
+        )
+    })
+}
+
+/// Fallible twin of [`collective_time`] for clusters that may stall
+/// under an injected fault plan; see [`try_bcast_time`] for the retry
+/// discipline.
+///
+/// # Errors
+///
+/// Same contract as [`try_bcast_time`].
+#[allow(clippy::too_many_arguments)]
+pub fn try_collective_time(
+    cluster: &ClusterModel,
+    alg: Alg,
+    p: usize,
+    m: usize,
+    seg_size: usize,
+    precision: &Precision,
+    seed: u64,
+    policy: &RetryPolicy,
+) -> Result<SampleStats, SimError> {
+    try_collective_time_with(
+        cluster,
+        alg,
+        p,
+        m,
+        seg_size,
+        precision,
+        seed,
+        policy,
+        Backend::default(),
+    )
+}
+
+/// [`try_collective_time`] on an explicit execution [`Backend`]; both
+/// backends return bit-identical results, including error variants.
+///
+/// # Errors
+///
+/// Same contract as [`try_bcast_time`].
+#[allow(clippy::too_many_arguments)]
+pub fn try_collective_time_with(
+    cluster: &ClusterModel,
+    alg: Alg,
+    p: usize,
+    m: usize,
+    seg_size: usize,
+    precision: &Precision,
+    seed: u64,
+    policy: &RetryPolicy,
+    backend: Backend,
+) -> Result<SampleStats, SimError> {
+    if backend == Backend::Events {
+        let reps = precision.min_reps;
+        if let Ok(sched) =
+            compile_timed_collective(&recording_cluster(cluster), alg, p, ROOT, m, seg_size, reps)
+        {
+            return try_events_stats(cluster, &sched, precision, seed, policy, 1.0);
+        }
+    }
+    try_collective_time_threads(cluster, alg, p, m, seg_size, precision, seed, policy)
+}
+
+/// The threaded-oracle body of [`try_collective_time`].
+#[allow(clippy::too_many_arguments)]
+fn try_collective_time_threads(
+    cluster: &ClusterModel,
+    alg: Alg,
+    p: usize,
+    m: usize,
+    seg_size: usize,
+    precision: &Precision,
+    seed: u64,
+    policy: &RetryPolicy,
+) -> Result<SampleStats, SimError> {
+    let reps = precision.min_reps;
+    sample_adaptive_fallible(precision, |batch| {
+        try_root_samples(
+            cluster,
+            p,
+            seed.wrapping_add(batch as u64),
+            policy,
+            move |ctx| {
+                let mut ts = Vec::with_capacity(reps);
+                for _ in 0..reps {
+                    ctx.barrier();
+                    let t0 = ctx.wtime();
+                    run_collective(ctx, alg, ROOT, m, seg_size);
+                    ctx.barrier();
+                    let t1 = ctx.wtime();
+                    if ctx.rank() == ROOT {
+                        ts.push((t1 - t0).as_secs_f64());
+                    }
+                }
+                ts
             },
         )
     })
@@ -1061,6 +1244,23 @@ pub struct BcastSpec {
     pub seed: u64,
 }
 
+/// Specification of one independent [`collective_time`] measurement
+/// inside a batch: the full (algorithm, P, m, segment, seed) cell —
+/// the algorithm tag carries its collective.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CollectiveSpec {
+    /// Algorithm under measurement (tagged with its collective).
+    pub alg: Alg,
+    /// Number of ranks.
+    pub p: usize,
+    /// Payload size in bytes ([`run_collective`]'s convention).
+    pub m: usize,
+    /// Segment size for segmented algorithms.
+    pub seg_size: usize,
+    /// Base seed of this cell's noise stream.
+    pub seed: u64,
+}
+
 /// Specification of one independent
 /// [`bcast_gather_experiment_time`] measurement inside a batch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -1110,6 +1310,45 @@ pub fn bcast_time_batch_with(
         let spec = *spec;
         move || {
             bcast_time_with(
+                cluster,
+                spec.alg,
+                spec.p,
+                spec.m,
+                spec.seg_size,
+                precision,
+                spec.seed,
+                backend,
+            )
+        }
+    }))
+}
+
+/// Measures a batch of independent collective cells across `pool`,
+/// returning the statistics in spec order; bit-identical to calling
+/// [`collective_time`] per spec in order at any thread count (see
+/// [`bcast_time_batch`]).
+pub fn collective_time_batch(
+    cluster: &ClusterModel,
+    specs: &[CollectiveSpec],
+    precision: &Precision,
+    pool: Pool,
+) -> Vec<SampleStats> {
+    collective_time_batch_with(cluster, specs, precision, pool, Backend::default())
+}
+
+/// [`collective_time_batch`] on an explicit execution [`Backend`]; see
+/// [`bcast_time_batch_with`].
+pub fn collective_time_batch_with(
+    cluster: &ClusterModel,
+    specs: &[CollectiveSpec],
+    precision: &Precision,
+    pool: Pool,
+    backend: Backend,
+) -> Vec<SampleStats> {
+    pool.run(specs.iter().map(|spec| {
+        let spec = *spec;
+        move || {
+            collective_time_with(
                 cluster,
                 spec.alg,
                 spec.p,
@@ -1467,6 +1706,103 @@ mod tests {
         )
         .expect_err("1 ns cannot fit a run");
         assert_eq!(ev, th, "timeout diagnostics must match");
+    }
+
+    #[test]
+    fn collective_time_is_positive_for_every_family() {
+        use collsel_coll::Collective;
+        let c = quiet_gros();
+        let p = Precision::quick();
+        for coll in Collective::ALL {
+            let alg = coll.algorithms()[0];
+            let s = collective_time(&c, alg, 6, 16 * 1024, 8 * 1024, &p, 1);
+            assert!(s.mean > 0.0, "{}", alg.qualified_name());
+            assert!(s.converged, "{}", alg.qualified_name());
+        }
+    }
+
+    #[test]
+    fn collective_time_matches_bcast_time_for_bcast_algs() {
+        // The universal dispatcher must measure broadcast exactly like
+        // the original bcast-only path on both backends.
+        let c = ClusterModel::grisou();
+        let p = Precision::quick();
+        for backend in [Backend::Events, Backend::Threads] {
+            assert_eq!(
+                collective_time_with(
+                    &c,
+                    Alg::Bcast(BcastAlg::Binomial),
+                    8,
+                    64 * 1024,
+                    8 * 1024,
+                    &p,
+                    5,
+                    backend
+                ),
+                bcast_time_with(
+                    &c,
+                    BcastAlg::Binomial,
+                    8,
+                    64 * 1024,
+                    8 * 1024,
+                    &p,
+                    5,
+                    backend
+                ),
+                "{backend:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn try_collective_time_matches_infallible_without_deadline() {
+        use collsel_coll::ReduceAlg;
+        let c = quiet_gros();
+        let p = Precision::quick();
+        let alg = Alg::Reduce(ReduceAlg::Binomial);
+        let infallible = collective_time(&c, alg, 8, 64 * 1024, 8 * 1024, &p, 1);
+        let fallible = try_collective_time(
+            &c,
+            alg,
+            8,
+            64 * 1024,
+            8 * 1024,
+            &p,
+            1,
+            &RetryPolicy::no_deadline(),
+        )
+        .expect("fault-free run converges");
+        assert_eq!(infallible, fallible);
+    }
+
+    #[test]
+    fn collective_batch_matches_serial_at_any_thread_count() {
+        use collsel_coll::{AllgatherAlg, AlltoallAlg, ReduceAlg};
+        let c = quiet_gros();
+        let prec = Precision::quick();
+        let specs: Vec<CollectiveSpec> = [
+            Alg::Reduce(ReduceAlg::Pipeline),
+            Alg::Allgather(AllgatherAlg::Ring),
+            Alg::Alltoall(AlltoallAlg::Pairwise),
+        ]
+        .iter()
+        .enumerate()
+        .map(|(i, &alg)| CollectiveSpec {
+            alg,
+            p: 6,
+            m: 16 * 1024,
+            seg_size: 8 * 1024,
+            seed: 1 + i as u64,
+        })
+        .collect();
+        let serial: Vec<SampleStats> = specs
+            .iter()
+            .map(|s| collective_time(&c, s.alg, s.p, s.m, s.seg_size, &prec, s.seed))
+            .collect();
+        for threads in [1, 4] {
+            let batch = collective_time_batch(&c, &specs, &prec, Pool::with_threads(threads));
+            assert_eq!(serial, batch, "threads={threads}");
+        }
     }
 
     #[test]

@@ -17,27 +17,32 @@
 //! `--mca coll_tuned_use_dynamic_rules 1
 //!  --mca coll_tuned_dynamic_rules_filename <file>`.
 
+use collsel::coll::Collective;
 use collsel::estim::{log_spaced_sizes, RetryPolicy};
 use collsel::mpi::Backend;
 use collsel::netsim::{ClusterModel, FaultPlan, SimSpan};
 use collsel::select::rules::DecisionTable;
-use collsel::select::{DecisionService, DecisionSource, Selector};
+use collsel::select::{CollectiveDecisionService, DecisionService, DecisionSource, Selector};
 use collsel::{TunedModel, Tuner, TunerConfig};
 use std::process::ExitCode;
 
 const USAGE: &str = "usage:
   colltune tune   [--preset grisou|gros | --nodes N --gbps G --latency-us L --cpus-per-node C]
                   [--tune-p P] [--paper] [--seed N] [--faults SPEC] [-j N | --threads N]
-                  [--backend threads|events] --out model.json
+                  [--collective NAME]... [--backend threads|events] --out model.json
   colltune query  --model model.json --p P --m BYTES [--m BYTES]... [--degraded]
-                  [--backend threads|events]
+                  [--collective NAME]... [--backend threads|events]
   colltune show   --model model.json
   colltune export --model model.json --out rules.conf [--comm-sizes A,B,...]
   colltune bench-select
                   --model model.json [--queries N] [--cache N] [--seed N]
-                  [--comm-sizes A,B,...]
+                  [--comm-sizes A,B,...] [--collective NAME]...
 
 fault specs (NAME or NAME:SEED): none, degraded-link, straggler, brownout, spike, chaos
+--collective: a collective to tune/query/bench beyond broadcast (repeatable):
+bcast, reduce, allreduce, gather, scatter, allgather, alltoall, or `all`;
+tune runs a breadth campaign per listed collective, query and bench-select
+route through the multi-collective serving stack
 -j/--threads: worker threads for the tuning campaign (default: COLLSEL_THREADS
 or the host's available parallelism); any thread count yields bit-identical models
 --backend: measurement execution backend (default: events — compile-and-replay with
@@ -134,6 +139,28 @@ fn parse_backend(args: &[String]) -> Result<Backend, String> {
     }
 }
 
+/// Parses the repeated `--collective` flag: collective names or the
+/// shorthand `all`, deduplicated in first-seen order. Empty when the
+/// flag is absent (broadcast-only behaviour).
+fn parse_collectives(args: &[String]) -> Result<Vec<Collective>, String> {
+    let mut out: Vec<Collective> = Vec::new();
+    for value in flag_values(args, "--collective") {
+        if value == "all" {
+            for c in Collective::ALL {
+                if !out.contains(&c) {
+                    out.push(c);
+                }
+            }
+        } else {
+            let c: Collective = parse(value, "collective")?;
+            if !out.contains(&c) {
+                out.push(c);
+            }
+        }
+    }
+    Ok(out)
+}
+
 fn cmd_tune(args: &[String]) -> Result<(), String> {
     validate_flags(
         args,
@@ -150,6 +177,7 @@ fn cmd_tune(args: &[String]) -> Result<(), String> {
             "--threads",
             "-j",
             "--backend",
+            "--collective",
         ],
         &["--paper"],
     )?;
@@ -212,6 +240,7 @@ fn cmd_tune(args: &[String]) -> Result<(), String> {
         Some(spec) => Some(FaultPlan::parse(spec, cluster.nodes())?),
         None => None,
     };
+    let collectives = parse_collectives(args)?;
 
     eprintln!(
         "[colltune] tuning {} ({} slots) with {} experiment processes on {} threads \
@@ -221,19 +250,42 @@ fn cmd_tune(args: &[String]) -> Result<(), String> {
         tune_p,
         threads
     );
+    if !collectives.is_empty() {
+        let names: Vec<&str> = collectives.iter().map(|c| c.name()).collect();
+        eprintln!(
+            "[colltune] breadth campaign over {} collective(s): {}",
+            collectives.len(),
+            names.join(", ")
+        );
+    }
     let model = match faults {
         Some(plan) if !plan.is_none() => {
             eprintln!("[colltune] injecting faults: {plan}");
             let cluster = cluster.with_faults(plan);
-            let report = Tuner::new(cluster, config)
-                .try_tune(&RetryPolicy::default())
-                .map_err(|e| format!("tuning failed under the fault plan: {e}"))?;
+            let tuner = Tuner::new(cluster, config);
+            let report = if collectives.is_empty() {
+                tuner.try_tune(&RetryPolicy::default())
+            } else {
+                tuner.try_tune_collectives(&collectives, &RetryPolicy::default())
+            }
+            .map_err(|e| format!("tuning failed under the fault plan: {e}"))?;
             for (alg, why) in &report.skipped {
                 eprintln!("[colltune] skipped {:<12} {why}", alg.name());
+            }
+            for (alg, why) in &report.skipped_multi {
+                eprintln!("[colltune] skipped {:<22} {why}", alg.qualified_name());
             }
             for (alg, verdict) in report.model.validity() {
                 if !verdict.is_valid() {
                     eprintln!("[colltune] suspect {:<12} fit is {verdict}", alg.name());
+                }
+            }
+            for (alg, verdict) in report.model.multi_validity() {
+                if !verdict.is_valid() {
+                    eprintln!(
+                        "[colltune] suspect {:<22} fit is {verdict}",
+                        alg.qualified_name()
+                    );
                 }
             }
             if report.is_complete() {
@@ -241,7 +293,14 @@ fn cmd_tune(args: &[String]) -> Result<(), String> {
             }
             report.model
         }
-        _ => Tuner::new(cluster, config).tune(),
+        _ => {
+            let tuner = Tuner::new(cluster, config);
+            if collectives.is_empty() {
+                tuner.tune()
+            } else {
+                tuner.tune_collectives(&collectives)
+            }
+        }
     };
     let mut json = collsel_support::ToJson::to_json(&model);
     if let collsel_support::Json::Obj(fields) = &mut json {
@@ -276,7 +335,7 @@ fn load_model(args: &[String]) -> Result<TunedModel, String> {
 fn cmd_query(args: &[String]) -> Result<(), String> {
     validate_flags(
         args,
-        &["--model", "--p", "--m", "--backend"],
+        &["--model", "--p", "--m", "--backend", "--collective"],
         &["--degraded"],
     )?;
     // Queries evaluate closed-form models — no simulation runs — but
@@ -288,6 +347,10 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
     let sizes = flag_values(args, "--m");
     if sizes.is_empty() {
         return Err("at least one --m required".into());
+    }
+    let collectives = parse_collectives(args)?;
+    if !collectives.is_empty() {
+        return query_multi(&model, &collectives, p, &sizes, args);
     }
     if args.iter().any(|a| a == "--degraded") {
         // Graceful path: works on partial/suspect models and reports
@@ -329,6 +392,77 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
             ranking[1].0.name(),
             ranking[1].1 * 1e3,
         );
+    }
+    Ok(())
+}
+
+/// `query --collective ...`: selections served by the multi-collective
+/// stack, one block per collective, algorithms under qualified names.
+fn query_multi(
+    model: &TunedModel,
+    collectives: &[Collective],
+    p: usize,
+    sizes: &[&str],
+    args: &[String],
+) -> Result<(), String> {
+    use collsel::select::CollectiveSelector as _;
+    if args.iter().any(|a| a == "--degraded") {
+        let selector = model.degraded_multi_selector();
+        println!(
+            "graceful multi-collective selections for {} at P = {p}:",
+            model.cluster_name
+        );
+        for &c in collectives {
+            println!("{}:", c.name());
+            for s in sizes {
+                let m: usize = parse(s, "message size")?;
+                let d = selector.decide_for(c, p, m);
+                match &d.source {
+                    DecisionSource::Model { predicted } => println!(
+                        "  m = {m:>9} B -> {:<22} (model, predicted {:.3} ms)",
+                        d.selection.alg.qualified_name(),
+                        predicted * 1e3,
+                    ),
+                    DecisionSource::Fallback { reason } => println!(
+                        "  m = {m:>9} B -> {:<22} (fixed-rules fallback: {reason})",
+                        d.selection.alg.qualified_name(),
+                    ),
+                }
+            }
+        }
+        return Ok(());
+    }
+    let selector = model.multi_selector();
+    println!(
+        "multi-collective selections for {} at P = {p} ({} collective(s) tuned):",
+        model.cluster_name,
+        model.tuned_collectives().len()
+    );
+    for &c in collectives {
+        println!("{}:", c.name());
+        for s in sizes {
+            let m: usize = parse(s, "message size")?;
+            let pick = selector.select_for(c, p, m);
+            let ranking = selector.ranking(c, p, m);
+            match ranking.as_slice() {
+                [(_, first), (next_alg, next), ..] => println!(
+                    "  m = {m:>9} B -> {:<22} (predicted {:.3} ms; next: {} at {:.3} ms)",
+                    pick.alg.qualified_name(),
+                    first * 1e3,
+                    next_alg.name(),
+                    next * 1e3,
+                ),
+                [(_, first)] => println!(
+                    "  m = {m:>9} B -> {:<22} (predicted {:.3} ms)",
+                    pick.alg.qualified_name(),
+                    first * 1e3,
+                ),
+                [] => println!(
+                    "  m = {m:>9} B -> {:<22} (fixed rules: collective not tuned)",
+                    pick.alg.qualified_name(),
+                ),
+            }
+        }
     }
     Ok(())
 }
@@ -380,7 +514,14 @@ fn parse_comm_sizes(args: &[String]) -> Result<Vec<usize>, String> {
 fn cmd_bench_select(args: &[String]) -> Result<(), String> {
     validate_flags(
         args,
-        &["--model", "--queries", "--cache", "--seed", "--comm-sizes"],
+        &[
+            "--model",
+            "--queries",
+            "--cache",
+            "--seed",
+            "--comm-sizes",
+            "--collective",
+        ],
         &[],
     )?;
     let model = load_model(args)?;
@@ -392,6 +533,18 @@ fn cmd_bench_select(args: &[String]) -> Result<(), String> {
     }
     let comm_sizes = parse_comm_sizes(args)?;
     let msg_sizes = log_spaced_sizes(1024, 8 * 1024 * 1024, 14);
+    let collectives = parse_collectives(args)?;
+    if !collectives.is_empty() {
+        return bench_select_multi(
+            &model,
+            &collectives,
+            queries,
+            cache,
+            seed,
+            &comm_sizes,
+            &msg_sizes,
+        );
+    }
     let live = model.selector();
     let compiled = model.compiled_selector(&comm_sizes, &msg_sizes);
     let service = DecisionService::compiled(compiled.clone()).with_cache(cache, seed);
@@ -453,6 +606,92 @@ fn cmd_bench_select(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// `bench-select --collective ...`: the multi-collective serving stack
+/// under the same live/compiled/cached comparison, with the collective
+/// as a third query dimension.
+fn bench_select_multi(
+    model: &TunedModel,
+    collectives: &[Collective],
+    queries: usize,
+    cache: usize,
+    seed: u64,
+    comm_sizes: &[usize],
+    msg_sizes: &[usize],
+) -> Result<(), String> {
+    let tuned = model.tuned_collectives();
+    for &c in collectives {
+        if !tuned.contains(&c) {
+            return Err(format!(
+                "collective `{}` has no fits in this model; re-tune with \
+                 `colltune tune --collective {}`",
+                c.name(),
+                c.name()
+            ));
+        }
+    }
+    let live = model.multi_selector();
+    let compiled = model.compiled_multi_selector(comm_sizes, msg_sizes);
+    let service = CollectiveDecisionService::compiled(compiled.clone()).with_cache(cache, seed);
+
+    // The working set gains a collective dimension; otherwise identical
+    // in spirit to the broadcast bench.
+    let mut rng_state = seed;
+    let max_p = comm_sizes.last().copied().unwrap_or(128).max(2);
+    let working_set: Vec<(Collective, usize, usize)> = (0..1024)
+        .map(|_| {
+            let c = collectives
+                [(collsel_support::rng::splitmix64(&mut rng_state) as usize) % collectives.len()];
+            let p = 2 + (collsel_support::rng::splitmix64(&mut rng_state) as usize) % (max_p - 1);
+            let exp = (collsel_support::rng::splitmix64(&mut rng_state) % 14) as u32;
+            let m = 1024usize << exp.min(13);
+            (c, p, m)
+        })
+        .collect();
+    let stream = |i: usize| working_set[i % working_set.len()];
+
+    let time = |mut f: Box<dyn FnMut(usize) + '_>| -> f64 {
+        let start = std::time::Instant::now();
+        for i in 0..queries {
+            f(i);
+        }
+        queries as f64 / start.elapsed().as_secs_f64()
+    };
+    let live_qps = time(Box::new(|i| {
+        let (c, p, m) = stream(i);
+        std::hint::black_box(live.ranking(c, p, m));
+    }));
+    let compiled_qps = time(Box::new(|i| {
+        let (c, p, m) = stream(i);
+        std::hint::black_box(compiled.lookup(c, p, m));
+    }));
+    let cached_qps = time(Box::new(|i| {
+        let (c, p, m) = stream(i);
+        std::hint::black_box(service.decide(c, p, m));
+    }));
+    let stats = service.stats();
+    println!(
+        "multi-collective decision-serving throughput for {} \
+         ({queries} queries over {} collective(s), {} distinct):",
+        model.cluster_name,
+        collectives.len(),
+        working_set.len()
+    );
+    println!("  live ranking : {live_qps:>12.0} queries/s");
+    println!(
+        "  compiled     : {compiled_qps:>12.0} queries/s ({:.1}x live; {} rules)",
+        compiled_qps / live_qps,
+        compiled.rule_count(),
+    );
+    println!(
+        "  cached       : {cached_qps:>12.0} queries/s ({:.1}x live; hit rate {:.1}%, \
+         {} entries resident)",
+        cached_qps / live_qps,
+        100.0 * stats.hit_rate(),
+        service.cached_entries()
+    );
+    Ok(())
+}
+
 fn print_tables(model: &TunedModel) {
     println!("cluster: {}", model.cluster_name);
     println!("gamma(P):");
@@ -462,5 +701,11 @@ fn print_tables(model: &TunedModel) {
     println!("per-algorithm parameters:");
     for (alg, h) in model.hockney_table() {
         println!("  {:<12} {}", alg.name(), h);
+    }
+    if !model.collectives.is_empty() {
+        println!("per-collective parameters:");
+        for (alg, h) in model.multi_hockney_table() {
+            println!("  {:<22} {}", alg.qualified_name(), h);
+        }
     }
 }

@@ -1,0 +1,70 @@
+//! Allgather models, derived from the ports in `coll::allgather`.
+//!
+//! * ring — `P-1` rounds, each a neighbour sendrecv of one `m`-byte
+//!   block: `(P-1)·(α + m·β)`;
+//! * recursive doubling — `log₂P` exchange rounds doubling the payload
+//!   each time: `log₂P` startups moving `(P-1)·m` bytes in total; the
+//!   port falls back to the ring on non-power-of-two worlds, and so
+//!   does the model;
+//! * gather+bcast — a linear gather of `m`-byte blocks into rank 0
+//!   followed by a binomial broadcast of the packed `P·m`-byte vector
+//!   (the port broadcasts with its own fixed 8 KiB segments, so the
+//!   caller's `seg_size` does not appear).
+
+use super::{check_family, log2_ceil, CollectiveModel};
+use crate::derived::{bcast_coefficients, gather_linear_coefficients};
+use crate::gamma::GammaTable;
+use crate::hockney::Coefficients;
+use collsel_coll::{Alg, AllgatherAlg, BcastAlg, Collective};
+
+/// The segment size hardcoded by `allgather_gather_bcast`'s broadcast
+/// phase.
+const GATHER_BCAST_SEG: usize = 8 * 1024;
+
+/// The allgather family model (`m` = per-rank block size).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AllgatherModel;
+
+impl CollectiveModel for AllgatherModel {
+    fn collective(&self) -> Collective {
+        Collective::Allgather
+    }
+
+    fn coefficients(
+        &self,
+        alg: Alg,
+        p: usize,
+        m: usize,
+        _seg_size: usize,
+        gamma: &GammaTable,
+    ) -> Coefficients {
+        check_family(Collective::Allgather, alg);
+        let Alg::Allgather(a) = alg else {
+            unreachable!()
+        };
+        if p <= 1 {
+            return Coefficients::ZERO;
+        }
+        let ring = || {
+            let n = (p - 1) as f64;
+            Coefficients::new(n, n * m as f64)
+        };
+        match a {
+            AllgatherAlg::Ring => ring(),
+            AllgatherAlg::RecursiveDoubling => {
+                if p.is_power_of_two() {
+                    Coefficients::new(log2_ceil(p), (p - 1) as f64 * m as f64)
+                } else {
+                    ring()
+                }
+            }
+            AllgatherAlg::GatherBcast => gather_linear_coefficients(p, m).plus(bcast_coefficients(
+                BcastAlg::Binomial,
+                p,
+                p * m,
+                GATHER_BCAST_SEG,
+                gamma,
+            )),
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! Allreduce models, derived from the ports in `coll::allreduce`.
+//!
+//! * reduce+bcast — a binomial reduce into rank 0 followed by a
+//!   binomial broadcast of the result, both segmented with the caller's
+//!   `seg_size`: the sequential composition of the two tree models;
+//! * recursive doubling — `log₂P` exchange-and-fold rounds of the full
+//!   `m`-byte vector; non-power-of-two worlds add a fold-in and a
+//!   fold-out round for the extra ranks, i.e. two more full-vector
+//!   exchanges on the critical path.
+
+use super::{check_family, CollectiveModel};
+use crate::derived::bcast_coefficients;
+use crate::gamma::GammaTable;
+use crate::hockney::Coefficients;
+use crate::reduce_ext::reduce_coefficients;
+use collsel_coll::{Alg, AllreduceAlg, BcastAlg, Collective, ReduceAlg};
+
+/// The allreduce family model (`m` = total vector size).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AllreduceModel;
+
+impl CollectiveModel for AllreduceModel {
+    fn collective(&self) -> Collective {
+        Collective::Allreduce
+    }
+
+    fn coefficients(
+        &self,
+        alg: Alg,
+        p: usize,
+        m: usize,
+        seg_size: usize,
+        gamma: &GammaTable,
+    ) -> Coefficients {
+        check_family(Collective::Allreduce, alg);
+        let Alg::Allreduce(a) = alg else {
+            unreachable!()
+        };
+        if p <= 1 {
+            return Coefficients::ZERO;
+        }
+        match a {
+            AllreduceAlg::ReduceBcast => {
+                reduce_coefficients(ReduceAlg::Binomial, p, m, seg_size, gamma).plus(
+                    bcast_coefficients(BcastAlg::Binomial, p, m, seg_size, gamma),
+                )
+            }
+            AllreduceAlg::RecursiveDoubling => {
+                let pow2 = (usize::BITS - 1 - p.leading_zeros()) as f64; // ⌊log₂ p⌋
+                let extra_rounds = if p.is_power_of_two() { 0.0 } else { 2.0 };
+                let rounds = pow2 + extra_rounds;
+                Coefficients::new(rounds, rounds * m as f64)
+            }
+        }
+    }
+}

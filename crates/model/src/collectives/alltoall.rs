@@ -1,0 +1,48 @@
+//! All-to-all models, derived from the ports in `coll::alltoall`.
+//!
+//! * linear — every rank posts its `P-1` receives and `P-1` sends at
+//!   once; all `P-1` outgoing blocks contend on the sender's NIC
+//!   exactly like a `P`-destination non-blocking linear broadcast, so
+//!   the stage is costed `γ(P)·(P-1)·(α + m·β)`;
+//! * pairwise — `P-1` balanced sendrecv rounds, one partner per round,
+//!   no contention: `(P-1)·(α + m·β)`.
+
+use super::{check_family, CollectiveModel};
+use crate::gamma::GammaTable;
+use crate::hockney::Coefficients;
+use collsel_coll::{Alg, AlltoallAlg, Collective};
+
+/// The all-to-all family model (`m` = per-destination block size).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AlltoallModel;
+
+impl CollectiveModel for AlltoallModel {
+    fn collective(&self) -> Collective {
+        Collective::Alltoall
+    }
+
+    fn coefficients(
+        &self,
+        alg: Alg,
+        p: usize,
+        m: usize,
+        _seg_size: usize,
+        gamma: &GammaTable,
+    ) -> Coefficients {
+        check_family(Collective::Alltoall, alg);
+        let Alg::Alltoall(a) = alg else {
+            unreachable!()
+        };
+        if p <= 1 {
+            return Coefficients::ZERO;
+        }
+        let n = (p - 1) as f64;
+        match a {
+            AlltoallAlg::Linear => {
+                let g = gamma.gamma(p);
+                Coefficients::new(g * n, g * n * m as f64)
+            }
+            AlltoallAlg::Pairwise => Coefficients::new(n, n * m as f64),
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! Broadcast model — a thin adapter over the paper's Sect. 3 formulas
+//! in [`derived`](crate::derived).
+
+use super::{check_family, CollectiveModel};
+use crate::derived::bcast_coefficients;
+use crate::gamma::GammaTable;
+use crate::hockney::Coefficients;
+use collsel_coll::{Alg, Collective};
+
+/// The broadcast family model (paper Sect. 3, Eqs. 2–7).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BcastModel;
+
+impl CollectiveModel for BcastModel {
+    fn collective(&self) -> Collective {
+        Collective::Bcast
+    }
+
+    fn coefficients(
+        &self,
+        alg: Alg,
+        p: usize,
+        m: usize,
+        seg_size: usize,
+        gamma: &GammaTable,
+    ) -> Coefficients {
+        check_family(Collective::Bcast, alg);
+        let Alg::Bcast(b) = alg else { unreachable!() };
+        bcast_coefficients(b, p, m, seg_size, gamma)
+    }
+}

@@ -1,0 +1,43 @@
+//! Gather models, derived from the ports in `coll::gather`.
+//!
+//! * linear — the root pre-posts `P-1` receives of `m`-byte blocks and
+//!   waits for all; same drain as Eq. 8: `(P-1)·(α + m·β)`;
+//! * binomial — `⌈log₂P⌉` rounds on the root's critical path, but the
+//!   root's last receive carries half of everything, and the bytes
+//!   funnelling into the root over the whole run total `(P-1)·m` — the
+//!   mirror image of the binomial scatter.
+
+use super::{check_family, log2_ceil, CollectiveModel};
+use crate::derived::gather_linear_coefficients;
+use crate::gamma::GammaTable;
+use crate::hockney::Coefficients;
+use collsel_coll::{Alg, Collective, GatherAlg};
+
+/// The gather family model (`m` = per-rank block size).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GatherModel;
+
+impl CollectiveModel for GatherModel {
+    fn collective(&self) -> Collective {
+        Collective::Gather
+    }
+
+    fn coefficients(
+        &self,
+        alg: Alg,
+        p: usize,
+        m: usize,
+        _seg_size: usize,
+        _gamma: &GammaTable,
+    ) -> Coefficients {
+        check_family(Collective::Gather, alg);
+        let Alg::Gather(g) = alg else { unreachable!() };
+        if p <= 1 {
+            return Coefficients::ZERO;
+        }
+        match g {
+            GatherAlg::Linear => gather_linear_coefficients(p, m),
+            GatherAlg::Binomial => Coefficients::new(log2_ceil(p), (p - 1) as f64 * m as f64),
+        }
+    }
+}

@@ -1,0 +1,224 @@
+//! Implementation-derived models for **all seven collectives** — the
+//! breadth extension of the paper's Sect. 3 method.
+//!
+//! One module per collective, each exposing a unit struct implementing
+//! [`CollectiveModel`]: a uniform interface over the per-algorithm cost
+//! formulas, all read off the ported implementations in
+//! [`collsel-coll`](collsel_coll) exactly as [`derived`](crate::derived)
+//! reads off the broadcast ports. The broadcast and reduce modules
+//! delegate to the existing [`derived`](crate::derived) and
+//! [`reduce_ext`](crate::reduce_ext) formulas; the remaining five derive
+//! theirs here (documented per module).
+//!
+//! The free functions [`coefficients`] and [`predict`] dispatch any
+//! [`Alg`] through [`model_for`], so callers that iterate over
+//! `collective.algorithms()` never need to name a concrete model type.
+
+use crate::gamma::GammaTable;
+use crate::hockney::{Coefficients, Hockney};
+use collsel_coll::{Alg, Collective};
+
+mod allgather;
+mod allreduce;
+mod alltoall;
+mod bcast;
+mod gather;
+mod reduce;
+mod scatter;
+
+pub use allgather::AllgatherModel;
+pub use allreduce::AllreduceModel;
+pub use alltoall::AlltoallModel;
+pub use bcast::BcastModel;
+pub use gather::GatherModel;
+pub use reduce::ReduceModel;
+pub use scatter::ScatterModel;
+
+/// An implementation-derived analytical model of one collective's
+/// algorithm family.
+///
+/// Every cost is linear in `(α, β)` once γ is fixed, exposed as
+/// [`Coefficients`] so the estimation crate can assemble Fig. 4-style
+/// linear systems for any collective the same way it does for
+/// broadcast.
+pub trait CollectiveModel: std::fmt::Debug + Sync {
+    /// The collective this model covers.
+    fn collective(&self) -> Collective;
+
+    /// The modelled algorithm family (defaults to the full catalogue).
+    fn algorithms(&self) -> &'static [Alg] {
+        self.collective().algorithms()
+    }
+
+    /// Cost coefficients of running `alg` over `p` ranks on an `m`-byte
+    /// payload with `seg_size`-byte segments (`m` follows
+    /// [`run_collective`](collsel_coll::run_collective)'s convention;
+    /// non-segmented algorithms ignore `seg_size`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alg` belongs to a different collective or `seg_size`
+    /// is zero.
+    fn coefficients(
+        &self,
+        alg: Alg,
+        p: usize,
+        m: usize,
+        seg_size: usize,
+        gamma: &GammaTable,
+    ) -> Coefficients;
+
+    /// Predicted execution time (seconds) under `hockney`.
+    fn predict(
+        &self,
+        alg: Alg,
+        p: usize,
+        m: usize,
+        seg_size: usize,
+        gamma: &GammaTable,
+        hockney: &Hockney,
+    ) -> f64 {
+        hockney.eval(self.coefficients(alg, p, m, seg_size, gamma))
+    }
+}
+
+/// Asserts `alg` belongs to the model's collective (shared guard).
+fn check_family(model_collective: Collective, alg: Alg) {
+    assert_eq!(
+        alg.collective(),
+        model_collective,
+        "algorithm {} given to the {model_collective} model",
+        alg.qualified_name()
+    );
+}
+
+/// The model for one collective, as a shared static.
+pub fn model_for(collective: Collective) -> &'static dyn CollectiveModel {
+    match collective {
+        Collective::Bcast => &BcastModel,
+        Collective::Reduce => &ReduceModel,
+        Collective::Allreduce => &AllreduceModel,
+        Collective::Gather => &GatherModel,
+        Collective::Scatter => &ScatterModel,
+        Collective::Allgather => &AllgatherModel,
+        Collective::Alltoall => &AlltoallModel,
+    }
+}
+
+/// Cost coefficients of any collective algorithm (dispatches through
+/// [`model_for`]).
+///
+/// # Panics
+///
+/// Panics if `seg_size` is zero.
+pub fn coefficients(
+    alg: Alg,
+    p: usize,
+    m: usize,
+    seg_size: usize,
+    gamma: &GammaTable,
+) -> Coefficients {
+    model_for(alg.collective()).coefficients(alg, p, m, seg_size, gamma)
+}
+
+/// Predicted execution time (seconds) of any collective algorithm
+/// under `hockney`.
+pub fn predict(
+    alg: Alg,
+    p: usize,
+    m: usize,
+    seg_size: usize,
+    gamma: &GammaTable,
+    hockney: &Hockney,
+) -> f64 {
+    model_for(alg.collective()).predict(alg, p, m, seg_size, gamma, hockney)
+}
+
+/// `⌈log₂ p⌉` for `p ≥ 1` (binomial/recursive-doubling round counts).
+fn log2_ceil(p: usize) -> f64 {
+    (usize::BITS - (p - 1).leading_zeros()) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gamma() -> GammaTable {
+        GammaTable::from_pairs([(3, 1.114), (4, 1.219), (5, 1.283), (6, 1.451), (7, 1.540)])
+    }
+
+    #[test]
+    fn every_model_covers_its_whole_catalogue() {
+        let g = gamma();
+        for c in Collective::ALL {
+            let model = model_for(c);
+            assert_eq!(model.collective(), c);
+            assert_eq!(model.algorithms(), c.algorithms());
+            for &alg in model.algorithms() {
+                for p in [2usize, 3, 5, 17, 90, 124] {
+                    for m in [0usize, 1, 8192, 1 << 22] {
+                        let co = coefficients(alg, p, m, 8192, &g);
+                        assert!(co.a.is_finite() && co.a >= 0.0, "{alg:?} p={p} m={m}");
+                        assert!(co.b.is_finite() && co.b >= 0.0, "{alg:?} p={p} m={m}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_rank_is_free_everywhere() {
+        let g = gamma();
+        for c in Collective::ALL {
+            for &alg in c.algorithms() {
+                assert_eq!(
+                    coefficients(alg, 1, 4096, 512, &g),
+                    Coefficients::ZERO,
+                    "{alg:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bcast_and_reduce_delegate_to_existing_formulas() {
+        use collsel_coll::{BcastAlg, ReduceAlg};
+        let g = gamma();
+        let (p, m, seg) = (24, 1 << 20, 8192);
+        for b in BcastAlg::ALL {
+            assert_eq!(
+                coefficients(Alg::Bcast(b), p, m, seg, &g),
+                crate::derived::bcast_coefficients(b, p, m, seg, &g)
+            );
+        }
+        for r in ReduceAlg::ALL {
+            assert_eq!(
+                coefficients(Alg::Reduce(r), p, m, seg, &g),
+                crate::reduce_ext::reduce_coefficients(r, p, m, seg, &g)
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "given to the gather model")]
+    fn wrong_family_is_rejected() {
+        use collsel_coll::BcastAlg;
+        let _ = GatherModel.coefficients(Alg::Bcast(BcastAlg::Linear), 8, 1024, 8192, &gamma());
+    }
+
+    #[test]
+    fn costs_grow_with_message_size() {
+        let g = gamma();
+        let h = Hockney::new(1e-6, 1e-9);
+        for c in Collective::ALL {
+            for &alg in c.algorithms() {
+                let t1 = predict(alg, 16, 64 * 1024, 8192, &g, &h);
+                let t2 = predict(alg, 16, 2 << 20, 8192, &g, &h);
+                assert!(
+                    t2 >= t1 * 0.999,
+                    "{alg:?}: {t1} then {t2} should not shrink"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! Reduce model — a thin adapter over the extension formulas in
+//! [`reduce_ext`](crate::reduce_ext).
+
+use super::{check_family, CollectiveModel};
+use crate::gamma::GammaTable;
+use crate::hockney::Coefficients;
+use crate::reduce_ext::reduce_coefficients;
+use collsel_coll::{Alg, Collective};
+
+/// The reduce family model (broadcast shapes with data flowing up).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ReduceModel;
+
+impl CollectiveModel for ReduceModel {
+    fn collective(&self) -> Collective {
+        Collective::Reduce
+    }
+
+    fn coefficients(
+        &self,
+        alg: Alg,
+        p: usize,
+        m: usize,
+        seg_size: usize,
+        gamma: &GammaTable,
+    ) -> Coefficients {
+        check_family(Collective::Reduce, alg);
+        let Alg::Reduce(r) = alg else { unreachable!() };
+        reduce_coefficients(r, p, m, seg_size, gamma)
+    }
+}

@@ -1,0 +1,35 @@
+//! Scatter models — thin adapters over the extension formulas in
+//! [`derived`](crate::derived) (`scatter_linear_coefficients`,
+//! `scatter_binomial_coefficients`).
+
+use super::{check_family, CollectiveModel};
+use crate::derived::{scatter_binomial_coefficients, scatter_linear_coefficients};
+use crate::gamma::GammaTable;
+use crate::hockney::Coefficients;
+use collsel_coll::{Alg, Collective, ScatterAlg};
+
+/// The scatter family model (`m` = per-rank block size).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ScatterModel;
+
+impl CollectiveModel for ScatterModel {
+    fn collective(&self) -> Collective {
+        Collective::Scatter
+    }
+
+    fn coefficients(
+        &self,
+        alg: Alg,
+        p: usize,
+        m: usize,
+        _seg_size: usize,
+        _gamma: &GammaTable,
+    ) -> Coefficients {
+        check_family(Collective::Scatter, alg);
+        let Alg::Scatter(s) = alg else { unreachable!() };
+        match s {
+            ScatterAlg::Linear => scatter_linear_coefficients(p, m),
+            ScatterAlg::Binomial => scatter_binomial_coefficients(p, m),
+        }
+    }
+}

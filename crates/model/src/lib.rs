@@ -31,6 +31,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod collectives;
 pub mod derived;
 mod gamma;
 mod hockney;

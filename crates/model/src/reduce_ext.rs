@@ -6,11 +6,17 @@
 //! pipelines with data flowing towards the root, so their derived cost
 //! shapes mirror the broadcast models:
 //!
-//! * linear — the root drains `P-1` contributions: `(P-1)·(α + m·β)`;
-//! * chain — `(P-2+n_s)` pipeline stages of one segment;
-//! * binary — `(D + n_s - 1)` stages, each a 2-source non-blocking
-//!   linear *gather* costed with the same γ(3) factor (receiving from
-//!   k children serializes on the NIC exactly like sending to k);
+//! * linear — the root drains `P-1` non-blocking receives, one
+//!   γ(P)-weighted transfer of `m` bytes: `γ(P)·(α + m·β)` (the NIC
+//!   serialization is what γ measures, mirroring the linear broadcast);
+//! * chain — 4 parallel chains feed the root, which drains 4 segment
+//!   streams per stage (γ(5)) across the longest chain;
+//! * pipeline — `(P-2+n_s)` pipeline stages of one segment up a single
+//!   chain;
+//! * binary / in-order binary — `(D + n_s - 1)` stages, each a 2-source
+//!   non-blocking linear *gather* costed with the same γ(3) factor
+//!   (receiving from k children serializes on the NIC exactly like
+//!   sending to k); the two differ only in their tree's depth;
 //! * binomial — Eq. 6's multiplier with the root's in-degree.
 //!
 //! The per-lane compute cost of the reduction operator is absorbed by
@@ -46,11 +52,23 @@ pub fn reduce_coefficients(
             Coefficients::new(g, g * m as f64)
         }
         ReduceAlg::Chain => {
+            let k = collsel_coll::DEFAULT_CHAIN_FANOUT.min(p - 1);
+            let chain_len = (p - 1).div_ceil(k);
+            let g = gamma.gamma(k + 1);
+            let a = ns as f64 * g + (chain_len - 1) as f64;
+            Coefficients::new(a, a * m_s)
+        }
+        ReduceAlg::Pipeline => {
             let stages = (p - 2 + ns) as f64;
             Coefficients::new(stages, stages * m_s)
         }
         ReduceAlg::Binary => {
             let depth = Topology::binary(p, 0).height() as f64;
+            let a = (depth + ns as f64 - 1.0) * gamma.gamma(3);
+            Coefficients::new(a, a * m_s)
+        }
+        ReduceAlg::InOrderBinary => {
+            let depth = Topology::in_order_binary(p, 0).height() as f64;
             let a = (depth + ns as f64 - 1.0) * gamma.gamma(3);
             Coefficients::new(a, a * m_s)
         }
@@ -102,7 +120,8 @@ mod tests {
         let g = gamma();
         let (p, m, seg) = (32, 1 << 20, 8192);
         for (r, b) in [
-            (ReduceAlg::Chain, BcastAlg::Chain),
+            (ReduceAlg::Chain, BcastAlg::KChain),
+            (ReduceAlg::Pipeline, BcastAlg::Chain),
             (ReduceAlg::Binary, BcastAlg::Binary),
             (ReduceAlg::Binomial, BcastAlg::Binomial),
         ] {
@@ -116,8 +135,10 @@ mod tests {
     fn pipeline_beats_flat_for_large_messages() {
         let g = gamma();
         let h = Hockney::new(1e-6, 1e-9);
+        let t_pipeline = predict_reduce(ReduceAlg::Pipeline, 16, 4 << 20, 8192, &g, &h);
         let t_chain = predict_reduce(ReduceAlg::Chain, 16, 4 << 20, 8192, &g, &h);
         let t_linear = predict_reduce(ReduceAlg::Linear, 16, 4 << 20, 8192, &g, &h);
+        assert!(t_pipeline < t_linear);
         assert!(t_chain < t_linear);
     }
 

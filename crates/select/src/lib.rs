@@ -12,7 +12,11 @@
 //! * [`analysis`] — Table 3-style degradation accounting;
 //! * [`service`] — production decision serving: [`CompiledSelector`]
 //!   (allocation-free compiled lookup) and [`DecisionService`]
-//!   (thread-safe cached front end with batch queries).
+//!   (thread-safe cached front end with batch queries);
+//! * [`multi`] — the same serving stack widened to all seven
+//!   collectives, keyed by `(collective, P, m)`:
+//!   [`CollectiveModelSelector`], [`GracefulCollectiveSelector`],
+//!   [`CompiledCollectiveSelector`], [`CollectiveDecisionService`].
 //!
 //! ```
 //! use collsel_select::{OpenMpiFixedSelector, Selector};
@@ -27,11 +31,17 @@
 
 pub mod analysis;
 mod graceful;
+pub mod multi;
 pub mod rules;
 mod selector;
 pub mod service;
 
 pub use graceful::{Decision, DecisionSource, FallbackReason, GracefulSelector};
+pub use multi::{
+    fixed_selection, to_ompi_rules_multi, CollDecision, CollDecisionTable, CollSelection,
+    CollectiveDecisionService, CollectiveModelSelector, CollectiveSelector,
+    CompiledCollectiveSelector, GracefulCollectiveSelector, OpenMpiCollectiveSelector,
+};
 pub use selector::{
     MeasuredTableSelector, ModelBasedSelector, OpenMpiFixedSelector, Selection, Selector,
     TraditionalModelSelector,

@@ -1,0 +1,1086 @@
+//! Multi-collective decision serving: the broadcast serving stack of
+//! [`selector`](crate::selector)/[`service`](crate::service) widened to
+//! key every decision by **`(collective, P, m)`**.
+//!
+//! The pieces mirror the broadcast layer one for one:
+//!
+//! * [`CollSelection`] ↔ `Selection` — carries an [`Alg`] instead of a
+//!   `BcastAlg`, so a selection can never be applied to the wrong
+//!   collective;
+//! * [`CollectiveSelector`] ↔ `Selector` — queries take the collective;
+//! * [`OpenMpiCollectiveSelector`]/[`fixed_selection`] ↔
+//!   `OpenMpiFixedSelector` — per-collective fixed rules;
+//! * [`CollectiveModelSelector`] ↔ `ModelBasedSelector` — argmin over
+//!   the per-collective implementation-derived models;
+//! * [`GracefulCollectiveSelector`] ↔ `GracefulSelector` — validity-
+//!   filtered ranking with a per-query fixed-rules fallback;
+//! * [`CollDecisionTable`] ↔ `DecisionTable` — per-collective rule
+//!   blocks and Open MPI dynamic-rules export (with the *collective's
+//!   own* id, see [`rules::ompi_coll_id`](crate::rules::ompi_coll_id));
+//! * [`CompiledCollectiveSelector`] ↔ `CompiledSelector` — the same CSR
+//!   flattening and allocation-free two-binary-search lookup, one CSR
+//!   block set per collective;
+//! * [`CollectiveDecisionService`] ↔ `DecisionService` — thread-safe
+//!   front end whose cache keys include the collective (keying by
+//!   `(p, m)` alone would serve one collective's algorithm for
+//!   another — the regression pinned in this module's tests).
+
+use crate::graceful::{DecisionSource, FallbackReason};
+use crate::selector::{OpenMpiFixedSelector, Selector};
+use crate::service::QueryCache;
+use collsel_coll::{
+    Alg, AllgatherAlg, AllreduceAlg, AlltoallAlg, Collective, GatherAlg, ScatterAlg,
+};
+use collsel_model::{collectives, FitValidity, GammaTable, Hockney};
+use collsel_support::pool::Pool;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+pub use crate::service::ServiceStats;
+
+/// The outcome of a multi-collective selection: an algorithm (tagged
+/// with its collective) plus the segment size to run it with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CollSelection {
+    /// The selected algorithm.
+    pub alg: Alg,
+    /// Pipeline segment size in bytes; `None` for unsegmented.
+    pub seg_size: Option<usize>,
+}
+
+impl CollSelection {
+    /// Creates a segmented selection.
+    pub fn segmented(alg: Alg, seg_size: usize) -> Self {
+        CollSelection {
+            alg,
+            seg_size: Some(seg_size),
+        }
+    }
+
+    /// Creates an unsegmented selection.
+    pub fn unsegmented(alg: Alg) -> Self {
+        CollSelection {
+            alg,
+            seg_size: None,
+        }
+    }
+
+    /// The segment size to actually run with for an `m`-byte payload
+    /// (unsegmented ⇒ one segment spanning the payload).
+    pub fn effective_seg_size(&self, m: usize) -> usize {
+        self.seg_size.unwrap_or_else(|| m.max(1))
+    }
+}
+
+collsel_support::json_struct!(CollSelection { alg, seg_size });
+
+/// A runtime decision function covering every collective.
+pub trait CollectiveSelector: fmt::Debug {
+    /// Selects the algorithm for running `collective` on an `m`-byte
+    /// payload among `p` processes (`m` follows
+    /// [`run_collective`](collsel_coll::run_collective)'s convention).
+    fn select_for(&self, collective: Collective, p: usize, m: usize) -> CollSelection;
+
+    /// A short name for reports.
+    fn name(&self) -> &str;
+}
+
+/// Per-collective fixed decision rules in the style of Open MPI 3.1's
+/// `coll_tuned_decision_fixed.c`.
+///
+/// The broadcast arm is the faithful port
+/// ([`OpenMpiFixedSelector`]); the other six are simplified
+/// transcriptions of the corresponding `*_intra_dec_fixed` routines,
+/// reduced to the algorithms we port: the small/large crossover shape
+/// is kept, the vendor's exact empirical thresholds are rounded to
+/// powers of two. They serve as the deterministic safety net under
+/// graceful degradation, so shape (never panicking, always returning an
+/// algorithm of the queried collective) matters more than the exact
+/// crossover byte counts.
+pub fn fixed_selection(collective: Collective, p: usize, m: usize) -> CollSelection {
+    match collective {
+        Collective::Bcast => {
+            let s = OpenMpiFixedSelector.select(p, m);
+            CollSelection {
+                alg: Alg::Bcast(s.alg),
+                seg_size: s.seg_size,
+            }
+        }
+        Collective::Reduce => {
+            use collsel_coll::ReduceAlg;
+            if m < 8 * 1024 {
+                CollSelection::unsegmented(Alg::Reduce(ReduceAlg::Binomial))
+            } else if m < 512 * 1024 {
+                CollSelection::segmented(Alg::Reduce(ReduceAlg::Binomial), 32 * 1024)
+            } else {
+                // Large vectors pipeline (Open MPI picks pipeline or the
+                // in-order binary tree here; in-order is only forced for
+                // non-commutative operators, which we do not model).
+                CollSelection::segmented(Alg::Reduce(ReduceAlg::Pipeline), 64 * 1024)
+            }
+        }
+        Collective::Allreduce => {
+            if m < 16 * 1024 {
+                CollSelection::unsegmented(Alg::Allreduce(AllreduceAlg::RecursiveDoubling))
+            } else {
+                CollSelection::segmented(Alg::Allreduce(AllreduceAlg::ReduceBcast), 32 * 1024)
+            }
+        }
+        Collective::Gather => {
+            if p > 8 && m < 8 * 1024 {
+                CollSelection::unsegmented(Alg::Gather(GatherAlg::Binomial))
+            } else {
+                CollSelection::unsegmented(Alg::Gather(GatherAlg::Linear))
+            }
+        }
+        Collective::Scatter => {
+            if p > 8 && m < 2 * 1024 {
+                CollSelection::unsegmented(Alg::Scatter(ScatterAlg::Binomial))
+            } else {
+                CollSelection::unsegmented(Alg::Scatter(ScatterAlg::Linear))
+            }
+        }
+        Collective::Allgather => {
+            if p.is_power_of_two() && p * m < 64 * 1024 {
+                CollSelection::unsegmented(Alg::Allgather(AllgatherAlg::RecursiveDoubling))
+            } else {
+                CollSelection::unsegmented(Alg::Allgather(AllgatherAlg::Ring))
+            }
+        }
+        Collective::Alltoall => {
+            if p <= 8 && m < 1024 {
+                CollSelection::unsegmented(Alg::Alltoall(AlltoallAlg::Linear))
+            } else {
+                CollSelection::unsegmented(Alg::Alltoall(AlltoallAlg::Pairwise))
+            }
+        }
+    }
+}
+
+/// [`fixed_selection`] as a [`CollectiveSelector`] (the multi-collective
+/// baseline and graceful fallback).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpenMpiCollectiveSelector;
+
+impl CollectiveSelector for OpenMpiCollectiveSelector {
+    fn select_for(&self, collective: Collective, p: usize, m: usize) -> CollSelection {
+        fixed_selection(collective, p, m)
+    }
+
+    fn name(&self) -> &str {
+        "open-mpi-fixed-multi"
+    }
+}
+
+/// Model-based runtime selection over any subset of collectives:
+/// evaluates the implementation-derived model of every fitted algorithm
+/// of the queried collective and returns the predicted-fastest.
+///
+/// Unlike the broadcast-only `ModelBasedSelector`, this never panics on
+/// a query: a collective with no usable (finite) fitted model falls
+/// back to [`fixed_selection`], so partial tuning campaigns (e.g. only
+/// reduce tuned so far) still serve every collective.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CollectiveModelSelector {
+    gamma: GammaTable,
+    params: BTreeMap<Alg, Hockney>,
+    seg_size: usize,
+    seg_overrides: BTreeMap<Collective, usize>,
+}
+
+impl CollectiveModelSelector {
+    /// Builds the selector from per-algorithm fits (keys carry the
+    /// collective, so one map covers all seven families).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seg_size` is zero (an *empty* params map is allowed —
+    /// every query then falls back to the fixed rules).
+    pub fn new(gamma: GammaTable, params: BTreeMap<Alg, Hockney>, seg_size: usize) -> Self {
+        assert!(seg_size > 0, "segment size must be positive");
+        CollectiveModelSelector {
+            gamma,
+            params,
+            seg_size,
+            seg_overrides: BTreeMap::new(),
+        }
+    }
+
+    /// Overrides the segment size used to evaluate (and serve) one
+    /// collective's models. Predictions are only meaningful at the
+    /// segment size the collective's fits were estimated with: the
+    /// broadcast fits are conditioned at the paper's 8 KB segment while
+    /// the breadth campaigns estimate at a coarser one, so serving
+    /// every collective at the broadcast segment — the implicit-bcast
+    /// default this method exists to correct — mis-ranks the pipelined
+    /// algorithms at large payloads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seg_size` is zero.
+    pub fn with_seg_size(mut self, collective: Collective, seg_size: usize) -> Self {
+        assert!(seg_size > 0, "segment size must be positive");
+        self.seg_overrides.insert(collective, seg_size);
+        self
+    }
+
+    /// The γ table in use.
+    pub fn gamma(&self) -> &GammaTable {
+        &self.gamma
+    }
+
+    /// The per-algorithm Hockney parameters.
+    pub fn params(&self) -> &BTreeMap<Alg, Hockney> {
+        &self.params
+    }
+
+    /// The default segment size (collectives without an override).
+    pub fn seg_size(&self) -> usize {
+        self.seg_size
+    }
+
+    /// The segment size used for `collective`'s predictions and served
+    /// selections.
+    pub fn seg_for(&self, collective: Collective) -> usize {
+        self.seg_overrides
+            .get(&collective)
+            .copied()
+            .unwrap_or(self.seg_size)
+    }
+
+    /// Predicted times of the queried collective's fitted algorithms,
+    /// ascending, non-finite predictions last.
+    pub fn ranking(&self, collective: Collective, p: usize, m: usize) -> Vec<(Alg, f64)> {
+        let mut v: Vec<(Alg, f64)> = self
+            .params
+            .iter()
+            .filter(|(alg, _)| alg.collective() == collective)
+            .map(|(&alg, h)| {
+                (
+                    alg,
+                    collectives::predict(alg, p, m, self.seg_for(collective), &self.gamma, h),
+                )
+            })
+            .collect();
+        v.sort_by(|a, b| match (a.1.is_finite(), b.1.is_finite()) {
+            (true, false) => std::cmp::Ordering::Less,
+            (false, true) => std::cmp::Ordering::Greater,
+            _ => a.1.total_cmp(&b.1),
+        });
+        v
+    }
+
+    /// The model-path argmin, if any fitted model of this collective
+    /// yields a finite prediction.
+    fn model_argmin(&self, collective: Collective, p: usize, m: usize) -> Option<(Alg, f64)> {
+        let seg = self.seg_for(collective);
+        let mut best: Option<(Alg, f64)> = None;
+        for (&alg, h) in &self.params {
+            if alg.collective() != collective {
+                continue;
+            }
+            let t = collectives::predict(alg, p, m, seg, &self.gamma, h);
+            if t.is_finite() && best.is_none_or(|(_, bt)| t < bt) {
+                best = Some((alg, t));
+            }
+        }
+        best
+    }
+}
+
+impl CollectiveSelector for CollectiveModelSelector {
+    fn select_for(&self, collective: Collective, p: usize, m: usize) -> CollSelection {
+        match self.model_argmin(collective, p, m) {
+            Some((alg, _)) => CollSelection::segmented(alg, self.seg_for(collective)),
+            None => fixed_selection(collective, p, m),
+        }
+    }
+
+    fn name(&self) -> &str {
+        "model-based-multi"
+    }
+}
+
+/// A multi-collective selection together with how it was reached
+/// (mirrors [`Decision`](crate::Decision)).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CollDecision {
+    /// The selected algorithm and segment size.
+    pub selection: CollSelection,
+    /// Which path decided, and why.
+    pub source: DecisionSource,
+}
+
+impl fmt::Display for CollDecision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.source {
+            DecisionSource::Model { predicted } => write!(
+                f,
+                "{} (model, predicted {:.3e} s)",
+                self.selection.alg.qualified_name(),
+                predicted
+            ),
+            DecisionSource::Fallback { reason } => write!(
+                f,
+                "{} (rules fallback: {})",
+                self.selection.alg.qualified_name(),
+                reason
+            ),
+        }
+    }
+}
+
+/// Graceful degradation across collectives: model-based per query when
+/// the queried collective has trusted fits, [`fixed_selection`]
+/// otherwise — reporting which path decided through [`CollDecision`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct GracefulCollectiveSelector {
+    model: CollectiveModelSelector,
+    validity: BTreeMap<Alg, FitValidity>,
+}
+
+impl GracefulCollectiveSelector {
+    /// Builds the selector from judged fits; only
+    /// [`FitValidity::Valid`] fits join the rankings.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seg_size` is zero.
+    pub fn new(
+        gamma: GammaTable,
+        params: BTreeMap<Alg, Hockney>,
+        validity: BTreeMap<Alg, FitValidity>,
+        seg_size: usize,
+    ) -> Self {
+        let trusted: BTreeMap<Alg, Hockney> = params
+            .into_iter()
+            .filter(|(alg, _)| validity.get(alg).is_some_and(FitValidity::is_valid))
+            .collect();
+        GracefulCollectiveSelector {
+            model: CollectiveModelSelector::new(gamma, trusted, seg_size),
+            validity,
+        }
+    }
+
+    /// Overrides one collective's evaluation/serving segment size (see
+    /// [`CollectiveModelSelector::with_seg_size`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seg_size` is zero.
+    pub fn with_seg_size(mut self, collective: Collective, seg_size: usize) -> Self {
+        self.model = self.model.with_seg_size(collective, seg_size);
+        self
+    }
+
+    /// Per-algorithm validity verdicts this selector was built from.
+    pub fn validity(&self) -> &BTreeMap<Alg, FitValidity> {
+        &self.validity
+    }
+
+    /// The algorithms whose models participate in the rankings.
+    pub fn modelled_algorithms(&self) -> Vec<Alg> {
+        self.model.params().keys().copied().collect()
+    }
+
+    /// Decides a query, reporting which path decided. Never panics.
+    pub fn decide_for(&self, collective: Collective, p: usize, m: usize) -> CollDecision {
+        let has_fits = self
+            .model
+            .params()
+            .keys()
+            .any(|alg| alg.collective() == collective);
+        match self.model.model_argmin(collective, p, m) {
+            Some((alg, predicted)) => CollDecision {
+                selection: CollSelection::segmented(alg, self.model.seg_for(collective)),
+                source: DecisionSource::Model { predicted },
+            },
+            None => CollDecision {
+                selection: fixed_selection(collective, p, m),
+                source: DecisionSource::Fallback {
+                    reason: if has_fits {
+                        FallbackReason::NonFinitePredictions
+                    } else {
+                        FallbackReason::NoUsableModel
+                    },
+                },
+            },
+        }
+    }
+}
+
+impl CollectiveSelector for GracefulCollectiveSelector {
+    fn select_for(&self, collective: Collective, p: usize, m: usize) -> CollSelection {
+        self.decide_for(collective, p, m).selection
+    }
+
+    fn name(&self) -> &str {
+        "graceful-multi"
+    }
+}
+
+/// One rule of a [`CollDecisionTable`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CollRule {
+    /// Threshold payload size in bytes (applies from here up to the
+    /// next rule's threshold).
+    pub min_msg_size: usize,
+    /// The algorithm (and segment size) to run.
+    pub selection: CollSelection,
+}
+
+/// All rules of one collective for one communicator size.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CollCommRules {
+    /// Communicator size the rules apply to.
+    pub comm_size: usize,
+    /// Payload-size thresholds in ascending order.
+    pub rules: Vec<CollRule>,
+}
+
+/// A materialised decision table for **one** collective (the breadth
+/// twin of [`DecisionTable`](crate::rules::DecisionTable)).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CollDecisionTable {
+    /// The collective this table decides.
+    pub collective: Collective,
+    /// Per-communicator-size rule blocks, ascending.
+    pub comms: Vec<CollCommRules>,
+}
+
+impl CollDecisionTable {
+    /// Materialises `selector` over the grids for `collective`
+    /// (identical consecutive selections merge, first threshold is
+    /// rewritten to 0 — the [`DecisionTable::generate`]
+    /// (crate::rules::DecisionTable::generate) contract).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either grid is empty or unsorted.
+    pub fn generate(
+        selector: &dyn CollectiveSelector,
+        collective: Collective,
+        comm_sizes: &[usize],
+        msg_sizes: &[usize],
+    ) -> Self {
+        assert!(
+            !comm_sizes.is_empty(),
+            "need at least one communicator size"
+        );
+        assert!(!msg_sizes.is_empty(), "need at least one message size");
+        assert!(
+            comm_sizes.windows(2).all(|w| w[0] < w[1]),
+            "communicator sizes must be ascending"
+        );
+        assert!(
+            msg_sizes.windows(2).all(|w| w[0] < w[1]),
+            "message sizes must be ascending"
+        );
+        let comms = comm_sizes
+            .iter()
+            .map(|&p| {
+                let mut rules: Vec<CollRule> = Vec::new();
+                for &m in msg_sizes {
+                    let selection = selector.select_for(collective, p, m);
+                    debug_assert_eq!(selection.alg.collective(), collective);
+                    match rules.last() {
+                        Some(last) if last.selection == selection => {}
+                        _ => rules.push(CollRule {
+                            min_msg_size: m,
+                            selection,
+                        }),
+                    }
+                }
+                if let Some(first) = rules.first_mut() {
+                    first.min_msg_size = 0;
+                }
+                CollCommRules {
+                    comm_size: p,
+                    rules,
+                }
+            })
+            .collect();
+        CollDecisionTable { collective, comms }
+    }
+
+    /// Looks up the rule for `(p, m)` with the same floor/clamp
+    /// semantics as the broadcast table.
+    pub fn lookup(&self, p: usize, m: usize) -> Option<CollSelection> {
+        let block = self
+            .comms
+            .iter()
+            .rfind(|c| c.comm_size <= p)
+            .or_else(|| self.comms.first())?;
+        let rule = block
+            .rules
+            .iter()
+            .rfind(|r| r.min_msg_size <= m)
+            .or_else(|| block.rules.first())?;
+        Some(rule.selection)
+    }
+
+    /// Renders this table as one collective block of an Open MPI
+    /// dynamic-rules file, using the collective's own id (a reduce
+    /// table emits id 11, never broadcast's 7).
+    pub fn write_ompi_rules(&self, out: &mut String) {
+        let _ = writeln!(
+            out,
+            "{} # collective id ({})",
+            crate::rules::ompi_coll_id(self.collective),
+            self.collective
+        );
+        let _ = writeln!(out, "{} # number of com sizes", self.comms.len());
+        for block in &self.comms {
+            let _ = writeln!(out, "{} # comm size", block.comm_size);
+            let _ = writeln!(out, "{} # number of msg sizes", block.rules.len());
+            for rule in &block.rules {
+                let seg = rule.selection.seg_size.unwrap_or(0);
+                let _ = writeln!(
+                    out,
+                    "{} {} 0 {}",
+                    rule.min_msg_size,
+                    crate::rules::ompi_algorithm_id(rule.selection.alg),
+                    seg
+                );
+            }
+        }
+    }
+}
+
+/// Renders a set of per-collective tables as one Open MPI dynamic-rules
+/// file.
+pub fn to_ompi_rules_multi(tables: &[CollDecisionTable]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{} # num of collectives", tables.len());
+    for t in tables {
+        t.write_ompi_rules(&mut out);
+    }
+    out
+}
+
+/// The CSR arrays of one collective inside a
+/// [`CompiledCollectiveSelector`] — identical layout and lookup to the
+/// broadcast [`CompiledSelector`](crate::CompiledSelector).
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct CollCsr {
+    comm_sizes: Vec<usize>,
+    block_starts: Vec<usize>,
+    thresholds: Vec<usize>,
+    selections: Vec<CollSelection>,
+}
+
+impl CollCsr {
+    fn from_table(table: &CollDecisionTable) -> Self {
+        assert!(
+            !table.comms.is_empty(),
+            "cannot compile an empty decision table for {}",
+            table.collective
+        );
+        let mut comm_sizes = Vec::with_capacity(table.comms.len());
+        let mut block_starts = Vec::with_capacity(table.comms.len() + 1);
+        let mut thresholds = Vec::new();
+        let mut selections = Vec::new();
+        block_starts.push(0);
+        for block in &table.comms {
+            assert!(
+                !block.rules.is_empty(),
+                "comm block {} has no rules",
+                block.comm_size
+            );
+            assert!(
+                comm_sizes.last().is_none_or(|&c| c < block.comm_size),
+                "comm blocks must be strictly ascending"
+            );
+            assert!(
+                block
+                    .rules
+                    .windows(2)
+                    .all(|w| w[0].min_msg_size < w[1].min_msg_size),
+                "rule thresholds must be strictly ascending"
+            );
+            comm_sizes.push(block.comm_size);
+            for rule in &block.rules {
+                thresholds.push(rule.min_msg_size);
+                selections.push(rule.selection);
+            }
+            block_starts.push(thresholds.len());
+        }
+        CollCsr {
+            comm_sizes,
+            block_starts,
+            thresholds,
+            selections,
+        }
+    }
+
+    fn lookup(&self, p: usize, m: usize) -> CollSelection {
+        let b = self
+            .comm_sizes
+            .partition_point(|&c| c <= p)
+            .saturating_sub(1);
+        let start = self.block_starts[b];
+        let rules = &self.thresholds[start..self.block_starts[b + 1]];
+        let r = rules.partition_point(|&t| t <= m).saturating_sub(1);
+        self.selections[start + r]
+    }
+}
+
+/// A [`CollectiveSelector`] compiled to per-collective flat decision
+/// tables with allocation-free O(log n) lookup — the breadth twin of
+/// [`CompiledSelector`](crate::CompiledSelector): the same CSR
+/// flattening and the same two-binary-search query path, one CSR block
+/// set per compiled collective.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompiledCollectiveSelector {
+    name: String,
+    per: Vec<Option<CollCsr>>, // indexed by Collective::index()
+}
+
+impl CompiledCollectiveSelector {
+    /// Materialises `selector` over the grids for each listed
+    /// collective and compiles the results.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `collectives` is empty or either grid is empty or
+    /// unsorted.
+    pub fn compile(
+        selector: &dyn CollectiveSelector,
+        collectives: &[Collective],
+        comm_sizes: &[usize],
+        msg_sizes: &[usize],
+    ) -> Self {
+        assert!(!collectives.is_empty(), "need at least one collective");
+        let tables: Vec<CollDecisionTable> = collectives
+            .iter()
+            .map(|&c| CollDecisionTable::generate(selector, c, comm_sizes, msg_sizes))
+            .collect();
+        Self::from_tables(&tables, &format!("compiled({})", selector.name()))
+    }
+
+    /// Flattens existing per-collective decision tables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tables` is empty, names a collective twice, or any
+    /// table violates the CSR contract (empty blocks, unsorted
+    /// thresholds).
+    pub fn from_tables(tables: &[CollDecisionTable], name: &str) -> Self {
+        assert!(!tables.is_empty(), "need at least one decision table");
+        let mut per: Vec<Option<CollCsr>> = (0..Collective::ALL.len()).map(|_| None).collect();
+        for t in tables {
+            let slot = &mut per[t.collective.index()];
+            assert!(
+                slot.is_none(),
+                "duplicate decision table for {}",
+                t.collective
+            );
+            *slot = Some(CollCsr::from_table(t));
+        }
+        CompiledCollectiveSelector {
+            name: name.to_owned(),
+            per,
+        }
+    }
+
+    /// Whether `collective` was compiled into this selector.
+    pub fn covers(&self, collective: Collective) -> bool {
+        self.per[collective.index()].is_some()
+    }
+
+    /// The compiled collectives, in [`Collective::ALL`] order.
+    pub fn collectives(&self) -> Vec<Collective> {
+        Collective::ALL
+            .into_iter()
+            .filter(|&c| self.covers(c))
+            .collect()
+    }
+
+    /// Answers a query with two binary searches; no allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `collective` was not compiled (check [`covers`]
+    /// (Self::covers) or compile every collective you serve).
+    pub fn lookup(&self, collective: Collective, p: usize, m: usize) -> CollSelection {
+        self.per[collective.index()]
+            .as_ref()
+            .unwrap_or_else(|| panic!("collective {collective} was not compiled"))
+            .lookup(p, m)
+    }
+
+    /// Total number of compiled rules across all collectives.
+    pub fn rule_count(&self) -> usize {
+        self.per
+            .iter()
+            .flatten()
+            .map(|csr| csr.selections.len())
+            .sum()
+    }
+}
+
+impl CollectiveSelector for CompiledCollectiveSelector {
+    fn select_for(&self, collective: Collective, p: usize, m: usize) -> CollSelection {
+        self.lookup(collective, p, m)
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// The underlying decision path of a [`CollectiveDecisionService`].
+#[derive(Debug)]
+enum MultiServePath {
+    Compiled(CompiledCollectiveSelector),
+    Live(Box<dyn CollectiveSelector + Send + Sync>),
+    Graceful(GracefulCollectiveSelector),
+}
+
+/// Thread-safe serving front end for multi-collective decisions — the
+/// breadth twin of [`DecisionService`](crate::DecisionService), with the
+/// cache keyed by `(collective, p, m)`.
+#[derive(Debug)]
+pub struct CollectiveDecisionService {
+    path: MultiServePath,
+    cache: Option<Mutex<QueryCache<(Collective, usize, usize), CollSelection>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    fallbacks: AtomicU64,
+}
+
+/// Queries per pool job in [`CollectiveDecisionService::decide_batch`]
+/// (fixed so the job list is thread-count-independent, as in the
+/// broadcast service).
+const BATCH_CHUNK: usize = 256;
+
+impl CollectiveDecisionService {
+    fn new(path: MultiServePath) -> Self {
+        CollectiveDecisionService {
+            path,
+            cache: None,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            fallbacks: AtomicU64::new(0),
+        }
+    }
+
+    /// Serves from compiled per-collective tables (the fast path).
+    pub fn compiled(tables: CompiledCollectiveSelector) -> Self {
+        Self::new(MultiServePath::Compiled(tables))
+    }
+
+    /// Serves by querying `selector` live.
+    pub fn live<S: CollectiveSelector + Send + Sync + 'static>(selector: S) -> Self {
+        Self::new(MultiServePath::Live(Box::new(selector)))
+    }
+
+    /// Serves from a [`GracefulCollectiveSelector`], counting rule-path
+    /// decisions in the `fallbacks` counter.
+    pub fn graceful(selector: GracefulCollectiveSelector) -> Self {
+        Self::new(MultiServePath::Graceful(selector))
+    }
+
+    /// Adds an exact-query cache of `capacity` entries with
+    /// seeded-random eviction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero (omit the cache instead).
+    pub fn with_cache(mut self, capacity: usize, seed: u64) -> Self {
+        assert!(capacity > 0, "cache capacity must be at least 1");
+        self.cache = Some(Mutex::new(QueryCache::new(capacity, seed)));
+        self
+    }
+
+    /// Whether the service wraps compiled tables.
+    pub fn is_compiled(&self) -> bool {
+        matches!(self.path, MultiServePath::Compiled(_))
+    }
+
+    /// Decides one query, consulting the cache first.
+    pub fn decide(&self, collective: Collective, p: usize, m: usize) -> CollSelection {
+        if let Some(cache) = &self.cache {
+            if let Some(sel) = cache.lock().expect("cache lock").get((collective, p, m)) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return sel;
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let sel = match &self.path {
+            MultiServePath::Compiled(tables) => tables.lookup(collective, p, m),
+            MultiServePath::Live(selector) => selector.select_for(collective, p, m),
+            MultiServePath::Graceful(graceful) => {
+                let d = graceful.decide_for(collective, p, m);
+                if !d.source.is_model() {
+                    self.fallbacks.fetch_add(1, Ordering::Relaxed);
+                }
+                d.selection
+            }
+        };
+        if let Some(cache) = &self.cache {
+            cache
+                .lock()
+                .expect("cache lock")
+                .insert((collective, p, m), sel);
+        }
+        sel
+    }
+
+    /// Decides a whole query stream, fanned across `pool` in fixed-size
+    /// chunks; results come back in query order, bit-identical at any
+    /// thread count.
+    pub fn decide_batch(
+        &self,
+        queries: &[(Collective, usize, usize)],
+        pool: &Pool,
+    ) -> Vec<CollSelection> {
+        let per_chunk = pool.run(queries.chunks(BATCH_CHUNK).map(|chunk| {
+            move || {
+                chunk
+                    .iter()
+                    .map(|&(c, p, m)| self.decide(c, p, m))
+                    .collect::<Vec<CollSelection>>()
+            }
+        }));
+        let mut out = Vec::with_capacity(queries.len());
+        for chunk in per_chunk {
+            out.extend(chunk);
+        }
+        out
+    }
+
+    /// Snapshot of the hit/miss/fallback counters.
+    pub fn stats(&self) -> ServiceStats {
+        ServiceStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            fallbacks: self.fallbacks.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Entries currently resident in the cache (0 without one).
+    pub fn cached_entries(&self) -> usize {
+        self.cache
+            .as_ref()
+            .map_or(0, |c| c.lock().expect("cache lock").len())
+    }
+}
+
+impl CollectiveSelector for CollectiveDecisionService {
+    fn select_for(&self, collective: Collective, p: usize, m: usize) -> CollSelection {
+        self.decide(collective, p, m)
+    }
+
+    fn name(&self) -> &str {
+        match self.path {
+            MultiServePath::Compiled(_) => "multi-service(compiled)",
+            MultiServePath::Live(_) => "multi-service(live)",
+            MultiServePath::Graceful(_) => "multi-service(graceful)",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use collsel_coll::BcastAlg;
+
+    fn gamma() -> GammaTable {
+        GammaTable::from_pairs([(3, 1.11), (4, 1.22), (5, 1.28), (6, 1.45), (7, 1.54)])
+    }
+
+    fn all_params(alpha: f64, beta: f64) -> BTreeMap<Alg, Hockney> {
+        Collective::ALL
+            .iter()
+            .flat_map(|c| c.algorithms())
+            .enumerate()
+            .map(|(i, &alg)| (alg, Hockney::new(alpha * (1.0 + i as f64 * 0.1), beta)))
+            .collect()
+    }
+
+    #[test]
+    fn fixed_rules_always_return_the_queried_collective() {
+        for c in Collective::ALL {
+            for p in [1usize, 2, 5, 16, 90, 200] {
+                for m in [0usize, 100, 8192, 1 << 20, 8 << 20] {
+                    let s = fixed_selection(c, p, m);
+                    assert_eq!(s.alg.collective(), c, "p={p} m={m}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_bcast_arm_equals_the_faithful_port() {
+        for p in [2usize, 16, 90, 128] {
+            for m in [100usize, 8192, 512 * 1024, 4 << 20] {
+                let multi = fixed_selection(Collective::Bcast, p, m);
+                let mono = OpenMpiFixedSelector.select(p, m);
+                assert_eq!(multi.alg, Alg::Bcast(mono.alg));
+                assert_eq!(multi.seg_size, mono.seg_size);
+            }
+        }
+    }
+
+    #[test]
+    fn model_selector_picks_argmin_of_ranking() {
+        let sel = CollectiveModelSelector::new(gamma(), all_params(1e-6, 1e-9), 8192);
+        for c in Collective::ALL {
+            let ranking = sel.ranking(c, 24, 1 << 20);
+            assert_eq!(ranking.len(), c.algorithms().len());
+            assert_eq!(sel.select_for(c, 24, 1 << 20).alg, ranking[0].0);
+        }
+    }
+
+    #[test]
+    fn empty_params_fall_back_to_fixed_rules() {
+        let sel = CollectiveModelSelector::new(gamma(), BTreeMap::new(), 8192);
+        for c in Collective::ALL {
+            assert_eq!(sel.select_for(c, 16, 8192), fixed_selection(c, 16, 8192));
+        }
+    }
+
+    #[test]
+    fn graceful_reports_fallback_reason_per_collective() {
+        // Only reduce has (valid) fits: reduce queries take the model
+        // path, everything else falls back with NoUsableModel.
+        let params: BTreeMap<Alg, Hockney> = Collective::Reduce
+            .algorithms()
+            .iter()
+            .map(|&a| (a, Hockney::new(1e-6, 1e-9)))
+            .collect();
+        let validity: BTreeMap<Alg, FitValidity> =
+            params.keys().map(|&a| (a, FitValidity::Valid)).collect();
+        let sel = GracefulCollectiveSelector::new(gamma(), params, validity, 8192);
+        let d = sel.decide_for(Collective::Reduce, 24, 1 << 20);
+        assert!(d.source.is_model(), "{d}");
+        for c in [Collective::Bcast, Collective::Gather, Collective::Alltoall] {
+            let d = sel.decide_for(c, 24, 1 << 20);
+            assert!(!d.source.is_model(), "{c}: {d}");
+            assert_eq!(d.selection, fixed_selection(c, 24, 1 << 20));
+        }
+    }
+
+    #[test]
+    fn compiled_matches_live_on_and_off_grid() {
+        let sel = CollectiveModelSelector::new(gamma(), all_params(1e-6, 1e-9), 8192);
+        let comms = [4usize, 16, 64, 128];
+        let msgs = [1024usize, 64 * 1024, 1 << 20];
+        let compiled = CompiledCollectiveSelector::compile(&sel, &Collective::ALL, &comms, &msgs);
+        assert_eq!(compiled.collectives(), Collective::ALL.to_vec());
+        for c in Collective::ALL {
+            let table = CollDecisionTable::generate(&sel, c, &comms, &msgs);
+            for &p in &comms {
+                for &m in &msgs {
+                    assert_eq!(
+                        compiled.lookup(c, p, m),
+                        sel.select_for(c, p, m),
+                        "{c} grid"
+                    );
+                }
+            }
+            for (p, m) in [(1usize, 0usize), (9, 5000), (50, 9 << 20), (300, 123)] {
+                assert_eq!(
+                    Some(compiled.lookup(c, p, m)),
+                    table.lookup(p, m),
+                    "{c} off-grid p={p} m={m}"
+                );
+            }
+        }
+    }
+
+    /// The satellite regression: a cache keyed by `(p, m)` alone would
+    /// return the *bcast* answer for a *reduce* query at the same
+    /// geometry. The service cache keys by `(collective, p, m)`, so two
+    /// collectives sharing every `(p, m)` stay distinct.
+    #[test]
+    fn cache_never_crosses_collectives() {
+        let sel = CollectiveModelSelector::new(gamma(), all_params(1e-6, 1e-9), 8192);
+        let svc = CollectiveDecisionService::live(sel.clone()).with_cache(64, 0xBEEF);
+        for (p, m) in [(16usize, 8192usize), (90, 1 << 20), (16, 8192)] {
+            for c in Collective::ALL {
+                let got = svc.decide(c, p, m);
+                assert_eq!(got, sel.select_for(c, p, m), "{c} p={p} m={m}");
+                assert_eq!(got.alg.collective(), c, "{c} p={p} m={m}");
+            }
+        }
+        let stats = svc.stats();
+        assert_eq!(stats.hits, 7, "third round repeats the first exactly");
+        assert_eq!(stats.misses, 14);
+    }
+
+    #[test]
+    fn decide_batch_is_thread_count_invariant() {
+        let sel = CollectiveModelSelector::new(gamma(), all_params(1e-6, 1e-9), 8192);
+        let compiled = CompiledCollectiveSelector::compile(
+            &sel,
+            &Collective::ALL,
+            &[2, 8, 32, 128],
+            &[1024, 64 * 1024, 4 << 20],
+        );
+        let queries: Vec<(Collective, usize, usize)> = (0..600usize)
+            .map(|i| {
+                (
+                    Collective::ALL[i % Collective::ALL.len()],
+                    2 + i % 140,
+                    i * 997,
+                )
+            })
+            .collect();
+        let reference: Vec<CollSelection> = queries
+            .iter()
+            .map(|&(c, p, m)| compiled.lookup(c, p, m))
+            .collect();
+        for threads in [1usize, 2, 5] {
+            let svc = CollectiveDecisionService::compiled(compiled.clone()).with_cache(32, 9);
+            let got = svc.decide_batch(&queries, &Pool::with_threads(threads));
+            assert_eq!(got, reference, "threads={threads}");
+            assert_eq!(svc.stats().queries(), queries.len() as u64);
+        }
+    }
+
+    #[test]
+    fn ompi_export_names_each_collectives_own_id() {
+        let sel = OpenMpiCollectiveSelector;
+        let reduce =
+            CollDecisionTable::generate(&sel, Collective::Reduce, &[16, 64], &[1024, 1 << 20]);
+        let bcast =
+            CollDecisionTable::generate(&sel, Collective::Bcast, &[16, 64], &[1024, 1 << 20]);
+        let s = to_ompi_rules_multi(&[bcast, reduce]);
+        assert!(s.starts_with("2 # num of collectives\n"), "{s}");
+        assert!(s.contains("7 # collective id (bcast)"), "{s}");
+        assert!(
+            s.contains("11 # collective id (reduce)"),
+            "a reduce table must emit Open MPI's reduce id, not broadcast's: {s}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "was not compiled")]
+    fn lookup_of_uncompiled_collective_panics_clearly() {
+        let compiled = CompiledCollectiveSelector::compile(
+            &OpenMpiCollectiveSelector,
+            &[Collective::Bcast],
+            &[16],
+            &[1024],
+        );
+        assert!(compiled.covers(Collective::Bcast));
+        assert!(!compiled.covers(Collective::Reduce));
+        let _ = compiled.lookup(Collective::Reduce, 16, 1024);
+    }
+
+    #[test]
+    fn coll_selection_json_round_trips() {
+        use collsel_support::{FromJson, ToJson};
+        for s in [
+            CollSelection::segmented(Alg::Bcast(BcastAlg::Binomial), 8192),
+            CollSelection::unsegmented(Alg::Gather(GatherAlg::Linear)),
+        ] {
+            assert_eq!(CollSelection::from_json(&s.to_json()).unwrap(), s);
+        }
+    }
+}

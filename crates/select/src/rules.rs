@@ -21,11 +21,31 @@
 //! | 6 | binomial tree |
 
 use crate::selector::{Selection, Selector};
-use collsel_coll::BcastAlg;
+use collsel_coll::{
+    Alg, AllgatherAlg, AllreduceAlg, AlltoallAlg, BcastAlg, Collective, GatherAlg, ReduceAlg,
+    ScatterAlg,
+};
 use std::fmt::Write as _;
 
 /// Open MPI `COLL_TUNED` collective id for broadcast.
 pub const OMPI_COLL_ID_BCAST: u32 = 7;
+
+/// Open MPI's `COLL_TUNED` collective id (the alphabetical index of
+/// `mca_coll_base_colltype_t` in `coll_base_functions.h`) for each
+/// collective we tune. A rules file whose block names the wrong id is
+/// silently ignored for the intended collective — the exact bug the
+/// regression test `non_bcast_tables_emit_their_own_coll_id` pins.
+pub fn ompi_coll_id(collective: Collective) -> u32 {
+    match collective {
+        Collective::Allgather => 0,
+        Collective::Allreduce => 2,
+        Collective::Alltoall => 3,
+        Collective::Bcast => OMPI_COLL_ID_BCAST,
+        Collective::Gather => 9,
+        Collective::Reduce => 11,
+        Collective::Scatter => 14,
+    }
+}
 
 /// Open MPI 3.1 `coll_tuned_bcast_algorithm` number for an algorithm.
 pub fn ompi_bcast_algorithm_id(alg: BcastAlg) -> u32 {
@@ -36,6 +56,43 @@ pub fn ompi_bcast_algorithm_id(alg: BcastAlg) -> u32 {
         BcastAlg::SplitBinary => 4,
         BcastAlg::Binary => 5,
         BcastAlg::Binomial => 6,
+    }
+}
+
+/// Open MPI 3.1 `coll_tuned_<collective>_algorithm` number for any
+/// collective algorithm (the per-collective MCA enumerations).
+pub fn ompi_algorithm_id(alg: Alg) -> u32 {
+    match alg {
+        Alg::Bcast(b) => ompi_bcast_algorithm_id(b),
+        Alg::Reduce(r) => match r {
+            ReduceAlg::Linear => 1,
+            ReduceAlg::Chain => 2,
+            ReduceAlg::Pipeline => 3,
+            ReduceAlg::Binary => 4,
+            ReduceAlg::Binomial => 5,
+            ReduceAlg::InOrderBinary => 6,
+        },
+        Alg::Allreduce(a) => match a {
+            AllreduceAlg::ReduceBcast => 1,
+            AllreduceAlg::RecursiveDoubling => 3,
+        },
+        Alg::Gather(g) => match g {
+            GatherAlg::Linear => 1,
+            GatherAlg::Binomial => 2,
+        },
+        Alg::Scatter(s) => match s {
+            ScatterAlg::Linear => 1,
+            ScatterAlg::Binomial => 2,
+        },
+        Alg::Allgather(a) => match a {
+            AllgatherAlg::GatherBcast => 1,
+            AllgatherAlg::RecursiveDoubling => 3,
+            AllgatherAlg::Ring => 4,
+        },
+        Alg::Alltoall(a) => match a {
+            AlltoallAlg::Linear => 1,
+            AlltoallAlg::Pairwise => 2,
+        },
     }
 }
 
@@ -181,6 +238,25 @@ mod tests {
         assert_eq!(ompi_bcast_algorithm_id(BcastAlg::SplitBinary), 4);
         assert_eq!(ompi_bcast_algorithm_id(BcastAlg::Binary), 5);
         assert_eq!(ompi_bcast_algorithm_id(BcastAlg::Binomial), 6);
+    }
+
+    #[test]
+    fn collective_ids_match_open_mpi_enumeration() {
+        assert_eq!(ompi_coll_id(Collective::Allgather), 0);
+        assert_eq!(ompi_coll_id(Collective::Allreduce), 2);
+        assert_eq!(ompi_coll_id(Collective::Alltoall), 3);
+        assert_eq!(ompi_coll_id(Collective::Bcast), 7);
+        assert_eq!(ompi_coll_id(Collective::Gather), 9);
+        assert_eq!(ompi_coll_id(Collective::Reduce), 11);
+        assert_eq!(ompi_coll_id(Collective::Scatter), 14);
+        // The bcast arm of the generic id mapping must stay equal to
+        // the original bcast-only mapping.
+        for b in BcastAlg::ALL {
+            assert_eq!(ompi_algorithm_id(Alg::Bcast(b)), ompi_bcast_algorithm_id(b));
+        }
+        // Reduce: Open MPI's coll_tuned_reduce enumeration.
+        assert_eq!(ompi_algorithm_id(Alg::Reduce(ReduceAlg::Pipeline)), 3);
+        assert_eq!(ompi_algorithm_id(Alg::Reduce(ReduceAlg::InOrderBinary)), 6);
     }
 
     #[test]

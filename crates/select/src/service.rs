@@ -166,23 +166,31 @@ impl Selector for CompiledSelector {
     }
 }
 
-/// Fixed-capacity exact-query cache with **seeded random eviction**.
+/// Fixed-capacity exact-query cache with **seeded random eviction**,
+/// generic over the query key.
 ///
 /// Random replacement needs no per-hit bookkeeping (an LRU would
 /// serialise every *read* through list surgery under the lock), has no
 /// pathological scan pattern, and — seeded through [`splitmix64`] — its
 /// eviction sequence is reproducible for a given seed and insertion
 /// order.
+///
+/// The key type is a parameter because the key must carry *the whole
+/// query identity*: the broadcast-only service keys by `(p, m)`, while
+/// the multi-collective service keys by `(collective, p, m)` — two
+/// collectives share every `(p, m)` point, so a key that omitted the
+/// collective would silently serve one collective's algorithm for
+/// another (the regression pinned in `multi`'s tests).
 #[derive(Debug)]
-struct QueryCache {
+pub(crate) struct QueryCache<K, V> {
     capacity: usize,
-    map: HashMap<(usize, usize), Selection>,
-    keys: Vec<(usize, usize)>,
+    map: HashMap<K, V>,
+    keys: Vec<K>,
     rng_state: u64,
 }
 
-impl QueryCache {
-    fn new(capacity: usize, seed: u64) -> Self {
+impl<K: std::hash::Hash + Eq + Copy, V: Copy> QueryCache<K, V> {
+    pub(crate) fn new(capacity: usize, seed: u64) -> Self {
         QueryCache {
             capacity,
             map: HashMap::with_capacity(capacity),
@@ -191,14 +199,18 @@ impl QueryCache {
         }
     }
 
-    fn get(&self, p: usize, m: usize) -> Option<Selection> {
-        self.map.get(&(p, m)).copied()
+    pub(crate) fn get(&self, key: K) -> Option<V> {
+        self.map.get(&key).copied()
     }
 
-    fn insert(&mut self, p: usize, m: usize, sel: Selection) {
+    pub(crate) fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    pub(crate) fn insert(&mut self, key: K, val: V) {
         // Two workers can race the same missed key; the second insert
         // must not duplicate it in the eviction pool.
-        if self.map.contains_key(&(p, m)) {
+        if self.map.contains_key(&key) {
             return;
         }
         if self.keys.len() >= self.capacity {
@@ -206,8 +218,8 @@ impl QueryCache {
             let victim = self.keys.swap_remove(victim_ix);
             self.map.remove(&victim);
         }
-        self.map.insert((p, m), sel);
-        self.keys.push((p, m));
+        self.map.insert(key, val);
+        self.keys.push(key);
     }
 }
 
@@ -272,7 +284,7 @@ enum ServePath {
 #[derive(Debug)]
 pub struct DecisionService {
     path: ServePath,
-    cache: Option<Mutex<QueryCache>>,
+    cache: Option<Mutex<QueryCache<(usize, usize), Selection>>>,
     hits: AtomicU64,
     misses: AtomicU64,
     fallbacks: AtomicU64,
@@ -332,7 +344,7 @@ impl DecisionService {
     /// Decides one query, consulting the cache first.
     pub fn decide(&self, p: usize, m: usize) -> Selection {
         if let Some(cache) = &self.cache {
-            if let Some(sel) = cache.lock().expect("cache lock").get(p, m) {
+            if let Some(sel) = cache.lock().expect("cache lock").get((p, m)) {
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 return sel;
             }
@@ -350,7 +362,7 @@ impl DecisionService {
             }
         };
         if let Some(cache) = &self.cache {
-            cache.lock().expect("cache lock").insert(p, m, sel);
+            cache.lock().expect("cache lock").insert((p, m), sel);
         }
         sel
     }
@@ -389,7 +401,7 @@ impl DecisionService {
     pub fn cached_entries(&self) -> usize {
         self.cache
             .as_ref()
-            .map_or(0, |c| c.lock().expect("cache lock").keys.len())
+            .map_or(0, |c| c.lock().expect("cache lock").len())
     }
 }
 

@@ -1,13 +1,17 @@
 //! Property-based tests over the whole stack: random platforms, random
 //! collective configurations, random measurement data.
 
-use collsel::coll::{bcast, gather_linear, scatter_binomial, BcastAlg, Topology};
+use collsel::coll::{bcast, gather_linear, scatter_binomial, Alg, BcastAlg, Collective, Topology};
 use collsel::estim::{huber_default, ols};
 use collsel::model::{derived, GammaTable, Hockney};
 use collsel::mpi::simulate;
 use collsel::netsim::{ClusterModel, NoiseParams, SimSpan};
+use collsel::select::{
+    fixed_selection, CollectiveModelSelector, CollectiveSelector, GracefulCollectiveSelector,
+};
 use collsel_support::prelude::*;
 use collsel_support::Bytes;
+use std::collections::BTreeMap;
 
 /// A random small-but-plausible cluster.
 fn arb_cluster() -> impl Strategy<Value = ClusterModel> {
@@ -35,6 +39,26 @@ fn arb_cluster() -> impl Strategy<Value = ClusterModel> {
 
 fn arb_alg() -> impl Strategy<Value = BcastAlg> {
     prop::sample::select(BcastAlg::ALL.to_vec())
+}
+
+fn arb_collective() -> impl Strategy<Value = Collective> {
+    prop::sample::select(Collective::ALL.to_vec())
+}
+
+/// Hockney fits for every algorithm of every collective, scaled so the
+/// property harness varies the decision boundaries between cases.
+fn all_family_params(a_scale: f64, b_scale: f64) -> BTreeMap<Alg, Hockney> {
+    Collective::ALL
+        .iter()
+        .flat_map(|c| c.algorithms())
+        .enumerate()
+        .map(|(i, &alg)| {
+            (
+                alg,
+                Hockney::new(1e-6 * a_scale * (i + 1) as f64, 1e-9 * b_scale),
+            )
+        })
+        .collect()
 }
 
 proptest! {
@@ -148,6 +172,68 @@ proptest! {
         let t2 = derived::predict_bcast(alg, p, m * 2, seg, &gamma, &h);
         prop_assert!(t1.is_finite() && t1 >= 0.0);
         prop_assert!(t2 >= t1 * 0.999, "{} vs {}", t1, t2);
+    }
+
+    /// Multi-collective selection is total and well-typed: for random
+    /// (collective, P, m) and arbitrary model scales, neither the fixed
+    /// rules nor the model-based selector panics, and both always
+    /// return an algorithm of the queried collective.
+    #[test]
+    fn multi_selection_never_panics_and_is_well_typed(
+        c in arb_collective(),
+        p in 1usize..300,
+        m in 0usize..(16 << 20),
+        a_scale in 1.0f64..50.0,
+        b_scale in 1.0f64..50.0,
+        seg_exp in 10u32..18,
+    ) {
+        let fixed = fixed_selection(c, p, m);
+        prop_assert_eq!(fixed.alg.collective(), c);
+
+        let gamma = GammaTable::from_pairs([(3, 1.1), (5, 1.3), (7, 1.5)]);
+        let model = CollectiveModelSelector::new(
+            gamma,
+            all_family_params(a_scale, b_scale),
+            1usize << seg_exp,
+        );
+        let pick = model.select_for(c, p, m);
+        prop_assert_eq!(pick.alg.collective(), c);
+        let ranking = model.ranking(c, p, m);
+        prop_assert_eq!(ranking.len(), c.algorithms().len());
+        prop_assert_eq!(ranking[0].0, pick.alg);
+        for (alg, t) in &ranking {
+            prop_assert_eq!(alg.collective(), c);
+            prop_assert!(t.is_finite() && *t >= 0.0);
+        }
+    }
+
+    /// Graceful degradation across collectives: when every fit of the
+    /// queried collective is invalid (or missing entirely), the
+    /// graceful selector falls back to the fixed rules — same
+    /// selection, fallback source, no panic.
+    #[test]
+    fn graceful_multi_falls_back_when_fits_are_invalid(
+        c in arb_collective(),
+        p in 1usize..300,
+        m in 0usize..(16 << 20),
+        missing in 0usize..2,
+    ) {
+        let gamma = GammaTable::from_pairs([(3, 1.1), (5, 1.3), (7, 1.5)]);
+        let (params, validity) = if missing == 1 {
+            (BTreeMap::new(), BTreeMap::new())
+        } else {
+            let params = all_family_params(1.0, 1.0);
+            let validity: BTreeMap<Alg, collsel::model::FitValidity> = params
+                .keys()
+                .map(|&alg| (alg, collsel::model::FitValidity::NonFinite))
+                .collect();
+            (params, validity)
+        };
+        let graceful = GracefulCollectiveSelector::new(gamma, params, validity, 8192);
+        let d = graceful.decide_for(c, p, m);
+        prop_assert!(!d.source.is_model(), "invalid fits must not decide");
+        prop_assert_eq!(d.selection, fixed_selection(c, p, m));
+        prop_assert_eq!(d.selection.alg.collective(), c);
     }
 
     /// OLS and Huber agree on outlier-free affine data.

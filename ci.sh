@@ -60,6 +60,21 @@ COLLSEL_BENCH_SMOKE=1 RUSTFLAGS='-D warnings' \
     cargo bench --offline -p collsel-bench --bench selrate
 test -f BENCH_select.json || { echo "ci.sh: BENCH_select.json missing" >&2; exit 1; }
 
+echo "==> soak gate: decision-server chaos suite at COLLSEL_THREADS=2"
+# The full-size seeded soak under an active fault plan: >= 10k mixed
+# queries across >= 3 hot swaps with zero invariant violations, the
+# health gate rejecting a poisoned refit, and every fallback attributed.
+COLLSEL_THREADS=2 RUSTFLAGS='-D warnings' \
+    cargo test --offline -q -p collsel-repro --test soak
+
+echo "==> serve bench (smoke): fallbacks appear exactly under faults"
+# The smoke run asserts internally that the calm cell never falls back
+# and the brown-out cell does; every cell's invariants are validated
+# before its numbers are reported.
+COLLSEL_BENCH_SMOKE=1 RUSTFLAGS='-D warnings' \
+    cargo bench --offline -p collsel-bench --bench serve
+test -f BENCH_serve.json || { echo "ci.sh: BENCH_serve.json missing" >&2; exit 1; }
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 
@@ -71,7 +86,11 @@ echo "==> unwrap/expect ratchet (estim + expt)"
 # 44 = 40 + the breadth additions: one documented invariant in
 # expt::breadth (every collective has >= 1 algorithm) and three in
 # test code.
-UNWRAP_CEILING=44
+# 50 = 44 + the soak harness: the documented boot-tune panic contract
+# of expt::soak::run_soak, three lock/join poisoning propagations in
+# the same function (a panicked soak thread must fail the soak), and
+# two in test code.
+UNWRAP_CEILING=50
 count=$(grep -rc 'unwrap()\|\.expect(' crates/estim/src crates/expt/src \
     --include='*.rs' | awk -F: '{s+=$2} END {print s}')
 if [ "$count" -gt "$UNWRAP_CEILING" ]; then
@@ -93,5 +112,16 @@ echo "==> colltune collective-breadth smoke run (reduce, under faults)"
     --collective reduce --faults chaos:7 --out "$smoke_dir/breadth.json"
 ./target/release/colltune query --model "$smoke_dir/breadth.json" \
     --collective reduce --p 64 --m 8192 --m 1048576 --degraded
+
+echo "==> colltune serve smoke run (short soak with journal recovery)"
+# A short seeded soak with hot swaps, a poisoned refit, and the fault
+# plan's brown-outs; the command exits non-zero on any invariant
+# violation and verifies crash-only recovery from the journal.
+COLLSEL_THREADS=2 ./target/release/colltune serve \
+    --queries 4000 --threads 2 --refits 3 \
+    --journal "$smoke_dir/serve-journal.json" --json "$smoke_dir/serve-report.json"
+test -f "$smoke_dir/serve-journal.json" || {
+    echo "ci.sh: serve journal missing" >&2; exit 1;
+}
 
 echo "ci.sh: all green"

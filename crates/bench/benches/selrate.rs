@@ -20,6 +20,7 @@
 use collsel::netsim::{ClusterModel, NoiseParams};
 use collsel::select::DecisionService;
 use collsel::{Tuner, TunerConfig};
+use collsel_support::bench::write_artifact;
 use collsel_support::rng::splitmix64;
 use collsel_support::Json;
 use std::hint::black_box;
@@ -181,8 +182,13 @@ fn main() {
         ("cells".to_owned(), Json::Arr(cells)),
     ]);
     let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_select.json");
-    match std::fs::write(out, json.to_string_pretty()) {
+    // Atomic write that refuses an empty `cells` array: a panicking or
+    // degenerate run can never clobber the previous real artifact.
+    match write_artifact(out, &json) {
         Ok(()) => println!("wrote {out}"),
-        Err(e) => eprintln!("cannot write {out}: {e}"),
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
     }
 }

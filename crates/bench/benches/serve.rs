@@ -1,0 +1,122 @@
+//! Decision-server soak benchmark: sustained serving throughput under
+//! hot swaps, health-gated refits, and an active fault plan.
+//!
+//! Where `selrate.rs` times the *lookup paths* in isolation, this bench
+//! measures the numbers a deployment actually cares about from the
+//! fault-tolerant server as a whole: sustained queries/second with
+//! refits landing mid-traffic, tail latency, hot-swap latency, and the
+//! fallback rate the fault plan induces. Each cell is one seeded
+//! [`run_soak`] over a preset and fault plan; the soak's own invariant
+//! validation runs on every cell and any violation fails the bench —
+//! a performance number from a run that served torn answers is not a
+//! performance number.
+//!
+//! Writes `BENCH_serve.json` at the repository root via
+//! [`write_artifact`], which refuses to replace a previous artifact
+//! with an empty-celled report — a cell panicking mid-run can never
+//! clobber real results. Set `COLLSEL_BENCH_SMOKE=1` for the CI-sized
+//! run.
+
+use collsel::netsim::{Brownout, ClusterModel, FaultPlan, NoiseParams};
+use collsel_expt::soak::{run_soak, SoakConfig};
+use collsel_support::bench::write_artifact;
+use collsel_support::{Json, ToJson};
+
+/// One bench cell: a named soak configuration.
+fn cell(name: &str, cluster: ClusterModel, faults: FaultPlan, queries: usize) -> Json {
+    let mut config = SoakConfig::quick();
+    config.cluster = cluster;
+    config.queries = queries;
+    config.server.faults = faults;
+    let report = run_soak(&config);
+    assert!(
+        report.passed(),
+        "{name}: soak invariants violated, refusing to report its numbers: {:#?}",
+        report.violations
+    );
+    println!(
+        "  {name:<16}: {:>9.0} queries/s, p99 {:>6} ns, {} swaps (worst {} ns), \
+         fallback rate {:.3}%",
+        report.qps,
+        report.p99_latency_ns,
+        report.swaps,
+        report.swap_nanos_max,
+        100.0 * report.fallback_rate
+    );
+    let mut fields = vec![("name".to_owned(), Json::Str(name.to_owned()))];
+    if let Json::Obj(report_fields) = report.to_json() {
+        fields.extend(report_fields);
+    }
+    Json::Obj(fields)
+}
+
+fn main() {
+    let smoke = std::env::var("COLLSEL_BENCH_SMOKE").is_ok_and(|v| v == "1");
+    let queries = if smoke { 12_000 } else { 60_000 };
+    let gros = || ClusterModel::gros().with_noise(NoiseParams::OFF);
+    println!("serve bench: smoke={smoke} queries-per-cell={queries}");
+
+    // The quick preset's brown-out schedule, scaled is unnecessary: the
+    // windows sit early in the virtual horizon regardless of length.
+    let brownouts = SoakConfig::quick().server.faults;
+    let mut cells = vec![
+        cell("calm", gros(), FaultPlan::none(), queries),
+        cell("brownouts", gros(), brownouts, queries),
+        cell(
+            "wide-brownout",
+            gros(),
+            FaultPlan::none()
+                .try_with_brownout(Brownout::try_new(0, 0.001, 0.5, 50.0).expect("static window"))
+                .expect("single window"),
+            queries,
+        ),
+    ];
+    if !smoke {
+        cells.push(cell(
+            "grisou-brownouts",
+            ClusterModel::grisou().with_noise(NoiseParams::OFF),
+            SoakConfig::quick().server.faults,
+            queries,
+        ));
+    }
+
+    let num = |c: &Json, key: &str| c.get(key).and_then(Json::as_f64).expect("cell field");
+    let min_qps = cells
+        .iter()
+        .map(|c| num(c, "qps"))
+        .fold(f64::INFINITY, f64::min);
+    let calm_fallbacks = num(&cells[0], "fallbacks");
+    let faulted_fallbacks = num(&cells[1], "fallbacks");
+    println!(
+        "min sustained rate {min_qps:.0} queries/s over {} cells; fallbacks calm={calm_fallbacks} \
+         faulted={faulted_fallbacks}",
+        cells.len()
+    );
+    if smoke {
+        assert!(
+            calm_fallbacks == 0.0,
+            "calm cell must serve every answer from a generation"
+        );
+        assert!(
+            faulted_fallbacks > 0.0,
+            "brown-out cell must trip the watchdog"
+        );
+        println!("smoke gate: fallbacks appear exactly under faults");
+    }
+
+    let json = Json::Obj(vec![
+        ("bench".to_owned(), Json::Str("serve".to_owned())),
+        ("smoke".to_owned(), Json::Bool(smoke)),
+        ("queries_per_cell".to_owned(), Json::Num(queries as f64)),
+        ("min_qps".to_owned(), Json::Num(min_qps)),
+        ("cells".to_owned(), Json::Arr(cells)),
+    ]);
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    match write_artifact(out, &json) {
+        Ok(()) => println!("wrote {out}"),
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -39,7 +39,7 @@ use collsel_mpi::SimError;
 use collsel_netsim::ClusterModel;
 use collsel_select::{
     CollDecisionTable, CollectiveModelSelector, CompiledCollectiveSelector, CompiledSelector,
-    GracefulCollectiveSelector, GracefulSelector, ModelBasedSelector,
+    FallbackReason, GracefulCollectiveSelector, GracefulSelector, ModelBasedSelector,
 };
 use collsel_support::FromJson;
 use std::collections::BTreeMap;
@@ -304,6 +304,20 @@ impl TuneReport {
     /// Whether every algorithm fitted (nothing was skipped).
     pub fn is_complete(&self) -> bool {
         self.skipped.is_empty() && self.skipped_multi.is_empty()
+    }
+
+    /// Like [`TunedModel::degraded_multi_selector`], but with the
+    /// report's skipped-algorithm errors attached as fallback causes:
+    /// a decision for a collective whose fits are all missing carries
+    /// `EstimationTimeout` / `PrecisionNotReached` instead of the
+    /// generic `NoUsableModel`.
+    pub fn degraded_multi_selector(&self) -> GracefulCollectiveSelector {
+        let failures = self
+            .skipped_multi
+            .iter()
+            .map(|(&alg, e)| (alg, FallbackReason::from_sim_error(e)))
+            .collect();
+        self.model.degraded_multi_selector().with_failures(failures)
     }
 }
 

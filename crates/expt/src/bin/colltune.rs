@@ -20,10 +20,13 @@
 use collsel::coll::Collective;
 use collsel::estim::{log_spaced_sizes, RetryPolicy};
 use collsel::mpi::Backend;
-use collsel::netsim::{ClusterModel, FaultPlan, SimSpan};
+use collsel::netsim::{ClusterModel, FaultPlan, NoiseParams, SimSpan};
 use collsel::select::rules::DecisionTable;
-use collsel::select::{CollectiveDecisionService, DecisionService, DecisionSource, Selector};
+use collsel::select::{
+    CollectiveDecisionService, DecisionServer, DecisionService, DecisionSource, Selector,
+};
 use collsel::{TunedModel, Tuner, TunerConfig};
+use collsel_expt::soak::{run_soak, SoakConfig};
 use std::process::ExitCode;
 
 const USAGE: &str = "usage:
@@ -37,6 +40,9 @@ const USAGE: &str = "usage:
   colltune bench-select
                   --model model.json [--queries N] [--cache N] [--seed N]
                   [--comm-sizes A,B,...] [--collective NAME]...
+  colltune serve  [--preset grisou|gros] [--tune-p P] [--queries N] [--threads N]
+                  [--refits N] [--poison-every N] [--seed N] [--faults SPEC]
+                  [--journal FILE] [--json FILE]
 
 fault specs (NAME or NAME:SEED): none, degraded-link, straggler, brownout, spike, chaos
 --collective: a collective to tune/query/bench beyond broadcast (repeatable):
@@ -48,7 +54,13 @@ or the host's available parallelism); any thread count yields bit-identical mode
 --backend: measurement execution backend (default: events — compile-and-replay with
 zero threads per run; threads is the oracle); both yield bit-identical models
 bench-select: compare decision-serving throughput (live ranking vs compiled table
-vs cached service) for a tuned model";
+vs cached service) for a tuned model
+serve: soak the fault-tolerant decision server — tune a boot generation, then
+drive seeded mixed query/refit traffic under the fault plan with hot swaps,
+health-gated refits (every --poison-every'th is poisoned and must be rejected),
+and post-hoc invariant validation; with --journal the run also demonstrates
+crash-only recovery by rebuilding the server from the journalled last-good
+generation afterwards; --json writes the soak report";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -62,6 +74,7 @@ fn main() -> ExitCode {
         "show" => cmd_show(&args[1..]),
         "export" => cmd_export(&args[1..]),
         "bench-select" => cmd_bench_select(&args[1..]),
+        "serve" => cmd_serve(&args[1..]),
         "--help" | "-h" => {
             println!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -689,6 +702,131 @@ fn bench_select_multi(
         100.0 * stats.hit_rate(),
         service.cached_entries()
     );
+    Ok(())
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    validate_flags(
+        args,
+        &[
+            "--preset",
+            "--tune-p",
+            "--queries",
+            "--threads",
+            "--refits",
+            "--poison-every",
+            "--seed",
+            "--faults",
+            "--journal",
+            "--json",
+        ],
+        &[],
+    )?;
+    let mut config = SoakConfig::quick();
+    match flag_value(args, "--preset") {
+        Some("grisou") => config.cluster = ClusterModel::grisou().with_noise(NoiseParams::OFF),
+        Some("gros") | None => {}
+        Some(other) => return Err(format!("unknown preset `{other}`")),
+    }
+    if let Some(s) = flag_value(args, "--tune-p") {
+        config.tune_p = parse(s, "tune-p")?;
+    }
+    if let Some(s) = flag_value(args, "--queries") {
+        config.queries = parse(s, "query count")?;
+    }
+    if let Some(s) = flag_value(args, "--threads") {
+        config.threads = parse(s, "thread count")?;
+        if config.threads == 0 {
+            return Err("--threads must be at least 1".into());
+        }
+    }
+    if let Some(s) = flag_value(args, "--refits") {
+        config.refits = parse(s, "refit count")?;
+    }
+    if let Some(s) = flag_value(args, "--poison-every") {
+        config.poison_every = parse(s, "poison period")?;
+    }
+    if let Some(s) = flag_value(args, "--seed") {
+        config.seed = parse(s, "seed")?;
+    }
+    if let Some(spec) = flag_value(args, "--faults") {
+        config.server.faults = FaultPlan::parse(spec, config.cluster.nodes())?;
+    }
+    let journal = flag_value(args, "--journal");
+    if let Some(path) = journal {
+        config.server.journal = Some(std::path::PathBuf::from(path));
+    }
+
+    eprintln!(
+        "[colltune] soaking the decision server on {}: {} queries / {} readers, \
+         {} refits (every {} poisoned), faults: {}",
+        config.cluster.name(),
+        config.queries,
+        config.threads,
+        config.refits,
+        if config.poison_every == 0 {
+            "none".to_string()
+        } else {
+            format!("{}th", config.poison_every)
+        },
+        config.server.faults
+    );
+    let report = run_soak(&config);
+    println!(
+        "served {} queries in {:.2}s ({:.0} queries/s sustained, p99 {} ns)",
+        report.queries, report.duration_s, report.qps, report.p99_latency_ns
+    );
+    println!(
+        "hot swaps: {} installed (mean {:.0} ns, worst {} ns); refits rejected \
+         by the health gate: {}",
+        report.swaps, report.swap_nanos_mean, report.swap_nanos_max, report.rejected_refits
+    );
+    println!(
+        "fallbacks: {} ({:.2}% of answers; {} previous-generation, {} rules-after-timeout, \
+         {} rules-uncovered)",
+        report.fallbacks,
+        100.0 * report.fallback_rate,
+        report.stats.served_previous_timeout,
+        report.stats.served_rules_timeout,
+        report.stats.served_rules_uncovered
+    );
+    if let Some(path) = flag_value(args, "--json") {
+        collsel_support::bench::write_artifact(path, &collsel_support::ToJson::to_json(&report))?;
+        eprintln!("[colltune] soak report written to {path}");
+    }
+
+    // With a journal, demonstrate crash-only recovery: rebuild a server
+    // from the journalled last-good generation, with no shutdown
+    // handshake, and check it resumes at the final installed version.
+    if journal.is_some() {
+        let recovered = DecisionServer::recover(config.server.clone())
+            .map_err(|e| format!("journal recovery failed: {e}"))?;
+        let expected = 1 + report.swaps;
+        if recovered.version() != expected {
+            return Err(format!(
+                "journal recovery resumed at generation {} instead of {expected}",
+                recovered.version()
+            ));
+        }
+        let probe = recovered.decide(Collective::Bcast, 16, 64 * 1024);
+        println!(
+            "journal recovery: resumed at generation {} (probe answer {} from epoch {})",
+            recovered.version(),
+            probe.selection.alg.qualified_name(),
+            probe.epoch
+        );
+    }
+
+    if !report.passed() {
+        for v in &report.violations {
+            eprintln!("[colltune] INVARIANT VIOLATION: {v}");
+        }
+        return Err(format!(
+            "soak failed with {} invariant violation(s)",
+            report.violations.len()
+        ));
+    }
+    println!("soak invariants: all held (zero torn or unattributed answers)");
     Ok(())
 }
 

@@ -27,6 +27,7 @@ pub mod fig1;
 pub mod paper_ref;
 pub mod plot;
 pub mod report;
+pub mod soak;
 pub mod sweep;
 pub mod table1;
 pub mod table2;

@@ -30,6 +30,98 @@ use std::fmt;
 /// when no explicit seed is given.
 pub const DEFAULT_FAULT_SEED: u64 = 0xFA_17;
 
+/// A typed construction error for [`FaultPlan`] builders.
+///
+/// The fallible `try_with_*` builders return these instead of
+/// panicking, so callers assembling plans from untrusted input (CLI
+/// flags, config files, fuzzers) can reject nonsense schedules —
+/// negative or NaN durations, speed-up "slowdowns", overlapping
+/// brown-out windows — with a diagnosable error at build time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultPlanError {
+    /// A degraded link connecting a node to itself.
+    SelfLink {
+        /// The offending node index.
+        node: usize,
+    },
+    /// A slowdown or multiplier that is not finite or is below 1.
+    BadFactor {
+        /// Which factor was rejected (e.g. `"link slowdown"`).
+        what: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// A window duration or start offset that is negative or not finite.
+    BadDuration {
+        /// Which duration was rejected (e.g. `"brown-out duration"`).
+        what: &'static str,
+        /// The rejected value, in seconds.
+        seconds: f64,
+    },
+    /// A brown-out window with `start >= end`.
+    EmptyWindow {
+        /// The affected node.
+        node: usize,
+        /// Window start.
+        start: SimTime,
+        /// Window end.
+        end: SimTime,
+    },
+    /// Two brown-out windows on the same node intersect. Overlap is
+    /// rejected because stacked windows multiply their slowdowns, which
+    /// is almost never what a schedule author intended.
+    OverlappingBrownouts {
+        /// The node carrying both windows.
+        node: usize,
+        /// The window already in the plan.
+        existing: (SimTime, SimTime),
+        /// The window being added.
+        added: (SimTime, SimTime),
+    },
+    /// A spike probability outside `[0, 1]`.
+    BadProbability {
+        /// The rejected value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for FaultPlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultPlanError::SelfLink { node } => {
+                write!(f, "a link connects two distinct nodes, got {node}-{node}")
+            }
+            FaultPlanError::BadFactor { what, value } => {
+                write!(f, "{what} must be finite and >= 1, got {value}")
+            }
+            FaultPlanError::BadDuration { what, seconds } => {
+                write!(f, "{what} must be finite and non-negative, got {seconds}")
+            }
+            FaultPlanError::EmptyWindow { node, start, end } => {
+                write!(
+                    f,
+                    "brown-out window is empty on node {node}: [{start}, {end})"
+                )
+            }
+            FaultPlanError::OverlappingBrownouts {
+                node,
+                existing,
+                added,
+            } => write!(
+                f,
+                "overlapping brown-out windows on node {node}: \
+                 [{}, {}) intersects existing [{}, {})",
+                added.0, added.1, existing.0, existing.1
+            ),
+            FaultPlanError::BadProbability { value } => {
+                write!(f, "spike probability must be in [0, 1], got {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultPlanError {}
+
 /// A scheduled brown-out: every link touching `node` is slowed down by
 /// `slowdown` during `[start, end)` of virtual time.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -42,6 +134,59 @@ pub struct Brownout {
     pub end: SimTime,
     /// Multiplicative slowdown (≥ 1) on link serialization time.
     pub slowdown: f64,
+}
+
+impl Brownout {
+    /// Builds a brown-out window from floating-point seconds, rejecting
+    /// negative, NaN or infinite offsets/durations and zero-length
+    /// windows with a typed error before any unit conversion happens.
+    pub fn try_new(
+        node: usize,
+        start_secs: f64,
+        duration_secs: f64,
+        slowdown: f64,
+    ) -> Result<Brownout, FaultPlanError> {
+        if !start_secs.is_finite() || start_secs < 0.0 {
+            return Err(FaultPlanError::BadDuration {
+                what: "brown-out start",
+                seconds: start_secs,
+            });
+        }
+        if !duration_secs.is_finite() || duration_secs < 0.0 {
+            return Err(FaultPlanError::BadDuration {
+                what: "brown-out duration",
+                seconds: duration_secs,
+            });
+        }
+        if !slowdown.is_finite() || slowdown < 1.0 {
+            return Err(FaultPlanError::BadFactor {
+                what: "brown-out slowdown",
+                value: slowdown,
+            });
+        }
+        let start = SimTime::ZERO + SimSpan::from_secs_f64(start_secs);
+        let end = start + SimSpan::from_secs_f64(duration_secs);
+        if start >= end {
+            return Err(FaultPlanError::EmptyWindow { node, start, end });
+        }
+        Ok(Brownout {
+            node,
+            start,
+            end,
+            slowdown,
+        })
+    }
+
+    /// Panicking twin of [`try_new`](Self::try_new), for statically
+    /// known windows (the same pattern as the [`FaultPlan`] `with_*`
+    /// builders).
+    ///
+    /// # Panics
+    ///
+    /// Panics where `try_new` would return an error.
+    pub fn new(node: usize, start_secs: f64, duration_secs: f64, slowdown: f64) -> Brownout {
+        Self::try_new(node, start_secs, duration_secs, slowdown).unwrap_or_else(|e| panic!("{e}"))
+    }
 }
 
 /// Transient delay-spike configuration.
@@ -92,21 +237,55 @@ impl FaultPlan {
         self.seed
     }
 
+    /// Adds a degraded link between nodes `a` and `b` (undirected),
+    /// rejecting self-links and non-finite or sub-1 slowdowns.
+    pub fn try_with_degraded_link(
+        mut self,
+        a: usize,
+        b: usize,
+        slowdown: f64,
+    ) -> Result<FaultPlan, FaultPlanError> {
+        if a == b {
+            return Err(FaultPlanError::SelfLink { node: a });
+        }
+        if !slowdown.is_finite() || slowdown < 1.0 {
+            return Err(FaultPlanError::BadFactor {
+                what: "link slowdown",
+                value: slowdown,
+            });
+        }
+        let key = if a <= b { (a, b) } else { (b, a) };
+        self.degraded_links.insert(key, slowdown);
+        Ok(self)
+    }
+
     /// Adds a degraded link between nodes `a` and `b` (undirected).
     ///
     /// # Panics
     ///
-    /// Panics if `a == b` or `slowdown` is not finite and ≥ 1.
+    /// Panics if `a == b` or `slowdown` is not finite and ≥ 1; see
+    /// [`try_with_degraded_link`](Self::try_with_degraded_link).
     #[must_use]
-    pub fn with_degraded_link(mut self, a: usize, b: usize, slowdown: f64) -> FaultPlan {
-        assert!(a != b, "a link connects two distinct nodes");
-        assert!(
-            slowdown.is_finite() && slowdown >= 1.0,
-            "link slowdown must be finite and >= 1, got {slowdown}"
-        );
-        let key = if a <= b { (a, b) } else { (b, a) };
-        self.degraded_links.insert(key, slowdown);
-        self
+    pub fn with_degraded_link(self, a: usize, b: usize, slowdown: f64) -> FaultPlan {
+        self.try_with_degraded_link(a, b, slowdown)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Marks `rank` as a straggler, rejecting non-finite or sub-1
+    /// multipliers.
+    pub fn try_with_straggler(
+        mut self,
+        rank: usize,
+        multiplier: f64,
+    ) -> Result<FaultPlan, FaultPlanError> {
+        if !multiplier.is_finite() || multiplier < 1.0 {
+            return Err(FaultPlanError::BadFactor {
+                what: "straggler multiplier",
+                value: multiplier,
+            });
+        }
+        self.stragglers.insert(rank, multiplier);
+        Ok(self)
     }
 
     /// Marks `rank` as a straggler whose CPU overheads are multiplied
@@ -114,50 +293,87 @@ impl FaultPlan {
     ///
     /// # Panics
     ///
-    /// Panics if `multiplier` is not finite and ≥ 1.
+    /// Panics if `multiplier` is not finite and ≥ 1; see
+    /// [`try_with_straggler`](Self::try_with_straggler).
     #[must_use]
-    pub fn with_straggler(mut self, rank: usize, multiplier: f64) -> FaultPlan {
-        assert!(
-            multiplier.is_finite() && multiplier >= 1.0,
-            "straggler multiplier must be finite and >= 1, got {multiplier}"
-        );
-        self.stragglers.insert(rank, multiplier);
-        self
+    pub fn with_straggler(self, rank: usize, multiplier: f64) -> FaultPlan {
+        self.try_with_straggler(rank, multiplier)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Adds a scheduled brown-out window, rejecting empty windows,
+    /// non-finite or sub-1 slowdowns, and windows that overlap an
+    /// existing window **on the same node** (stacked windows multiply
+    /// their slowdowns, which is almost never intended).
+    pub fn try_with_brownout(mut self, brownout: Brownout) -> Result<FaultPlan, FaultPlanError> {
+        if brownout.start >= brownout.end {
+            return Err(FaultPlanError::EmptyWindow {
+                node: brownout.node,
+                start: brownout.start,
+                end: brownout.end,
+            });
+        }
+        if !brownout.slowdown.is_finite() || brownout.slowdown < 1.0 {
+            return Err(FaultPlanError::BadFactor {
+                what: "brown-out slowdown",
+                value: brownout.slowdown,
+            });
+        }
+        if let Some(clash) = self
+            .brownouts
+            .iter()
+            .find(|b| b.node == brownout.node && b.start < brownout.end && brownout.start < b.end)
+        {
+            return Err(FaultPlanError::OverlappingBrownouts {
+                node: brownout.node,
+                existing: (clash.start, clash.end),
+                added: (brownout.start, brownout.end),
+            });
+        }
+        self.brownouts.push(brownout);
+        Ok(self)
     }
 
     /// Adds a scheduled brown-out window.
     ///
     /// # Panics
     ///
-    /// Panics if the window is empty or `slowdown` is not finite and ≥ 1.
+    /// Panics if the window is empty, overlaps an existing window on
+    /// the same node, or `slowdown` is not finite and ≥ 1; see
+    /// [`try_with_brownout`](Self::try_with_brownout).
     #[must_use]
-    pub fn with_brownout(mut self, brownout: Brownout) -> FaultPlan {
-        assert!(brownout.start < brownout.end, "brown-out window is empty");
-        assert!(
-            brownout.slowdown.is_finite() && brownout.slowdown >= 1.0,
-            "brown-out slowdown must be finite and >= 1, got {}",
-            brownout.slowdown
-        );
-        self.brownouts.push(brownout);
-        self
+    pub fn with_brownout(self, brownout: Brownout) -> FaultPlan {
+        self.try_with_brownout(brownout)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Enables transient delay spikes, rejecting probabilities outside
+    /// `[0, 1]`.
+    pub fn try_with_spikes(
+        mut self,
+        probability: f64,
+        extra_latency: SimSpan,
+    ) -> Result<FaultPlan, FaultPlanError> {
+        if !(0.0..=1.0).contains(&probability) {
+            return Err(FaultPlanError::BadProbability { value: probability });
+        }
+        self.spikes = Some(SpikeParams {
+            probability,
+            extra_latency,
+        });
+        Ok(self)
     }
 
     /// Enables transient delay spikes.
     ///
     /// # Panics
     ///
-    /// Panics if `probability` is not in `[0, 1]`.
+    /// Panics if `probability` is not in `[0, 1]`; see
+    /// [`try_with_spikes`](Self::try_with_spikes).
     #[must_use]
-    pub fn with_spikes(mut self, probability: f64, extra_latency: SimSpan) -> FaultPlan {
-        assert!(
-            (0.0..=1.0).contains(&probability),
-            "spike probability must be in [0, 1], got {probability}"
-        );
-        self.spikes = Some(SpikeParams {
-            probability,
-            extra_latency,
-        });
-        self
+    pub fn with_spikes(self, probability: f64, extra_latency: SimSpan) -> FaultPlan {
+        self.try_with_spikes(probability, extra_latency)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Sets the seed mixed into the transient-spike stream.
@@ -240,15 +456,28 @@ impl FaultPlan {
         );
         let mut rng = StdRng::seed_from_u64(seed);
         let mut plan = FaultPlan::none().with_seed(seed);
-        for _ in 0..count {
+        let mut placed = 0;
+        // Windows that would overlap an existing same-node window are
+        // re-drawn (bounded, so a schedule that cannot fit `count`
+        // disjoint windows still terminates with fewer of them).
+        let mut attempts = 0;
+        while placed < count && attempts < count.saturating_mul(64).max(64) {
+            attempts += 1;
             let node = rng.gen_range(0..nodes);
             let start = SimTime::ZERO + SimSpan::from_nanos(rng.gen_range(0..horizon.as_nanos()));
-            plan = plan.with_brownout(Brownout {
+            match plan.clone().try_with_brownout(Brownout {
                 node,
                 start,
                 end: start + duration,
                 slowdown,
-            });
+            }) {
+                Ok(updated) => {
+                    plan = updated;
+                    placed += 1;
+                }
+                Err(FaultPlanError::OverlappingBrownouts { .. }) => continue,
+                Err(e) => panic!("{e}"),
+            }
         }
         plan
     }
@@ -314,12 +543,18 @@ impl FaultPlan {
     }
 
     /// Combines two plans (the other plan's entries win on key clashes;
-    /// spike settings are taken from `other` when present).
+    /// spike settings are taken from `other` when present). Incoming
+    /// brown-out windows that would overlap an existing same-node
+    /// window are dropped, preserving the no-overlap invariant.
     #[must_use]
     pub fn merge(mut self, other: FaultPlan) -> FaultPlan {
         self.degraded_links.extend(other.degraded_links);
         self.stragglers.extend(other.stragglers);
-        self.brownouts.extend(other.brownouts);
+        for bo in other.brownouts {
+            if let Ok(updated) = self.clone().try_with_brownout(bo) {
+                self = updated;
+            }
+        }
         if other.spikes.is_some() {
             self.spikes = other.spikes;
         }
@@ -495,5 +730,136 @@ mod tests {
             end: SimTime::from_nanos(5),
             slowdown: 2.0,
         });
+    }
+
+    #[test]
+    fn try_builders_return_typed_errors() {
+        assert_eq!(
+            FaultPlan::none().try_with_degraded_link(3, 3, 2.0),
+            Err(FaultPlanError::SelfLink { node: 3 })
+        );
+        assert!(matches!(
+            FaultPlan::none().try_with_degraded_link(0, 1, f64::NAN),
+            Err(FaultPlanError::BadFactor {
+                what: "link slowdown",
+                ..
+            })
+        ));
+        assert!(matches!(
+            FaultPlan::none().try_with_straggler(0, 0.25),
+            Err(FaultPlanError::BadFactor {
+                what: "straggler multiplier",
+                ..
+            })
+        ));
+        assert!(matches!(
+            FaultPlan::none().try_with_spikes(1.5, SimSpan::from_micros(1)),
+            Err(FaultPlanError::BadProbability { .. })
+        ));
+    }
+
+    #[test]
+    fn brownout_try_new_rejects_negative_and_nan_durations() {
+        assert!(matches!(
+            Brownout::try_new(0, -1.0, 2.0, 3.0),
+            Err(FaultPlanError::BadDuration {
+                what: "brown-out start",
+                ..
+            })
+        ));
+        assert!(matches!(
+            Brownout::try_new(0, 0.0, f64::NAN, 3.0),
+            Err(FaultPlanError::BadDuration {
+                what: "brown-out duration",
+                ..
+            })
+        ));
+        assert!(matches!(
+            Brownout::try_new(0, 0.0, 0.0, 3.0),
+            Err(FaultPlanError::EmptyWindow { .. })
+        ));
+        assert!(matches!(
+            Brownout::try_new(0, 0.0, 1.0, 0.5),
+            Err(FaultPlanError::BadFactor { .. })
+        ));
+        let ok = Brownout::try_new(2, 0.001, 0.002, 4.0).unwrap();
+        assert_eq!(ok.node, 2);
+        assert_eq!(ok.start, SimTime::from_nanos(1_000_000));
+        assert_eq!(ok.end, SimTime::from_nanos(3_000_000));
+    }
+
+    #[test]
+    fn overlapping_brownouts_rejected_same_node_only() {
+        let base = FaultPlan::none()
+            .try_with_brownout(Brownout::try_new(1, 0.0, 0.010, 2.0).unwrap())
+            .unwrap();
+        // Same node, intersecting window: typed rejection.
+        let err = base
+            .clone()
+            .try_with_brownout(Brownout::try_new(1, 0.005, 0.010, 2.0).unwrap())
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            FaultPlanError::OverlappingBrownouts { node: 1, .. }
+        ));
+        assert!(err.to_string().contains("overlapping brown-out"));
+        // Different node, same window: fine.
+        assert!(base
+            .clone()
+            .try_with_brownout(Brownout::try_new(2, 0.005, 0.010, 2.0).unwrap())
+            .is_ok());
+        // Same node, adjacent (end-exclusive) window: fine.
+        assert!(base
+            .try_with_brownout(Brownout::try_new(1, 0.010, 0.010, 2.0).unwrap())
+            .is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "overlapping brown-out")]
+    fn panicking_builder_rejects_overlap_too() {
+        let _ = FaultPlan::none()
+            .with_brownout(Brownout::try_new(0, 0.0, 0.010, 2.0).unwrap())
+            .with_brownout(Brownout::try_new(0, 0.001, 0.001, 2.0).unwrap());
+    }
+
+    #[test]
+    fn canned_brownouts_never_overlap() {
+        for seed in [0u64, 7, 42, 0xFA_17] {
+            let plan = FaultPlan::brownouts(
+                4,
+                8,
+                SimSpan::from_millis(100),
+                SimSpan::from_millis(10),
+                4.0,
+                seed,
+            );
+            let windows = plan.brownout_windows();
+            for (i, a) in windows.iter().enumerate() {
+                for b in &windows[i + 1..] {
+                    assert!(
+                        a.node != b.node || a.end <= b.start || b.end <= a.start,
+                        "seed {seed}: overlapping windows {a:?} / {b:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn merge_drops_overlapping_incoming_windows() {
+        let a = FaultPlan::none()
+            .try_with_brownout(Brownout::try_new(0, 0.0, 0.010, 2.0).unwrap())
+            .unwrap();
+        let b = FaultPlan::none()
+            .try_with_brownout(Brownout::try_new(0, 0.005, 0.010, 3.0).unwrap())
+            .unwrap()
+            .try_with_brownout(Brownout::try_new(1, 0.0, 0.010, 3.0).unwrap())
+            .unwrap();
+        let merged = a.merge(b);
+        assert_eq!(merged.brownout_windows().len(), 2);
+        assert!(merged
+            .brownout_windows()
+            .iter()
+            .all(|w| w.slowdown == 2.0 || w.node == 1));
     }
 }

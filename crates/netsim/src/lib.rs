@@ -39,7 +39,7 @@ pub mod trace;
 
 pub use cluster::{ClusterModel, ClusterModelBuilder, RackParams, RankMapping};
 pub use fabric::{Fabric, FabricStats, TransferPlan};
-pub use fault::{Brownout, FaultPlan, SpikeParams};
+pub use fault::{Brownout, FaultPlan, FaultPlanError, SpikeParams};
 pub use noise::{Noise, NoiseParams};
 pub use time::{SimSpan, SimTime};
 pub use trace::TransferRecord;

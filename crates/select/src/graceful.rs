@@ -13,17 +13,40 @@
 use crate::selector::{ModelBasedSelector, OpenMpiFixedSelector, Selection, Selector};
 use collsel_coll::BcastAlg;
 use collsel_model::{derived, FitValidity, GammaTable, Hockney};
+use collsel_mpi::SimError;
 use std::collections::BTreeMap;
 use std::fmt;
 
 /// Why the model path could not decide a query (or an algorithm was
 /// excluded from the ranking).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum FallbackReason {
-    /// No algorithm has a usable model at all.
+    /// No algorithm has a usable model at all (and no recorded failure
+    /// explains why).
     NoUsableModel,
     /// Every modelled prediction for this `(P, m)` was non-finite.
     NonFinitePredictions,
+    /// Fits exist for the queried collective but every one failed
+    /// validation ([`FitValidity`] other than `Valid`).
+    InvalidFit,
+    /// The fits are missing because their estimation runs exceeded the
+    /// watchdog deadline ([`SimError::Timeout`]).
+    EstimationTimeout,
+    /// The fits are missing because their measurements never reached
+    /// the target precision ([`SimError::PrecisionNotReached`]).
+    PrecisionNotReached,
+}
+
+impl FallbackReason {
+    /// Classifies a tuning-stage [`SimError`] into the fallback cause a
+    /// decision for the affected algorithm(s) should carry.
+    pub fn from_sim_error(e: &SimError) -> FallbackReason {
+        match e {
+            SimError::Timeout { .. } => FallbackReason::EstimationTimeout,
+            SimError::PrecisionNotReached { .. } => FallbackReason::PrecisionNotReached,
+            _ => FallbackReason::NoUsableModel,
+        }
+    }
 }
 
 impl fmt::Display for FallbackReason {
@@ -33,9 +56,26 @@ impl fmt::Display for FallbackReason {
             FallbackReason::NonFinitePredictions => {
                 write!(f, "every model prediction was non-finite")
             }
+            FallbackReason::InvalidFit => {
+                write!(f, "every fit for the collective failed validation")
+            }
+            FallbackReason::EstimationTimeout => {
+                write!(f, "estimation timed out before fitting the collective")
+            }
+            FallbackReason::PrecisionNotReached => {
+                write!(f, "estimation never reached the target precision")
+            }
         }
     }
 }
+
+collsel_support::json_enum!(FallbackReason {
+    NoUsableModel,
+    NonFinitePredictions,
+    InvalidFit,
+    EstimationTimeout,
+    PrecisionNotReached,
+});
 
 /// Which path produced a [`Decision`].
 #[derive(Debug, Clone, PartialEq)]
@@ -58,6 +98,55 @@ impl DecisionSource {
     /// Whether the model path decided.
     pub fn is_model(&self) -> bool {
         matches!(self, DecisionSource::Model { .. })
+    }
+
+    /// The fallback cause, when the rules path decided.
+    pub fn fallback_reason(&self) -> Option<FallbackReason> {
+        match self {
+            DecisionSource::Model { .. } => None,
+            DecisionSource::Fallback { reason } => Some(*reason),
+        }
+    }
+}
+
+impl collsel_support::ToJson for DecisionSource {
+    fn to_json(&self) -> collsel_support::Json {
+        use collsel_support::Json;
+        match self {
+            DecisionSource::Model { predicted } => Json::Obj(vec![
+                ("kind".to_string(), Json::Str("model".to_string())),
+                ("predicted".to_string(), predicted.to_json()),
+            ]),
+            DecisionSource::Fallback { reason } => Json::Obj(vec![
+                ("kind".to_string(), Json::Str("fallback".to_string())),
+                ("reason".to_string(), reason.to_json()),
+            ]),
+        }
+    }
+}
+
+impl collsel_support::FromJson for DecisionSource {
+    fn from_json(v: &collsel_support::Json) -> Result<Self, collsel_support::JsonError> {
+        use collsel_support::JsonError;
+        let kind = v
+            .get("kind")
+            .and_then(|k| k.as_str())
+            .ok_or_else(|| JsonError(format!("decision source needs a `kind`: {v}")))?;
+        match kind {
+            "model" => Ok(DecisionSource::Model {
+                predicted: f64::from_json(
+                    v.get("predicted")
+                        .ok_or_else(|| JsonError("model source needs `predicted`".to_string()))?,
+                )?,
+            }),
+            "fallback" => Ok(DecisionSource::Fallback {
+                reason: FallbackReason::from_json(
+                    v.get("reason")
+                        .ok_or_else(|| JsonError("fallback source needs `reason`".to_string()))?,
+                )?,
+            }),
+            other => Err(JsonError(format!("invalid decision source kind `{other}`"))),
+        }
     }
 }
 
@@ -152,11 +241,16 @@ impl GracefulSelector {
     /// surviving ranking falls back to the Open MPI rules.
     pub fn decide(&self, p: usize, m: usize) -> Decision {
         let Some(model) = &self.model else {
+            // Fits that exist but all failed validation are a more
+            // specific cause than "no model at all".
+            let reason = if self.validity.is_empty() {
+                FallbackReason::NoUsableModel
+            } else {
+                FallbackReason::InvalidFit
+            };
             return Decision {
                 selection: self.fallback.select(p, m),
-                source: DecisionSource::Fallback {
-                    reason: FallbackReason::NoUsableModel,
-                },
+                source: DecisionSource::Fallback { reason },
             };
         };
         // Rank by hand rather than via ModelBasedSelector::select,
@@ -242,7 +336,7 @@ mod tests {
     }
 
     #[test]
-    fn no_usable_model_falls_back_to_rules() {
+    fn invalid_fits_fall_back_to_rules_with_cause() {
         let (params, validity) = all_valid();
         let all_bad: BTreeMap<BcastAlg, FitValidity> = validity
             .keys()
@@ -258,7 +352,7 @@ mod tests {
             let d = sel.decide(p, m);
             match &d.source {
                 DecisionSource::Fallback { reason } => {
-                    assert_eq!(*reason, FallbackReason::NoUsableModel)
+                    assert_eq!(*reason, FallbackReason::InvalidFit)
                 }
                 other => panic!("expected fallback, got {other:?}"),
             }

@@ -16,7 +16,11 @@
 //! * [`multi`] — the same serving stack widened to all seven
 //!   collectives, keyed by `(collective, P, m)`:
 //!   [`CollectiveModelSelector`], [`GracefulCollectiveSelector`],
-//!   [`CompiledCollectiveSelector`], [`CollectiveDecisionService`].
+//!   [`CompiledCollectiveSelector`], [`CollectiveDecisionService`];
+//! * [`server`] — the fault-tolerant decision server:
+//!   [`DecisionServer`] with epoch-versioned hot swap, a per-request
+//!   watchdog, a health-gated online refit path, and a crash-only
+//!   recovery journal.
 //!
 //! ```
 //! use collsel_select::{OpenMpiFixedSelector, Selector};
@@ -34,6 +38,7 @@ mod graceful;
 pub mod multi;
 pub mod rules;
 mod selector;
+pub mod server;
 pub mod service;
 
 pub use graceful::{Decision, DecisionSource, FallbackReason, GracefulSelector};
@@ -45,5 +50,8 @@ pub use multi::{
 pub use selector::{
     MeasuredTableSelector, ModelBasedSelector, OpenMpiFixedSelector, Selection, Selector,
     TraditionalModelSelector,
+};
+pub use server::{
+    DecisionServer, RefitOutcome, ServeSource, ServedAnswer, ServerConfig, ServerStats,
 };
 pub use service::{CompiledSelector, DecisionService, ServiceStats};

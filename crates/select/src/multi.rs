@@ -32,6 +32,7 @@ use collsel_coll::{
     Alg, AllgatherAlg, AllreduceAlg, AlltoallAlg, Collective, GatherAlg, ScatterAlg,
 };
 use collsel_model::{collectives, FitValidity, GammaTable, Hockney};
+use collsel_support::epoch::EpochSwap;
 use collsel_support::pool::Pool;
 use std::collections::BTreeMap;
 use std::fmt;
@@ -333,6 +334,8 @@ impl fmt::Display for CollDecision {
     }
 }
 
+collsel_support::json_struct!(CollDecision { selection, source });
+
 /// Graceful degradation across collectives: model-based per query when
 /// the queried collective has trusted fits, [`fixed_selection`]
 /// otherwise — reporting which path decided through [`CollDecision`].
@@ -340,6 +343,7 @@ impl fmt::Display for CollDecision {
 pub struct GracefulCollectiveSelector {
     model: CollectiveModelSelector,
     validity: BTreeMap<Alg, FitValidity>,
+    failures: BTreeMap<Alg, FallbackReason>,
 }
 
 impl GracefulCollectiveSelector {
@@ -362,7 +366,38 @@ impl GracefulCollectiveSelector {
         GracefulCollectiveSelector {
             model: CollectiveModelSelector::new(gamma, trusted, seg_size),
             validity,
+            failures: BTreeMap::new(),
         }
+    }
+
+    /// Records why algorithms are missing entirely (their estimation
+    /// failed before producing a fit, e.g. with
+    /// [`FallbackReason::EstimationTimeout`] or
+    /// [`FallbackReason::PrecisionNotReached`]). Fallback decisions for
+    /// a collective whose fits are all missing carry the recorded cause
+    /// instead of the generic [`FallbackReason::NoUsableModel`].
+    #[must_use]
+    pub fn with_failures(mut self, failures: BTreeMap<Alg, FallbackReason>) -> Self {
+        self.failures = failures;
+        self
+    }
+
+    /// The recorded per-algorithm estimation failures.
+    pub fn failures(&self) -> &BTreeMap<Alg, FallbackReason> {
+        &self.failures
+    }
+
+    /// Predicted execution time of one specific algorithm at `(p, m)`
+    /// under this selector's trusted fits, or `None` when the algorithm
+    /// is not modelled (no fit, or its fit failed validation). Used by
+    /// the decision server's health gate to shadow-score a candidate
+    /// generation's picks with the live generation's models.
+    pub fn predicted_time(&self, alg: Alg, p: usize, m: usize) -> Option<f64> {
+        self.model
+            .ranking(alg.collective(), p, m)
+            .into_iter()
+            .find(|&(a, _)| a == alg)
+            .map(|(_, t)| t)
     }
 
     /// Overrides one collective's evaluation/serving segment size (see
@@ -387,12 +422,14 @@ impl GracefulCollectiveSelector {
     }
 
     /// Decides a query, reporting which path decided. Never panics.
+    ///
+    /// A fallback decision carries the most specific cause available:
+    /// trusted fits that all predicted non-finite times report
+    /// [`FallbackReason::NonFinitePredictions`]; fits that exist but
+    /// all failed validation report [`FallbackReason::InvalidFit`];
+    /// collectives whose estimation failed outright report the cause
+    /// recorded via [`with_failures`](Self::with_failures).
     pub fn decide_for(&self, collective: Collective, p: usize, m: usize) -> CollDecision {
-        let has_fits = self
-            .model
-            .params()
-            .keys()
-            .any(|alg| alg.collective() == collective);
         match self.model.model_argmin(collective, p, m) {
             Some((alg, predicted)) => CollDecision {
                 selection: CollSelection::segmented(alg, self.model.seg_for(collective)),
@@ -401,14 +438,34 @@ impl GracefulCollectiveSelector {
             None => CollDecision {
                 selection: fixed_selection(collective, p, m),
                 source: DecisionSource::Fallback {
-                    reason: if has_fits {
-                        FallbackReason::NonFinitePredictions
-                    } else {
-                        FallbackReason::NoUsableModel
-                    },
+                    reason: self.fallback_cause(collective),
                 },
             },
         }
+    }
+
+    /// The cause a rules-path decision for `collective` should carry.
+    fn fallback_cause(&self, collective: Collective) -> FallbackReason {
+        let has_trusted = self
+            .model
+            .params()
+            .keys()
+            .any(|alg| alg.collective() == collective);
+        if has_trusted {
+            return FallbackReason::NonFinitePredictions;
+        }
+        let has_judged_fits = self
+            .validity
+            .keys()
+            .any(|alg| alg.collective() == collective);
+        if has_judged_fits {
+            return FallbackReason::InvalidFit;
+        }
+        self.failures
+            .iter()
+            .find(|(alg, _)| alg.collective() == collective)
+            .map(|(_, &reason)| reason)
+            .unwrap_or(FallbackReason::NoUsableModel)
     }
 }
 
@@ -432,6 +489,11 @@ pub struct CollRule {
     pub selection: CollSelection,
 }
 
+collsel_support::json_struct!(CollRule {
+    min_msg_size,
+    selection
+});
+
 /// All rules of one collective for one communicator size.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CollCommRules {
@@ -440,6 +502,8 @@ pub struct CollCommRules {
     /// Payload-size thresholds in ascending order.
     pub rules: Vec<CollRule>,
 }
+
+collsel_support::json_struct!(CollCommRules { comm_size, rules });
 
 /// A materialised decision table for **one** collective (the breadth
 /// twin of [`DecisionTable`](crate::rules::DecisionTable)).
@@ -450,6 +514,8 @@ pub struct CollDecisionTable {
     /// Per-communicator-size rule blocks, ascending.
     pub comms: Vec<CollCommRules>,
 }
+
+collsel_support::json_struct!(CollDecisionTable { collective, comms });
 
 impl CollDecisionTable {
     /// Materialises `selector` over the grids for `collective`
@@ -745,8 +811,8 @@ enum MultiServePath {
 /// cache keyed by `(collective, p, m)`.
 #[derive(Debug)]
 pub struct CollectiveDecisionService {
-    path: MultiServePath,
-    cache: Option<Mutex<QueryCache<(Collective, usize, usize), CollSelection>>>,
+    path: EpochSwap<MultiServePath>,
+    cache: Option<Mutex<QueryCache<(Collective, usize, usize), (CollSelection, u64)>>>,
     hits: AtomicU64,
     misses: AtomicU64,
     fallbacks: AtomicU64,
@@ -760,7 +826,7 @@ const BATCH_CHUNK: usize = 256;
 impl CollectiveDecisionService {
     fn new(path: MultiServePath) -> Self {
         CollectiveDecisionService {
-            path,
+            path: EpochSwap::new(path),
             cache: None,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -796,21 +862,52 @@ impl CollectiveDecisionService {
         self
     }
 
-    /// Whether the service wraps compiled tables.
+    /// Whether the service currently wraps compiled tables.
     pub fn is_compiled(&self) -> bool {
-        matches!(self.path, MultiServePath::Compiled(_))
+        self.path.read(|p| matches!(p, MultiServePath::Compiled(_)))
     }
 
-    /// Decides one query, consulting the cache first.
+    /// The current selector generation (1 initially, +1 per install).
+    pub fn epoch(&self) -> u64 {
+        self.path.epoch()
+    }
+
+    /// Atomically installs new compiled tables as the serving path;
+    /// returns the new generation. In-flight queries finish on the
+    /// generation they pinned; cached answers from older generations
+    /// stop hitting immediately (epoch tag mismatch).
+    pub fn install_compiled(&self, tables: CompiledCollectiveSelector) -> u64 {
+        self.path.swap(MultiServePath::Compiled(tables))
+    }
+
+    /// Atomically installs a live selector as the serving path.
+    pub fn install_live<S: CollectiveSelector + Send + Sync + 'static>(&self, selector: S) -> u64 {
+        self.path.swap(MultiServePath::Live(Box::new(selector)))
+    }
+
+    /// Atomically installs a [`GracefulCollectiveSelector`] as the
+    /// serving path.
+    pub fn install_graceful(&self, selector: GracefulCollectiveSelector) -> u64 {
+        self.path.swap(MultiServePath::Graceful(selector))
+    }
+
+    /// Decides one query, consulting the cache first. A cached answer
+    /// is served only if it was computed by the current selector
+    /// generation (epoch tag match), so hot swaps can never leak stale
+    /// picks.
     pub fn decide(&self, collective: Collective, p: usize, m: usize) -> CollSelection {
+        let path = self.path.pin();
+        let epoch = path.epoch();
         if let Some(cache) = &self.cache {
-            if let Some(sel) = cache.lock().expect("cache lock").get((collective, p, m)) {
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                return sel;
+            if let Some((sel, tag)) = cache.lock().expect("cache lock").get((collective, p, m)) {
+                if tag == epoch {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return sel;
+                }
             }
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let sel = match &self.path {
+        let sel = match &*path {
             MultiServePath::Compiled(tables) => tables.lookup(collective, p, m),
             MultiServePath::Live(selector) => selector.select_for(collective, p, m),
             MultiServePath::Graceful(graceful) => {
@@ -825,7 +922,7 @@ impl CollectiveDecisionService {
             cache
                 .lock()
                 .expect("cache lock")
-                .insert((collective, p, m), sel);
+                .insert((collective, p, m), (sel, epoch));
         }
         sel
     }
@@ -876,11 +973,11 @@ impl CollectiveSelector for CollectiveDecisionService {
     }
 
     fn name(&self) -> &str {
-        match self.path {
+        self.path.read(|p| match p {
             MultiServePath::Compiled(_) => "multi-service(compiled)",
             MultiServePath::Live(_) => "multi-service(live)",
             MultiServePath::Graceful(_) => "multi-service(graceful)",
-        }
+        })
     }
 }
 
@@ -963,6 +1060,112 @@ mod tests {
             assert!(!d.source.is_model(), "{c}: {d}");
             assert_eq!(d.selection, fixed_selection(c, 24, 1 << 20));
         }
+    }
+
+    #[test]
+    fn graceful_carries_specific_fallback_causes() {
+        // Three collectives in three failure shapes: reduce has valid
+        // fits (model path); gather's fits all failed validation
+        // (InvalidFit); scatter never produced fits because estimation
+        // timed out (recorded failure → EstimationTimeout); alltoall's
+        // estimation never converged (PrecisionNotReached).
+        let mut params: BTreeMap<Alg, Hockney> = BTreeMap::new();
+        let mut validity: BTreeMap<Alg, FitValidity> = BTreeMap::new();
+        for &a in Collective::Reduce.algorithms() {
+            params.insert(a, Hockney::new(1e-6, 1e-9));
+            validity.insert(a, FitValidity::Valid);
+        }
+        for &a in Collective::Gather.algorithms() {
+            params.insert(a, Hockney::new(1e-6, 1e-9));
+            validity.insert(a, FitValidity::Degenerate);
+        }
+        let mut failures: BTreeMap<Alg, FallbackReason> = BTreeMap::new();
+        for &a in Collective::Scatter.algorithms() {
+            failures.insert(a, FallbackReason::EstimationTimeout);
+        }
+        for &a in Collective::Alltoall.algorithms() {
+            failures.insert(a, FallbackReason::PrecisionNotReached);
+        }
+        let sel = GracefulCollectiveSelector::new(gamma(), params, validity, 8192)
+            .with_failures(failures);
+        assert!(sel
+            .decide_for(Collective::Reduce, 24, 1 << 20)
+            .source
+            .is_model());
+        let cases = [
+            (Collective::Gather, FallbackReason::InvalidFit),
+            (Collective::Scatter, FallbackReason::EstimationTimeout),
+            (Collective::Alltoall, FallbackReason::PrecisionNotReached),
+            (Collective::Allgather, FallbackReason::NoUsableModel),
+        ];
+        for (c, want) in cases {
+            let d = sel.decide_for(c, 24, 1 << 20);
+            assert_eq!(
+                d.source.fallback_reason(),
+                Some(want),
+                "{c}: expected {want:?}, got {:?}",
+                d.source
+            );
+            assert_eq!(d.selection, fixed_selection(c, 24, 1 << 20));
+        }
+    }
+
+    #[test]
+    fn decisions_and_causes_round_trip_through_json() {
+        use collsel_support::{FromJson, ToJson};
+        let mut params: BTreeMap<Alg, Hockney> = BTreeMap::new();
+        let mut validity: BTreeMap<Alg, FitValidity> = BTreeMap::new();
+        for &a in Collective::Reduce.algorithms() {
+            params.insert(a, Hockney::new(1e-6, 1e-9));
+            validity.insert(a, FitValidity::Valid);
+        }
+        let failures: BTreeMap<Alg, FallbackReason> = Collective::Scatter
+            .algorithms()
+            .iter()
+            .map(|&a| (a, FallbackReason::EstimationTimeout))
+            .collect();
+        let sel = GracefulCollectiveSelector::new(gamma(), params, validity, 8192)
+            .with_failures(failures);
+        // One model decision and one attributed fallback per shape.
+        for (c, p, m) in [
+            (Collective::Reduce, 24usize, 1usize << 20),
+            (Collective::Scatter, 24, 1 << 20),
+            (Collective::Bcast, 16, 8192),
+        ] {
+            let d = sel.decide_for(c, p, m);
+            let json = d.to_json();
+            let text = json.to_string_pretty();
+            let parsed = collsel_support::Json::parse(&text).expect("round-trip parse");
+            let back = CollDecision::from_json(&parsed).expect("round-trip decode");
+            assert_eq!(back, d, "{c}: JSON round-trip must preserve the decision");
+            if let Some(reason) = d.source.fallback_reason() {
+                assert_eq!(back.source.fallback_reason(), Some(reason));
+            }
+        }
+    }
+
+    #[test]
+    fn multi_stale_cache_hits_are_impossible_across_a_swap() {
+        // Two generations that disagree everywhere: a graceful selector
+        // with no fits (fixed rules) vs a model selector.
+        let model = CollectiveModelSelector::new(gamma(), all_params(1e-6, 1e-9), 8192);
+        let svc = CollectiveDecisionService::live(OpenMpiCollectiveSelector).with_cache(32, 5);
+        assert_eq!(svc.epoch(), 1);
+        let before = svc.decide(Collective::Reduce, 24, 1 << 20);
+        assert_eq!(before, svc.decide(Collective::Reduce, 24, 1 << 20));
+        assert_eq!(svc.stats().hits, 1, "warm cache before the swap");
+
+        let epoch = svc.install_live(model.clone());
+        assert_eq!(epoch, 2);
+        let after = svc.decide(Collective::Reduce, 24, 1 << 20);
+        assert_eq!(
+            after,
+            model.select_for(Collective::Reduce, 24, 1 << 20),
+            "post-swap answers come from the new generation"
+        );
+        assert_eq!(svc.stats().hits, 1, "no stale hit across the swap");
+        assert_eq!(after, svc.decide(Collective::Reduce, 24, 1 << 20));
+        assert_eq!(svc.stats().hits, 2, "re-tagged entry hits again");
     }
 
     #[test]

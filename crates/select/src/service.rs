@@ -30,6 +30,7 @@
 use crate::graceful::GracefulSelector;
 use crate::rules::DecisionTable;
 use crate::selector::{Selection, Selector};
+use collsel_support::epoch::EpochSwap;
 use collsel_support::pool::Pool;
 use collsel_support::rng::splitmix64;
 use std::collections::HashMap;
@@ -209,8 +210,11 @@ impl<K: std::hash::Hash + Eq + Copy, V: Copy> QueryCache<K, V> {
 
     pub(crate) fn insert(&mut self, key: K, val: V) {
         // Two workers can race the same missed key; the second insert
-        // must not duplicate it in the eviction pool.
-        if self.map.contains_key(&key) {
+        // must not duplicate it in the eviction pool — but it does
+        // refresh the value, so an entry computed against a stale
+        // selector generation is overwritten by the re-tagged answer.
+        if let Some(slot) = self.map.get_mut(&key) {
+            *slot = val;
             return;
         }
         if self.keys.len() >= self.capacity {
@@ -281,10 +285,20 @@ enum ServePath {
 /// Counters are relaxed atomics: exact under any interleaving in total,
 /// though the hit/miss *split* of a parallel batch depends on thread
 /// timing — results never do.
+///
+/// # Hot swap and cache coherence
+///
+/// [`install_compiled`](Self::install_compiled) (and friends) atomically
+/// replace the serving path mid-flight via [`EpochSwap`]. Cached entries
+/// are **epoch-tagged** rather than cleared: a hit requires the entry's
+/// generation to match the pinned generation, so an answer computed
+/// against a superseded selector can never be served after a swap — not
+/// even by the clear-race where an in-flight pre-swap computation
+/// re-inserts its stale answer *after* a clear.
 #[derive(Debug)]
 pub struct DecisionService {
-    path: ServePath,
-    cache: Option<Mutex<QueryCache<(usize, usize), Selection>>>,
+    path: EpochSwap<ServePath>,
+    cache: Option<Mutex<QueryCache<(usize, usize), (Selection, u64)>>>,
     hits: AtomicU64,
     misses: AtomicU64,
     fallbacks: AtomicU64,
@@ -299,7 +313,7 @@ const BATCH_CHUNK: usize = 256;
 impl DecisionService {
     fn new(path: ServePath) -> Self {
         DecisionService {
-            path,
+            path: EpochSwap::new(path),
             cache: None,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -336,21 +350,48 @@ impl DecisionService {
         self
     }
 
-    /// Whether the service wraps a compiled table.
+    /// Whether the service currently wraps a compiled table.
     pub fn is_compiled(&self) -> bool {
-        matches!(self.path, ServePath::Compiled(_))
+        self.path.read(|p| matches!(p, ServePath::Compiled(_)))
+    }
+
+    /// The current selector generation (1 initially, +1 per install).
+    pub fn epoch(&self) -> u64 {
+        self.path.epoch()
+    }
+
+    /// Atomically installs a new compiled table as the serving path;
+    /// returns the new generation. In-flight queries finish on the
+    /// generation they pinned; cached answers from older generations
+    /// stop hitting immediately (epoch tag mismatch).
+    pub fn install_compiled(&self, table: CompiledSelector) -> u64 {
+        self.path.swap(ServePath::Compiled(table))
+    }
+
+    /// Atomically installs a live selector as the serving path.
+    pub fn install_live<S: Selector + Send + Sync + 'static>(&self, selector: S) -> u64 {
+        self.path.swap(ServePath::Live(Box::new(selector)))
+    }
+
+    /// Atomically installs a [`GracefulSelector`] as the serving path.
+    pub fn install_graceful(&self, selector: GracefulSelector) -> u64 {
+        self.path.swap(ServePath::Graceful(selector))
     }
 
     /// Decides one query, consulting the cache first.
     pub fn decide(&self, p: usize, m: usize) -> Selection {
+        let path = self.path.pin();
+        let epoch = path.epoch();
         if let Some(cache) = &self.cache {
-            if let Some(sel) = cache.lock().expect("cache lock").get((p, m)) {
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                return sel;
+            if let Some((sel, tag)) = cache.lock().expect("cache lock").get((p, m)) {
+                if tag == epoch {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return sel;
+                }
             }
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let sel = match &self.path {
+        let sel = match &*path {
             ServePath::Compiled(table) => table.lookup(p, m),
             ServePath::Live(selector) => selector.select(p, m),
             ServePath::Graceful(graceful) => {
@@ -362,7 +403,10 @@ impl DecisionService {
             }
         };
         if let Some(cache) = &self.cache {
-            cache.lock().expect("cache lock").insert((p, m), sel);
+            cache
+                .lock()
+                .expect("cache lock")
+                .insert((p, m), (sel, epoch));
         }
         sel
     }
@@ -411,11 +455,11 @@ impl Selector for DecisionService {
     }
 
     fn name(&self) -> &str {
-        match self.path {
+        self.path.read(|p| match p {
             ServePath::Compiled(_) => "service(compiled)",
             ServePath::Live(_) => "service(live)",
             ServePath::Graceful(_) => "service(graceful)",
-        }
+        })
     }
 }
 
@@ -511,6 +555,54 @@ mod tests {
             assert_eq!(got, reference, "threads = {threads}");
             assert_eq!(svc.stats().queries(), queries.len() as u64);
         }
+    }
+
+    /// A selector that always answers one fixed algorithm, for swap
+    /// visibility tests.
+    #[derive(Debug)]
+    struct ConstSelector(BcastAlg);
+
+    impl Selector for ConstSelector {
+        fn select(&self, _p: usize, _m: usize) -> Selection {
+            Selection::unsegmented(self.0)
+        }
+        fn name(&self) -> &str {
+            "const"
+        }
+    }
+
+    #[test]
+    fn stale_cache_hits_are_impossible_across_a_swap() {
+        // Regression: before epoch tagging, answers cached under the
+        // old selector kept being served after a new generation was
+        // installed.
+        let svc = DecisionService::live(ConstSelector(BcastAlg::Linear)).with_cache(16, 3);
+        assert_eq!(svc.epoch(), 1);
+        assert_eq!(svc.decide(64, 8192).alg, BcastAlg::Linear);
+        assert_eq!(svc.decide(64, 8192).alg, BcastAlg::Linear);
+        assert_eq!(svc.stats().hits, 1, "warm cache before the swap");
+
+        let epoch = svc.install_live(ConstSelector(BcastAlg::Binomial));
+        assert_eq!(epoch, 2);
+        assert_eq!(svc.epoch(), 2);
+        // The cached Linear answer must not hit: its tag is epoch 1.
+        assert_eq!(svc.decide(64, 8192).alg, BcastAlg::Binomial);
+        let stats = svc.stats();
+        assert_eq!(stats.hits, 1, "no stale hit across the swap");
+        // The re-tagged entry serves hits again within the new epoch.
+        assert_eq!(svc.decide(64, 8192).alg, BcastAlg::Binomial);
+        assert_eq!(svc.stats().hits, 2);
+        assert_eq!(svc.cached_entries(), 1, "entry re-tagged, not duplicated");
+    }
+
+    #[test]
+    fn install_compiled_switches_the_path_atomically() {
+        let svc = DecisionService::live(OpenMpiFixedSelector);
+        assert!(!svc.is_compiled());
+        svc.install_compiled(compiled());
+        assert!(svc.is_compiled());
+        assert_eq!(svc.name(), "service(compiled)");
+        assert_eq!(svc.decide(64, 8192), compiled().lookup(64, 8192));
     }
 
     #[test]

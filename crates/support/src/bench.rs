@@ -198,6 +198,41 @@ macro_rules! criterion_group {
     };
 }
 
+/// Writes a `BENCH_*.json` artifact atomically (temp file + rename),
+/// refusing to replace an existing artifact with a hollow one.
+///
+/// A bench that panics mid-run must not destroy the previous good
+/// artifact: the rename only happens after the full report is on disk,
+/// and a report whose `cells` array is empty (the shape a bench
+/// produces when every cell failed or was skipped) is rejected with an
+/// error instead of written. Benches that build their cells before
+/// calling this therefore can never clobber real results with nothing.
+///
+/// # Errors
+///
+/// Returns an error if the report has an empty `cells` array or if
+/// writing/renaming fails.
+pub fn write_artifact(path: impl AsRef<std::path::Path>, report: &Json) -> Result<(), String> {
+    let path = path.as_ref();
+    if let Some(Json::Arr(cells)) = report.get("cells") {
+        if cells.is_empty() {
+            return Err(format!(
+                "refusing to write {} with zero cells (previous artifact kept)",
+                path.display()
+            ));
+        }
+    }
+    let tmp = path.with_file_name(format!(
+        "{}.tmp",
+        path.file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "artifact.json".to_string())
+    ));
+    std::fs::write(&tmp, report.to_string_pretty())
+        .and_then(|()| std::fs::rename(&tmp, path))
+        .map_err(|e| format!("cannot write {}: {e}", path.display()))
+}
+
 /// Declares the bench `main`, mirroring `criterion::criterion_main!`.
 #[macro_export]
 macro_rules! criterion_main {
@@ -220,6 +255,22 @@ mod tests {
         let r = &c.results[0];
         assert!(r.mean_s > 0.0 && r.mean_s.is_finite());
         assert_eq!(r.samples, 3);
+    }
+
+    #[test]
+    fn write_artifact_refuses_empty_cells_and_keeps_the_old_file() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("collsel-artifact-test-{}.json", std::process::id()));
+        let good = Json::obj(vec![(
+            "cells",
+            Json::Arr(vec![Json::obj(vec![("qps", 1.0.to_json())])]),
+        )]);
+        write_artifact(&path, &good).expect("good artifact writes");
+        let hollow = Json::obj(vec![("cells", Json::Arr(Vec::new()))]);
+        assert!(write_artifact(&path, &hollow).is_err());
+        let kept = std::fs::read_to_string(&path).expect("old artifact still there");
+        assert!(kept.contains("qps"), "previous artifact untouched");
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

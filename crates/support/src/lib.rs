@@ -13,6 +13,7 @@
 //! | [`prop`] | `proptest` | [`proptest!`] macro, strategies, shrinking, seeded replay |
 //! | [`bench`] | `criterion` | [`bench::Criterion`] timing harness with JSON reports |
 //! | [`pool`] | `rayon` | [`pool::Pool`] scoped job pool with submission-order results |
+//! | [`epoch`] | `arc-swap` | [`epoch::EpochSwap`] epoch-versioned atomic value swapping |
 //!
 //! The implementations cover exactly the subset of the upstream APIs the
 //! workspace uses — they are not general-purpose replacements.
@@ -22,12 +23,14 @@
 
 pub mod bench;
 pub mod bytes;
+pub mod epoch;
 pub mod json;
 pub mod pool;
 pub mod prop;
 pub mod rng;
 
 pub use bytes::{Bytes, BytesMut};
+pub use epoch::{EpochGuard, EpochSwap};
 pub use json::{FromJson, Json, JsonError, ToJson};
 pub use rng::{SeedableRng, StdRng};
 

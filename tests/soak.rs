@@ -1,0 +1,105 @@
+//! Chaos soak gate for the fault-tolerant decision server (`ci.sh`
+//! re-runs this at `COLLSEL_THREADS=2` as the soak smoke gate).
+//!
+//! One full-size seeded soak under an active fault plan must show:
+//! ≥ 10 000 mixed queries served across ≥ 3 installed hot swaps with
+//! zero invariant violations (no torn or dropped answers, bounded
+//! staleness, exact cause accounting), the health gate demonstrably
+//! rejecting a poisoned refit while the live generation keeps serving,
+//! and the brown-out windows demonstrably tripping the watchdog into
+//! attributed fallbacks.
+
+use collsel::netsim::{Brownout, FaultPlan};
+use collsel_expt::soak::{run_soak, SoakConfig};
+
+#[test]
+fn full_soak_under_faults_holds_every_invariant() {
+    let config = SoakConfig::quick();
+    // The acceptance shape of the quick soak, spelled out so a future
+    // edit to the preset cannot silently weaken this gate.
+    assert!(config.queries >= 10_000);
+    assert!(config.refits - config.refits / config.poison_every >= 3);
+    assert!(config.poison_every <= config.refits);
+    let report = run_soak(&config);
+
+    assert!(
+        report.passed(),
+        "soak invariant violations: {:#?}",
+        report.violations
+    );
+    assert_eq!(
+        report.queries as usize, config.queries,
+        "no dropped answers"
+    );
+    assert!(
+        report.swaps >= 3,
+        "need >= 3 hot swaps mid-traffic, got {}",
+        report.swaps
+    );
+    assert!(
+        report.rejected_refits >= 1,
+        "the health gate must reject the poisoned refit"
+    );
+    assert_eq!(
+        report.swaps + report.rejected_refits,
+        config.refits as u64,
+        "every refit either installed or was rejected with a cause"
+    );
+    assert!(
+        report.fallbacks > 0,
+        "the brown-out windows must trip the watchdog"
+    );
+    assert_eq!(
+        report.fallbacks,
+        report.stats.served_previous_timeout
+            + report.stats.served_rules_timeout
+            + report.stats.served_rules_uncovered,
+        "every fallback carries exactly one recorded cause"
+    );
+    assert!(report.qps > 0.0 && report.qps.is_finite());
+    assert!(report.swap_nanos_max > 0, "swap latency was measured");
+}
+
+/// Without a fault plan the watchdog never trips: the same soak serves
+/// every covered query from a generation, and the only rule-path
+/// answers are attributed uncovered collectives (none, since every
+/// collective is compiled).
+#[test]
+fn calm_soak_never_falls_back() {
+    let mut config = SoakConfig::quick();
+    config.queries = 4_000;
+    config.threads = 2;
+    config.refits = 2;
+    config.poison_every = 0;
+    config.server.faults = FaultPlan::none();
+    let report = run_soak(&config);
+    assert!(report.passed(), "violations: {:#?}", report.violations);
+    assert_eq!(report.fallbacks, 0, "no faults, no fallbacks");
+    assert_eq!(report.swaps, 2);
+}
+
+/// The staleness bound is tight because the watchdog's retry tier
+/// reaches exactly one generation back: a soak whose fault plan brackets
+/// a swap shows previous-generation answers but never older ones.
+#[test]
+fn soak_staleness_is_bounded_by_one_generation() {
+    let mut config = SoakConfig::quick();
+    config.queries = 6_000;
+    config.threads = 3;
+    config.refits = 4;
+    config.poison_every = 0;
+    // One wide window covering most of the virtual horizon. Faulted
+    // queries advance the virtual clock 50× faster, so the window must
+    // be wide enough to still be live once the first swaps install
+    // (checkpoint 1 releases after 2 000 queries ≈ 0.5 ms healthy +
+    // ~75 ms faulted of virtual time).
+    config.server.faults = FaultPlan::none()
+        .try_with_brownout(Brownout::try_new(0, 0.0005, 0.2, 50.0).expect("static window"))
+        .expect("single window");
+    let report = run_soak(&config);
+    assert!(report.passed(), "violations: {:#?}", report.violations);
+    assert!(
+        report.stats.served_previous_timeout > 0,
+        "swaps inside the window must exercise the previous-generation tier"
+    );
+}

@@ -43,6 +43,15 @@ echo "==> collective-breadth gate: per-collective differential suite at COLLSEL_
 COLLSEL_THREADS=2 RUSTFLAGS='-D warnings' \
     cargo test --offline -q -p collsel-repro --test collective_breadth
 
+echo "==> adaptive-campaign gate: differential suite at COLLSEL_THREADS=2"
+# The adaptive planner (crossover bisection + leader-settled
+# repetitions + warm-started hints) must produce the byte-identical
+# decision table of the exhaustive sweep on both presets, stay
+# bit-identical across thread counts and both simulation backends,
+# and keep early-stopped means inside the full-precision 95% CI.
+COLLSEL_THREADS=2 RUSTFLAGS='-D warnings' \
+    cargo test --offline -q -p collsel-repro --test adaptive_campaign
+
 echo "==> campaign bench (smoke): serial vs threaded tuning campaign"
 COLLSEL_BENCH_SMOKE=1 RUSTFLAGS='-D warnings' \
     cargo bench --offline -p collsel-bench --bench campaign
@@ -90,7 +99,10 @@ echo "==> unwrap/expect ratchet (estim + expt)"
 # of expt::soak::run_soak, three lock/join poisoning propagations in
 # the same function (a panicked soak thread must fail the soak), and
 # two in test code.
-UNWRAP_CEILING=50
+# 54 = 50 + the adaptive campaign planner: two documented invariants in
+# estim::campaign (a measurement program cannot deadlock; plan endpoints
+# are always measured before interior fill) and two in test code.
+UNWRAP_CEILING=54
 count=$(grep -rc 'unwrap()\|\.expect(' crates/estim/src crates/expt/src \
     --include='*.rs' | awk -F: '{s+=$2} END {print s}')
 if [ "$count" -gt "$UNWRAP_CEILING" ]; then
@@ -112,6 +124,15 @@ echo "==> colltune collective-breadth smoke run (reduce, under faults)"
     --collective reduce --faults chaos:7 --out "$smoke_dir/breadth.json"
 ./target/release/colltune query --model "$smoke_dir/breadth.json" \
     --collective reduce --p 64 --m 8192 --m 1048576 --degraded
+
+echo "==> colltune adaptive-campaign smoke run (budget-capped, warm-started)"
+# The adaptive campaign embeds measured decision tables and coverage
+# accounting in the model JSON; a budget cap keeps this CI-sized.
+COLLSEL_THREADS=2 ./target/release/colltune tune --preset gros --tune-p 8 \
+    --collective bcast --adaptive --budget 6 --out "$smoke_dir/adaptive.json"
+grep -q '"campaign"' "$smoke_dir/adaptive.json" || {
+    echo "ci.sh: adaptive model JSON missing campaign accounting" >&2; exit 1;
+}
 
 echo "==> colltune serve smoke run (short soak with journal recovery)"
 # A short seeded soak with hot swaps, a poisoned refit, and the fault

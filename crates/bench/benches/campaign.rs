@@ -1,30 +1,159 @@
-//! Perf-trajectory benchmark for the parallel tuning campaign: runs a
-//! Table-2-style full tuning campaign (γ then per-algorithm α/β)
-//! serially and across the job pool, checks the two models are
-//! bit-identical, and writes the wall-clock numbers to
-//! `BENCH_tune.json` at the repository root so successive PRs can track
-//! the trajectory.
+//! Perf-trajectory benchmark for the tuning campaign, in two parts:
+//!
+//! 1. **Model tuning determinism** — runs a Table-2-style full tuning
+//!    campaign (γ then per-algorithm α/β) serially and across the job
+//!    pool and checks the two models are bit-identical.
+//! 2. **Adaptive campaign cost** — on each preset cluster (noise on),
+//!    runs the exhaustive measured-winner sweep over all seven
+//!    collectives and the adaptive campaign (crossover bisection +
+//!    leader-settled repetitions, cold and warm-started), asserts the
+//!    decision tables are byte-identical, and records how many
+//!    simulated batches the adaptive planner saved. The headline gate:
+//!    the warm-started campaign must simulate at least 10x fewer
+//!    batches than the exhaustive sweep (2x in smoke mode's small
+//!    grid).
+//!
+//! Wall-clock numbers depend on the host's parallelism (recorded in
+//! the artifact); every model, table and batch count is bit-identical
+//! at any thread count, so the trajectory metrics to compare across
+//! hosts are the batch counts, not the seconds.
 //!
 //! This target deliberately skips the criterion harness: a campaign is
 //! a seconds-long unit of work, so explicit best-of-N wall-clock timing
 //! is both cheaper and easier to serialise. Set `COLLSEL_BENCH_SMOKE=1`
-//! for the CI-sized run (fewer repetitions, looser precision).
+//! for the CI-sized run (smaller grid, looser precision).
 
-use collsel::{TunedModel, Tuner, TunerConfig};
-use collsel_bench::quiet_cluster;
+use collsel::coll::Collective;
+use collsel::estim::{log_spaced_sizes, Precision};
+use collsel::netsim::ClusterModel;
+use collsel::{CampaignPlan, CampaignReport, TunedModel, Tuner, TunerConfig};
 use collsel_support::pool;
 use collsel_support::Json;
 use std::time::Instant;
 
-/// Times one full campaign at a fixed thread count, returning the
-/// model and the elapsed seconds.
-fn run_campaign(threads: usize, config: &TunerConfig) -> (TunedModel, f64) {
+/// Times one full tuning campaign at a fixed thread count, returning
+/// the model and the elapsed seconds.
+fn run_tune(threads: usize, config: &TunerConfig) -> (TunedModel, f64) {
     pool::set_thread_override(threads);
     let start = Instant::now();
-    let model = Tuner::new(quiet_cluster(), config.clone()).tune();
+    let model = Tuner::new(collsel_bench::quiet_cluster(), config.clone()).tune();
     let elapsed = start.elapsed().as_secs_f64();
     pool::clear_thread_override();
     (model, elapsed)
+}
+
+/// One campaign leg: wall seconds plus the report.
+fn run_leg(tuner: &Tuner, plan: &CampaignPlan, warm: Option<&TunedModel>) -> (CampaignReport, f64) {
+    let start = Instant::now();
+    let report = tuner.run_campaign(plan, warm);
+    (report, start.elapsed().as_secs_f64())
+}
+
+/// Exhaustive-vs-adaptive comparison on one preset cluster (noise on:
+/// the leader-settled rule only saves repetitions when cells are
+/// noisy). Returns the artifact cell; panics if the adaptive tables
+/// deviate from the exhaustive oracle or the cost gate fails.
+fn campaign_cell(cluster: ClusterModel, smoke: bool, min_reduction: f64) -> Json {
+    let name = cluster.name().to_owned();
+    let tuner = Tuner::new(cluster, TunerConfig::quick(8));
+    let model = tuner.tune_all();
+
+    let (max_m, points) = if smoke {
+        (256 * 1024, 10)
+    } else {
+        (8 * 1024 * 1024, 32)
+    };
+    let mut msgs = log_spaced_sizes(1024, max_m, points);
+    msgs.dedup();
+    let precision = if smoke {
+        Precision {
+            rel_precision: 0.005,
+            min_reps: 3,
+            max_reps: 50,
+        }
+    } else {
+        // Below the simulated clusters' noise floor: repetitions are
+        // the dominant cost, exactly the regime uncertainty-directed
+        // early stopping is for.
+        Precision {
+            rel_precision: 0.001,
+            min_reps: 5,
+            max_reps: 500,
+        }
+    };
+    let mut exhaustive = CampaignPlan::exhaustive(Collective::ALL.to_vec(), vec![8], msgs.clone());
+    exhaustive.precision = precision;
+    let mut adaptive = CampaignPlan::adaptive(Collective::ALL.to_vec(), vec![8], msgs, 6);
+    adaptive.precision = precision;
+
+    let (full, full_s) = run_leg(&tuner, &exhaustive, None);
+    let (cold, cold_s) = run_leg(&tuner, &adaptive, None);
+    let (warm, warm_s) = run_leg(&tuner, &adaptive, Some(&model));
+
+    assert_eq!(
+        full.tables, cold.tables,
+        "{name}: cold adaptive tables deviate from the exhaustive sweep"
+    );
+    assert_eq!(
+        full.tables, warm.tables,
+        "{name}: warm adaptive tables deviate from the exhaustive sweep"
+    );
+    let cold_x = full.simulated_batches() as f64 / cold.simulated_batches().max(1) as f64;
+    let warm_x = full.simulated_batches() as f64 / warm.simulated_batches().max(1) as f64;
+    let best = cold_x.max(warm_x);
+    println!(
+        "  {name}: cells {} -> {} (cold) / {} (warm); batches {} -> {} (cold {cold_x:.1}x) / \
+         {} (warm {warm_x:.1}x); wall {full_s:.1}s / {cold_s:.1}s / {warm_s:.1}s",
+        full.measured_cells(),
+        cold.measured_cells(),
+        warm.measured_cells(),
+        full.simulated_batches(),
+        cold.simulated_batches(),
+        warm.simulated_batches(),
+    );
+    assert!(
+        best >= min_reduction,
+        "{name}: expected >= {min_reduction}x fewer simulated batches, got {best:.1}x"
+    );
+
+    Json::Obj(vec![
+        ("preset".to_owned(), Json::Str(name)),
+        ("grid_cells".to_owned(), Json::Num(full.grid_cells() as f64)),
+        (
+            "exhaustive_batches".to_owned(),
+            Json::Num(full.simulated_batches() as f64),
+        ),
+        (
+            "cold_batches".to_owned(),
+            Json::Num(cold.simulated_batches() as f64),
+        ),
+        (
+            "warm_batches".to_owned(),
+            Json::Num(warm.simulated_batches() as f64),
+        ),
+        (
+            "cold_measured_cells".to_owned(),
+            Json::Num(cold.measured_cells() as f64),
+        ),
+        (
+            "warm_measured_cells".to_owned(),
+            Json::Num(warm.measured_cells() as f64),
+        ),
+        ("cold_batch_reduction".to_owned(), Json::Num(cold_x)),
+        ("warm_batch_reduction".to_owned(), Json::Num(warm_x)),
+        (
+            "cold_cell_reduction".to_owned(),
+            Json::Num(cold.cell_reduction()),
+        ),
+        (
+            "warm_cell_reduction".to_owned(),
+            Json::Num(warm.cell_reduction()),
+        ),
+        ("tables_identical".to_owned(), Json::Bool(true)),
+        ("exhaustive_s".to_owned(), Json::Num(full_s)),
+        ("cold_s".to_owned(), Json::Num(cold_s)),
+        ("warm_s".to_owned(), Json::Num(warm_s)),
+    ])
 }
 
 fn main() {
@@ -54,8 +183,8 @@ fn main() {
     let mut serial_model = None;
     let mut threaded_model = None;
     for run in 0..runs {
-        let (m1, t1) = run_campaign(1, &config);
-        let (mn, tn) = run_campaign(threads, &config);
+        let (m1, t1) = run_tune(1, &config);
+        let (mn, tn) = run_tune(threads, &config);
         println!("  run {run}: serial {t1:.3}s, {threads} threads {tn:.3}s");
         serial_s = serial_s.min(t1);
         threaded_s = threaded_s.min(tn);
@@ -80,6 +209,15 @@ fn main() {
     println!("threaded (best of {runs}): {threaded_s:.3}s at {threads} threads");
     println!("speedup: {speedup:.2}x on a host with parallelism {host}");
 
+    // Adaptive campaign cost gate: byte-identical tables at a fraction
+    // of the simulated batches, on both presets.
+    let min_reduction = if smoke { 2.0 } else { 10.0 };
+    println!("adaptive campaign vs exhaustive sweep (gate: >= {min_reduction}x fewer batches):");
+    let cells = vec![
+        campaign_cell(ClusterModel::gros(), smoke, min_reduction),
+        campaign_cell(ClusterModel::grisou(), smoke, min_reduction),
+    ];
+
     let json = Json::Obj(vec![
         ("bench".to_owned(), Json::Str("campaign".to_owned())),
         ("smoke".to_owned(), Json::Bool(smoke)),
@@ -87,6 +225,14 @@ fn main() {
         ("tune_p".to_owned(), Json::Num(tune_p as f64)),
         ("threads".to_owned(), Json::Num(threads as f64)),
         ("host_parallelism".to_owned(), Json::Num(host as f64)),
+        (
+            "wall_clock_caveat".to_owned(),
+            Json::Str(
+                "seconds vary with host parallelism; models, tables and batch \
+                 counts are bit-identical at any thread count"
+                    .to_owned(),
+            ),
+        ),
         ("serial_s".to_owned(), Json::Num(serial_s)),
         ("threaded_s".to_owned(), Json::Num(threaded_s)),
         ("speedup".to_owned(), Json::Num(speedup)),
@@ -98,9 +244,10 @@ fn main() {
             "sim_backend".to_owned(),
             Json::Str(config.gamma.backend.name().to_owned()),
         ),
+        ("cells".to_owned(), Json::Arr(cells)),
     ]);
     let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_tune.json");
-    match std::fs::write(out, json.to_string_pretty()) {
+    match collsel_support::bench::write_artifact(out, &json) {
         Ok(()) => println!("wrote {out}"),
         Err(e) => eprintln!("cannot write {out}: {e}"),
     }

@@ -167,7 +167,7 @@ fn main() {
         ("cells".to_owned(), Json::Arr(cells)),
     ]);
     let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sim.json");
-    match std::fs::write(out, json.to_string_pretty()) {
+    match collsel_support::bench::write_artifact(out, &json) {
         Ok(()) => println!("wrote {out}"),
         Err(e) => eprintln!("cannot write {out}: {e}"),
     }

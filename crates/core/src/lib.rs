@@ -39,7 +39,10 @@
 
 mod tuner;
 
-pub use tuner::{TuneReport, TunedModel, Tuner, TunerConfig};
+pub use tuner::{
+    CampaignPlan, CampaignReport, CampaignStrategy, CollectiveCampaignStats, TuneReport,
+    TunedModel, Tuner, TunerConfig,
+};
 
 /// The cluster/network simulation substrate.
 pub use collsel_netsim as netsim;

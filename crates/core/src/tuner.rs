@@ -30,17 +30,20 @@
 
 use collsel_coll::{Alg, BcastAlg, Collective};
 use collsel_estim::{
-    estimate_all_alpha_beta, estimate_collective_family, estimate_gamma,
-    try_estimate_all_alpha_beta, try_estimate_collective_family, try_estimate_gamma,
-    AlphaBetaConfig, AlphaBetaEstimate, BreadthConfig, GammaConfig, GammaEstimate, RetryPolicy,
+    estimate_all_alpha_beta, estimate_collective_family, estimate_gamma, measure_family_cell,
+    plan_crossover_fill, try_estimate_all_alpha_beta, try_estimate_collective_family,
+    try_estimate_gamma, AlphaBetaConfig, AlphaBetaEstimate, BreadthConfig, GammaConfig,
+    GammaEstimate, Precision, RetryPolicy,
 };
 use collsel_model::{FitValidity, Hockney};
-use collsel_mpi::SimError;
+use collsel_mpi::{Backend, SimError};
 use collsel_netsim::ClusterModel;
 use collsel_select::{
-    CollDecisionTable, CollectiveModelSelector, CompiledCollectiveSelector, CompiledSelector,
-    FallbackReason, GracefulCollectiveSelector, GracefulSelector, ModelBasedSelector,
+    CollDecisionTable, CollSelection, CollectiveModelSelector, CollectiveSelector,
+    CompiledCollectiveSelector, CompiledSelector, FallbackReason, GracefulCollectiveSelector,
+    GracefulSelector, ModelBasedSelector,
 };
+use collsel_support::pool::Pool;
 use collsel_support::FromJson;
 use std::collections::BTreeMap;
 
@@ -531,6 +534,400 @@ impl Tuner {
             report.model.collectives.insert(c, fits);
         }
         Ok(report)
+    }
+}
+
+/// How a measurement campaign covers its (collective, P, m) grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CampaignStrategy {
+    /// Measure every grid cell to full precision — the differential
+    /// oracle the adaptive path is gated against.
+    Exhaustive,
+    /// Crossover bisection on m plus leader-settled repetitions.
+    Adaptive {
+        /// Anchor stride on the m grid: every `anchor_step`-th index is
+        /// measured unconditionally, bounding how narrow a winner
+        /// island can hide between anchors.
+        anchor_step: usize,
+        /// Stop sampling an algorithm as soon as its CI separates
+        /// above the leader's
+        /// ([`measure_family_cell`]'s early-stop rule).
+        leader_early_stop: bool,
+    },
+}
+
+/// A measured-winner campaign over a decision grid: for every
+/// (collective, P, m) cell the algorithm family is *measured* (not
+/// model-predicted) and the argmin becomes the decision-table entry.
+///
+/// This is the (algorithm × P × m) sweep the adaptive experiment
+/// design makes affordable; [`Tuner::run_campaign`] executes it on
+/// either strategy, and the two must produce byte-identical tables.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignPlan {
+    /// Collectives to build tables for.
+    pub collectives: Vec<Collective>,
+    /// Communicator-size grid (ascending; every entry must fit the
+    /// cluster's slots, since cells are simulated at that size).
+    pub comm_sizes: Vec<usize>,
+    /// Message-size grid (ascending).
+    pub msg_sizes: Vec<usize>,
+    /// Adaptive-repetition precision of each cell.
+    pub precision: Precision,
+    /// Execution backend of every simulated cell.
+    pub backend: Backend,
+    /// Base seed; every cell derives its own seed from its grid
+    /// position, so campaigns are bit-identical at any thread count.
+    pub seed: u64,
+    /// Grid-coverage strategy.
+    pub strategy: CampaignStrategy,
+    /// Cap on *measured* cells per (collective, P) row (adaptive
+    /// strategy only; the m-grid endpoints are always measured). When
+    /// the budget runs out, unresolved intervals fill from the nearest
+    /// measured anchors and the report flags the exhaustion.
+    pub budget: Option<usize>,
+    /// Minimum relative winner-over-runner-up lead for a measured cell
+    /// to anchor an interpolation (see
+    /// [`collsel_estim::DECISIVE_MARGIN`], the default). Raising it
+    /// densifies more of the near-tie regions; lowering it interpolates
+    /// more aggressively.
+    pub decisive_margin: f64,
+}
+
+impl CampaignPlan {
+    /// An exhaustive plan over the given grids with the quick
+    /// precision and the default backend.
+    pub fn exhaustive(
+        collectives: Vec<Collective>,
+        comm_sizes: Vec<usize>,
+        msg_sizes: Vec<usize>,
+    ) -> Self {
+        CampaignPlan {
+            collectives,
+            comm_sizes,
+            msg_sizes,
+            precision: Precision::quick(),
+            backend: Backend::default(),
+            seed: 0xC0115E1,
+            strategy: CampaignStrategy::Exhaustive,
+            budget: None,
+            decisive_margin: collsel_estim::DECISIVE_MARGIN,
+        }
+    }
+
+    /// An adaptive plan over the given grids: anchors every
+    /// `anchor_step` indices, leader-settled repetitions on, otherwise
+    /// the same defaults as [`exhaustive`](Self::exhaustive) — so the
+    /// pair differs *only* in strategy.
+    pub fn adaptive(
+        collectives: Vec<Collective>,
+        comm_sizes: Vec<usize>,
+        msg_sizes: Vec<usize>,
+        anchor_step: usize,
+    ) -> Self {
+        CampaignPlan {
+            strategy: CampaignStrategy::Adaptive {
+                anchor_step,
+                leader_early_stop: true,
+            },
+            ..CampaignPlan::exhaustive(collectives, comm_sizes, msg_sizes)
+        }
+    }
+
+    /// Total grid cells ((P, m) pairs summed over the collectives).
+    pub fn grid_cells(&self) -> usize {
+        self.collectives.len() * self.comm_sizes.len() * self.msg_sizes.len()
+    }
+}
+
+/// Per-collective cost accounting of one campaign run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CollectiveCampaignStats {
+    /// The collective.
+    pub collective: Collective,
+    /// (P, m) grid cells of this collective's table.
+    pub grid_cells: usize,
+    /// Family cells actually simulated (the rest were interpolated).
+    pub measured_cells: usize,
+    /// Total adaptive batches simulated across the measured cells.
+    pub simulated_batches: usize,
+}
+
+/// The outcome of [`Tuner::run_campaign`]: one measured-winner
+/// decision table per collective, plus the cost accounting the
+/// campaign bench and the CI gate assert over.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignReport {
+    /// Decision tables in plan order, keyed by collective.
+    pub tables: BTreeMap<Collective, CollDecisionTable>,
+    /// Per-collective cost accounting, in plan order.
+    pub per_collective: Vec<CollectiveCampaignStats>,
+    /// Whether any (collective, P) row hit the measurement budget.
+    pub budget_exhausted: bool,
+}
+
+impl CampaignReport {
+    /// Total (P, m) grid cells across the collectives.
+    pub fn grid_cells(&self) -> usize {
+        self.per_collective.iter().map(|s| s.grid_cells).sum()
+    }
+
+    /// Total family cells actually simulated.
+    pub fn measured_cells(&self) -> usize {
+        self.per_collective.iter().map(|s| s.measured_cells).sum()
+    }
+
+    /// Total adaptive batches simulated.
+    pub fn simulated_batches(&self) -> usize {
+        self.per_collective
+            .iter()
+            .map(|s| s.simulated_batches)
+            .sum()
+    }
+
+    /// Grid cells per measured cell — the headline coverage saving.
+    pub fn cell_reduction(&self) -> f64 {
+        self.grid_cells() as f64 / self.measured_cells().max(1) as f64
+    }
+}
+
+/// Serves a measured winner grid to [`CollDecisionTable::generate`],
+/// which only queries exactly on the grid.
+#[derive(Debug)]
+struct GridWinnerSelector<'a> {
+    comm_sizes: &'a [usize],
+    msg_sizes: &'a [usize],
+    /// `winners[pi][mi]`, resolved over the full grid.
+    winners: &'a [Vec<Alg>],
+    seg_size: usize,
+}
+
+impl CollectiveSelector for GridWinnerSelector<'_> {
+    fn select_for(&self, _collective: Collective, p: usize, m: usize) -> CollSelection {
+        let pi = self
+            .comm_sizes
+            .iter()
+            .position(|&x| x == p)
+            .expect("table generation stays on the campaign grid");
+        let mi = self
+            .msg_sizes
+            .iter()
+            .position(|&x| x == m)
+            .expect("table generation stays on the campaign grid");
+        CollSelection::segmented(self.winners[pi][mi], self.seg_size)
+    }
+
+    fn name(&self) -> &str {
+        "measured-grid"
+    }
+}
+
+/// One (collective, P) row's resolved winner column plus its costs.
+struct CampaignRow {
+    winners: Vec<usize>,
+    measured: usize,
+    batches: usize,
+    budget_exhausted: bool,
+}
+
+impl Tuner {
+    /// Runs a measured-winner campaign: simulates (a subset of) the
+    /// plan's grid cells, resolves every cell's winning algorithm and
+    /// materialises one [`CollDecisionTable`] per collective through
+    /// the same merge contract as the model-predicted tables.
+    ///
+    /// The (collective, P) rows fan out across the current
+    /// [`Pool`]; within a row the bisection is sequential (each probe
+    /// decides the next). Every cell's seed derives from its grid
+    /// position — campaigns are **bit-identical at any thread count
+    /// and on either backend**, and an adaptive plan must produce the
+    /// byte-identical tables of its exhaustive twin
+    /// (`tests/adaptive_campaign.rs`, the campaign bench and the CI
+    /// gate all assert this).
+    ///
+    /// `warm` seeds the anchors from an already-tuned neighbor: its
+    /// model predicts the winner column, and only the predicted
+    /// crossover neighborhoods — plus wherever a fresh measurement
+    /// disagrees with the prediction — are measured. Ignored by the
+    /// exhaustive strategy.
+    ///
+    /// Segment sizes follow the serving convention of
+    /// [`TunedModel::multi_selector`]: broadcast cells run at the
+    /// tuned segment, every other collective at
+    /// [`BREADTH_SEG_SIZE`](collsel_estim::BREADTH_SEG_SIZE).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a grid is empty or not strictly ascending, or a
+    /// communicator size exceeds the cluster's slots.
+    pub fn run_campaign(&self, plan: &CampaignPlan, warm: Option<&TunedModel>) -> CampaignReport {
+        assert!(!plan.collectives.is_empty(), "need at least one collective");
+        assert!(
+            plan.comm_sizes.windows(2).all(|w| w[0] < w[1]) && !plan.comm_sizes.is_empty(),
+            "communicator sizes must be non-empty ascending"
+        );
+        assert!(
+            plan.msg_sizes.windows(2).all(|w| w[0] < w[1]) && !plan.msg_sizes.is_empty(),
+            "message sizes must be non-empty ascending"
+        );
+        for &p in &plan.comm_sizes {
+            assert!(
+                p <= self.cluster.max_ranks(),
+                "campaign communicator size {p} exceeds cluster {} slots {}",
+                self.cluster.name(),
+                self.cluster.max_ranks()
+            );
+        }
+        let warm_selector = warm.map(|m| m.multi_selector());
+        let jobs: Vec<_> = plan
+            .collectives
+            .iter()
+            .enumerate()
+            .flat_map(|(ci, &c)| {
+                plan.comm_sizes
+                    .iter()
+                    .enumerate()
+                    .map(move |(pi, &p)| (ci, c, pi, p))
+            })
+            .map(|(_ci, c, pi, p)| {
+                let warm_selector = &warm_selector;
+                move || self.campaign_row(plan, c, p, pi, warm_selector.as_ref())
+            })
+            .collect();
+        let rows = Pool::current().run(jobs);
+        let comm_count = plan.comm_sizes.len();
+        let mut tables = BTreeMap::new();
+        let mut per_collective = Vec::with_capacity(plan.collectives.len());
+        let mut budget_exhausted = false;
+        for (ci, &c) in plan.collectives.iter().enumerate() {
+            let rows = &rows[ci * comm_count..(ci + 1) * comm_count];
+            let algs = c.algorithms();
+            let winners: Vec<Vec<Alg>> = rows
+                .iter()
+                .map(|r| r.winners.iter().map(|&w| algs[w]).collect())
+                .collect();
+            let selector = GridWinnerSelector {
+                comm_sizes: &plan.comm_sizes,
+                msg_sizes: &plan.msg_sizes,
+                winners: &winners,
+                seg_size: self.campaign_seg(c),
+            };
+            tables.insert(
+                c,
+                CollDecisionTable::generate(&selector, c, &plan.comm_sizes, &plan.msg_sizes),
+            );
+            per_collective.push(CollectiveCampaignStats {
+                collective: c,
+                grid_cells: comm_count * plan.msg_sizes.len(),
+                measured_cells: rows.iter().map(|r| r.measured).sum(),
+                simulated_batches: rows.iter().map(|r| r.batches).sum(),
+            });
+            budget_exhausted |= rows.iter().any(|r| r.budget_exhausted);
+        }
+        CampaignReport {
+            tables,
+            per_collective,
+            budget_exhausted,
+        }
+    }
+
+    /// The segment size campaign cells run at — the serving convention
+    /// of [`TunedModel::multi_selector`].
+    fn campaign_seg(&self, c: Collective) -> usize {
+        if c == Collective::Bcast {
+            self.config.seg_size
+        } else {
+            collsel_estim::BREADTH_SEG_SIZE
+        }
+    }
+
+    /// Resolves one (collective, P) row's winner column under the
+    /// plan's strategy. The cell seed packs (collective, P-index,
+    /// m-index) into disjoint bit ranges above the per-algorithm
+    /// (`<< 32`) and per-batch (low bits) offsets used inside
+    /// [`measure_family_cell`].
+    fn campaign_row(
+        &self,
+        plan: &CampaignPlan,
+        c: Collective,
+        p: usize,
+        pi: usize,
+        warm: Option<&CollectiveModelSelector>,
+    ) -> CampaignRow {
+        let seg = self.campaign_seg(c);
+        let row_seed = plan
+            .seed
+            .wrapping_add((c.index() as u64) << 56)
+            .wrapping_add((pi as u64) << 48);
+        let n = plan.msg_sizes.len();
+        let measure = |mi: usize, early: bool, batches: &mut usize| -> (usize, bool) {
+            let cell = measure_family_cell(
+                &self.cluster,
+                c,
+                p,
+                plan.msg_sizes[mi],
+                seg,
+                &plan.precision,
+                row_seed.wrapping_add((mi as u64) << 16),
+                plan.backend,
+                early,
+            );
+            *batches += cell.batches;
+            (cell.winner, cell.runner_up_margin() >= plan.decisive_margin)
+        };
+        match plan.strategy {
+            CampaignStrategy::Exhaustive => {
+                let mut batches = 0;
+                let winners = (0..n)
+                    .map(|mi| measure(mi, false, &mut batches).0)
+                    .collect();
+                CampaignRow {
+                    winners,
+                    measured: n,
+                    batches,
+                    budget_exhausted: false,
+                }
+            }
+            CampaignStrategy::Adaptive {
+                anchor_step,
+                leader_early_stop,
+            } => {
+                // A hint is the model's predicted winner plus whether
+                // the model predicts that win decisively — by
+                // HINT_MARGIN_FACTOR times the measured margin, since
+                // predictions carry fitting error. Cells the model
+                // itself calls close are measured, never trusted.
+                let hint_margin = collsel_estim::HINT_MARGIN_FACTOR * plan.decisive_margin;
+                let hints: Option<Vec<(usize, bool)>> = warm.map(|sel| {
+                    let algs = c.algorithms();
+                    plan.msg_sizes
+                        .iter()
+                        .map(|&m| {
+                            let pick = sel.select_for(c, p, m).alg;
+                            let wi = algs.iter().position(|&a| a == pick).unwrap_or(0);
+                            let decisive = match sel.ranking(c, p, m).as_slice() {
+                                [(_, best), (_, next), ..] if *best > 0.0 => {
+                                    (next - best) / best >= hint_margin
+                                }
+                                _ => true,
+                            };
+                            (wi, decisive)
+                        })
+                        .collect()
+                });
+                let mut batches = 0;
+                let crossover =
+                    plan_crossover_fill(n, anchor_step, hints.as_deref(), plan.budget, |mi| {
+                        measure(mi, leader_early_stop, &mut batches)
+                    });
+                CampaignRow {
+                    measured: crossover.measured_count(),
+                    winners: crossover.winners,
+                    batches,
+                    budget_exhausted: crossover.budget_exhausted,
+                }
+            }
+        }
     }
 }
 

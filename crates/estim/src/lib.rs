@@ -38,6 +38,7 @@
 
 mod alpha_beta;
 mod breadth;
+mod campaign;
 mod gamma_est;
 mod hockney_est;
 mod loggp_est;
@@ -53,6 +54,10 @@ pub use breadth::{
     estimate_collective_alpha_beta, estimate_collective_family, try_estimate_collective_family,
     BreadthConfig, BREADTH_SEG_SIZE,
 };
+pub use campaign::{
+    measure_family_cell, plan_crossover_fill, CrossoverPlan, FamilyCell, DECISIVE_MARGIN,
+    HINT_MARGIN_FACTOR,
+};
 pub use gamma_est::{estimate_gamma, try_estimate_gamma, GammaConfig, GammaEstimate};
 pub use hockney_est::{estimate_network_hockney, NetworkHockneyEstimate};
 pub use loggp_est::{estimate_loggp, LogGPEstimate};
@@ -67,5 +72,5 @@ pub use measure::{
 pub use regress::{huber, huber_default, ols, LinearFit};
 pub use stats::{
     mad, mad_filter, median, sample_adaptive, sample_adaptive_fallible, t_critical_95,
-    trimmed_mean, Precision, SampleStats, Welford,
+    trimmed_mean, AdaptiveAccumulator, Precision, SampleStats, Welford,
 };

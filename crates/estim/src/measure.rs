@@ -181,7 +181,7 @@ pub const ROOT: usize = 0;
 /// keeps the recording run (which is not armed with a watchdog) from
 /// being slowed or stalled by a fault plan that the *replays* handle
 /// under the retry policy's deadlines.
-fn recording_cluster(cluster: &ClusterModel) -> ClusterModel {
+pub(crate) fn recording_cluster(cluster: &ClusterModel) -> ClusterModel {
     cluster.clone().with_faults(FaultPlan::none())
 }
 
@@ -189,7 +189,7 @@ fn recording_cluster(cluster: &ClusterModel) -> ClusterModel {
 /// observations: consecutive `wtime` pairs, each divided by `per` —
 /// exactly the float arithmetic the threaded closures apply to the same
 /// virtual clock values (division by `1.0` is exact).
-fn paired_samples(run: &ScheduledRun, per: f64) -> Vec<f64> {
+pub(crate) fn paired_samples(run: &ScheduledRun, per: f64) -> Vec<f64> {
     run.wtimes[ROOT]
         .chunks_exact(2)
         .map(|w| (w[1] - w[0]).as_secs_f64() / per)
@@ -247,6 +247,52 @@ fn try_events_stats(
         }
         Err(last_timeout.expect("at least one attempt ran"))
     })
+}
+
+/// The shared backend dispatch of every `*_time_with` measurement: on
+/// [`Backend::Events`], `compile` records the measurement program once
+/// (on a fault-free recording topology, seeded with
+/// `precision.min_reps` repetitions per batch) and the replays feed
+/// the adaptive stopping rule; on [`Backend::Threads`] — or on a
+/// recording failure, impossible for these wildcard-free programs but
+/// the enum is open — `threads` runs the original closure through the
+/// thread-per-rank oracle.
+fn stats_with_backend(
+    cluster: &ClusterModel,
+    backend: Backend,
+    precision: &Precision,
+    seed: u64,
+    per: f64,
+    compile: impl FnOnce(&ClusterModel, usize) -> Result<Schedule, RecordError>,
+    threads: impl FnOnce() -> SampleStats,
+) -> SampleStats {
+    if backend == Backend::Events {
+        if let Ok(sched) = compile(&recording_cluster(cluster), precision.min_reps) {
+            return events_stats(cluster, &sched, precision, seed, per);
+        }
+    }
+    threads()
+}
+
+/// Fallible twin of [`stats_with_backend`] for the `try_*_with` tier:
+/// event replays run under `policy`'s watchdog-and-retry discipline
+/// ([`try_events_stats`]).
+fn try_stats_with_backend(
+    cluster: &ClusterModel,
+    backend: Backend,
+    precision: &Precision,
+    seed: u64,
+    policy: &RetryPolicy,
+    per: f64,
+    compile: impl FnOnce(&ClusterModel, usize) -> Result<Schedule, RecordError>,
+    threads: impl FnOnce() -> Result<SampleStats, SimError>,
+) -> Result<SampleStats, SimError> {
+    if backend == Backend::Events {
+        if let Ok(sched) = compile(&recording_cluster(cluster), precision.min_reps) {
+            return try_events_stats(cluster, &sched, precision, seed, policy, per);
+        }
+    }
+    threads()
 }
 
 /// Records the round-trip program of [`p2p_time`]: `reps` repetitions
@@ -307,7 +353,7 @@ pub fn payload(len: usize) -> Bytes {
 /// simulation always yields the root's result. Measurement paths that
 /// CAN fail (watchdog deadlines, fault plans) go through
 /// [`try_root_samples`] instead and propagate typed errors.
-fn timed_reps(
+pub(crate) fn timed_reps(
     cluster: &ClusterModel,
     p: usize,
     seed: u64,
@@ -377,17 +423,15 @@ pub fn bcast_time_with(
     seed: u64,
     backend: Backend,
 ) -> SampleStats {
-    if backend == Backend::Events {
-        let reps = precision.min_reps;
-        // A recording failure (impossible for these wildcard-free
-        // programs, but the enum is open) falls back to the oracle.
-        if let Ok(sched) =
-            compile_timed_bcast(&recording_cluster(cluster), alg, p, ROOT, m, seg_size, reps)
-        {
-            return events_stats(cluster, &sched, precision, seed, 1.0);
-        }
-    }
-    bcast_time_threads(cluster, alg, p, m, seg_size, precision, seed)
+    stats_with_backend(
+        cluster,
+        backend,
+        precision,
+        seed,
+        1.0,
+        |rec, reps| compile_timed_bcast(rec, alg, p, ROOT, m, seg_size, reps),
+        || bcast_time_threads(cluster, alg, p, m, seg_size, precision, seed),
+    )
 }
 
 /// The threaded-oracle body of [`bcast_time`].
@@ -469,15 +513,15 @@ pub fn collective_time_with(
     seed: u64,
     backend: Backend,
 ) -> SampleStats {
-    if backend == Backend::Events {
-        let reps = precision.min_reps;
-        if let Ok(sched) =
-            compile_timed_collective(&recording_cluster(cluster), alg, p, ROOT, m, seg_size, reps)
-        {
-            return events_stats(cluster, &sched, precision, seed, 1.0);
-        }
-    }
-    collective_time_threads(cluster, alg, p, m, seg_size, precision, seed)
+    stats_with_backend(
+        cluster,
+        backend,
+        precision,
+        seed,
+        1.0,
+        |rec, reps| compile_timed_collective(rec, alg, p, ROOT, m, seg_size, reps),
+        || collective_time_threads(cluster, alg, p, m, seg_size, precision, seed),
+    )
 }
 
 /// The threaded-oracle body of [`collective_time`].
@@ -551,15 +595,16 @@ pub fn try_collective_time_with(
     policy: &RetryPolicy,
     backend: Backend,
 ) -> Result<SampleStats, SimError> {
-    if backend == Backend::Events {
-        let reps = precision.min_reps;
-        if let Ok(sched) =
-            compile_timed_collective(&recording_cluster(cluster), alg, p, ROOT, m, seg_size, reps)
-        {
-            return try_events_stats(cluster, &sched, precision, seed, policy, 1.0);
-        }
-    }
-    try_collective_time_threads(cluster, alg, p, m, seg_size, precision, seed, policy)
+    try_stats_with_backend(
+        cluster,
+        backend,
+        precision,
+        seed,
+        policy,
+        1.0,
+        |rec, reps| compile_timed_collective(rec, alg, p, ROOT, m, seg_size, reps),
+        || try_collective_time_threads(cluster, alg, p, m, seg_size, precision, seed, policy),
+    )
 }
 
 /// The threaded-oracle body of [`try_collective_time`].
@@ -642,22 +687,15 @@ pub fn bcast_gather_experiment_time_with(
     seed: u64,
     backend: Backend,
 ) -> SampleStats {
-    if backend == Backend::Events {
-        let reps = precision.min_reps;
-        if let Ok(sched) = compile_timed_bcast_gather(
-            &recording_cluster(cluster),
-            alg,
-            p,
-            ROOT,
-            m,
-            m_g,
-            seg_size,
-            reps,
-        ) {
-            return events_stats(cluster, &sched, precision, seed, 1.0);
-        }
-    }
-    bcast_gather_experiment_time_threads(cluster, alg, p, m, m_g, seg_size, precision, seed)
+    stats_with_backend(
+        cluster,
+        backend,
+        precision,
+        seed,
+        1.0,
+        |rec, reps| compile_timed_bcast_gather(rec, alg, p, ROOT, m, m_g, seg_size, reps),
+        || bcast_gather_experiment_time_threads(cluster, alg, p, m, m_g, seg_size, precision, seed),
+    )
 }
 
 /// The threaded-oracle body of [`bcast_gather_experiment_time`].
@@ -740,14 +778,15 @@ pub fn linear_segment_bcast_time_with(
     backend: Backend,
 ) -> SampleStats {
     assert!(calls > 0, "need at least one call per sample");
-    if backend == Backend::Events {
-        if let Ok(sched) =
-            compile_timed_linear_segment(&recording_cluster(cluster), p, ROOT, seg_size, calls)
-        {
-            return events_stats(cluster, &sched, precision, seed, calls as f64);
-        }
-    }
-    linear_segment_bcast_time_threads(cluster, p, seg_size, calls, precision, seed)
+    stats_with_backend(
+        cluster,
+        backend,
+        precision,
+        seed,
+        calls as f64,
+        |rec, _reps| compile_timed_linear_segment(rec, p, ROOT, seg_size, calls),
+        || linear_segment_bcast_time_threads(cluster, p, seg_size, calls, precision, seed),
+    )
 }
 
 /// The threaded-oracle body of [`linear_segment_bcast_time`].
@@ -801,13 +840,15 @@ pub fn p2p_time_with(
     seed: u64,
     backend: Backend,
 ) -> SampleStats {
-    if backend == Backend::Events {
-        let reps = precision.min_reps;
-        if let Ok(sched) = compile_timed_p2p(&recording_cluster(cluster), m, reps) {
-            return events_stats(cluster, &sched, precision, seed, 2.0);
-        }
-    }
-    p2p_time_threads(cluster, m, precision, seed)
+    stats_with_backend(
+        cluster,
+        backend,
+        precision,
+        seed,
+        2.0,
+        |rec, reps| compile_timed_p2p(rec, m, reps),
+        || p2p_time_threads(cluster, m, precision, seed),
+    )
 }
 
 /// The threaded-oracle body of [`p2p_time`].
@@ -906,15 +947,16 @@ pub fn try_bcast_time_with(
     policy: &RetryPolicy,
     backend: Backend,
 ) -> Result<SampleStats, SimError> {
-    if backend == Backend::Events {
-        let reps = precision.min_reps;
-        if let Ok(sched) =
-            compile_timed_bcast(&recording_cluster(cluster), alg, p, ROOT, m, seg_size, reps)
-        {
-            return try_events_stats(cluster, &sched, precision, seed, policy, 1.0);
-        }
-    }
-    try_bcast_time_threads(cluster, alg, p, m, seg_size, precision, seed, policy)
+    try_stats_with_backend(
+        cluster,
+        backend,
+        precision,
+        seed,
+        policy,
+        1.0,
+        |rec, reps| compile_timed_bcast(rec, alg, p, ROOT, m, seg_size, reps),
+        || try_bcast_time_threads(cluster, alg, p, m, seg_size, precision, seed, policy),
+    )
 }
 
 /// The threaded-oracle body of [`try_bcast_time`].
@@ -1009,23 +1051,19 @@ pub fn try_bcast_gather_experiment_time_with(
     policy: &RetryPolicy,
     backend: Backend,
 ) -> Result<SampleStats, SimError> {
-    if backend == Backend::Events {
-        let reps = precision.min_reps;
-        if let Ok(sched) = compile_timed_bcast_gather(
-            &recording_cluster(cluster),
-            alg,
-            p,
-            ROOT,
-            m,
-            m_g,
-            seg_size,
-            reps,
-        ) {
-            return try_events_stats(cluster, &sched, precision, seed, policy, 1.0);
-        }
-    }
-    try_bcast_gather_experiment_time_threads(
-        cluster, alg, p, m, m_g, seg_size, precision, seed, policy,
+    try_stats_with_backend(
+        cluster,
+        backend,
+        precision,
+        seed,
+        policy,
+        1.0,
+        |rec, reps| compile_timed_bcast_gather(rec, alg, p, ROOT, m, m_g, seg_size, reps),
+        || {
+            try_bcast_gather_experiment_time_threads(
+                cluster, alg, p, m, m_g, seg_size, precision, seed, policy,
+            )
+        },
     )
 }
 
@@ -1118,14 +1156,20 @@ pub fn try_linear_segment_bcast_time_with(
     backend: Backend,
 ) -> Result<SampleStats, SimError> {
     assert!(calls > 0, "need at least one call per sample");
-    if backend == Backend::Events {
-        if let Ok(sched) =
-            compile_timed_linear_segment(&recording_cluster(cluster), p, ROOT, seg_size, calls)
-        {
-            return try_events_stats(cluster, &sched, precision, seed, policy, calls as f64);
-        }
-    }
-    try_linear_segment_bcast_time_threads(cluster, p, seg_size, calls, precision, seed, policy)
+    try_stats_with_backend(
+        cluster,
+        backend,
+        precision,
+        seed,
+        policy,
+        calls as f64,
+        |rec, _reps| compile_timed_linear_segment(rec, p, ROOT, seg_size, calls),
+        || {
+            try_linear_segment_bcast_time_threads(
+                cluster, p, seg_size, calls, precision, seed, policy,
+            )
+        },
+    )
 }
 
 /// The threaded-oracle body of [`try_linear_segment_bcast_time`].
@@ -1193,13 +1237,16 @@ pub fn try_p2p_time_with(
     policy: &RetryPolicy,
     backend: Backend,
 ) -> Result<SampleStats, SimError> {
-    if backend == Backend::Events {
-        let reps = precision.min_reps;
-        if let Ok(sched) = compile_timed_p2p(&recording_cluster(cluster), m, reps) {
-            return try_events_stats(cluster, &sched, precision, seed, policy, 2.0);
-        }
-    }
-    try_p2p_time_threads(cluster, m, precision, seed, policy)
+    try_stats_with_backend(
+        cluster,
+        backend,
+        precision,
+        seed,
+        policy,
+        2.0,
+        |rec, reps| compile_timed_p2p(rec, m, reps),
+        || try_p2p_time_threads(cluster, m, precision, seed, policy),
+    )
 }
 
 /// The threaded-oracle body of [`try_p2p_time`].

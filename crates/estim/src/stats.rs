@@ -166,6 +166,99 @@ impl SampleStats {
     }
 }
 
+/// Incremental state of one adaptive measurement: the MPIBlib stopping
+/// rule of [`sample_adaptive`], exposed one batch at a time so several
+/// interleaved measurements can share a round-robin driver (the
+/// leader-settled family cells of
+/// [`measure_family_cell`](crate::measure_family_cell)).
+///
+/// Feeding the accumulator the same batches in the same order as
+/// [`sample_adaptive`] would pull them produces **bit-identical**
+/// statistics: the convergence check, the Welford pushes and the final
+/// summary reuse the exact float arithmetic of the closed-loop
+/// function (which is itself implemented on top of this type).
+#[derive(Debug, Clone, Default)]
+pub struct AdaptiveAccumulator {
+    samples: Vec<f64>,
+    acc: Welford,
+    batches: usize,
+    converged: bool,
+}
+
+impl AdaptiveAccumulator {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        AdaptiveAccumulator::default()
+    }
+
+    /// Number of batches pushed so far — the `batch_index` the next
+    /// supplier call should receive.
+    pub fn batches(&self) -> usize {
+        self.batches
+    }
+
+    /// Number of samples accumulated so far.
+    pub fn n(&self) -> usize {
+        self.acc.count()
+    }
+
+    /// Running sample mean.
+    pub fn mean(&self) -> f64 {
+        self.acc.mean()
+    }
+
+    /// Half-width of the running 95% confidence interval of the mean
+    /// (infinite below two samples).
+    pub fn ci_half_width(&self) -> f64 {
+        let n = self.acc.count();
+        if n >= 2 {
+            t_critical_95(n - 1) * self.acc.std_dev() / (n as f64).sqrt()
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Whether the precision target was met by a previous batch.
+    pub fn converged(&self) -> bool {
+        self.converged
+    }
+
+    /// Whether the stopping rule would pull no further batch: the
+    /// precision target was met or the sample budget is spent.
+    pub fn done(&self, precision: &Precision) -> bool {
+        self.converged || self.samples.len() >= precision.max_reps
+    }
+
+    /// Folds one non-empty batch in and re-evaluates the stopping rule.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty batch or a non-finite sample.
+    pub fn push_batch(&mut self, batch: Vec<f64>, precision: &Precision) {
+        assert!(!batch.is_empty(), "sample supplier returned an empty batch");
+        self.batches += 1;
+        for x in batch {
+            assert!(x.is_finite(), "non-finite sample {x}");
+            self.samples.push(x);
+            self.acc.push(x);
+        }
+        if self.samples.len() >= precision.min_reps {
+            let half = t_critical_95(self.acc.count() - 1) * self.acc.std_dev()
+                / (self.acc.count() as f64).sqrt();
+            let mean = self.acc.mean();
+            if mean == 0.0 || half / mean.abs() <= precision.rel_precision {
+                self.converged = true;
+            }
+        }
+    }
+
+    /// The final summary over everything pushed so far — identical to
+    /// what [`sample_adaptive`] returns for the same sample sequence.
+    pub fn finish(&self) -> SampleStats {
+        stats_from(&self.samples, self.converged)
+    }
+}
+
 /// Draws samples from `supplier` until the sample mean lies within
 /// `precision.rel_precision` of its 95% confidence interval (or the
 /// sample budget runs out).
@@ -181,46 +274,12 @@ pub fn sample_adaptive(
     mut supplier: impl FnMut(usize) -> Vec<f64>,
 ) -> SampleStats {
     precision.validate();
-    let mut samples: Vec<f64> = Vec::new();
-    let mut acc = Welford::new();
-    let mut batch_index = 0;
-    let mut converged = false;
-    while samples.len() < precision.max_reps {
-        let batch = supplier(batch_index);
-        assert!(!batch.is_empty(), "sample supplier returned an empty batch");
-        batch_index += 1;
-        for x in batch {
-            assert!(x.is_finite(), "non-finite sample {x}");
-            samples.push(x);
-            acc.push(x);
-        }
-        if samples.len() >= precision.min_reps {
-            let half = t_critical_95(acc.count() - 1) * acc.std_dev() / (acc.count() as f64).sqrt();
-            let mean = acc.mean();
-            if mean == 0.0 || half / mean.abs() <= precision.rel_precision {
-                converged = true;
-                break;
-            }
-        }
+    let mut acc = AdaptiveAccumulator::new();
+    while !acc.done(precision) {
+        let batch = supplier(acc.batches());
+        acc.push_batch(batch, precision);
     }
-    let mean = acc.mean();
-    let std_dev = acc.std_dev();
-    let n = acc.count();
-    let ci_half_width = if n >= 2 {
-        t_critical_95(n - 1) * std_dev / (n as f64).sqrt()
-    } else {
-        f64::INFINITY
-    };
-    let (skewness, excess_kurtosis) = higher_moments(&samples, mean, std_dev);
-    SampleStats {
-        mean,
-        std_dev,
-        n,
-        ci_half_width,
-        converged,
-        skewness,
-        excess_kurtosis,
-    }
+    acc.finish()
 }
 
 /// Draws samples from a fallible `supplier` under the same stopping rule

@@ -25,14 +25,16 @@ use collsel::select::rules::DecisionTable;
 use collsel::select::{
     CollectiveDecisionService, DecisionServer, DecisionService, DecisionSource, Selector,
 };
-use collsel::{TunedModel, Tuner, TunerConfig};
+use collsel::{CampaignPlan, TunedModel, Tuner, TunerConfig};
+use collsel_expt::campaign::CampaignSummary;
 use collsel_expt::soak::{run_soak, SoakConfig};
 use std::process::ExitCode;
 
 const USAGE: &str = "usage:
   colltune tune   [--preset grisou|gros | --nodes N --gbps G --latency-us L --cpus-per-node C]
                   [--tune-p P] [--paper] [--seed N] [--faults SPEC] [-j N | --threads N]
-                  [--collective NAME]... [--backend threads|events] --out model.json
+                  [--collective NAME]... [--backend threads|events]
+                  [--adaptive] [--budget N] [--warm-from model.json] --out model.json
   colltune query  --model model.json --p P --m BYTES [--m BYTES]... [--degraded]
                   [--collective NAME]... [--backend threads|events]
   colltune show   --model model.json
@@ -51,6 +53,11 @@ tune runs a breadth campaign per listed collective, query and bench-select
 route through the multi-collective serving stack
 -j/--threads: worker threads for the tuning campaign (default: COLLSEL_THREADS
 or the host's available parallelism); any thread count yields bit-identical models
+--adaptive: after tuning, run an adaptive measured-winner campaign (crossover
+bisection + leader-settled repetitions) warm-started from the tuned model and
+embed the resulting decision tables + coverage accounting in the model JSON;
+--budget N caps measured cells per (collective, P) row and implies --adaptive;
+--warm-from seeds the campaign from a neighbor cluster's model instead
 --backend: measurement execution backend (default: events — compile-and-replay with
 zero threads per run; threads is the oracle); both yield bit-identical models
 bench-select: compare decision-serving throughput (live ranking vs compiled table
@@ -191,8 +198,10 @@ fn cmd_tune(args: &[String]) -> Result<(), String> {
             "-j",
             "--backend",
             "--collective",
+            "--budget",
+            "--warm-from",
         ],
-        &["--paper"],
+        &["--paper", "--adaptive"],
     )?;
     let cluster = match flag_value(args, "--preset") {
         Some("grisou") => ClusterModel::grisou(),
@@ -255,6 +264,29 @@ fn cmd_tune(args: &[String]) -> Result<(), String> {
     };
     let collectives = parse_collectives(args)?;
 
+    let budget: Option<usize> = match flag_value(args, "--budget") {
+        Some(s) => {
+            let n: usize = parse(s, "budget")?;
+            if n == 0 {
+                return Err("--budget must be at least 1".into());
+            }
+            Some(n)
+        }
+        None => None,
+    };
+    let adaptive = args.iter().any(|a| a == "--adaptive") || budget.is_some();
+    let warm_from = flag_value(args, "--warm-from");
+    if warm_from.is_some() && !adaptive {
+        return Err("--warm-from requires --adaptive (or --budget)".into());
+    }
+    if adaptive && faults.as_ref().is_some_and(|p| !p.is_none()) {
+        return Err("--adaptive campaigns do not run under an injected fault plan".into());
+    }
+    // The campaign re-measures winners on the same platform the model
+    // was fitted on.
+    let campaign_cluster = cluster.clone();
+    let campaign_config = config.clone();
+
     eprintln!(
         "[colltune] tuning {} ({} slots) with {} experiment processes on {} threads \
          ({backend} backend)...",
@@ -315,6 +347,43 @@ fn cmd_tune(args: &[String]) -> Result<(), String> {
             }
         }
     };
+    // `--adaptive`: a measured-winner campaign, warm-started from the
+    // just-tuned model (or a neighbor's via `--warm-from`), whose
+    // decision tables and coverage accounting ride along in the model
+    // JSON.
+    let campaign = if adaptive {
+        let (warm_model, warm_label) = match warm_from {
+            Some(path) => (load_model_path(path)?, path.to_owned()),
+            None => (model.clone(), "self".to_owned()),
+        };
+        let campaign_collectives = if collectives.is_empty() {
+            vec![Collective::Bcast]
+        } else {
+            collectives.clone()
+        };
+        let comm_sizes: Vec<usize> = [2usize, 4, 8, 16, 32]
+            .into_iter()
+            .filter(|&p| p <= campaign_cluster.max_ranks())
+            .collect();
+        let msg_sizes = log_spaced_sizes(1024, 1024 * 1024, 12);
+        let mut plan = CampaignPlan::adaptive(campaign_collectives, comm_sizes, msg_sizes, 4);
+        plan.seed = seed;
+        plan.backend = backend;
+        plan.budget = budget;
+        if args.iter().any(|a| a == "--paper") {
+            plan.precision = collsel::estim::Precision::paper();
+        }
+        eprintln!(
+            "[colltune] adaptive campaign over {} collective(s), warm-started from {warm_label}...",
+            plan.collectives.len()
+        );
+        let report =
+            Tuner::new(campaign_cluster, campaign_config).run_campaign(&plan, Some(&warm_model));
+        Some((plan, report, warm_label))
+    } else {
+        None
+    };
+
     let mut json = collsel_support::ToJson::to_json(&model);
     if let collsel_support::Json::Obj(fields) = &mut json {
         // Campaign metadata rides along as extra top-level fields;
@@ -330,15 +399,48 @@ fn cmd_tune(args: &[String]) -> Result<(), String> {
             "sim_backend".to_owned(),
             collsel_support::Json::Str(backend.name().to_owned()),
         ));
+        if let Some((plan, report, warm_label)) = &campaign {
+            let mut meta = CampaignSummary::new(plan, report).to_json();
+            if let collsel_support::Json::Obj(meta_fields) = &mut meta {
+                meta_fields.push((
+                    "warm_start".to_owned(),
+                    collsel_support::Json::Str(warm_label.clone()),
+                ));
+                meta_fields.push((
+                    "budget".to_owned(),
+                    match plan.budget {
+                        Some(b) => collsel_support::Json::Num(b as f64),
+                        None => collsel_support::Json::Null,
+                    },
+                ));
+            }
+            fields.push(("campaign".to_owned(), meta));
+            fields.push((
+                "campaign_tables".to_owned(),
+                collsel_support::Json::Arr(
+                    report
+                        .tables
+                        .values()
+                        .map(collsel_support::ToJson::to_json)
+                        .collect(),
+                ),
+            ));
+        }
     }
     std::fs::write(out, json.to_string_pretty()).map_err(|e| format!("cannot write {out}: {e}"))?;
     eprintln!("[colltune] model written to {out}");
     print_tables(&model);
+    if let Some((plan, report, _)) = &campaign {
+        println!("{}", CampaignSummary::new(plan, report).to_text());
+    }
     Ok(())
 }
 
 fn load_model(args: &[String]) -> Result<TunedModel, String> {
-    let path = flag_value(args, "--model").ok_or("--model required")?;
+    load_model_path(flag_value(args, "--model").ok_or("--model required")?)
+}
+
+fn load_model_path(path: &str) -> Result<TunedModel, String> {
     let json = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let value =
         collsel_support::Json::parse(&json).map_err(|e| format!("cannot parse {path}: {e}"))?;

@@ -22,6 +22,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod breadth;
+pub mod campaign;
 pub mod config;
 pub mod fig1;
 pub mod paper_ref;

@@ -23,13 +23,8 @@ use crate::{
 };
 use collsel_mpi::{record_schedule, Comm, RecordError, Schedule};
 use collsel_netsim::ClusterModel;
+use collsel_support::payload::payload;
 use collsel_support::Bytes;
-
-/// Deterministic payload of `len` bytes (contents never affect timing;
-/// this just keeps recorded schedules reproducible byte-for-byte).
-fn payload(len: usize) -> Bytes {
-    Bytes::from((0..len).map(|i| (i % 251) as u8).collect::<Vec<_>>())
-}
 
 /// Payload of `lanes` little-endian `u64` lanes for the reductions.
 fn lane_payload(rank: usize, lanes: usize) -> Bytes {

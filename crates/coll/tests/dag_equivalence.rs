@@ -1,0 +1,184 @@
+//! Property suite for the compiled timing-DAG backend: for every
+//! collective the repo tunes, lowering the recorded [`Schedule`] to a
+//! [`TimingDag`] and replaying it payload-free must be *bit-identical*
+//! to the event-driven schedule replay — same finish times, makespan,
+//! traffic counters, traces and `wtime` observations — across grid and
+//! off-grid geometries, under fault plans, under the virtual-time
+//! watchdog, and regardless of the host thread budget.
+//!
+//! The schedule replay is itself gated against the threaded oracle
+//! elsewhere (`crates/mpi/tests/runtime*.rs`), so equality here chains
+//! all three execution tiers together.
+
+use collsel_coll::compile::compile_timed_collective;
+use collsel_coll::{Alg, Collective};
+use collsel_mpi::{
+    simulate_dag, simulate_scheduled, DagEvaluator, Schedule, ScheduledRun, SimError, SimOptions,
+    TimingDag,
+};
+use collsel_netsim::{ClusterModel, FaultPlan, SimSpan};
+use std::sync::Arc;
+
+const ROOT: usize = 0;
+const SEG: usize = 1024;
+const REPS: usize = 2;
+
+/// Full structural equality: the aggregate report (finish times,
+/// makespan, message/byte counters, trace) and every rank's clock
+/// observations.
+fn assert_identical(ctx: &str, replay: &ScheduledRun, dag: &ScheduledRun) {
+    assert_eq!(replay.report, dag.report, "{ctx}: reports diverged");
+    assert_eq!(replay.wtimes, dag.wtimes, "{ctx}: wtimes diverged");
+}
+
+/// Records the measurement round for `alg` at `(p, m)` and checks the
+/// DAG evaluation against the schedule replay at each seed.
+fn check_cell(cluster: &ClusterModel, alg: Alg, p: usize, m: usize, seeds: &[u64]) {
+    let ctx = format!("{} p={p} m={m}", alg.qualified_name());
+    let sched = compile_timed_collective(cluster, alg, p, ROOT, m, SEG, REPS)
+        .unwrap_or_else(|e| panic!("{ctx}: recording failed: {e}"));
+    let dag = TimingDag::compile(cluster, &sched);
+    let opts = SimOptions {
+        traced: true,
+        deadline: None,
+    };
+    for &seed in seeds {
+        let replay = simulate_scheduled(cluster, &sched, seed, opts)
+            .unwrap_or_else(|e| panic!("{ctx} seed={seed}: replay failed: {e}"));
+        let fast = simulate_dag(cluster, &dag, seed, opts)
+            .unwrap_or_else(|e| panic!("{ctx} seed={seed}: dag failed: {e}"));
+        assert_identical(&format!("{ctx} seed={seed}"), &replay, &fast);
+    }
+}
+
+#[test]
+fn every_algorithm_bit_identical_on_grid_cells() {
+    let cluster = ClusterModel::grisou();
+    for coll in Collective::ALL {
+        for &alg in coll.algorithms() {
+            // A power-of-two and a non-power-of-two process count, one
+            // eager and one rendezvous-sized message each.
+            for (p, m) in [(8, 4 * 1024), (8, 128 * 1024), (6, 4 * 1024)] {
+                check_cell(&cluster, alg, p, m, &[0, 42]);
+            }
+        }
+    }
+}
+
+#[test]
+fn off_grid_cells_bit_identical() {
+    // Geometries a tuning grid would never sample directly: prime
+    // process counts and ragged message sizes that do not divide into
+    // segments or ranks evenly.
+    let cluster = ClusterModel::gros();
+    for coll in Collective::ALL {
+        let alg = coll.algorithms()[0];
+        for (p, m) in [(5, 3000), (7, 999), (13, 10_000)] {
+            check_cell(&cluster, alg, p, m, &[7]);
+        }
+    }
+}
+
+#[test]
+fn fault_plans_bit_identical() {
+    // Faults are a replay-time property of the cluster, not of the
+    // schedule: one recording must replay identically on both backends
+    // under degraded links, stragglers and bandwidth brown-outs.
+    let base = ClusterModel::gros();
+    let algs = [
+        Collective::Bcast.algorithms()[5],     // binomial bcast
+        Collective::Allreduce.algorithms()[1], // recursive doubling
+        Collective::Alltoall.algorithms()[1],  // pairwise
+    ];
+    for alg in algs {
+        let sched = compile_timed_collective(&base, alg, 9, ROOT, 64 * 1024, SEG, REPS)
+            .expect("recording succeeds");
+        let dag = TimingDag::compile(&base, &sched);
+        for spec in ["degraded-link:3", "straggler:11", "brownout:5"] {
+            let plan = FaultPlan::parse(spec, base.nodes()).expect("canned fault plan");
+            let faulted = base.clone().with_faults(plan);
+            for seed in [1u64, 0xFEED] {
+                let ctx = format!("{} under {spec} seed={seed}", alg.qualified_name());
+                let replay = simulate_scheduled(&faulted, &sched, seed, SimOptions::default())
+                    .expect("replay completes");
+                let fast = simulate_dag(&faulted, &dag, seed, SimOptions::default())
+                    .expect("dag completes");
+                assert_identical(&ctx, &replay, &fast);
+            }
+        }
+    }
+}
+
+#[test]
+fn watchdog_agreement_on_trip_and_pass() {
+    let cluster = ClusterModel::grisou();
+    let alg = Collective::Allgather.algorithms()[0]; // ring
+    let sched = compile_timed_collective(&cluster, alg, 8, ROOT, 32 * 1024, SEG, REPS)
+        .expect("recording succeeds");
+    let dag = TimingDag::compile(&cluster, &sched);
+
+    // A deadline no collective can meet: both backends must abort with
+    // the *same* timeout error value (same virtual time, same detail).
+    let tight = SimOptions::with_deadline(SimSpan::from_nanos(50));
+    for seed in [0u64, 9] {
+        let replay_err =
+            simulate_scheduled(&cluster, &sched, seed, tight).expect_err("deadline trips");
+        let dag_err = simulate_dag(&cluster, &dag, seed, tight).expect_err("deadline trips");
+        assert!(matches!(replay_err, SimError::Timeout { .. }));
+        assert_eq!(
+            replay_err, dag_err,
+            "timeout errors must be value-identical"
+        );
+    }
+
+    // A generous deadline: both pass, still bit-identical.
+    let loose = SimOptions::with_deadline(SimSpan::from_secs_f64(3600.0));
+    for seed in [0u64, 9] {
+        let replay = simulate_scheduled(&cluster, &sched, seed, loose).expect("passes");
+        let fast = simulate_dag(&cluster, &dag, seed, loose).expect("passes");
+        assert_identical(&format!("loose deadline seed={seed}"), &replay, &fast);
+    }
+}
+
+#[test]
+fn results_invariant_under_thread_budget() {
+    // `COLLSEL_THREADS` (and the programmatic override backing it)
+    // sizes the host-side worker pool used for recording and batch
+    // parallelism. Neither recording nor evaluation may let that
+    // budget leak into virtual time: the whole record → compile → run
+    // pipeline must produce byte-identical results at any setting.
+    let cluster = ClusterModel::grisou();
+    let alg = Collective::Reduce.algorithms()[5]; // binomial
+    let mut baseline: Option<(ScheduledRun, Vec<ScheduledRun>)> = None;
+    for threads in [1usize, 2, 4] {
+        collsel_support::pool::set_thread_override(threads);
+        let run = run_pipeline(&cluster, alg);
+        collsel_support::pool::clear_thread_override();
+        match &baseline {
+            None => baseline = Some(run),
+            Some((single, reps)) => {
+                assert_identical(&format!("threads={threads} single run"), single, &run.0);
+                assert_eq!(reps.len(), run.1.len());
+                for (i, (a, b)) in reps.iter().zip(&run.1).enumerate() {
+                    assert_identical(&format!("threads={threads} rep {i}"), a, b);
+                }
+            }
+        }
+    }
+}
+
+/// Records, compiles and evaluates one cell: a single replay-vs-dag
+/// checked run plus a batched [`DagEvaluator::evaluate_reps`] sweep.
+fn run_pipeline(cluster: &ClusterModel, alg: Alg) -> (ScheduledRun, Vec<ScheduledRun>) {
+    let sched: Schedule = compile_timed_collective(cluster, alg, 8, ROOT, 16 * 1024, SEG, REPS)
+        .expect("recording succeeds");
+    let dag = Arc::new(TimingDag::compile(cluster, &sched));
+    let replay =
+        simulate_scheduled(cluster, &sched, 5, SimOptions::default()).expect("replay completes");
+    let fast = simulate_dag(cluster, &dag, 5, SimOptions::default()).expect("dag completes");
+    assert_identical("pipeline seed=5", &replay, &fast);
+    let reps = DagEvaluator::new(cluster, dag)
+        .evaluate_reps(100, 4, SimOptions::default())
+        .expect("batch completes");
+    (fast, reps)
+}

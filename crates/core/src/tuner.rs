@@ -19,14 +19,15 @@
 //! position, so the tuned model is **bit-identical at any thread
 //! count** — parallelism changes wall-clock, never results.
 //!
-//! Within each cell, measurements run by default on the event-driven
-//! execution backend ([`collsel_mpi::Backend::Events`]): the
-//! measurement program is compiled to a schedule once and replayed with
-//! zero OS threads per run, so a campaign's threads are spent *across*
-//! cells, not inside them. Set the `backend` field of [`GammaConfig`] /
-//! [`AlphaBetaConfig`] (or `colltune tune --backend threads`) to use
-//! the threaded oracle instead; the tuned model is bit-identical either
-//! way.
+//! Within each cell, measurements run by default on the timing-DAG
+//! backend ([`collsel_mpi::Backend::Dag`]): the measurement program is
+//! recorded and lowered to a static timing DAG once per cell (memoised
+//! process-wide), then repetitions are batch-evaluated payload-free
+//! with zero OS threads per run, so a campaign's threads are spent
+//! *across* cells, not inside them. Set the `backend` field of
+//! [`GammaConfig`] / [`AlphaBetaConfig`] (or `colltune tune --backend
+//! events|threads`) to use the event-driven replay or the threaded
+//! oracle instead; the tuned model is bit-identical on all three.
 
 use collsel_coll::{Alg, BcastAlg, Collective};
 use collsel_estim::{
@@ -997,18 +998,19 @@ mod tests {
         // Noise stays ON: the tuned parameters must match to the last
         // bit even when every sample carries jitter.
         let cluster = ClusterModel::gros();
-        let events_cfg = TunerConfig::quick(10);
-        assert_eq!(
-            events_cfg.gamma.backend,
-            Backend::Events,
-            "events is the default"
-        );
-        assert_eq!(events_cfg.alpha_beta.backend, Backend::Events);
-        let mut threads_cfg = events_cfg.clone();
+        let dag_cfg = TunerConfig::quick(10);
+        assert_eq!(dag_cfg.gamma.backend, Backend::Dag, "dag is the default");
+        assert_eq!(dag_cfg.alpha_beta.backend, Backend::Dag);
+        let mut events_cfg = dag_cfg.clone();
+        events_cfg.gamma.backend = Backend::Events;
+        events_cfg.alpha_beta.backend = Backend::Events;
+        let mut threads_cfg = dag_cfg.clone();
         threads_cfg.gamma.backend = Backend::Threads;
         threads_cfg.alpha_beta.backend = Backend::Threads;
+        let dag = Tuner::new(cluster.clone(), dag_cfg).tune();
         let events = Tuner::new(cluster.clone(), events_cfg).tune();
         let threads = Tuner::new(cluster, threads_cfg).tune();
+        assert_eq!(dag, events, "backends must tune identical models");
         assert_eq!(events, threads, "backends must tune identical models");
     }
 

@@ -36,10 +36,11 @@
 //! backend.
 
 use crate::measure::{paired_samples, recording_cluster, timed_reps, ROOT};
+use crate::memo::{compiled_dag, CellProgram};
 use crate::stats::{AdaptiveAccumulator, Precision, SampleStats};
 use collsel_coll::compile::compile_timed_collective;
 use collsel_coll::{run_collective, Collective};
-use collsel_mpi::{simulate_scheduled, Backend, Schedule, SimOptions};
+use collsel_mpi::{simulate_scheduled, Backend, DagEvaluator, Schedule, SimOptions};
 use collsel_netsim::ClusterModel;
 
 /// Minimum relative lead of a cell's winner over its runner-up for the
@@ -111,16 +112,24 @@ fn argmin_mean(stats: &[SampleStats]) -> usize {
     best
 }
 
-/// One algorithm's sampling state inside a family cell: either a
-/// compiled schedule replayed per batch (events backend) or the
-/// threaded-oracle closure, plus the incremental stopping rule.
+/// How one algorithm's batches execute: a compiled timing DAG
+/// batch-evaluated in place (dag backend), a compiled schedule
+/// replayed per batch (events backend), or the OS-thread oracle.
+enum AlgExec {
+    Dag(DagEvaluator),
+    Sched(Schedule),
+    Threads,
+}
+
+/// One algorithm's sampling state inside a family cell: its execution
+/// tier ([`AlgExec`]) plus the incremental stopping rule.
 struct AlgSampler {
     alg: collsel_coll::Alg,
     p: usize,
     m: usize,
     seg_size: usize,
     seed: u64,
-    sched: Option<Schedule>,
+    exec: AlgExec,
     acc: AdaptiveAccumulator,
     /// Set by the leader-settled rule: this algorithm's CI is disjoint
     /// above the leader's, so it stops sampling as a settled loser.
@@ -133,13 +142,19 @@ impl AlgSampler {
     /// so a sampler driven to completion is bit-identical to it.
     fn pull(&mut self, cluster: &ClusterModel, precision: &Precision) {
         let batch_seed = self.seed.wrapping_add(self.acc.batches() as u64);
-        let samples = match &self.sched {
-            Some(sched) => {
+        let samples = match &mut self.exec {
+            AlgExec::Dag(ev) => {
+                let run = ev
+                    .run(batch_seed, SimOptions::default())
+                    .expect("measurement program cannot deadlock");
+                paired_samples(&run, 1.0)
+            }
+            AlgExec::Sched(sched) => {
                 let run = simulate_scheduled(cluster, sched, batch_seed, SimOptions::default())
                     .expect("measurement program cannot deadlock");
                 paired_samples(&run, 1.0)
             }
-            None => {
+            AlgExec::Threads => {
                 let (alg, m, seg) = (self.alg, self.m, self.seg_size);
                 timed_reps(
                     cluster,
@@ -217,27 +232,40 @@ pub fn measure_family_cell(
         .enumerate()
         .map(|(i, &alg)| {
             let alg_seed = seed.wrapping_add((i as u64) << 32);
-            let sched = (backend == Backend::Events)
-                .then(|| {
-                    compile_timed_collective(
-                        &recording_cluster(cluster),
+            let exec = match backend {
+                Backend::Dag => compiled_dag(
+                    &recording_cluster(cluster),
+                    CellProgram::Collective {
                         alg,
                         p,
-                        ROOT,
                         m,
                         seg_size,
-                        precision.min_reps,
-                    )
-                    .ok()
-                })
-                .flatten();
+                    },
+                    precision.min_reps,
+                    |rec, reps| compile_timed_collective(rec, alg, p, ROOT, m, seg_size, reps),
+                )
+                .map(|dag| AlgExec::Dag(DagEvaluator::new(cluster, dag)))
+                .unwrap_or(AlgExec::Threads),
+                Backend::Events => compile_timed_collective(
+                    &recording_cluster(cluster),
+                    alg,
+                    p,
+                    ROOT,
+                    m,
+                    seg_size,
+                    precision.min_reps,
+                )
+                .map(AlgExec::Sched)
+                .unwrap_or(AlgExec::Threads),
+                Backend::Threads => AlgExec::Threads,
+            };
             AlgSampler {
                 alg,
                 p,
                 m,
                 seg_size,
                 seed: alg_seed,
-                sched,
+                exec,
                 acc: AdaptiveAccumulator::new(),
                 settled: false,
             }
@@ -550,7 +578,19 @@ mod tests {
                 Backend::Threads,
                 early,
             );
+            let dag = measure_family_cell(
+                &cluster,
+                Collective::Allgather,
+                6,
+                32 * 1024,
+                64 * 1024,
+                &precision,
+                7,
+                Backend::Dag,
+                early,
+            );
             assert_eq!(ev, th, "early_stop={early}");
+            assert_eq!(ev, dag, "early_stop={early}");
         }
     }
 

@@ -28,10 +28,11 @@
 //! strictly sequential *within* a cell.
 //!
 //! Each measurement cell executes on a [`collsel_mpi::Backend`]: by
-//! default the event-driven backend compiles the measurement program to
-//! a schedule once and replays it with zero OS threads per run; the
-//! threaded backend remains available as the oracle (see
-//! [`measure`]).
+//! default the timing-DAG backend compiles the measurement program to
+//! a static DAG once per cell (memoised process-wide, see
+//! [`memo_counters`]) and batch-evaluates repetitions payload-free;
+//! the event-driven replay and OS-thread oracle backends remain
+//! available (see [`measure`]).
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -43,6 +44,7 @@ mod gamma_est;
 mod hockney_est;
 mod loggp_est;
 pub mod measure;
+mod memo;
 mod regress;
 mod stats;
 
@@ -69,6 +71,7 @@ pub use measure::{
     try_linear_segment_bcast_time, try_linear_segment_bcast_time_with, try_p2p_time,
     try_p2p_time_with, BcastSpec, CollectiveSpec, ExperimentSpec, RetryPolicy,
 };
+pub use memo::{memo_counters, MemoCounters};
 pub use regress::{huber, huber_default, ols, LinearFit};
 pub use stats::{
     mad, mad_filter, median, sample_adaptive, sample_adaptive_fallible, t_critical_95,

@@ -24,17 +24,21 @@
 //!   order, bit-identical to the serial tier at any thread count.
 //!
 //! Every tier also comes in a `*_with` variant taking an execution
-//! [`Backend`]. The default ([`Backend::Events`]) compiles the
-//! measurement program to a [`collsel_mpi::Schedule`] once per call and
-//! replays it per batch with zero OS threads in the loop
-//! ([`collsel_mpi::simulate_scheduled`]); the timing samples are
-//! derived from the replay's `wtime` observations with the same float
-//! arithmetic the threaded closures apply, so both backends return
-//! **bit-identical** statistics. [`Backend::Threads`] runs the original
-//! closures through [`collsel_mpi::simulate_pooled`] and remains the
-//! oracle the event-driven path is checked against
-//! (`tests/backend_equivalence.rs`).
+//! [`Backend`]. The default ([`Backend::Dag`]) compiles the
+//! measurement program to a [`collsel_mpi::Schedule`] and lowers it to
+//! a [`collsel_mpi::TimingDag`] once per *cell* (memoised process-wide
+//! in [`crate::memo`]), then evaluates repetitions payload-free with a
+//! per-call [`DagEvaluator`] whose fabric and scratch are reset in
+//! place per batch. [`Backend::Events`] replays the schedule through
+//! the full discrete-event engine instead. On either backend the
+//! timing samples are derived from the run's `wtime` observations with
+//! the same float arithmetic the threaded closures apply, so all three
+//! backends return **bit-identical** statistics. [`Backend::Threads`]
+//! runs the original closures through [`collsel_mpi::simulate_pooled`]
+//! and remains the oracle the other two are checked against
+//! (`tests/backend_equivalence.rs`, `tests/dag_equivalence.rs`).
 
+use crate::memo::{compiled_dag, CellProgram};
 use crate::stats::{sample_adaptive, sample_adaptive_fallible, Precision, SampleStats};
 use collsel_coll::compile::{
     compile_timed_bcast, compile_timed_bcast_gather, compile_timed_collective,
@@ -42,14 +46,14 @@ use collsel_coll::compile::{
 };
 use collsel_coll::{bcast, gather_linear, run_collective, Alg, BcastAlg};
 use collsel_mpi::{
-    record_schedule, simulate_scheduled, Backend, Comm, Ctx, RecordError, Schedule, ScheduledRun,
-    SimError, SimOptions,
+    record_schedule, simulate_scheduled, Backend, Comm, Ctx, DagEvaluator, RecordError, Schedule,
+    ScheduledRun, SimError, SimOptions, TimingDag,
 };
 use collsel_netsim::{ClusterModel, FaultPlan, SimSpan};
 use collsel_support::pool::Pool;
-use collsel_support::Bytes;
-use std::collections::HashMap;
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::Arc;
+
+pub use collsel_support::payload::payload;
 
 /// Retry policy for measurements on a cluster that may stall.
 ///
@@ -249,34 +253,103 @@ fn try_events_stats(
     })
 }
 
+/// Evaluates a memoised cell DAG once per adaptive batch and feeds the
+/// root's samples to the stopping rule. One [`DagEvaluator`] serves
+/// the whole call, so every batch after the first runs allocation-free
+/// against a reset-in-place fabric. Infallible tier: no watchdog is
+/// armed, and a recorded measurement program cannot deadlock.
+fn dag_stats(
+    cluster: &ClusterModel,
+    dag: &Arc<TimingDag>,
+    precision: &Precision,
+    seed: u64,
+    per: f64,
+) -> SampleStats {
+    let mut ev = DagEvaluator::new(cluster, Arc::clone(dag));
+    sample_adaptive(precision, |batch| {
+        let run = ev
+            .run(seed.wrapping_add(batch as u64), SimOptions::default())
+            .expect("measurement program cannot deadlock");
+        paired_samples(&run, per)
+    })
+}
+
+/// Fallible twin of [`dag_stats`]: evaluations run under `policy`'s
+/// virtual-time watchdog with the same retry, backoff and
+/// seed-perturbation discipline as [`try_root_samples`].
+fn try_dag_stats(
+    cluster: &ClusterModel,
+    dag: &Arc<TimingDag>,
+    precision: &Precision,
+    seed: u64,
+    policy: &RetryPolicy,
+    per: f64,
+) -> Result<SampleStats, SimError> {
+    policy.validate();
+    let mut ev = DagEvaluator::new(cluster, Arc::clone(dag));
+    sample_adaptive_fallible(precision, |batch| {
+        let batch_seed = seed.wrapping_add(batch as u64);
+        let mut last_timeout: Option<SimError> = None;
+        for attempt in 0..policy.max_attempts {
+            match ev.run(
+                mix_attempt(batch_seed, attempt),
+                policy.options_for(attempt),
+            ) {
+                Ok(run) => return Ok(paired_samples(&run, per)),
+                Err(e @ SimError::Timeout { .. }) => last_timeout = Some(e),
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last_timeout.expect("at least one attempt ran"))
+    })
+}
+
 /// The shared backend dispatch of every `*_time_with` measurement: on
-/// [`Backend::Events`], `compile` records the measurement program once
-/// (on a fault-free recording topology, seeded with
-/// `precision.min_reps` repetitions per batch) and the replays feed
-/// the adaptive stopping rule; on [`Backend::Threads`] — or on a
-/// recording failure, impossible for these wildcard-free programs but
-/// the enum is open — `threads` runs the original closure through the
-/// thread-per-rank oracle.
+/// [`Backend::Dag`], the cell's compiled timing DAG (recorded on a
+/// fault-free recording topology with `precision.min_reps` repetitions
+/// per batch, memoised process-wide under `program`) is evaluated per
+/// batch; on [`Backend::Events`], `compile` records the measurement
+/// program once per call and the replays feed the adaptive stopping
+/// rule; on [`Backend::Threads`] — or on a recording failure,
+/// impossible for these wildcard-free programs but the contract is
+/// open — `threads` runs the original closure through the
+/// thread-per-rank oracle. All three paths are bit-identical.
 fn stats_with_backend(
     cluster: &ClusterModel,
     backend: Backend,
     precision: &Precision,
     seed: u64,
     per: f64,
+    program: CellProgram,
     compile: impl FnOnce(&ClusterModel, usize) -> Result<Schedule, RecordError>,
     threads: impl FnOnce() -> SampleStats,
 ) -> SampleStats {
-    if backend == Backend::Events {
-        if let Ok(sched) = compile(&recording_cluster(cluster), precision.min_reps) {
-            return events_stats(cluster, &sched, precision, seed, per);
+    match backend {
+        Backend::Dag => {
+            if let Some(dag) = compiled_dag(
+                &recording_cluster(cluster),
+                program,
+                precision.min_reps,
+                compile,
+            ) {
+                return dag_stats(cluster, &dag, precision, seed, per);
+            }
         }
+        Backend::Events => {
+            if let Ok(sched) = compile(&recording_cluster(cluster), precision.min_reps) {
+                return events_stats(cluster, &sched, precision, seed, per);
+            }
+        }
+        Backend::Threads => {}
     }
     threads()
 }
 
 /// Fallible twin of [`stats_with_backend`] for the `try_*_with` tier:
-/// event replays run under `policy`'s watchdog-and-retry discipline
-/// ([`try_events_stats`]).
+/// DAG evaluations and event replays run under `policy`'s
+/// watchdog-and-retry discipline ([`try_dag_stats`],
+/// [`try_events_stats`]).
+#[allow(clippy::too_many_arguments)]
 fn try_stats_with_backend(
     cluster: &ClusterModel,
     backend: Backend,
@@ -284,13 +357,27 @@ fn try_stats_with_backend(
     seed: u64,
     policy: &RetryPolicy,
     per: f64,
+    program: CellProgram,
     compile: impl FnOnce(&ClusterModel, usize) -> Result<Schedule, RecordError>,
     threads: impl FnOnce() -> Result<SampleStats, SimError>,
 ) -> Result<SampleStats, SimError> {
-    if backend == Backend::Events {
-        if let Ok(sched) = compile(&recording_cluster(cluster), precision.min_reps) {
-            return try_events_stats(cluster, &sched, precision, seed, policy, per);
+    match backend {
+        Backend::Dag => {
+            if let Some(dag) = compiled_dag(
+                &recording_cluster(cluster),
+                program,
+                precision.min_reps,
+                compile,
+            ) {
+                return try_dag_stats(cluster, &dag, precision, seed, policy, per);
+            }
         }
+        Backend::Events => {
+            if let Ok(sched) = compile(&recording_cluster(cluster), precision.min_reps) {
+                return try_events_stats(cluster, &sched, precision, seed, policy, per);
+            }
+        }
+        Backend::Threads => {}
     }
     threads()
 }
@@ -317,28 +404,6 @@ fn compile_timed_p2p(
             let _ = rc.wtime();
         }
     })
-}
-
-/// A deterministic position-dependent payload of `len` bytes.
-///
-/// Memoised: a campaign measures a few dozen distinct sizes across
-/// thousands of repetitions and retries, so the buffer for each size is
-/// built once and then handed out as a cheap [`Bytes`] (`Arc`-backed)
-/// clone instead of an O(len) allocation+fill per call.
-pub fn payload(len: usize) -> Bytes {
-    static CACHE: OnceLock<Mutex<HashMap<usize, Bytes>>> = OnceLock::new();
-    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
-    let mut cache = cache.lock().expect("payload cache lock");
-    if let Some(b) = cache.get(&len) {
-        return b.clone();
-    }
-    let b = Bytes::from((0..len).map(|i| (i % 251) as u8).collect::<Vec<_>>());
-    // Campaigns use a bounded set of sizes; the cap only guards against
-    // a pathological caller sweeping millions of distinct lengths.
-    if cache.len() < 1024 {
-        cache.insert(len, b.clone());
-    }
-    b
 }
 
 /// Runs `reps` timed repetitions of `body` inside one simulation and
@@ -429,6 +494,12 @@ pub fn bcast_time_with(
         precision,
         seed,
         1.0,
+        CellProgram::Bcast {
+            alg,
+            p,
+            m,
+            seg_size,
+        },
         |rec, reps| compile_timed_bcast(rec, alg, p, ROOT, m, seg_size, reps),
         || bcast_time_threads(cluster, alg, p, m, seg_size, precision, seed),
     )
@@ -519,6 +590,12 @@ pub fn collective_time_with(
         precision,
         seed,
         1.0,
+        CellProgram::Collective {
+            alg,
+            p,
+            m,
+            seg_size,
+        },
         |rec, reps| compile_timed_collective(rec, alg, p, ROOT, m, seg_size, reps),
         || collective_time_threads(cluster, alg, p, m, seg_size, precision, seed),
     )
@@ -602,6 +679,12 @@ pub fn try_collective_time_with(
         seed,
         policy,
         1.0,
+        CellProgram::Collective {
+            alg,
+            p,
+            m,
+            seg_size,
+        },
         |rec, reps| compile_timed_collective(rec, alg, p, ROOT, m, seg_size, reps),
         || try_collective_time_threads(cluster, alg, p, m, seg_size, precision, seed, policy),
     )
@@ -693,6 +776,13 @@ pub fn bcast_gather_experiment_time_with(
         precision,
         seed,
         1.0,
+        CellProgram::BcastGather {
+            alg,
+            p,
+            m,
+            m_g,
+            seg_size,
+        },
         |rec, reps| compile_timed_bcast_gather(rec, alg, p, ROOT, m, m_g, seg_size, reps),
         || bcast_gather_experiment_time_threads(cluster, alg, p, m, m_g, seg_size, precision, seed),
     )
@@ -784,6 +874,7 @@ pub fn linear_segment_bcast_time_with(
         precision,
         seed,
         calls as f64,
+        CellProgram::LinearSegment { p, seg_size, calls },
         |rec, _reps| compile_timed_linear_segment(rec, p, ROOT, seg_size, calls),
         || linear_segment_bcast_time_threads(cluster, p, seg_size, calls, precision, seed),
     )
@@ -846,6 +937,7 @@ pub fn p2p_time_with(
         precision,
         seed,
         2.0,
+        CellProgram::P2p { m },
         |rec, reps| compile_timed_p2p(rec, m, reps),
         || p2p_time_threads(cluster, m, precision, seed),
     )
@@ -954,6 +1046,12 @@ pub fn try_bcast_time_with(
         seed,
         policy,
         1.0,
+        CellProgram::Bcast {
+            alg,
+            p,
+            m,
+            seg_size,
+        },
         |rec, reps| compile_timed_bcast(rec, alg, p, ROOT, m, seg_size, reps),
         || try_bcast_time_threads(cluster, alg, p, m, seg_size, precision, seed, policy),
     )
@@ -1058,6 +1156,13 @@ pub fn try_bcast_gather_experiment_time_with(
         seed,
         policy,
         1.0,
+        CellProgram::BcastGather {
+            alg,
+            p,
+            m,
+            m_g,
+            seg_size,
+        },
         |rec, reps| compile_timed_bcast_gather(rec, alg, p, ROOT, m, m_g, seg_size, reps),
         || {
             try_bcast_gather_experiment_time_threads(
@@ -1163,6 +1268,7 @@ pub fn try_linear_segment_bcast_time_with(
         seed,
         policy,
         calls as f64,
+        CellProgram::LinearSegment { p, seg_size, calls },
         |rec, _reps| compile_timed_linear_segment(rec, p, ROOT, seg_size, calls),
         || {
             try_linear_segment_bcast_time_threads(
@@ -1244,6 +1350,7 @@ pub fn try_p2p_time_with(
         seed,
         policy,
         2.0,
+        CellProgram::P2p { m },
         |rec, reps| compile_timed_p2p(rec, m, reps),
         || try_p2p_time_threads(cluster, m, precision, seed, policy),
     )

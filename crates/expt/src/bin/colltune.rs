@@ -33,10 +33,10 @@ use std::process::ExitCode;
 const USAGE: &str = "usage:
   colltune tune   [--preset grisou|gros | --nodes N --gbps G --latency-us L --cpus-per-node C]
                   [--tune-p P] [--paper] [--seed N] [--faults SPEC] [-j N | --threads N]
-                  [--collective NAME]... [--backend threads|events]
+                  [--collective NAME]... [--backend threads|events|dag]
                   [--adaptive] [--budget N] [--warm-from model.json] --out model.json
   colltune query  --model model.json --p P --m BYTES [--m BYTES]... [--degraded]
-                  [--collective NAME]... [--backend threads|events]
+                  [--collective NAME]... [--backend threads|events|dag]
   colltune show   --model model.json
   colltune export --model model.json --out rules.conf [--comm-sizes A,B,...]
   colltune bench-select
@@ -58,8 +58,10 @@ bisection + leader-settled repetitions) warm-started from the tuned model and
 embed the resulting decision tables + coverage accounting in the model JSON;
 --budget N caps measured cells per (collective, P) row and implies --adaptive;
 --warm-from seeds the campaign from a neighbor cluster's model instead
---backend: measurement execution backend (default: events — compile-and-replay with
-zero threads per run; threads is the oracle); both yield bit-identical models
+--backend: measurement execution backend (default: dag — compile each cell to a
+static timing DAG once and batch-evaluate repetitions payload-free; events replays
+a compiled schedule per run; threads is the oracle); all three yield bit-identical
+models
 bench-select: compare decision-serving throughput (live ranking vs compiled table
 vs cached service) for a tuned model
 serve: soak the fault-tolerant decision server — tune a boot generation, then
@@ -151,7 +153,7 @@ fn parse<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, String> {
     s.parse().map_err(|_| format!("invalid {what}: `{s}`"))
 }
 
-/// Parses the `--backend` flag (default: [`Backend::Events`]).
+/// Parses the `--backend` flag (default: [`Backend::Dag`]).
 fn parse_backend(args: &[String]) -> Result<Backend, String> {
     match flag_value(args, "--backend") {
         Some(s) => s.parse(),

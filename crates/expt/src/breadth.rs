@@ -428,10 +428,12 @@ mod tests {
                 7,
             )
         };
+        let dag = run(Backend::Dag);
         let events = run(Backend::Events);
         let threads = run(Backend::Threads);
-        // The two backends replay the same schedules: bit-identical.
+        // All three backends execute the same programs: bit-identical.
         assert_eq!(events, threads);
+        assert_eq!(dag, events);
         // JSON round-trip preserves the report exactly.
         let json = collsel_support::ToJson::to_json(&events).to_string();
         let parsed = collsel_support::Json::parse(&json).unwrap();

@@ -3,6 +3,7 @@
 //! the same text/CSV/JSON shapes as the other experiment artifacts.
 
 use crate::report::{format_csv, format_table};
+use collsel::estim::memo_counters;
 use collsel::{CampaignPlan, CampaignReport, CampaignStrategy};
 use collsel_support::Json;
 
@@ -155,8 +156,28 @@ impl<'a> CampaignSummary<'a> {
                 Json::Bool(self.report.budget_exhausted),
             ),
             ("per_collective".to_owned(), Json::Arr(per_collective)),
+            ("memo".to_owned(), memo_json()),
         ])
     }
+}
+
+/// Snapshot of the process-wide measurement memo counters — the
+/// compiled-DAG cell cache and the shared payload store — attached to
+/// campaign accounting so cache effectiveness lands in the same
+/// artifact as the cell/batch totals. The counters are monotonic since
+/// process start; a campaign that is the process's only workload reads
+/// them as its own hit/miss ledger.
+fn memo_json() -> Json {
+    let c = memo_counters();
+    Json::Obj(vec![
+        ("dag_hits".to_owned(), Json::Num(c.dag_hits as f64)),
+        ("dag_misses".to_owned(), Json::Num(c.dag_misses as f64)),
+        ("payload_hits".to_owned(), Json::Num(c.payload_hits as f64)),
+        (
+            "payload_misses".to_owned(),
+            Json::Num(c.payload_misses as f64),
+        ),
+    ])
 }
 
 #[cfg(test)]
@@ -215,5 +236,9 @@ mod tests {
             Some(&Json::Bool(report.budget_exhausted))
         );
         assert!(json.get("per_collective").is_some());
+        let memo = json.get("memo").expect("memo counters attached");
+        for key in ["dag_hits", "dag_misses", "payload_hits", "payload_misses"] {
+            assert!(memo.get(key).and_then(Json::as_f64).is_some(), "{key}");
+        }
     }
 }

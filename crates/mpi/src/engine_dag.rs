@@ -1,0 +1,1041 @@
+//! The third execution tier: compile a [`Schedule`] to a static
+//! **timing DAG** and evaluate it with no payloads, no request tables
+//! and no per-op message objects.
+//!
+//! The event-driven backend ([`crate::simulate_scheduled`]) already
+//! removed OS threads from the loop, but every replay still re-runs
+//! the full discrete-event machinery: `RankMsg` construction with a
+//! reference-counted payload clone per send, per-rank mailbox queues,
+//! a request slab, linear match-queue scans and a `Vec<Completion>`
+//! allocation per wait. None of that work depends on the seed —
+//! a replay-valid schedule's op stream is a pure function of
+//! `(rank, size, lengths)`, and per-channel matching is FIFO on both
+//! sides, so *which send matches which receive* (and whether the pair
+//! is eager or rendezvous) is a compile-time fact.
+//!
+//! [`TimingDag::compile`] resolves all of it once: every send/recv is
+//! paired into a [`DagEdge`] (k-th send on a `(src, dst, tag)` channel
+//! ↔ k-th receive), every request becomes a dense *completion slot*,
+//! and every wait becomes a precomputed slot range. What remains at
+//! evaluation time is exactly the part that IS seed-dependent: the
+//! global order of fabric bookings (the noise stream and NIC/rack
+//! occupancy are consumed in ascending local-time order) and the
+//! resulting clock values. The evaluator therefore keeps the engine's
+//! drain/apply/resume discipline — the same `(local time, rank,
+//! program order)` merge over a tiny reusable heap — but walks flat
+//! arrays and writes completion times into a flat `Vec<SimTime>`:
+//! zero allocation and zero `Bytes` traffic in the steady state.
+//!
+//! # Equivalence
+//!
+//! The evaluator reproduces the engine's observable behaviour
+//! bit-for-bit: virtual times, fabric statistics and traces, fault
+//! and watchdog behaviour, and `SimError` values including the exact
+//! diagnostic strings (compiled waits retain their original
+//! [`ReqId`]s for that purpose). `tests/dag_equivalence.rs` and the
+//! ci.sh differential gate enforce this against the events backend
+//! across all seven collectives.
+//!
+//! # Batched evaluation
+//!
+//! [`DagEvaluator`] pins one fabric and one scratch to a compiled DAG
+//! and resets them in place per repetition
+//! ([`collsel_netsim::Fabric::reset`]), so a cell's thousands of
+//! repetitions share one cluster clone and one set of buffers;
+//! [`DagEvaluator::evaluate_reps`] is the batched entry point.
+
+use crate::engine::{EngineReport, RECYCLE_RANK_CAP};
+use crate::engine_ev::ScheduledRun;
+use crate::error::SimError;
+use crate::msg::{Peer, TagSel};
+use crate::proto::{ReqId, WaitMode};
+use crate::schedule::{SchedOp, Schedule};
+use crate::sim::{
+    build_fabric, check_ranks, report_from_engine, stash_dag_scratch, take_dag_scratch, SimOptions,
+};
+use collsel_netsim::{ClusterModel, Fabric, SimSpan, SimTime};
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap, HashMap};
+use std::sync::Arc;
+
+/// Completion-slot sentinel: "this request has not completed".
+const T_NONE: SimTime = SimTime::from_nanos(u64::MAX);
+/// Slot/op index sentinel.
+const NONE_IDX: u32 = u32::MAX;
+
+/// Per-edge match state tags (stored beside a [`SimTime`]).
+const EDGE_IDLE: u8 = 0;
+/// The send side arrived first; the time is `delivered` for an eager
+/// edge, the sender's post time for a rendezvous edge.
+const EDGE_SEND: u8 = 1;
+/// The receive was posted first; the time is its post time.
+const EDGE_RECV: u8 = 2;
+/// Both sides met; the edge is spent.
+const EDGE_DONE: u8 = 3;
+
+/// One compiled operation. Posts carry their resolved edge; blocking
+/// ops carry their precomputed slot range.
+#[derive(Debug, Clone, Copy)]
+enum DagOp {
+    /// `Isend`, resolved: the edge knows peer, size, protocol and slots.
+    Send { edge: u32 },
+    /// `Irecv`, resolved to the same edge as its matching send.
+    Recv { edge: u32 },
+    /// Local computation.
+    Compute { span: SimSpan },
+    /// Blocking wait over `wait_slots[off..off + len]`.
+    Wait { off: u32, len: u32, mode: WaitMode },
+    /// The runtime's ideal barrier.
+    Barrier,
+    /// Clock read; observations land in [`ScheduledRun::wtimes`].
+    Wtime,
+}
+
+impl DagOp {
+    /// Whether the op blocks the issuing rank (ends an apply window).
+    fn is_block(self) -> bool {
+        matches!(self, DagOp::Wait { .. } | DagOp::Barrier | DagOp::Wtime)
+    }
+}
+
+/// One resolved send/recv pair (or unmatched half) of the program.
+#[derive(Debug, Clone, Copy)]
+struct DagEdge {
+    src: u32,
+    dst: u32,
+    /// Payload length; only the length ever reaches the fabric.
+    bytes: usize,
+    /// Protocol, decided at compile time against the cluster's eager
+    /// threshold.
+    eager: bool,
+    /// Completion slot of the send request (`NONE_IDX`: a receive with
+    /// no matching send — it can never complete).
+    send_slot: u32,
+    /// Completion slot of the receive request (`NONE_IDX`: a send that
+    /// is never received — eager sends still complete and book fabric
+    /// time; rendezvous sends block forever).
+    recv_slot: u32,
+}
+
+/// A [`Schedule`] lowered to flat arrays with matching, protocol
+/// selection and wait-set resolution done once.
+///
+/// Compile with [`TimingDag::compile`]; evaluate with
+/// [`simulate_dag`] (one-shot) or [`DagEvaluator`] (batched). The DAG
+/// is immutable and shareable (`Arc`) across threads and repetitions.
+#[derive(Debug)]
+pub struct TimingDag {
+    p: usize,
+    /// The eager threshold the edges were classified against; the
+    /// evaluation cluster must agree.
+    eager_threshold: usize,
+    /// All ranks' ops, concatenated in rank order.
+    ops: Vec<DagOp>,
+    /// `rank_bounds[r]..rank_bounds[r + 1]` is rank `r`'s op range.
+    rank_bounds: Vec<u32>,
+    /// For op index `i`: the first blocking op at or after `i` within
+    /// the same rank's range (the rank's range end if none remain).
+    next_block: Vec<u32>,
+    edges: Vec<DagEdge>,
+    /// Flattened wait slot lists (see [`DagOp::Wait`]).
+    wait_slots: Vec<u32>,
+    /// The original request ids, parallel to `wait_slots`, so deadlock
+    /// and timeout diagnostics print exactly what the engine prints.
+    wait_reqs: Vec<ReqId>,
+    /// Total completion slots (one per send/recv request).
+    slots: usize,
+    /// For each slot: the op index of the `Wait` that references it
+    /// (`NONE_IDX` if the request is never waited on). Lets a slot
+    /// write notify the waiting rank instead of the evaluator scanning
+    /// every rank's wait set per resume round.
+    slot_wait: Vec<u32>,
+    /// For each slot: the rank that posted (and therefore waits on) it.
+    slot_rank: Vec<u32>,
+    /// Per-rank `Wtime` counts, to pre-size observation vectors.
+    wtime_counts: Vec<u32>,
+}
+
+impl TimingDag {
+    /// Lowers `sched` to a timing DAG for clusters with `cluster`'s
+    /// eager threshold.
+    ///
+    /// Matching is resolved per `(src, dst, tag)` channel: sends are
+    /// applied in the sender's program order and receives in the
+    /// receiver's, and the engine's match queues are FIFO within a
+    /// channel, so the k-th send always pairs with the k-th receive
+    /// regardless of seed — which is what makes this a compile-time
+    /// step. Unmatched halves are kept as half-edges with the engine's
+    /// semantics (an unreceived eager send still books fabric time and
+    /// completes; an unreceived rendezvous send never completes).
+    ///
+    /// # Panics
+    ///
+    /// Panics on receive wildcards or waits on unposted requests;
+    /// both are impossible in a [`crate::record_schedule`] product.
+    pub fn compile(cluster: &ClusterModel, sched: &Schedule) -> TimingDag {
+        let p = sched.ranks();
+        let eager_threshold = cluster.eager_threshold();
+        let total = sched.total_ops();
+        let mut ops: Vec<DagOp> = Vec::with_capacity(total);
+        let mut rank_bounds = Vec::with_capacity(p + 1);
+        let mut wait_slots: Vec<u32> = Vec::new();
+        let mut wait_reqs: Vec<ReqId> = Vec::new();
+        let mut wtime_counts = vec![0u32; p];
+        let mut slots: u32 = 0;
+        let mut slot_wait: Vec<u32> = Vec::new();
+        let mut slot_rank: Vec<u32> = Vec::new();
+        // Channel -> (sends: (op, slot, bytes), recvs: (op, slot)), in
+        // program order per side. A BTreeMap keeps edge numbering
+        // deterministic (the numbering never affects timing, but a
+        // reproducible compile is easier to debug).
+        type SendEnt = (u32, u32, usize);
+        type RecvEnt = (u32, u32);
+        let mut channels: BTreeMap<(u32, u32, u32), (Vec<SendEnt>, Vec<RecvEnt>)> = BTreeMap::new();
+        let mut req_slot: HashMap<ReqId, u32> = HashMap::new();
+
+        for (rank, rops) in sched.ops.iter().enumerate() {
+            rank_bounds.push(ops.len() as u32);
+            req_slot.clear();
+            for op in rops {
+                let idx = ops.len() as u32;
+                match op {
+                    SchedOp::Isend {
+                        req,
+                        dst,
+                        tag,
+                        payload,
+                    } => {
+                        let slot = slots;
+                        slots += 1;
+                        slot_wait.push(NONE_IDX);
+                        slot_rank.push(rank as u32);
+                        req_slot.insert(*req, slot);
+                        channels
+                            .entry((rank as u32, *dst as u32, *tag))
+                            .or_default()
+                            .0
+                            .push((idx, slot, payload.len()));
+                        ops.push(DagOp::Send { edge: NONE_IDX });
+                    }
+                    SchedOp::Irecv { req, src, tag } => {
+                        let Peer::Rank(s) = src else {
+                            panic!("wildcard receive source in a replay-valid schedule")
+                        };
+                        let TagSel::Exact(t) = tag else {
+                            panic!("wildcard receive tag in a replay-valid schedule")
+                        };
+                        let slot = slots;
+                        slots += 1;
+                        slot_wait.push(NONE_IDX);
+                        slot_rank.push(rank as u32);
+                        req_slot.insert(*req, slot);
+                        channels
+                            .entry((*s as u32, rank as u32, *t))
+                            .or_default()
+                            .1
+                            .push((idx, slot));
+                        ops.push(DagOp::Recv { edge: NONE_IDX });
+                    }
+                    SchedOp::Compute { span } => ops.push(DagOp::Compute { span: *span }),
+                    SchedOp::Wait { reqs, mode } => {
+                        let off = wait_slots.len() as u32;
+                        for id in reqs {
+                            let slot = *req_slot
+                                .get(id)
+                                .expect("waited request was posted earlier in program order");
+                            wait_slots.push(slot);
+                            wait_reqs.push(*id);
+                            slot_wait[slot as usize] = idx;
+                        }
+                        ops.push(DagOp::Wait {
+                            off,
+                            len: reqs.len() as u32,
+                            mode: *mode,
+                        });
+                    }
+                    SchedOp::Barrier => ops.push(DagOp::Barrier),
+                    SchedOp::Wtime => {
+                        wtime_counts[rank] += 1;
+                        ops.push(DagOp::Wtime);
+                    }
+                }
+            }
+        }
+        rank_bounds.push(ops.len() as u32);
+
+        let mut edges = Vec::new();
+        for ((src, dst, _tag), (sends, recvs)) in &channels {
+            for k in 0..sends.len().max(recvs.len()) {
+                let edge = edges.len() as u32;
+                let bytes = sends.get(k).map_or(0, |&(_, _, b)| b);
+                edges.push(DagEdge {
+                    src: *src,
+                    dst: *dst,
+                    bytes,
+                    eager: bytes <= eager_threshold,
+                    send_slot: sends.get(k).map_or(NONE_IDX, |&(_, s, _)| s),
+                    recv_slot: recvs.get(k).map_or(NONE_IDX, |&(_, s)| s),
+                });
+                if let Some(&(op, _, _)) = sends.get(k) {
+                    ops[op as usize] = DagOp::Send { edge };
+                }
+                if let Some(&(op, _)) = recvs.get(k) {
+                    ops[op as usize] = DagOp::Recv { edge };
+                }
+            }
+        }
+
+        let mut next_block = vec![0u32; ops.len()];
+        for r in 0..p {
+            let (start, end) = (rank_bounds[r] as usize, rank_bounds[r + 1] as usize);
+            let mut nb = end as u32;
+            for i in (start..end).rev() {
+                if ops[i].is_block() {
+                    nb = i as u32;
+                }
+                next_block[i] = nb;
+            }
+        }
+
+        TimingDag {
+            p,
+            eager_threshold,
+            ops,
+            rank_bounds,
+            next_block,
+            edges,
+            wait_slots,
+            wait_reqs,
+            slots: slots as usize,
+            slot_wait,
+            slot_rank,
+            wtime_counts,
+        }
+    }
+
+    /// Number of ranks the DAG was compiled for.
+    pub fn ranks(&self) -> usize {
+        self.p
+    }
+
+    /// Resolved send/recv pairs, including unmatched halves
+    /// (diagnostics).
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Total compiled operations across all ranks (diagnostics).
+    pub fn op_count(&self) -> usize {
+        self.ops.len()
+    }
+
+    fn rank_end(&self, r: usize) -> u32 {
+        self.rank_bounds[r + 1]
+    }
+}
+
+/// Where a rank stands during evaluation (mirrors the engine's view).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    Running,
+    Blocked,
+    Done,
+}
+
+/// Recyclable evaluation buffers: all per-rank, per-slot and per-edge
+/// state plus the scheduling heap. One reset per repetition, zero
+/// allocation in the steady state.
+#[derive(Debug, Default)]
+pub(crate) struct DagScratch {
+    local: Vec<SimTime>,
+    status: Vec<Status>,
+    /// Global op index of the block a rank is parked on (`NONE_IDX`
+    /// when running/done).
+    blocked: Vec<u32>,
+    /// Next op to apply, as a global op index.
+    cursor: Vec<u32>,
+    /// This phase's apply window end (the block op, or the rank end).
+    limit: Vec<u32>,
+    finish: Vec<SimTime>,
+    /// Completion time per request slot (`T_NONE` = outstanding).
+    slot_done: Vec<SimTime>,
+    /// Match state per edge (tag, time) — see the `EDGE_*` constants.
+    edge_state: Vec<(u8, SimTime)>,
+    heap: BinaryHeap<Reverse<(SimTime, usize)>>,
+    /// Resume candidates `(time, rank)`, maintained by notification: a
+    /// rank is pushed when it blocks with a computable resume time and
+    /// whenever a slot write changes the wait it is parked on. Entries
+    /// are validated lazily on pop, so the evaluator never scans all
+    /// ranks to find the minimal resume time.
+    ready: BinaryHeap<Reverse<(SimTime, usize)>>,
+    /// Ranks woken since the last apply phase (the next phase's
+    /// runnable set).
+    woken: Vec<usize>,
+    /// Ranks that have finished (counter twin of `status == Done`).
+    done: usize,
+    /// Ranks currently blocked on a barrier.
+    in_barrier: usize,
+}
+
+/// Slot/edge capacity kept alive in a recycled scratch; measurement
+/// programs routinely compile to tens of thousands of slots, and one
+/// outlier cell must not pin its buffers for a whole campaign.
+const RECYCLE_SLOT_CAP: usize = 1 << 18;
+
+impl DagScratch {
+    fn reset(&mut self, dag: &TimingDag) {
+        let p = dag.p;
+        self.local.clear();
+        self.local.resize(p, SimTime::ZERO);
+        self.status.clear();
+        self.status.resize(p, Status::Running);
+        self.blocked.clear();
+        self.blocked.resize(p, NONE_IDX);
+        self.cursor.clear();
+        self.cursor.extend(dag.rank_bounds[..p].iter().copied());
+        self.limit.clear();
+        self.limit.resize(p, 0);
+        self.finish.clear();
+        self.finish.resize(p, SimTime::ZERO);
+        self.slot_done.clear();
+        self.slot_done.resize(dag.slots, T_NONE);
+        self.edge_state.clear();
+        self.edge_state
+            .resize(dag.edges.len(), (EDGE_IDLE, SimTime::ZERO));
+        self.heap.clear();
+        self.ready.clear();
+        self.woken.clear();
+        self.woken.extend(0..p);
+        self.done = 0;
+        self.in_barrier = 0;
+    }
+
+    /// Caps recycled capacity (see [`crate::engine::EngineScratch`]'s
+    /// equivalent): rank-indexed vectors at the engine's rank cap,
+    /// slot/edge-indexed vectors at [`RECYCLE_SLOT_CAP`].
+    pub(crate) fn shrink(&mut self) {
+        let rank_cap = RECYCLE_RANK_CAP;
+        self.local.truncate(rank_cap);
+        self.local.shrink_to(rank_cap);
+        self.status.truncate(rank_cap);
+        self.status.shrink_to(rank_cap);
+        self.blocked.truncate(rank_cap);
+        self.blocked.shrink_to(rank_cap);
+        self.cursor.truncate(rank_cap);
+        self.cursor.shrink_to(rank_cap);
+        self.limit.truncate(rank_cap);
+        self.limit.shrink_to(rank_cap);
+        self.finish.truncate(rank_cap);
+        self.finish.shrink_to(rank_cap);
+        self.slot_done.truncate(RECYCLE_SLOT_CAP);
+        self.slot_done.shrink_to(RECYCLE_SLOT_CAP);
+        self.edge_state.truncate(RECYCLE_SLOT_CAP);
+        self.edge_state.shrink_to(RECYCLE_SLOT_CAP);
+        self.heap.shrink_to(rank_cap);
+        self.ready.shrink_to(rank_cap);
+        self.woken.truncate(rank_cap);
+        self.woken.shrink_to(rank_cap);
+    }
+}
+
+/// One evaluation pass: borrows the DAG, a fabric and scratch.
+struct DagRun<'a> {
+    dag: &'a TimingDag,
+    fabric: &'a mut Fabric,
+    s: &'a mut DagScratch,
+    deadline: Option<SimTime>,
+    wtimes: Vec<Vec<SimTime>>,
+}
+
+impl DagRun<'_> {
+    fn run(mut self) -> Result<ScheduledRun, SimError> {
+        self.s.reset(self.dag);
+        loop {
+            self.apply_pending();
+            if self.s.done == self.dag.p {
+                let report = EngineReport {
+                    finish_times: self.s.finish.clone(),
+                    stats: self.fabric.stats(),
+                    trace: self.fabric.take_trace(),
+                };
+                return Ok(ScheduledRun {
+                    report: report_from_engine(report),
+                    wtimes: self.wtimes,
+                });
+            }
+            match self.resume_minimal() {
+                Ok(0) => {
+                    return Err(SimError::Deadlock {
+                        detail: self.deadlock_detail(),
+                    })
+                }
+                Ok(_) => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// The engine's apply phase over compiled windows: queued ops of
+    /// the runnable ranks merged by (local time, rank, program order),
+    /// with the identical tie-break so fabric bookings land in the
+    /// engine's order. A rank keeps applying inline while its `(local
+    /// time, rank)` key still sorts before the heap's head — the pop
+    /// it would win anyway — so lockstep-free stretches cost no heap
+    /// traffic at all.
+    fn apply_pending(&mut self) {
+        debug_assert!(self.s.heap.is_empty());
+        while let Some(r) = self.s.woken.pop() {
+            let c = self.s.cursor[r];
+            self.s.limit[r] = if c < self.dag.rank_end(r) {
+                self.dag.next_block[c as usize]
+            } else {
+                c
+            };
+            self.s.heap.push(Reverse((self.s.local[r], r)));
+        }
+        while let Some(Reverse((t, r))) = self.s.heap.pop() {
+            if t != self.s.local[r] {
+                self.s.heap.push(Reverse((self.s.local[r], r)));
+                continue;
+            }
+            if self.s.status[r] != Status::Running {
+                continue;
+            }
+            loop {
+                let limit = self.s.limit[r];
+                if self.s.cursor[r] < limit {
+                    let op = self.dag.ops[self.s.cursor[r] as usize];
+                    self.s.cursor[r] += 1;
+                    self.apply_post(r, op);
+                    if let Some(&Reverse(head)) = self.s.heap.peek() {
+                        if (self.s.local[r], r) > head {
+                            self.s.heap.push(Reverse((self.s.local[r], r)));
+                            break;
+                        }
+                    }
+                } else if limit == self.dag.rank_end(r) {
+                    self.s.status[r] = Status::Done;
+                    self.s.finish[r] = self.s.local[r];
+                    self.s.done += 1;
+                    break;
+                } else {
+                    self.s.status[r] = Status::Blocked;
+                    self.s.blocked[r] = limit;
+                    self.s.cursor[r] = limit + 1;
+                    match self.dag.ops[limit as usize] {
+                        DagOp::Barrier => self.s.in_barrier += 1,
+                        DagOp::Wtime => self.s.ready.push(Reverse((self.s.local[r], r))),
+                        DagOp::Wait { off, len, mode } => {
+                            if let Some(at) = self.wait_ready_at(r, off, len, mode) {
+                                self.s.ready.push(Reverse((at, r)));
+                            }
+                        }
+                        _ => unreachable!("next_block points at a blocking op"),
+                    }
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Writes a completion slot and notifies its owner if that rank is
+    /// currently parked on the wait referencing the slot: the updated
+    /// resume time (if now computable) joins the ready heap, replacing
+    /// the engine's per-round scan over every blocked rank.
+    fn complete_slot(&mut self, slot: u32, t: SimTime) {
+        self.s.slot_done[slot as usize] = t;
+        let w = self.dag.slot_wait[slot as usize];
+        if w == NONE_IDX {
+            return;
+        }
+        let owner = self.dag.slot_rank[slot as usize] as usize;
+        if self.s.status[owner] == Status::Blocked && self.s.blocked[owner] == w {
+            let DagOp::Wait { off, len, mode } = self.dag.ops[w as usize] else {
+                unreachable!("slot_wait points at a wait op")
+            };
+            if let Some(at) = self.wait_ready_at(owner, off, len, mode) {
+                self.s.ready.push(Reverse((at, owner)));
+            }
+        }
+    }
+
+    fn apply_post(&mut self, r: usize, op: DagOp) {
+        match op {
+            DagOp::Send { edge } => self.apply_send(r, edge),
+            DagOp::Recv { edge } => self.apply_recv(r, edge),
+            DagOp::Compute { span } => self.s.local[r] += span,
+            _ => unreachable!("blocking ops end the apply window"),
+        }
+    }
+
+    fn apply_send(&mut self, src: usize, edge: u32) {
+        let e = self.dag.edges[edge as usize];
+        debug_assert_eq!(e.src as usize, src);
+        self.s.local[src] += self.fabric.send_overhead(src);
+        let ready = self.s.local[src];
+        let dst = e.dst as usize;
+        if e.eager {
+            // Eager: book the wire immediately; the send completes at
+            // `send_done` whether or not a receive ever shows up.
+            let plan = self.fabric.plan_transfer(src, dst, e.bytes, ready);
+            self.complete_slot(e.send_slot, plan.send_done);
+            if e.recv_slot == NONE_IDX {
+                return;
+            }
+            let (tag, t) = self.s.edge_state[edge as usize];
+            if tag == EDGE_RECV {
+                let done = plan.delivered.max(t) + self.fabric.recv_overhead(dst);
+                self.complete_slot(e.recv_slot, done);
+                self.s.edge_state[edge as usize].0 = EDGE_DONE;
+            } else {
+                self.s.edge_state[edge as usize] = (EDGE_SEND, plan.delivered);
+            }
+        } else {
+            let (tag, t) = self.s.edge_state[edge as usize];
+            if e.recv_slot != NONE_IDX && tag == EDGE_RECV {
+                self.rendezvous(&e, ready, t);
+                self.s.edge_state[edge as usize].0 = EDGE_DONE;
+            } else {
+                // No receive yet (or ever): the handshake stalls and
+                // the send request stays outstanding.
+                self.s.edge_state[edge as usize] = (EDGE_SEND, ready);
+            }
+        }
+    }
+
+    fn apply_recv(&mut self, dst: usize, edge: u32) {
+        let e = self.dag.edges[edge as usize];
+        debug_assert_eq!(e.dst as usize, dst);
+        let posted_at = self.s.local[dst];
+        if e.send_slot == NONE_IDX {
+            // No sender ever: the request can never complete.
+            self.s.edge_state[edge as usize] = (EDGE_RECV, posted_at);
+            return;
+        }
+        let (tag, t) = self.s.edge_state[edge as usize];
+        if tag == EDGE_SEND {
+            if e.eager {
+                let done = t.max(posted_at) + self.fabric.recv_overhead(dst);
+                self.complete_slot(e.recv_slot, done);
+            } else {
+                self.rendezvous(&e, t, posted_at);
+            }
+            self.s.edge_state[edge as usize].0 = EDGE_DONE;
+        } else {
+            self.s.edge_state[edge as usize] = (EDGE_RECV, posted_at);
+        }
+    }
+
+    /// Books the data transfer of a rendezvous pair whose two sides
+    /// have now both been posted (the engine's formula verbatim).
+    fn rendezvous(&mut self, e: &DagEdge, send_posted: SimTime, recv_posted: SimTime) {
+        let lc = self.fabric.control_latency();
+        let ready = (send_posted + lc).max(recv_posted) + lc;
+        let plan = self
+            .fabric
+            .plan_transfer(e.src as usize, e.dst as usize, e.bytes, ready);
+        self.complete_slot(e.send_slot, plan.send_done);
+        let recv_done = plan.delivered + self.fabric.recv_overhead(e.dst as usize);
+        self.complete_slot(e.recv_slot, recv_done);
+    }
+
+    fn check_deadline(&self, next: SimTime) -> Result<(), SimError> {
+        match self.deadline {
+            Some(d) if next > d => Err(SimError::Timeout {
+                deadline: d.saturating_since(SimTime::ZERO),
+                detail: format!(
+                    "next event at {next} lies past the deadline; {}",
+                    self.deadlock_detail()
+                ),
+            }),
+            _ => Ok(()),
+        }
+    }
+
+    /// The engine's resume phase: barrier completion when every alive
+    /// rank is in it, otherwise wake exactly the blocked ranks
+    /// attaining the minimal resume time.
+    ///
+    /// The minimum comes from the notification-fed ready heap rather
+    /// than a scan: every blocked rank with a computable resume time
+    /// has an entry carrying exactly that time (pushed when it blocked,
+    /// refreshed by [`complete_slot`](Self::complete_slot) on every
+    /// relevant slot write), so the smallest entry that still matches
+    /// its rank's current state IS the global minimum, and ties pop
+    /// consecutively. Stale entries — the rank already woke, or a
+    /// later `WaitAny` completion lowered its time — fail the match
+    /// and are discarded.
+    fn resume_minimal(&mut self) -> Result<usize, SimError> {
+        let p = self.dag.p;
+        if self.s.done == 0 && self.s.in_barrier == p {
+            let mut barrier_t = SimTime::ZERO;
+            for r in 0..p {
+                barrier_t = barrier_t.max(self.s.local[r]);
+            }
+            self.check_deadline(barrier_t)?;
+            self.s.in_barrier = 0;
+            for r in 0..p {
+                self.wake(r, barrier_t);
+            }
+            return Ok(p);
+        }
+
+        let mut woken = 0usize;
+        let mut best: Option<SimTime> = None;
+        while let Some(&Reverse((t, r))) = self.s.ready.peek() {
+            if best.is_some_and(|b| t != b) {
+                break;
+            }
+            self.s.ready.pop();
+            if self.s.status[r] != Status::Blocked || self.resume_at(r) != Some(t) {
+                continue;
+            }
+            if best.is_none() {
+                self.check_deadline(t)?;
+                best = Some(t);
+            }
+            if matches!(self.dag.ops[self.s.blocked[r] as usize], DagOp::Wtime) {
+                self.wtimes[r].push(t);
+            }
+            self.wake(r, t);
+            woken += 1;
+        }
+        Ok(woken)
+    }
+
+    fn resume_at(&self, r: usize) -> Option<SimTime> {
+        if self.s.status[r] != Status::Blocked {
+            return None;
+        }
+        match self.dag.ops[self.s.blocked[r] as usize] {
+            DagOp::Wtime => Some(self.s.local[r]),
+            DagOp::Wait { off, len, mode } => self.wait_ready_at(r, off, len, mode),
+            _ => None,
+        }
+    }
+
+    fn wait_ready_at(&self, r: usize, off: u32, len: u32, mode: WaitMode) -> Option<SimTime> {
+        let slots = &self.dag.wait_slots[off as usize..(off + len) as usize];
+        match mode {
+            WaitMode::All => {
+                let mut at = self.s.local[r];
+                for &slot in slots {
+                    let t = self.s.slot_done[slot as usize];
+                    if t == T_NONE {
+                        return None;
+                    }
+                    at = at.max(t);
+                }
+                Some(at)
+            }
+            WaitMode::Any => {
+                let earliest = slots
+                    .iter()
+                    .map(|&slot| self.s.slot_done[slot as usize])
+                    .filter(|&t| t != T_NONE)
+                    .min()?;
+                Some(earliest.max(self.s.local[r]))
+            }
+        }
+    }
+
+    fn wake(&mut self, r: usize, now: SimTime) {
+        self.s.local[r] = now;
+        self.s.status[r] = Status::Running;
+        self.s.blocked[r] = NONE_IDX;
+        self.s.woken.push(r);
+    }
+
+    fn deadlock_detail(&self) -> String {
+        let mut parts = Vec::new();
+        for r in 0..self.dag.p {
+            match self.s.status[r] {
+                Status::Done => {}
+                Status::Running => parts.push(format!("rank {r}: running (internal error)")),
+                Status::Blocked => {
+                    let what = match self.dag.ops[self.s.blocked[r] as usize] {
+                        DagOp::Barrier => "barrier".to_owned(),
+                        DagOp::Wtime => "wtime (internal error)".to_owned(),
+                        DagOp::Wait { off, len, mode } => {
+                            let outstanding: Vec<String> = (off..off + len)
+                                .filter(|&i| {
+                                    let slot = self.dag.wait_slots[i as usize];
+                                    self.s.slot_done[slot as usize] == T_NONE
+                                })
+                                .map(|i| format!("req {}", self.dag.wait_reqs[i as usize]))
+                                .collect();
+                            format!("wait[{mode:?}] on {}", outstanding.join(", "))
+                        }
+                        _ => "unknown".to_owned(),
+                    };
+                    parts.push(format!(
+                        "rank {r}: blocked on {what} at t={}",
+                        self.s.local[r]
+                    ));
+                }
+            }
+        }
+        parts.join("; ")
+    }
+}
+
+/// Validates a (cluster, dag) pairing before evaluation.
+fn check_dag(cluster: &ClusterModel, dag: &TimingDag) {
+    check_ranks(cluster, dag.p);
+    assert_eq!(
+        cluster.eager_threshold(),
+        dag.eager_threshold,
+        "DAG compiled for eager threshold {} evaluated on cluster {} with threshold {}",
+        dag.eager_threshold,
+        cluster.name(),
+        cluster.eager_threshold()
+    );
+}
+
+fn run_once(
+    dag: &TimingDag,
+    fabric: &mut Fabric,
+    scratch: &mut DagScratch,
+    opts: SimOptions,
+) -> Result<ScheduledRun, SimError> {
+    let wtimes = dag
+        .wtime_counts
+        .iter()
+        .map(|&n| Vec::with_capacity(n as usize))
+        .collect();
+    DagRun {
+        dag,
+        fabric,
+        s: scratch,
+        deadline: opts.deadline.map(|d| SimTime::ZERO + d),
+        wtimes,
+    }
+    .run()
+}
+
+/// Evaluates a compiled [`TimingDag`] once under `seed` and `opts`.
+///
+/// Produces a [`ScheduledRun`] bit-identical to
+/// [`crate::simulate_scheduled`] replaying the source schedule with the
+/// same cluster, seed and options — including `SimError` values under
+/// fault plans and watchdog deadlines. For many repetitions of one
+/// cell, prefer [`DagEvaluator`], which also reuses the fabric.
+///
+/// # Errors
+///
+/// Same as [`crate::simulate_with`].
+///
+/// # Panics
+///
+/// Panics if the DAG's rank count exceeds the cluster's slots or the
+/// cluster's eager threshold differs from the compile-time one.
+pub fn simulate_dag(
+    cluster: &ClusterModel,
+    dag: &TimingDag,
+    seed: u64,
+    opts: SimOptions,
+) -> Result<ScheduledRun, SimError> {
+    check_dag(cluster, dag);
+    let mut fabric = build_fabric(cluster, seed, opts);
+    let mut scratch = take_dag_scratch();
+    let result = run_once(dag, &mut fabric, &mut scratch, opts);
+    stash_dag_scratch(scratch);
+    result
+}
+
+/// A compiled DAG pinned to one cluster, with a resettable fabric and
+/// recycled scratch: the batched evaluation entry point.
+///
+/// Each [`run`](DagEvaluator::run) resets the fabric in place
+/// ([`Fabric::reset`]) instead of re-cloning the cluster model, so a
+/// cell's whole repetition stream shares one allocation set.
+#[derive(Debug)]
+pub struct DagEvaluator {
+    dag: Arc<TimingDag>,
+    fabric: Fabric,
+    scratch: DagScratch,
+}
+
+impl DagEvaluator {
+    /// Pins `dag` to `cluster`.
+    ///
+    /// # Panics
+    ///
+    /// Same as [`simulate_dag`].
+    pub fn new(cluster: &ClusterModel, dag: Arc<TimingDag>) -> DagEvaluator {
+        check_dag(cluster, &dag);
+        DagEvaluator {
+            dag,
+            fabric: Fabric::new(cluster.clone(), 0),
+            scratch: DagScratch::default(),
+        }
+    }
+
+    /// The compiled DAG this evaluator runs.
+    pub fn dag(&self) -> &TimingDag {
+        &self.dag
+    }
+
+    /// One repetition under `seed` and `opts`; bit-identical to
+    /// [`simulate_dag`] on the same cluster.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`crate::simulate_with`].
+    pub fn run(&mut self, seed: u64, opts: SimOptions) -> Result<ScheduledRun, SimError> {
+        self.fabric.reset(seed);
+        if opts.traced {
+            self.fabric.enable_tracing();
+        } else {
+            self.fabric.disable_tracing();
+        }
+        run_once(&self.dag, &mut self.fabric, &mut self.scratch, opts)
+    }
+
+    /// `n` repetitions under seeds `base_seed + i` (wrapping), the
+    /// convention of the adaptive measurement tiers.
+    ///
+    /// # Errors
+    ///
+    /// Fails on the first repetition that fails, same as
+    /// [`crate::simulate_with`].
+    pub fn evaluate_reps(
+        &mut self,
+        base_seed: u64,
+        n: usize,
+        opts: SimOptions,
+    ) -> Result<Vec<ScheduledRun>, SimError> {
+        (0..n)
+            .map(|i| self.run(base_seed.wrapping_add(i as u64), opts))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::Comm;
+    use crate::schedule::record_schedule;
+    use crate::simulate_scheduled;
+    use collsel_netsim::FaultPlan;
+    use collsel_support::Bytes;
+
+    /// Sends both below and above the eager threshold, plus barrier,
+    /// compute and wtime traffic. Nonblocking, so the ring is
+    /// deadlock-free at rendezvous sizes too.
+    fn mixed_ring<C: Comm>(ctx: &mut C, bytes: usize) {
+        let p = ctx.size();
+        let next = (ctx.rank() + 1) % p;
+        let prev = (ctx.rank() + p - 1) % p;
+        ctx.barrier();
+        let _ = ctx.wtime();
+        let r0 = ctx.irecv(prev, 0);
+        let s0 = ctx.isend(next, 0, Bytes::from(vec![1u8; bytes]));
+        let _ = ctx.wait_recv(r0);
+        ctx.wait_send(s0);
+        ctx.compute(SimSpan::from_nanos(500));
+        let r1 = ctx.irecv(next, 1);
+        let s1 = ctx.isend(prev, 1, Bytes::from(vec![2u8; 64]));
+        let _ = ctx.wait_recv(r1);
+        ctx.wait_send(s1);
+        ctx.barrier();
+        let _ = ctx.wtime();
+    }
+
+    fn assert_identical(a: &ScheduledRun, b: &ScheduledRun) {
+        assert_eq!(a.report.finish_times, b.report.finish_times);
+        assert_eq!(a.report.makespan, b.report.makespan);
+        assert_eq!(a.report.messages, b.report.messages);
+        assert_eq!(a.report.bytes, b.report.bytes);
+        assert_eq!(a.report.shm_messages, b.report.shm_messages);
+        assert_eq!(a.report.trace, b.report.trace);
+        assert_eq!(a.wtimes, b.wtimes);
+    }
+
+    #[test]
+    fn dag_matches_replay_bit_for_bit_eager_and_rendezvous() {
+        let cluster = ClusterModel::grisou();
+        for bytes in [512usize, 256 * 1024] {
+            let sched = record_schedule(&cluster, 6, move |rc| mixed_ring(rc, bytes))
+                .expect("ring records cleanly");
+            let dag = TimingDag::compile(&cluster, &sched);
+            for seed in [0u64, 1, 42, 0xDEAD] {
+                let opts = SimOptions {
+                    traced: true,
+                    deadline: None,
+                };
+                let replay = simulate_scheduled(&cluster, &sched, seed, opts).expect("replay");
+                let fast = simulate_dag(&cluster, &dag, seed, opts).expect("dag");
+                assert_identical(&replay, &fast);
+            }
+        }
+    }
+
+    #[test]
+    fn dag_matches_replay_under_faults() {
+        let base = ClusterModel::gros();
+        let sched = record_schedule(&base, 5, |rc| mixed_ring(rc, 128 * 1024)).expect("records");
+        let dag = TimingDag::compile(&base, &sched);
+        for spec in ["degraded-link:3", "straggler:11", "brownout:5", "chaos:7"] {
+            let plan = FaultPlan::parse(spec, base.nodes()).expect("canned plan");
+            let faulted = base.clone().with_faults(plan);
+            for seed in [2u64, 99] {
+                let replay = simulate_scheduled(&faulted, &sched, seed, SimOptions::default())
+                    .expect("replay");
+                let fast = simulate_dag(&faulted, &dag, seed, SimOptions::default()).expect("dag");
+                assert_identical(&replay, &fast);
+            }
+        }
+    }
+
+    #[test]
+    fn dag_timeout_matches_replay_error_exactly() {
+        let cluster = ClusterModel::gros();
+        let sched = record_schedule(&cluster, 4, |rc| mixed_ring(rc, 64 * 1024)).expect("records");
+        let dag = TimingDag::compile(&cluster, &sched);
+        let opts = SimOptions::with_deadline(SimSpan::from_nanos(10));
+        let replay = simulate_scheduled(&cluster, &sched, 3, opts).expect_err("deadline must trip");
+        let fast = simulate_dag(&cluster, &dag, 3, opts).expect_err("deadline must trip");
+        assert_eq!(replay, fast, "timeout errors must be value-identical");
+    }
+
+    #[test]
+    fn evaluator_reps_match_one_shot_runs() {
+        let cluster = ClusterModel::grisou();
+        let sched = record_schedule(&cluster, 8, |rc| mixed_ring(rc, 4096)).expect("records");
+        let dag = Arc::new(TimingDag::compile(&cluster, &sched));
+        let mut ev = DagEvaluator::new(&cluster, Arc::clone(&dag));
+        let reps = ev
+            .evaluate_reps(100, 5, SimOptions::default())
+            .expect("reps run");
+        for (i, rep) in reps.iter().enumerate() {
+            let solo = simulate_dag(&cluster, &dag, 100 + i as u64, SimOptions::default())
+                .expect("one-shot");
+            assert_identical(rep, &solo);
+        }
+    }
+
+    #[test]
+    fn unreceived_eager_send_still_completes_and_books_traffic() {
+        let cluster = ClusterModel::gros();
+        // Rank 0 sends a small message nobody receives; both ranks
+        // finish (the eager send completes at send_done).
+        let sched = record_schedule(&cluster, 2, |rc| {
+            if rc.rank() == 0 {
+                rc.send(1, 9, Bytes::from_static(b"orphan"));
+            }
+            // A matched pair keeps the recording run meaningful.
+            if rc.rank() == 0 {
+                rc.send(1, 0, Bytes::from_static(b"x"));
+            } else {
+                let _ = rc.recv(0, 0);
+            }
+        })
+        .expect("records");
+        let dag = TimingDag::compile(&cluster, &sched);
+        let replay = simulate_scheduled(&cluster, &sched, 5, SimOptions::default()).expect("ok");
+        let fast = simulate_dag(&cluster, &dag, 5, SimOptions::default()).expect("ok");
+        assert_identical(&replay, &fast);
+        assert_eq!(fast.report.messages, 2, "orphan eager send hits the wire");
+    }
+}

@@ -37,9 +37,13 @@ pub enum Backend {
     /// arbitrary rank closures, wildcards and `wait_any_recv`).
     Threads,
     /// Record the program once, then replay the schedule inline with
-    /// zero threads per run (the campaign hot path).
-    #[default]
+    /// zero threads per run.
     Events,
+    /// Record once, compile the schedule to a static timing DAG
+    /// ([`crate::TimingDag`]), then evaluate payload-free with zero
+    /// allocation per repetition (the campaign hot path and default).
+    #[default]
+    Dag,
 }
 
 impl Backend {
@@ -48,6 +52,7 @@ impl Backend {
         match self {
             Backend::Threads => "threads",
             Backend::Events => "events",
+            Backend::Dag => "dag",
         }
     }
 }
@@ -65,8 +70,9 @@ impl std::str::FromStr for Backend {
         match s {
             "threads" => Ok(Backend::Threads),
             "events" => Ok(Backend::Events),
+            "dag" => Ok(Backend::Dag),
             other => Err(format!(
-                "unknown backend '{other}' (expected 'threads' or 'events')"
+                "unknown backend '{other}' (expected 'threads', 'events' or 'dag')"
             )),
         }
     }
@@ -315,8 +321,10 @@ mod tests {
         use std::str::FromStr;
         assert_eq!(Backend::from_str("events"), Ok(Backend::Events));
         assert_eq!(Backend::from_str("threads"), Ok(Backend::Threads));
+        assert_eq!(Backend::from_str("dag"), Ok(Backend::Dag));
         assert!(Backend::from_str("fibers").is_err());
-        assert_eq!(Backend::default(), Backend::Events);
+        assert_eq!(Backend::default(), Backend::Dag);
         assert_eq!(Backend::Events.to_string(), "events");
+        assert_eq!(Backend::Dag.to_string(), "dag");
     }
 }

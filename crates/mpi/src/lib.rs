@@ -13,12 +13,16 @@
 //!
 //! Entry point: [`simulate`]. Per-rank API: [`Ctx`].
 //!
-//! Two execution backends share the engine (see [`Backend`]):
-//! thread-per-rank (`simulate`/`simulate_pooled`, the general-purpose
-//! oracle) and the event-driven replay path ([`record_schedule`] +
-//! [`simulate_scheduled`]), which compiles a program written against
-//! the [`Comm`] trait into a [`Schedule`] once and then replays it
-//! with zero OS threads per run — the campaign hot path.
+//! Three execution backends share the engine's semantics (see
+//! [`Backend`]): thread-per-rank (`simulate`/`simulate_pooled`, the
+//! general-purpose oracle), the event-driven replay path
+//! ([`record_schedule`] + [`simulate_scheduled`]), which compiles a
+//! program written against the [`Comm`] trait into a [`Schedule`] once
+//! and then replays it with zero OS threads per run, and the timing-DAG
+//! tier ([`TimingDag`] + [`simulate_dag`]/[`DagEvaluator`]), which
+//! additionally resolves send/recv matching at compile time and
+//! replays with zero allocation and zero payload traffic — the
+//! campaign hot path and the default backend.
 //!
 //! ```
 //! use collsel_support::Bytes;
@@ -47,6 +51,7 @@
 mod comm;
 mod ctx;
 mod engine;
+mod engine_dag;
 mod engine_ev;
 mod error;
 mod msg;
@@ -57,6 +62,7 @@ mod team;
 
 pub use comm::Comm;
 pub use ctx::{Ctx, RecvRequest, SendRequest};
+pub use engine_dag::{simulate_dag, DagEvaluator, TimingDag};
 pub use engine_ev::{simulate_scheduled, Backend, ScheduledRun};
 pub use error::SimError;
 pub use msg::{Peer, RecvStatus, Tag, TagSel};

@@ -17,6 +17,7 @@
 
 use crate::ctx::Ctx;
 use crate::engine::{ChannelTransport, Engine, EngineReport, EngineScratch, RECYCLE_RANK_CAP};
+use crate::engine_dag::DagScratch;
 use crate::error::SimError;
 use crate::proto::RankMsg;
 use collsel_netsim::{ClusterModel, Fabric, SimSpan, SimTime, TransferRecord};
@@ -45,6 +46,22 @@ pub(crate) fn stash_scratch(mut scratch: EngineScratch) {
     ENGINE_SCRATCH.with(|s| *s.borrow_mut() = scratch);
 }
 
+thread_local! {
+    /// Timing-DAG evaluation buffers recycled across consecutive
+    /// [`crate::simulate_dag`] calls on this thread (the batched
+    /// [`crate::DagEvaluator`] owns its scratch instead).
+    static DAG_SCRATCH: RefCell<DagScratch> = RefCell::new(DagScratch::default());
+}
+
+pub(crate) fn take_dag_scratch() -> DagScratch {
+    DAG_SCRATCH.with(|s| std::mem::take(&mut *s.borrow_mut()))
+}
+
+pub(crate) fn stash_dag_scratch(mut scratch: DagScratch) {
+    scratch.shrink();
+    DAG_SCRATCH.with(|s| *s.borrow_mut() = scratch);
+}
+
 /// Knobs for [`simulate_with`].
 #[derive(Debug, Clone, Copy, Default)]
 pub struct SimOptions {
@@ -71,7 +88,7 @@ impl SimOptions {
 }
 
 /// Summary statistics of one simulation run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RunReport {
     /// Virtual time at which each rank's function returned.
     pub finish_times: Vec<SimTime>,

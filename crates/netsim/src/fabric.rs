@@ -109,12 +109,40 @@ impl Fabric {
         }
     }
 
+    /// Restores the fabric to the state a fresh
+    /// [`new`](Fabric::new)`(cluster, seed)` would have — NIC and rack
+    /// occupancy cleared, counters zeroed, the noise and spike streams
+    /// reseeded — without re-cloning the cluster model.
+    ///
+    /// Batched evaluators (see `collsel-mpi`'s timing-DAG backend) run
+    /// thousands of repetitions against one cluster; resetting in place
+    /// removes the per-repetition model clone from the hot loop while
+    /// staying bit-identical to constructing a new fabric. Tracing
+    /// enablement is preserved; any recorded trace is discarded.
+    pub fn reset(&mut self, seed: u64) {
+        self.nics.iter_mut().for_each(|n| *n = NicState::default());
+        self.racks
+            .iter_mut()
+            .for_each(|r| *r = RackPipes::default());
+        self.noise = Noise::new(self.cluster.noise(), seed);
+        self.spike_rng = StdRng::seed_from_u64(seed ^ self.faults.seed().rotate_left(17));
+        self.stats = FabricStats::default();
+        if let Some(t) = &mut self.trace {
+            t.clear();
+        }
+    }
+
     /// Starts recording a [`TransferRecord`] per planned transfer
     /// (see [`crate::trace`]). Idempotent.
     pub fn enable_tracing(&mut self) {
         if self.trace.is_none() {
             self.trace = Some(Vec::new());
         }
+    }
+
+    /// Stops recording transfers and drops any recorded trace.
+    pub fn disable_tracing(&mut self) {
+        self.trace = None;
     }
 
     /// Takes the recorded trace, leaving recording enabled with an
@@ -619,5 +647,55 @@ mod rack_tests {
         f.reset_occupancy();
         let plan = f.plan_transfer(0, 4, 1000, SimTime::ZERO);
         assert!(plan.delivered <= SimTime::from_nanos(25_000), "{:?}", plan);
+    }
+}
+
+#[cfg(test)]
+mod reset_tests {
+    use super::*;
+    use crate::cluster::ClusterModel;
+    use crate::noise::NoiseParams;
+    use crate::time::{SimSpan, SimTime};
+
+    fn quiet_cluster() -> ClusterModel {
+        ClusterModel::builder("t", 8)
+            .bandwidth_gbps(8.0)
+            .wire_latency(SimSpan::from_micros(10))
+            .switch_hops(0, SimSpan::ZERO)
+            .per_msg_gap(SimSpan::ZERO)
+            .overheads(SimSpan::ZERO, SimSpan::ZERO)
+            .noise(NoiseParams::OFF)
+            .build()
+    }
+
+    #[test]
+    fn reset_is_equivalent_to_fresh_fabric() {
+        // The batched DAG evaluator leans on `reset(seed)` instead of
+        // rebuilding a fabric per repetition, so the two must be
+        // bit-identical — including the noise and fault-spike RNG
+        // streams, which both derive from the seed.
+        let cluster = quiet_cluster()
+            .with_noise(NoiseParams::new(0.05))
+            .with_faults(
+                crate::fault::FaultPlan::none()
+                    .with_degraded_link(0, 1, 3.0)
+                    .with_straggler(2, 2.0)
+                    .with_spikes(0.3, SimSpan::from_micros(50)),
+            );
+        let mut reused = Fabric::new(cluster.clone(), 1);
+        // Dirty every piece of state the reset must clear.
+        for i in 0..10 {
+            let _ = reused.plan_transfer(i % 4, 4 + i % 4, 50_000, SimTime::ZERO);
+        }
+        for seed in [1u64, 7, 0xC0FFEE] {
+            reused.reset(seed);
+            let mut fresh = Fabric::new(cluster.clone(), seed);
+            for i in 0..20 {
+                let x = reused.plan_transfer(i % 4, 4 + i % 4, 20_000, SimTime::ZERO);
+                let y = fresh.plan_transfer(i % 4, 4 + i % 4, 20_000, SimTime::ZERO);
+                assert_eq!(x, y, "seed={seed} transfer {i}");
+            }
+            assert_eq!(reused.stats(), fresh.stats(), "seed={seed}");
+        }
     }
 }

@@ -17,6 +17,11 @@
 //!
 //! The implementations cover exactly the subset of the upstream APIs the
 //! workspace uses — they are not general-purpose replacements.
+//!
+//! [`payload`] is the one module that replaces nothing external: it is
+//! the shared memoised store for deterministic measurement payloads
+//! (with hit/miss counters) used by collective compilation, the
+//! measurement tiers and the benches.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -25,6 +30,7 @@ pub mod bench;
 pub mod bytes;
 pub mod epoch;
 pub mod json;
+pub mod payload;
 pub mod pool;
 pub mod prop;
 pub mod rng;

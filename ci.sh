@@ -51,6 +51,14 @@ echo "==> dag-vs-events gate: timing-DAG differential suite at COLLSEL_THREADS=2
 COLLSEL_THREADS=2 RUSTFLAGS='-D warnings' \
     cargo test --offline -q -p collsel-coll --test dag_equivalence
 
+echo "==> replay determinism gate: trace-replay suite at COLLSEL_THREADS=2"
+# Whole-trace replay (mixed collectives on overlapping rank groups)
+# must produce bit-identical job completion times across all three
+# execution backends and any worker thread count, and the model-worst
+# policy must never beat the tuned one.
+COLLSEL_THREADS=2 RUSTFLAGS='-D warnings' \
+    cargo test --offline -q -p collsel-repro --test replay_determinism
+
 echo "==> adaptive-campaign gate: differential suite at COLLSEL_THREADS=2"
 # The adaptive planner (crossover bisection + leader-settled
 # repetitions + warm-started hints) must produce the byte-identical
@@ -78,6 +86,15 @@ echo "==> selrate bench (smoke): compiled lookup must not be slower than live ra
 COLLSEL_BENCH_SMOKE=1 RUSTFLAGS='-D warnings' \
     cargo bench --offline -p collsel-bench --bench selrate
 test -f BENCH_select.json || { echo "ci.sh: BENCH_select.json missing" >&2; exit 1; }
+
+echo "==> replayrate bench (smoke): dag >= events on whole-trace replay"
+# The smoke run asserts internally that the DAG tier is not slower than
+# events on whole-trace replay (the step memo amortising across steps)
+# and that the model-worst policy never beats the tuned one; it records
+# the tuned-vs-fixed JCT gap on both presets.
+COLLSEL_BENCH_SMOKE=1 RUSTFLAGS='-D warnings' \
+    cargo bench --offline -p collsel-bench --bench replayrate
+test -f BENCH_replay.json || { echo "ci.sh: BENCH_replay.json missing" >&2; exit 1; }
 
 echo "==> soak gate: decision-server chaos suite at COLLSEL_THREADS=2"
 # The full-size seeded soak under an active fault plan: >= 10k mixed
@@ -117,7 +134,10 @@ echo "==> unwrap/expect ratchet (estim + expt)"
 # run, not serve a half-built cache), two recording invariants on the
 # DAG fast paths (a measurement program cannot deadlock), and two in
 # test code.
-UNWRAP_CEILING=60
+# 59 = 60 - 1: the replay step memo shares one lock-poisoning
+# propagation helper with the cell memo instead of repeating the
+# expect at every lock site.
+UNWRAP_CEILING=59
 count=$(grep -rc 'unwrap()\|\.expect(' crates/estim/src crates/expt/src \
     --include='*.rs' | awk -F: '{s+=$2} END {print s}')
 if [ "$count" -gt "$UNWRAP_CEILING" ]; then
@@ -147,6 +167,19 @@ COLLSEL_THREADS=2 ./target/release/colltune tune --preset gros --tune-p 8 \
     --collective bcast --adaptive --budget 6 --out "$smoke_dir/adaptive.json"
 grep -q '"campaign"' "$smoke_dir/adaptive.json" || {
     echo "ci.sh: adaptive model JSON missing campaign accounting" >&2; exit 1;
+}
+
+echo "==> colltune replay smoke run (generated trace, JCT policy comparison)"
+# A seeded data-parallel trace replayed under all four policies (the
+# server policy drives a live DecisionServer lookup per call); the CSV
+# must carry one row per policy plus the header.
+COLLSEL_THREADS=2 ./target/release/colltune tune --preset gros --tune-p 8 \
+    --collective all --out "$smoke_dir/replay-model.json"
+COLLSEL_THREADS=2 ./target/release/colltune replay --gen dp --steps 4 \
+    --model "$smoke_dir/replay-model.json" --selector all \
+    --json "$smoke_dir/replay.json" --csv "$smoke_dir/replay.csv"
+[ "$(wc -l < "$smoke_dir/replay.csv")" -eq 5 ] || {
+    echo "ci.sh: replay CSV must have 4 policy rows" >&2; exit 1;
 }
 
 echo "==> colltune serve smoke run (short soak with journal recovery)"

@@ -1,0 +1,245 @@
+//! Whole-trace replay throughput and the JCT policy gap: what the
+//! paper's per-call selection advantage is worth at the job level.
+//!
+//! For each cluster preset and canned trace this bench times complete
+//! trace replays (steps per second) on all three execution backends
+//! under the fixed rules, then scores the selection policies — tuned
+//! model argmin, Open MPI-style fixed rules, model-worst adversary —
+//! by total job completion time on the DAG backend. The DAG tier
+//! compiles each distinct step shape once through the process-wide
+//! step memo and batch-replays everything else payload-free, so it
+//! amortises across replays the way a campaign or a serving loop
+//! does; the events tier re-records per replay and the threaded
+//! oracle pays full freight every step.
+//!
+//! Writes `BENCH_replay.json` at the repository root. Set
+//! `COLLSEL_BENCH_SMOKE=1` for the CI-sized run; smoke mode asserts
+//! the DAG backend is not slower than events on whole-trace replay
+//! and that the model-worst policy never beats the tuned one.
+
+use collsel::mpi::Backend;
+use collsel::netsim::{ClusterModel, NoiseParams};
+use collsel::{TunedModel, Tuner, TunerConfig};
+use collsel_bench::quiet_cluster;
+use collsel_expt::replay::{
+    backend_name, degradation_pct, replay_trace, score_policies, ReplayOutcome, ReplayPolicy,
+};
+use collsel_expt::workload::{canned_dp, canned_pp, Trace};
+use collsel_support::Json;
+use std::time::Instant;
+
+const SEED: u64 = 0x5EED_2E91;
+
+/// Times whole-trace replays by doubling the batch until the window is
+/// long enough to trust, returning replays per second.
+fn replays_per_sec(min_window_s: f64, mut run: impl FnMut(u64)) -> f64 {
+    let mut batch = 1u64;
+    let mut next_seed = 0u64;
+    loop {
+        let start = Instant::now();
+        for _ in 0..batch {
+            run(SEED.wrapping_add(next_seed));
+            next_seed += 1;
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+        if elapsed >= min_window_s {
+            return batch as f64 / elapsed;
+        }
+        batch *= 2;
+    }
+}
+
+/// One (preset, trace) cell: steps/s per backend plus the JCT policy
+/// comparison on the DAG backend.
+fn bench_cell(
+    cluster: &ClusterModel,
+    model: &TunedModel,
+    trace: &Trace,
+    min_window_s: f64,
+) -> Json {
+    // Cross-check before timing: all three backends must agree on JCT.
+    let reference = replay_trace(cluster, trace, &ReplayPolicy::Fixed, Backend::Dag, SEED)
+        .expect("dag replay completes");
+    for backend in [Backend::Events, Backend::Threads] {
+        let out = replay_trace(cluster, trace, &ReplayPolicy::Fixed, backend, SEED)
+            .expect("replay completes");
+        assert_eq!(
+            reference.jct_ns,
+            out.jct_ns,
+            "backends diverged on {} / {}",
+            cluster.name(),
+            trace.name
+        );
+    }
+
+    let steps = trace.steps.len() as f64;
+    let mut backend_rates = Vec::new();
+    let mut dag_steps_per_s = 0.0;
+    let mut events_steps_per_s = 0.0;
+    for backend in [Backend::Dag, Backend::Events, Backend::Threads] {
+        let rps = replays_per_sec(min_window_s, |seed| {
+            let _ = replay_trace(cluster, trace, &ReplayPolicy::Fixed, backend, seed)
+                .expect("replay completes");
+        });
+        let steps_per_s = rps * steps;
+        match backend {
+            Backend::Dag => dag_steps_per_s = steps_per_s,
+            Backend::Events => events_steps_per_s = steps_per_s,
+            Backend::Threads => {}
+        }
+        backend_rates.push(Json::Obj(vec![
+            (
+                "backend".to_owned(),
+                Json::Str(backend_name(backend).to_owned()),
+            ),
+            ("replays_per_s".to_owned(), Json::Num(rps)),
+            ("steps_per_s".to_owned(), Json::Num(steps_per_s)),
+        ]));
+    }
+
+    let selector = model.multi_selector();
+    let outcomes = score_policies(
+        cluster,
+        trace,
+        &[
+            ReplayPolicy::Tuned(&selector),
+            ReplayPolicy::Fixed,
+            ReplayPolicy::Worst(&selector),
+        ],
+        Backend::Dag,
+        SEED,
+    )
+    .expect("policy replays complete");
+    let best = outcomes
+        .iter()
+        .min_by_key(|o| o.jct_ns)
+        .cloned()
+        .expect("three outcomes");
+    let jct = |name: &str| -> &ReplayOutcome {
+        outcomes
+            .iter()
+            .find(|o| o.selector == name)
+            .expect("policy scored")
+    };
+    let (tuned, fixed, worst) = (jct("tuned"), jct("fixed"), jct("worst"));
+    // The headline number: what the fixed rules cost vs the tuned
+    // model on this whole job, in percent.
+    let tuned_vs_fixed_pct = degradation_pct(fixed, tuned);
+    let worst_vs_tuned_pct = degradation_pct(worst, tuned);
+
+    println!(
+        "  {:<6} {:<16} dag {dag_steps_per_s:>8.1} steps/s, events {events_steps_per_s:>8.1}, \
+         JCT tuned {:.3}ms fixed {:.3}ms ({tuned_vs_fixed_pct:+.1}%) \
+         worst {:.3}ms ({worst_vs_tuned_pct:+.1}%)",
+        cluster.name(),
+        trace.name,
+        tuned.jct_s * 1e3,
+        fixed.jct_s * 1e3,
+        worst.jct_s * 1e3,
+    );
+
+    Json::Obj(vec![
+        ("preset".to_owned(), Json::Str(cluster.name().to_owned())),
+        ("trace".to_owned(), Json::Str(trace.name.clone())),
+        ("steps".to_owned(), Json::Num(steps)),
+        ("calls".to_owned(), Json::Num(trace.total_calls() as f64)),
+        ("backends".to_owned(), Json::Arr(backend_rates)),
+        ("dag_steps_per_s".to_owned(), Json::Num(dag_steps_per_s)),
+        (
+            "events_steps_per_s".to_owned(),
+            Json::Num(events_steps_per_s),
+        ),
+        ("best_selector".to_owned(), Json::Str(best.selector.clone())),
+        ("tuned_jct_ns".to_owned(), Json::Num(tuned.jct_ns as f64)),
+        ("fixed_jct_ns".to_owned(), Json::Num(fixed.jct_ns as f64)),
+        ("worst_jct_ns".to_owned(), Json::Num(worst.jct_ns as f64)),
+        (
+            "tuned_vs_fixed_pct".to_owned(),
+            Json::Num(tuned_vs_fixed_pct),
+        ),
+        (
+            "worst_vs_tuned_pct".to_owned(),
+            Json::Num(worst_vs_tuned_pct),
+        ),
+    ])
+}
+
+/// Reads one numeric field out of a cell object.
+fn field(c: &Json, name: &str) -> f64 {
+    match c {
+        Json::Obj(fields) => fields
+            .iter()
+            .find(|(k, _)| k == name)
+            .and_then(|(_, v)| match v {
+                Json::Num(n) => Some(*n),
+                _ => None,
+            })
+            .unwrap_or_else(|| panic!("every cell records {name}")),
+        _ => unreachable!("cells are objects"),
+    }
+}
+
+fn main() {
+    let smoke = std::env::var("COLLSEL_BENCH_SMOKE").is_ok_and(|v| v == "1");
+    let min_window_s = if smoke { 0.05 } else { 0.3 };
+    let host_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("replayrate bench: smoke={smoke} window={min_window_s}s host_threads={host_threads}");
+
+    let mut cells = Vec::new();
+    for cluster in [
+        quiet_cluster(),
+        ClusterModel::grisou().with_noise(NoiseParams::OFF),
+    ] {
+        // One quick all-collective model per preset: the tuned policy
+        // needs per-collective fits to differ from the fixed rules.
+        let model = Tuner::new(cluster.clone(), TunerConfig::quick(8)).tune_all();
+        for trace in [canned_dp(), canned_pp()] {
+            cells.push(bench_cell(&cluster, &model, &trace, min_window_s));
+        }
+    }
+
+    let min_dag_vs_events = cells
+        .iter()
+        .map(|c| field(c, "dag_steps_per_s") / field(c, "events_steps_per_s"))
+        .fold(f64::INFINITY, f64::min);
+    let max_tuned_vs_fixed = cells
+        .iter()
+        .map(|c| field(c, "tuned_vs_fixed_pct"))
+        .fold(0.0, f64::max);
+    println!(
+        "dag/events whole-trace speedup >= {min_dag_vs_events:.2}x; \
+         fixed rules cost up to {max_tuned_vs_fixed:.1}% JCT vs tuned over {} cells",
+        cells.len()
+    );
+
+    if smoke {
+        assert!(
+            min_dag_vs_events >= 1.0,
+            "dag slower than events on whole-trace replay ({min_dag_vs_events:.2}x)"
+        );
+        for c in &cells {
+            assert!(
+                field(c, "worst_vs_tuned_pct") >= 0.0,
+                "model-worst beat the tuned policy"
+            );
+        }
+        println!("smoke gate: dag >= events on every trace, worst never beats tuned");
+    }
+
+    let json = Json::Obj(vec![
+        ("bench".to_owned(), Json::Str("replayrate".to_owned())),
+        ("smoke".to_owned(), Json::Bool(smoke)),
+        ("host_threads".to_owned(), Json::Num(host_threads as f64)),
+        ("min_dag_vs_events".to_owned(), Json::Num(min_dag_vs_events)),
+        (
+            "max_tuned_vs_fixed_pct".to_owned(),
+            Json::Num(max_tuned_vs_fixed),
+        ),
+        ("cells".to_owned(), Json::Arr(cells)),
+    ]);
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_replay.json");
+    match collsel_support::bench::write_artifact(out, &json) {
+        Ok(()) => println!("wrote {out}"),
+        Err(e) => eprintln!("cannot write {out}: {e}"),
+    }
+}

@@ -70,7 +70,7 @@ fn bench_cell(cluster: &ClusterModel, p_requested: usize, m: usize, min_window_s
     let record_start = Instant::now();
     let sched =
         compile_bcast(cluster, ALG, p, root, m, SEG_SIZE).expect("broadcast records cleanly");
-    let dag = Arc::new(TimingDag::compile(cluster, &sched));
+    let dag = Arc::new(TimingDag::compile(cluster, &sched).expect("schedule fits the DAG"));
     let record_s = record_start.elapsed().as_secs_f64();
 
     let msg = payload(m);

@@ -37,7 +37,7 @@ fn check_cell(cluster: &ClusterModel, alg: Alg, p: usize, m: usize, seeds: &[u64
     let ctx = format!("{} p={p} m={m}", alg.qualified_name());
     let sched = compile_timed_collective(cluster, alg, p, ROOT, m, SEG, REPS)
         .unwrap_or_else(|e| panic!("{ctx}: recording failed: {e}"));
-    let dag = TimingDag::compile(cluster, &sched);
+    let dag = TimingDag::compile(cluster, &sched).expect("compiles");
     let opts = SimOptions {
         traced: true,
         deadline: None,
@@ -93,7 +93,7 @@ fn fault_plans_bit_identical() {
     for alg in algs {
         let sched = compile_timed_collective(&base, alg, 9, ROOT, 64 * 1024, SEG, REPS)
             .expect("recording succeeds");
-        let dag = TimingDag::compile(&base, &sched);
+        let dag = TimingDag::compile(&base, &sched).expect("compiles");
         for spec in ["degraded-link:3", "straggler:11", "brownout:5"] {
             let plan = FaultPlan::parse(spec, base.nodes()).expect("canned fault plan");
             let faulted = base.clone().with_faults(plan);
@@ -115,7 +115,7 @@ fn watchdog_agreement_on_trip_and_pass() {
     let alg = Collective::Allgather.algorithms()[0]; // ring
     let sched = compile_timed_collective(&cluster, alg, 8, ROOT, 32 * 1024, SEG, REPS)
         .expect("recording succeeds");
-    let dag = TimingDag::compile(&cluster, &sched);
+    let dag = TimingDag::compile(&cluster, &sched).expect("compiles");
 
     // A deadline no collective can meet: both backends must abort with
     // the *same* timeout error value (same virtual time, same detail).
@@ -172,7 +172,7 @@ fn results_invariant_under_thread_budget() {
 fn run_pipeline(cluster: &ClusterModel, alg: Alg) -> (ScheduledRun, Vec<ScheduledRun>) {
     let sched: Schedule = compile_timed_collective(cluster, alg, 8, ROOT, 16 * 1024, SEG, REPS)
         .expect("recording succeeds");
-    let dag = Arc::new(TimingDag::compile(cluster, &sched));
+    let dag = Arc::new(TimingDag::compile(cluster, &sched).expect("compiles"));
     let replay =
         simulate_scheduled(cluster, &sched, 5, SimOptions::default()).expect("replay completes");
     let fast = simulate_dag(cluster, &dag, 5, SimOptions::default()).expect("dag completes");

@@ -36,7 +36,7 @@
 //! backend.
 
 use crate::measure::{paired_samples, recording_cluster, timed_reps, ROOT};
-use crate::memo::{compiled_dag, CellProgram};
+use crate::memo::{compiled_dag, CellProgram, DagCell};
 use crate::stats::{AdaptiveAccumulator, Precision, SampleStats};
 use collsel_coll::compile::compile_timed_collective;
 use collsel_coll::{run_collective, Collective};
@@ -244,7 +244,12 @@ pub fn measure_family_cell(
                     precision.min_reps,
                     |rec, reps| compile_timed_collective(rec, alg, p, ROOT, m, seg_size, reps),
                 )
-                .map(|dag| AlgExec::Dag(DagEvaluator::new(cluster, dag)))
+                .map(|cell| match cell {
+                    DagCell::Compiled(dag) => AlgExec::Dag(DagEvaluator::new(cluster, dag)),
+                    // Beyond the DAG index space: replay the recorded
+                    // schedule through the events tier instead.
+                    DagCell::TooLarge(sched) => AlgExec::Sched(sched),
+                })
                 .unwrap_or(AlgExec::Threads),
                 Backend::Events => compile_timed_collective(
                     &recording_cluster(cluster),

@@ -38,7 +38,7 @@
 //! and remains the oracle the other two are checked against
 //! (`tests/backend_equivalence.rs`, `tests/dag_equivalence.rs`).
 
-use crate::memo::{compiled_dag, CellProgram};
+use crate::memo::{compiled_dag, CellProgram, DagCell};
 use crate::stats::{sample_adaptive, sample_adaptive_fallible, Precision, SampleStats};
 use collsel_coll::compile::{
     compile_timed_bcast, compile_timed_bcast_gather, compile_timed_collective,
@@ -125,9 +125,22 @@ impl RetryPolicy {
     }
 
     /// Simulation options for the given (0-based) attempt.
+    ///
+    /// The deadline grows geometrically with the attempt; the growth
+    /// saturates at `u64::MAX` nanoseconds (an effectively unarmed
+    /// watchdog) rather than overflowing — `backoff^attempt` exceeds
+    /// u64 after a few dozen retries of an aggressive policy, and the
+    /// unchecked product would panic in debug or wrap to a uselessly
+    /// tiny deadline in release.
     fn options_for(&self, attempt: usize) -> SimOptions {
         match self.budget {
-            Some(budget) => SimOptions::with_deadline(budget * self.backoff.pow(attempt as u32)),
+            Some(budget) => {
+                let factor = self
+                    .backoff
+                    .saturating_pow(attempt.min(u32::MAX as usize) as u32);
+                let nanos = budget.as_nanos().saturating_mul(factor);
+                SimOptions::with_deadline(SimSpan::from_nanos(nanos))
+            }
             None => SimOptions::default(),
         }
     }
@@ -326,13 +339,21 @@ fn stats_with_backend(
 ) -> SampleStats {
     match backend {
         Backend::Dag => {
-            if let Some(dag) = compiled_dag(
+            match compiled_dag(
                 &recording_cluster(cluster),
                 program,
                 precision.min_reps,
                 compile,
             ) {
-                return dag_stats(cluster, &dag, precision, seed, per);
+                Some(DagCell::Compiled(dag)) => {
+                    return dag_stats(cluster, &dag, precision, seed, per);
+                }
+                // Too many ops for the DAG index space: replay the
+                // already-recorded schedule through the events tier.
+                Some(DagCell::TooLarge(sched)) => {
+                    return events_stats(cluster, &sched, precision, seed, per);
+                }
+                None => {}
             }
         }
         Backend::Events => {
@@ -363,13 +384,19 @@ fn try_stats_with_backend(
 ) -> Result<SampleStats, SimError> {
     match backend {
         Backend::Dag => {
-            if let Some(dag) = compiled_dag(
+            match compiled_dag(
                 &recording_cluster(cluster),
                 program,
                 precision.min_reps,
                 compile,
             ) {
-                return try_dag_stats(cluster, &dag, precision, seed, policy, per);
+                Some(DagCell::Compiled(dag)) => {
+                    return try_dag_stats(cluster, &dag, precision, seed, policy, per);
+                }
+                Some(DagCell::TooLarge(sched)) => {
+                    return try_events_stats(cluster, &sched, precision, seed, policy, per);
+                }
+                None => {}
             }
         }
         Backend::Events => {
@@ -1710,6 +1737,35 @@ mod tests {
         .expect("third attempt has ample budget");
         assert!(s.mean > 0.0);
         assert!(s.converged);
+    }
+
+    #[test]
+    fn backoff_saturates_instead_of_overflowing() {
+        // backoff^attempt blows through u64 after ~3 retries here; the
+        // deadline must pin at u64::MAX nanoseconds (watchdog
+        // effectively unarmed), never wrap to a tiny budget or panic.
+        let policy = RetryPolicy {
+            max_attempts: 64,
+            budget: Some(SimSpan::from_micros(10)),
+            backoff: 1_000_000,
+        };
+        assert_eq!(
+            policy.options_for(0).deadline,
+            Some(SimSpan::from_micros(10))
+        );
+        assert_eq!(
+            policy.options_for(1).deadline,
+            Some(SimSpan::from_micros(10) * 1_000_000)
+        );
+        for attempt in [4, 63, policy.max_attempts - 1, 10_000] {
+            assert_eq!(
+                policy.options_for(attempt).deadline,
+                Some(SimSpan::from_nanos(u64::MAX)),
+                "attempt {attempt} must saturate, not wrap"
+            );
+        }
+        // An unarmed policy stays unarmed at any attempt.
+        assert_eq!(RetryPolicy::no_deadline().options_for(999).deadline, None);
     }
 
     #[test]

@@ -17,6 +17,7 @@
 //! ([`collsel_support::payload`]); `colltune` attaches the
 //! campaign-phase delta to its coverage accounting JSON.
 
+use collsel_coll::compile::GroupCall;
 use collsel_coll::{Alg, BcastAlg};
 use collsel_mpi::{RecordError, Schedule, TimingDag};
 use collsel_netsim::ClusterModel;
@@ -78,10 +79,34 @@ static CACHE: OnceLock<Mutex<HashMap<DagKey, Arc<TimingDag>>>> = OnceLock::new()
 static HITS: AtomicU64 = AtomicU64::new(0);
 static MISSES: AtomicU64 = AtomicU64::new(0);
 
+/// Locks a memo map, propagating recorder panics: a poisoned cache
+/// means a recording thread died mid-insert, and serving from it could
+/// hand out a half-built artifact.
+fn locked<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().expect("memo cache lock (a recorder panicked)")
+}
+
+/// A recorded cell after DAG lowering was attempted: either the
+/// compiled artifact, or — when the schedule overflows the DAG's index
+/// space ([`collsel_mpi::CompileError::TooLarge`]) — the schedule
+/// itself so the caller can fall back to the events backend without
+/// re-recording.
+#[derive(Debug)]
+pub(crate) enum DagCell {
+    /// Lowering succeeded; evaluate with the DAG tier.
+    Compiled(Arc<TimingDag>),
+    /// The schedule is too large to compile; replay it with
+    /// [`collsel_mpi::simulate_scheduled`] instead.
+    TooLarge(Schedule),
+}
+
 /// Returns the compiled timing DAG for a measurement cell, recording
 /// and lowering it on a miss (`None` if recording fails — impossible
 /// for the wildcard-free measurement programs, but the contract is
-/// kept open like the backend dispatch it serves).
+/// kept open like the backend dispatch it serves). A schedule too
+/// large for the DAG's index space comes back as
+/// [`DagCell::TooLarge`]; such cells are never cached (they would dwarf
+/// the cache, and the events fallback re-records per call anyway).
 ///
 /// `rec_cluster` must be the fault-free recording topology; only its
 /// eager threshold reaches the compiled artifact, so any cluster with
@@ -91,12 +116,12 @@ pub(crate) fn compiled_dag(
     program: CellProgram,
     reps: usize,
     compile: impl FnOnce(&ClusterModel, usize) -> Result<Schedule, RecordError>,
-) -> Option<Arc<TimingDag>> {
+) -> Option<DagCell> {
     let key = (program, reps, rec_cluster.eager_threshold());
     let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
-    if let Some(dag) = cache.lock().expect("dag cache lock").get(&key) {
+    if let Some(dag) = locked(cache).get(&key) {
         HITS.fetch_add(1, Ordering::Relaxed);
-        return Some(Arc::clone(dag));
+        return Some(DagCell::Compiled(Arc::clone(dag)));
     }
     // Record and compile outside the lock — recording runs a full
     // threaded simulation, far too slow to serialise globally. Two
@@ -104,10 +129,87 @@ pub(crate) fn compiled_dag(
     // DAG; the loser's insert is a no-op overwrite with an equal value.
     MISSES.fetch_add(1, Ordering::Relaxed);
     let sched = compile(rec_cluster, reps).ok()?;
-    let dag = Arc::new(TimingDag::compile(rec_cluster, &sched));
-    let mut cache = cache.lock().expect("dag cache lock");
+    let dag = match TimingDag::compile(rec_cluster, &sched) {
+        Ok(dag) => Arc::new(dag),
+        Err(collsel_mpi::CompileError::TooLarge { .. }) => {
+            return Some(DagCell::TooLarge(sched));
+        }
+    };
+    let mut cache = locked(cache);
     if cache.len() < DAG_CACHE_CAP || cache.contains_key(&key) {
         cache.insert(key, Arc::clone(&dag));
+    }
+    Some(DagCell::Compiled(dag))
+}
+
+/// The identity of one replay step's recorded program: the world size
+/// plus every group call (algorithm, exact member ranks, message size,
+/// segment size) in issue order. Two trace steps with equal cells
+/// replay the same schedule, whatever their position in the trace.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct StepCell {
+    /// Global communicator size the step was recorded at.
+    pub world: usize,
+    /// Per call: `(alg, group ranks, message size, segment size)`.
+    pub calls: Vec<(Alg, Vec<usize>, usize, usize)>,
+}
+
+/// A replay step after DAG lowering was attempted — the public twin of
+/// the measurement tier's cell artifact (see [`compiled_step_dag`]).
+#[derive(Debug, Clone)]
+pub enum StepDag {
+    /// Lowering succeeded; evaluate with [`collsel_mpi::DagEvaluator`].
+    Compiled(Arc<TimingDag>),
+    /// Schedule too large for the DAG index space; replay with
+    /// [`collsel_mpi::simulate_scheduled`].
+    TooLarge(Arc<Schedule>),
+}
+
+type StepKey = (StepCell, usize);
+
+static STEP_CACHE: OnceLock<Mutex<HashMap<StepKey, StepDag>>> = OnceLock::new();
+
+/// Builds the [`StepCell`] key for a resolved list of group calls.
+pub fn step_cell(world: usize, calls: &[GroupCall]) -> StepCell {
+    StepCell {
+        world,
+        calls: calls
+            .iter()
+            .map(|c| (c.alg, c.ranks.clone(), c.m, c.seg_size))
+            .collect(),
+    }
+}
+
+/// Returns the compiled timing DAG (or, for schedules beyond the DAG
+/// index space, the recorded schedule) for one replay step, recording
+/// and lowering on a miss. Shares the measurement-cell cache's
+/// hit/miss counters ([`memo_counters`]) and entry cap, but lives in
+/// its own map: step shapes are keyed by their full group/call
+/// geometry, not a [`CellProgram`].
+///
+/// `rec_cluster` must be the fault-free recording topology; only its
+/// eager threshold reaches the compiled artifact. Returns `None` if
+/// recording fails.
+pub fn compiled_step_dag(
+    rec_cluster: &ClusterModel,
+    cell: StepCell,
+    compile: impl FnOnce(&ClusterModel) -> Result<Schedule, RecordError>,
+) -> Option<StepDag> {
+    let key = (cell, rec_cluster.eager_threshold());
+    let cache = STEP_CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    if let Some(dag) = locked(cache).get(&key) {
+        HITS.fetch_add(1, Ordering::Relaxed);
+        return Some(dag.clone());
+    }
+    MISSES.fetch_add(1, Ordering::Relaxed);
+    let sched = compile(rec_cluster).ok()?;
+    let dag = match TimingDag::compile(rec_cluster, &sched) {
+        Ok(dag) => StepDag::Compiled(Arc::new(dag)),
+        Err(collsel_mpi::CompileError::TooLarge { .. }) => StepDag::TooLarge(Arc::new(sched)),
+    };
+    let mut cache = locked(cache);
+    if cache.len() < DAG_CACHE_CAP || cache.contains_key(&key) {
+        cache.insert(key, dag.clone());
     }
     Some(dag)
 }
@@ -167,12 +269,14 @@ mod tests {
             seg_size: 12_345,
         };
         let compile_count = std::cell::Cell::new(0u32);
-        let get = || {
-            compiled_dag(&cluster, program, 2, |rec, reps| {
-                compile_count.set(compile_count.get() + 1);
-                compile_timed_collective(rec, alg, 4, 0, 12_345, 12_345, reps)
-            })
-            .expect("scatter records cleanly")
+        let get = || match compiled_dag(&cluster, program, 2, |rec, reps| {
+            compile_count.set(compile_count.get() + 1);
+            compile_timed_collective(rec, alg, 4, 0, 12_345, 12_345, reps)
+        })
+        .expect("scatter records cleanly")
+        {
+            DagCell::Compiled(dag) => dag,
+            DagCell::TooLarge(_) => panic!("tiny cell cannot overflow the DAG"),
         };
         let a = get();
         let b = get();
@@ -180,5 +284,28 @@ mod tests {
         assert_eq!(compile_count.get(), 1, "recording must run exactly once");
         let c = memo_counters();
         assert!(c.dag_hits >= 1 && c.dag_misses >= 1);
+    }
+
+    #[test]
+    fn step_dag_is_compiled_once_and_shared() {
+        let cluster = ClusterModel::gros();
+        let calls = vec![GroupCall {
+            alg: Alg::Bcast(BcastAlg::Binomial),
+            ranks: vec![0, 2, 4, 5],
+            m: 8_192,
+            seg_size: 8_192,
+        }];
+        let compile_count = std::cell::Cell::new(0u32);
+        let get = || match compiled_step_dag(&cluster, step_cell(6, &calls), |rec| {
+            compile_count.set(compile_count.get() + 1);
+            collsel_coll::compile::compile_step(rec, 6, &calls)
+        }) {
+            Some(StepDag::Compiled(dag)) => dag,
+            other => panic!("tiny step must record and compile, got {other:?}"),
+        };
+        let a = get();
+        let b = get();
+        assert!(Arc::ptr_eq(&a, &b), "second lookup must be a cache hit");
+        assert_eq!(compile_count.get(), 1, "recording must run exactly once");
     }
 }

@@ -24,10 +24,15 @@ use collsel::netsim::{ClusterModel, FaultPlan, NoiseParams, SimSpan};
 use collsel::select::rules::DecisionTable;
 use collsel::select::{
     CollectiveDecisionService, DecisionServer, DecisionService, DecisionSource, Selector,
+    ServerConfig,
 };
 use collsel::{CampaignPlan, TunedModel, Tuner, TunerConfig};
 use collsel_expt::campaign::CampaignSummary;
+use collsel_expt::replay::{
+    backend_name, comparison_csv, comparison_json, degradation_pct, score_policies, ReplayPolicy,
+};
 use collsel_expt::soak::{run_soak, SoakConfig};
+use collsel_expt::workload::{Trace, TraceGen, TracePreset};
 use std::process::ExitCode;
 
 const USAGE: &str = "usage:
@@ -45,6 +50,10 @@ const USAGE: &str = "usage:
   colltune serve  [--preset grisou|gros] [--tune-p P] [--queries N] [--threads N]
                   [--refits N] [--poison-every N] [--seed N] [--faults SPEC]
                   [--journal FILE] [--json FILE]
+  colltune replay [--model model.json] (--trace trace.json | --gen dp|pp)
+                  [--preset grisou|gros] [--world N] [--steps N] [--seed N]
+                  [--backend threads|events|dag]
+                  [--selector fixed|tuned|worst|server|all]... [--json FILE] [--csv FILE]
 
 fault specs (NAME or NAME:SEED): none, degraded-link, straggler, brownout, spike, chaos
 --collective: a collective to tune/query/bench beyond broadcast (repeatable):
@@ -69,7 +78,14 @@ drive seeded mixed query/refit traffic under the fault plan with hot swaps,
 health-gated refits (every --poison-every'th is poisoned and must be rejected),
 and post-hoc invariant validation; with --journal the run also demonstrates
 crash-only recovery by rebuilding the server from the journalled last-good
-generation afterwards; --json writes the soak report";
+generation afterwards; --json writes the soak report
+replay: replay a training-job trace of mixed collectives on overlapping rank
+groups end-to-end through the simulator and score selection policies by total
+job completion time (JCT); --gen synthesises a seeded data-parallel (dp) or
+pipeline-parallel (pp) trace instead of reading --trace; --selector picks the
+policies to compare (default: fixed alone, or tuned+fixed+worst with --model;
+`server` drives a live decision server with one lookup per call); JCT is
+bit-identical across all three backends and any thread count";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -84,6 +100,7 @@ fn main() -> ExitCode {
         "export" => cmd_export(&args[1..]),
         "bench-select" => cmd_bench_select(&args[1..]),
         "serve" => cmd_serve(&args[1..]),
+        "replay" => cmd_replay(&args[1..]),
         "--help" | "-h" => {
             println!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -628,6 +645,17 @@ fn parse_comm_sizes(args: &[String]) -> Result<Vec<usize>, String> {
     }
 }
 
+/// Draws one (p, m) query point without modulo bias: `p` uniform over
+/// `2..=max_p`, `m` a uniform power of two over `1 KiB..=8 MiB` (the
+/// serving grids' 14 decades). Shared by both bench-select paths so
+/// the broadcast and multi-collective benches sample the same
+/// distribution.
+fn sample_query(rng_state: &mut u64, max_p: usize) -> (usize, usize) {
+    let p = 2 + collsel_support::rng::splitmix64_below(rng_state, (max_p - 1) as u64) as usize;
+    let m = 1024usize << collsel_support::rng::splitmix64_below(rng_state, 14);
+    (p, m)
+}
+
 fn cmd_bench_select(args: &[String]) -> Result<(), String> {
     validate_flags(
         args,
@@ -672,12 +700,7 @@ fn cmd_bench_select(args: &[String]) -> Result<(), String> {
     let mut rng_state = seed;
     let max_p = comm_sizes.last().copied().unwrap_or(128).max(2);
     let working_set: Vec<(usize, usize)> = (0..1024)
-        .map(|_| {
-            let p = 2 + (collsel_support::rng::splitmix64(&mut rng_state) as usize) % (max_p - 1);
-            let exp = (collsel_support::rng::splitmix64(&mut rng_state) % 14) as u32;
-            let m = 1024usize << exp.min(13);
-            (p, m)
-        })
+        .map(|_| sample_query(&mut rng_state, max_p))
         .collect();
     let stream = |i: usize| working_set[i % working_set.len()];
 
@@ -756,11 +779,11 @@ fn bench_select_multi(
     let max_p = comm_sizes.last().copied().unwrap_or(128).max(2);
     let working_set: Vec<(Collective, usize, usize)> = (0..1024)
         .map(|_| {
-            let c = collectives
-                [(collsel_support::rng::splitmix64(&mut rng_state) as usize) % collectives.len()];
-            let p = 2 + (collsel_support::rng::splitmix64(&mut rng_state) as usize) % (max_p - 1);
-            let exp = (collsel_support::rng::splitmix64(&mut rng_state) % 14) as u32;
-            let m = 1024usize << exp.min(13);
+            let c = collectives[collsel_support::rng::splitmix64_below(
+                &mut rng_state,
+                collectives.len() as u64,
+            ) as usize];
+            let (p, m) = sample_query(&mut rng_state, max_p);
             (c, p, m)
         })
         .collect();
@@ -806,6 +829,189 @@ fn bench_select_multi(
         100.0 * stats.hit_rate(),
         service.cached_entries()
     );
+    Ok(())
+}
+
+fn cmd_replay(args: &[String]) -> Result<(), String> {
+    validate_flags(
+        args,
+        &[
+            "--model",
+            "--trace",
+            "--gen",
+            "--preset",
+            "--world",
+            "--steps",
+            "--seed",
+            "--backend",
+            "--selector",
+            "--json",
+            "--csv",
+        ],
+        &[],
+    )?;
+    let backend = parse_backend(args)?;
+    let cluster = match flag_value(args, "--preset") {
+        Some("grisou") => ClusterModel::grisou(),
+        Some("gros") | None => ClusterModel::gros(),
+        Some(other) => return Err(format!("unknown preset `{other}`")),
+    };
+    let seed: u64 = parse(flag_value(args, "--seed").unwrap_or("42"), "seed")?;
+    let trace = match (flag_value(args, "--trace"), flag_value(args, "--gen")) {
+        (Some(_), Some(_)) => {
+            return Err("--trace and --gen are mutually exclusive".into());
+        }
+        (Some(path), None) => {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            let json = collsel_support::Json::parse(&text)
+                .map_err(|e| format!("cannot parse {path}: {e}"))?;
+            let trace: Trace = collsel_support::FromJson::from_json(&json)
+                .map_err(|e| format!("cannot parse {path}: {e}"))?;
+            trace
+                .validate()
+                .map_err(|e| format!("invalid trace {path}: {e}"))?;
+            trace
+        }
+        (None, Some(spec)) => {
+            let preset = TracePreset::parse(spec)
+                .ok_or_else(|| format!("unknown trace preset `{spec}` (dp or pp)"))?;
+            let world: usize = match flag_value(args, "--world") {
+                Some(s) => parse(s, "world size")?,
+                None => match preset {
+                    TracePreset::DataParallel => 12,
+                    TracePreset::Pipeline => 8,
+                },
+            };
+            if world < 2 {
+                return Err("--world must be at least 2".into());
+            }
+            let steps: usize = parse(flag_value(args, "--steps").unwrap_or("8"), "step count")?;
+            if steps == 0 {
+                return Err("--steps must be at least 1".into());
+            }
+            TraceGen {
+                preset,
+                world,
+                steps,
+                seed,
+            }
+            .generate()
+        }
+        (None, None) => return Err("--trace FILE or --gen dp|pp required".into()),
+    };
+    if trace.world > cluster.max_ranks() {
+        return Err(format!(
+            "trace `{}` needs {} ranks but {} supports at most {}",
+            trace.name,
+            trace.world,
+            cluster.name(),
+            cluster.max_ranks()
+        ));
+    }
+
+    let model = match flag_value(args, "--model") {
+        Some(path) => Some(load_model_path(path)?),
+        None => None,
+    };
+    let mut names: Vec<&str> = Vec::new();
+    for v in flag_values(args, "--selector") {
+        let expand: &[&str] = match v {
+            "all" => &["fixed", "tuned", "worst", "server"],
+            "fixed" => &["fixed"],
+            "tuned" => &["tuned"],
+            "worst" => &["worst"],
+            "server" => &["server"],
+            other => {
+                return Err(format!(
+                    "unknown selector `{other}` (fixed, tuned, worst, server, all)"
+                ))
+            }
+        };
+        for n in expand {
+            if !names.contains(n) {
+                names.push(n);
+            }
+        }
+    }
+    if names.is_empty() {
+        names = if model.is_some() {
+            vec!["tuned", "fixed", "worst"]
+        } else {
+            vec!["fixed"]
+        };
+    }
+    let selector = model.as_ref().map(|m| m.multi_selector());
+    let server = if names.contains(&"server") {
+        let m = model.as_ref().ok_or("--selector server needs --model")?;
+        Some(DecisionServer::new(
+            &m.degraded_multi_selector(),
+            &m.cluster_name,
+            ServerConfig::default(),
+        ))
+    } else {
+        None
+    };
+    let mut policies = Vec::new();
+    for n in &names {
+        policies.push(match *n {
+            "fixed" => ReplayPolicy::Fixed,
+            "tuned" => {
+                ReplayPolicy::Tuned(selector.as_ref().ok_or("--selector tuned needs --model")?)
+            }
+            "worst" => {
+                ReplayPolicy::Worst(selector.as_ref().ok_or("--selector worst needs --model")?)
+            }
+            "server" => {
+                ReplayPolicy::Server(server.as_ref().ok_or("--selector server needs --model")?)
+            }
+            _ => unreachable!("selector names validated above"),
+        });
+    }
+
+    eprintln!(
+        "[colltune] replaying `{}` on {}: {} steps / {} calls over {} groups, {} backend",
+        trace.name,
+        cluster.name(),
+        trace.steps.len(),
+        trace.total_calls(),
+        trace.groups.len(),
+        backend_name(backend)
+    );
+    let outcomes = score_policies(&cluster, &trace, &policies, backend, seed)
+        .map_err(|e| format!("replay failed: {e}"))?;
+    let best = outcomes
+        .iter()
+        .min_by_key(|o| o.jct_ns)
+        .cloned()
+        .ok_or("no policies to replay")?;
+    println!(
+        "JCT comparison for `{}` on {} ({} steps):",
+        trace.name,
+        cluster.name(),
+        trace.steps.len()
+    );
+    for o in &outcomes {
+        println!(
+            "  {:<7} {:>12.3} ms  (+{:.2}% vs best; {} lookups, {} messages, {} bytes)",
+            o.selector,
+            o.jct_s * 1e3,
+            degradation_pct(o, &best),
+            o.lookups,
+            o.messages,
+            o.bytes
+        );
+    }
+    println!("best: {}", best.selector);
+    if let Some(path) = flag_value(args, "--json") {
+        collsel_support::bench::write_artifact(path, &comparison_json(cluster.name(), &outcomes))?;
+        eprintln!("[colltune] JCT comparison written to {path}");
+    }
+    if let Some(path) = flag_value(args, "--csv") {
+        std::fs::write(path, comparison_csv(&outcomes))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("[colltune] CSV written to {path}");
+    }
     Ok(())
 }
 

@@ -27,12 +27,14 @@ pub mod config;
 pub mod fig1;
 pub mod paper_ref;
 pub mod plot;
+pub mod replay;
 pub mod report;
 pub mod soak;
 pub mod sweep;
 pub mod table1;
 pub mod table2;
 pub mod table3;
+pub mod workload;
 
 /// Fig. 5 sweeps (also the data source of Table 3).
 pub mod fig5;

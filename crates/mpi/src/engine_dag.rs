@@ -56,6 +56,7 @@ use crate::sim::{
 use collsel_netsim::{ClusterModel, Fabric, SimSpan, SimTime};
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap, HashMap};
+use std::fmt;
 use std::sync::Arc;
 
 /// Completion-slot sentinel: "this request has not completed".
@@ -117,6 +118,38 @@ struct DagEdge {
     recv_slot: u32,
 }
 
+/// Why a [`Schedule`] could not be lowered to a [`TimingDag`].
+///
+/// Callers are expected to fall back to the events backend
+/// ([`crate::simulate_scheduled`]), which replays the same schedule
+/// without the `u32` index compression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompileError {
+    /// The schedule has more operations than the DAG's `u32` index
+    /// space can address; compiling would silently truncate indices
+    /// and mis-wire the DAG.
+    TooLarge {
+        /// Total operations in the offending schedule.
+        ops: usize,
+        /// The largest schedule the compiler accepts.
+        max: usize,
+    },
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::TooLarge { ops, max } => write!(
+                f,
+                "schedule with {ops} ops exceeds the timing DAG's index \
+                 space (max {max}); use the events backend"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
 /// A [`Schedule`] lowered to flat arrays with matching, protocol
 /// selection and wait-set resolution done once.
 ///
@@ -168,11 +201,41 @@ impl TimingDag {
     /// semantics (an unreceived eager send still books fabric time and
     /// completes; an unreceived rendezvous send never completes).
     ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError::TooLarge`] when the schedule's total op
+    /// count exceeds the `u32` index space ([`Self::MAX_OPS`]); the
+    /// bare `as u32` narrowing below would otherwise silently truncate
+    /// indices and mis-wire the DAG. Callers fall back to the events
+    /// backend, which has no such limit.
+    ///
     /// # Panics
     ///
     /// Panics on receive wildcards or waits on unposted requests;
     /// both are impossible in a [`crate::record_schedule`] product.
-    pub fn compile(cluster: &ClusterModel, sched: &Schedule) -> TimingDag {
+    pub fn compile(cluster: &ClusterModel, sched: &Schedule) -> Result<TimingDag, CompileError> {
+        Self::compile_capped(cluster, sched, Self::MAX_OPS)
+    }
+
+    /// The largest total op count [`Self::compile`] accepts. One `u32`
+    /// value (`NONE_IDX`) is reserved as the "no index" sentinel, and
+    /// every compiled index space — ops, completion slots, wait-slot
+    /// entries, edges — is bounded by the schedule's total op count
+    /// (each op posts at most one request, and each request is waited
+    /// on at most once), so a single guard covers them all.
+    pub const MAX_OPS: usize = (u32::MAX - 1) as usize;
+
+    fn compile_capped(
+        cluster: &ClusterModel,
+        sched: &Schedule,
+        cap: usize,
+    ) -> Result<TimingDag, CompileError> {
+        if sched.total_ops() > cap {
+            return Err(CompileError::TooLarge {
+                ops: sched.total_ops(),
+                max: cap,
+            });
+        }
         let p = sched.ranks();
         let eager_threshold = cluster.eager_threshold();
         let total = sched.total_ops();
@@ -297,7 +360,7 @@ impl TimingDag {
             }
         }
 
-        TimingDag {
+        Ok(TimingDag {
             p,
             eager_threshold,
             ops,
@@ -310,7 +373,7 @@ impl TimingDag {
             slot_wait,
             slot_rank,
             wtime_counts,
-        }
+        })
     }
 
     /// Number of ranks the DAG was compiled for.
@@ -958,7 +1021,7 @@ mod tests {
         for bytes in [512usize, 256 * 1024] {
             let sched = record_schedule(&cluster, 6, move |rc| mixed_ring(rc, bytes))
                 .expect("ring records cleanly");
-            let dag = TimingDag::compile(&cluster, &sched);
+            let dag = TimingDag::compile(&cluster, &sched).expect("compiles");
             for seed in [0u64, 1, 42, 0xDEAD] {
                 let opts = SimOptions {
                     traced: true,
@@ -975,7 +1038,7 @@ mod tests {
     fn dag_matches_replay_under_faults() {
         let base = ClusterModel::gros();
         let sched = record_schedule(&base, 5, |rc| mixed_ring(rc, 128 * 1024)).expect("records");
-        let dag = TimingDag::compile(&base, &sched);
+        let dag = TimingDag::compile(&base, &sched).expect("compiles");
         for spec in ["degraded-link:3", "straggler:11", "brownout:5", "chaos:7"] {
             let plan = FaultPlan::parse(spec, base.nodes()).expect("canned plan");
             let faulted = base.clone().with_faults(plan);
@@ -992,7 +1055,7 @@ mod tests {
     fn dag_timeout_matches_replay_error_exactly() {
         let cluster = ClusterModel::gros();
         let sched = record_schedule(&cluster, 4, |rc| mixed_ring(rc, 64 * 1024)).expect("records");
-        let dag = TimingDag::compile(&cluster, &sched);
+        let dag = TimingDag::compile(&cluster, &sched).expect("compiles");
         let opts = SimOptions::with_deadline(SimSpan::from_nanos(10));
         let replay = simulate_scheduled(&cluster, &sched, 3, opts).expect_err("deadline must trip");
         let fast = simulate_dag(&cluster, &dag, 3, opts).expect_err("deadline must trip");
@@ -1003,7 +1066,7 @@ mod tests {
     fn evaluator_reps_match_one_shot_runs() {
         let cluster = ClusterModel::grisou();
         let sched = record_schedule(&cluster, 8, |rc| mixed_ring(rc, 4096)).expect("records");
-        let dag = Arc::new(TimingDag::compile(&cluster, &sched));
+        let dag = Arc::new(TimingDag::compile(&cluster, &sched).expect("compiles"));
         let mut ev = DagEvaluator::new(&cluster, Arc::clone(&dag));
         let reps = ev
             .evaluate_reps(100, 5, SimOptions::default())
@@ -1013,6 +1076,30 @@ mod tests {
                 .expect("one-shot");
             assert_identical(rep, &solo);
         }
+    }
+
+    #[test]
+    fn oversized_schedule_is_rejected_not_truncated() {
+        let cluster = ClusterModel::gros();
+        let sched = record_schedule(&cluster, 4, |rc| mixed_ring(rc, 1024)).expect("records");
+        // Exercise the guard with a tiny cap (a real >u32::MAX schedule
+        // would need >64 GiB of ops); the public entry point uses the
+        // same code path with cap = MAX_OPS.
+        let cap = sched.total_ops() - 1;
+        let err = TimingDag::compile_capped(&cluster, &sched, cap)
+            .expect_err("over-cap schedule must be rejected");
+        assert_eq!(
+            err,
+            CompileError::TooLarge {
+                ops: sched.total_ops(),
+                max: cap,
+            }
+        );
+        assert!(err.to_string().contains("events backend"));
+        // At exactly the cap the schedule still compiles, and the
+        // public entry point accepts it too.
+        assert!(TimingDag::compile_capped(&cluster, &sched, sched.total_ops()).is_ok());
+        assert!(TimingDag::compile(&cluster, &sched).is_ok());
     }
 
     #[test]
@@ -1032,7 +1119,7 @@ mod tests {
             }
         })
         .expect("records");
-        let dag = TimingDag::compile(&cluster, &sched);
+        let dag = TimingDag::compile(&cluster, &sched).expect("compiles");
         let replay = simulate_scheduled(&cluster, &sched, 5, SimOptions::default()).expect("ok");
         let fast = simulate_dag(&cluster, &dag, 5, SimOptions::default()).expect("ok");
         assert_identical(&replay, &fast);

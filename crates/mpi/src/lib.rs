@@ -54,6 +54,7 @@ mod engine;
 mod engine_dag;
 mod engine_ev;
 mod error;
+mod group;
 mod msg;
 mod proto;
 mod schedule;
@@ -62,9 +63,10 @@ mod team;
 
 pub use comm::Comm;
 pub use ctx::{Ctx, RecvRequest, SendRequest};
-pub use engine_dag::{simulate_dag, DagEvaluator, TimingDag};
+pub use engine_dag::{simulate_dag, CompileError, DagEvaluator, TimingDag};
 pub use engine_ev::{simulate_scheduled, Backend, ScheduledRun};
 pub use error::SimError;
+pub use group::{GroupComm, GROUP_TAG_STRIDE};
 pub use msg::{Peer, RecvStatus, Tag, TagSel};
 pub use schedule::{record_schedule, RecCtx, RecordError, Schedule};
 pub use sim::{simulate, simulate_traced, simulate_with, RunReport, SimOptions, SimOutcome};

@@ -29,6 +29,30 @@ pub fn splitmix64(state: &mut u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// A uniform draw in `0..n` from a splitmix64 stream, without the
+/// modulo bias of `splitmix64(state) % n`.
+///
+/// Uses rejection sampling over the smallest covering power-of-two
+/// mask, so every value in `0..n` is exactly equally likely. Advances
+/// `state` once per rejection round (power-of-two `n` never rejects).
+///
+/// # Panics
+///
+/// Panics if `n` is zero.
+pub fn splitmix64_below(state: &mut u64, n: u64) -> u64 {
+    assert!(n > 0, "splitmix64_below: empty range");
+    if n.is_power_of_two() {
+        return splitmix64(state) & (n - 1);
+    }
+    let mask = n.next_power_of_two() - 1;
+    loop {
+        let x = splitmix64(state) & mask;
+        if x < n {
+            return x;
+        }
+    }
+}
+
 /// Seeding interface mirroring `rand::SeedableRng`.
 pub trait SeedableRng: Sized {
     /// Builds a generator from a single 64-bit seed.
@@ -140,6 +164,34 @@ mod tests {
         let mut s = 0u64;
         assert_eq!(splitmix64(&mut s), 0xE220_A839_7B1D_CDAF);
         assert_eq!(splitmix64(&mut s), 0x6E78_9E6A_A1B9_65F4);
+    }
+
+    #[test]
+    fn below_always_in_range() {
+        let mut s = 99u64;
+        for n in [1u64, 2, 3, 7, 13, 14, 16, 1000] {
+            for _ in 0..1_000 {
+                assert!(splitmix64_below(&mut s, n) < n);
+            }
+        }
+    }
+
+    #[test]
+    fn below_is_unbiased_across_buckets() {
+        // n = 14 is the size-grid exponent count that motivated the
+        // helper: `% 14` over-represents 0..4. With rejection sampling
+        // every bucket should sit within a few percent of uniform.
+        let mut s = 0xC0FF_EEu64;
+        let n = 14u64;
+        let per_bucket = 10_000u64;
+        let mut counts = vec![0u64; n as usize];
+        for _ in 0..n * per_bucket {
+            counts[splitmix64_below(&mut s, n) as usize] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let dev = (c as f64 - per_bucket as f64).abs() / per_bucket as f64;
+            assert!(dev < 0.05, "bucket {i}: {c} draws, deviation {dev:.3}");
+        }
     }
 
     #[test]
